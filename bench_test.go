@@ -1,0 +1,403 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§V) plus the design-space ablations called out in
+// DESIGN.md. The figure benches run a scaled simulation per iteration
+// and report the headline quantities as custom metrics (Gbps, Mpps, µs),
+// so `go test -bench=. -benchmem` doubles as a compact reproduction of
+// the evaluation; cmd/fvsim produces the full-scale numbers recorded in
+// EXPERIMENTS.md.
+package flowvalve_test
+
+import (
+	"fmt"
+	"testing"
+
+	"flowvalve"
+	"flowvalve/internal/classifier"
+	"flowvalve/internal/clock"
+	"flowvalve/internal/core"
+	"flowvalve/internal/experiments"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+)
+
+const benchScale = 0.1 // 4.5 simulated seconds per figure iteration
+
+// ---------------------------------------------------------------------
+// Scheduling-function microbenchmarks (the offloaded hot path).
+// ---------------------------------------------------------------------
+
+func newBenchScheduler(b *testing.B, depth int, lock core.LockMode) (*core.Scheduler, *tree.Label) {
+	b.Helper()
+	builder := tree.NewBuilder().Root("root", 1e15) // never drops
+	parent := "root"
+	for d := 1; d <= depth; d++ {
+		name := fmt.Sprintf("c%d", d)
+		builder.Add(tree.ClassSpec{Name: name, Parent: parent})
+		parent = name
+	}
+	t, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.New(t, clock.NewWall(), core.Config{Lock: lock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lbl, ok := t.LabelByName(parent)
+	if !ok {
+		b.Fatal("no label")
+	}
+	return s, lbl
+}
+
+// BenchmarkSchedule is the per-packet cost of Algorithm 1 on a two-level
+// tree — the work each NP micro-engine does per packet.
+func BenchmarkSchedule(b *testing.B) {
+	s, lbl := newBenchScheduler(b, 1, core.PerClassTryLock)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(lbl, 1500)
+	}
+}
+
+// BenchmarkScheduleDepth sweeps tree depth: cost grows linearly with the
+// hierarchy label length (§IV-C).
+func BenchmarkScheduleDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s, lbl := newBenchScheduler(b, depth, core.PerClassTryLock)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(lbl, 1500)
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleParallel exercises FlowValve's design point (Fig 7-c):
+// per-class try-locks keep many cores scheduling concurrently.
+func BenchmarkScheduleParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		lock core.LockMode
+	}{
+		{"per-class-trylock", core.PerClassTryLock}, // Fig 7-(c): FlowValve
+		{"global-lock", core.GlobalLock},            // Fig 7-(b): naive port
+		{"no-lock", core.NoLock},                    // Fig 7-(a): racy
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, lbl := newBenchScheduler(b, 2, mode.lock)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					s.Schedule(lbl, 1500)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkScheduleBorrowPath measures the red-packet borrow chain: the
+// leaf has no bandwidth and queries its lenders' shadow buckets.
+func BenchmarkScheduleBorrowPath(b *testing.B) {
+	t := tree.NewBuilder().
+		Root("root", 8e9).
+		Add(tree.ClassSpec{Name: "starved", Parent: "root", Weight: 0.0001, BorrowFrom: []string{"fat1", "fat2"}}).
+		Add(tree.ClassSpec{Name: "fat1", Parent: "root", Weight: 1}).
+		Add(tree.ClassSpec{Name: "fat2", Parent: "root", Weight: 1}).
+		MustBuild()
+	s, err := core.New(t, clock.NewWall(), core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lbl, _ := t.LabelByName("starved")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(lbl, 1500)
+	}
+}
+
+// BenchmarkClassifier measures the exact-match flow cache (hit) against
+// the rule walk (miss) — the 10× gap the paper attributes to the NP
+// lookup engines.
+func BenchmarkClassifier(b *testing.B) {
+	t := tree.NewBuilder().
+		Root("root", 1e9).
+		Add(tree.ClassSpec{Name: "leaf", Parent: "root"}).
+		MustBuild()
+	rules := make([]classifier.Rule, 0, 64)
+	for i := 0; i < 64; i++ {
+		rules = append(rules, classifier.Rule{App: 1000 + i, Flow: classifier.AnyFlow, Class: "leaf"})
+	}
+	rules = append(rules, classifier.Rule{App: classifier.AnyApp, Flow: classifier.AnyFlow, Class: "leaf"})
+
+	b.Run("cache-hit", func(b *testing.B) {
+		cls, _ := classifier.New(t, rules, "")
+		p := &packet.Packet{App: 1, Flow: 1, Size: 100}
+		cls.Lookup(p)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cls.Lookup(p)
+		}
+	})
+	b.Run("cache-miss", func(b *testing.B) {
+		cls, _ := classifier.New(t, rules, "")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cls.Lookup(&packet.Packet{App: 1, Flow: packet.FlowID(i), Size: 100})
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Figure/table regeneration benches (scaled; full scale via cmd/fvsim).
+// ---------------------------------------------------------------------
+
+// BenchmarkFig3MotivationHTB regenerates Fig 3: kernel HTB failing the
+// motivation policy. Reports the ceiling overshoot.
+func BenchmarkFig3MotivationHTB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := experiments.Windows(res, benchScale, 4, [][2]int64{{17, 30}})
+		var total float64
+		for _, g := range w[0].AppGbps {
+			total += g
+		}
+		b.ReportMetric(total, "total-Gbps")
+		b.ReportMetric(res.CoresUsed, "host-cores")
+	}
+}
+
+// BenchmarkFig11aMotivationFlowValve regenerates Fig 11(a).
+func BenchmarkFig11aMotivationFlowValve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11a(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := experiments.Windows(res, benchScale, 4, [][2]int64{{17, 30}})
+		b.ReportMetric(w[0].AppGbps[1], "KVS-Gbps")
+		b.ReportMetric(w[0].AppGbps[2], "ML-Gbps")
+		b.ReportMetric(w[0].AppGbps[3], "WS-Gbps")
+	}
+}
+
+// BenchmarkFig11bFairQueueing regenerates Fig 11(b): 40G fair queueing.
+func BenchmarkFig11bFairQueueing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11b(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := experiments.Windows(res, benchScale, 4, [][2]int64{{32, 45}})
+		var total float64
+		for _, g := range w[0].AppGbps {
+			total += g
+		}
+		b.ReportMetric(total, "line-Gbps")
+		b.ReportMetric(w[0].AppGbps[0], "app0-Gbps")
+	}
+}
+
+// BenchmarkFig11cWeightedFQ regenerates Fig 11(c): the Fig 12 weighted
+// policy.
+func BenchmarkFig11cWeightedFQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11c(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := experiments.Windows(res, benchScale, 4, [][2]int64{{22, 30}})
+		b.ReportMetric(w[0].AppGbps[0], "app0-Gbps")
+	}
+}
+
+// BenchmarkFig13MaxThroughput regenerates the Fig 13 table rows.
+func BenchmarkFig13MaxThroughput(b *testing.B) {
+	for _, size := range experiments.Fig13Sizes {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig13Point(size, 10e6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rows.FlowValveMpps, "flowvalve-Mpps")
+				b.ReportMetric(rows.DPDKMpps, "dpdk-Mpps")
+			}
+		})
+	}
+}
+
+// BenchmarkFig14OneWayDelay regenerates the Fig 14 delay comparison.
+func BenchmarkFig14OneWayDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14(0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheduler == "FlowValve" && r.LinkGbps == 40 {
+				b.ReportMetric(r.MeanUs, "fv40G-mean-µs")
+				b.ReportMetric(r.StdUs, "fv40G-std-µs")
+			}
+		}
+	}
+}
+
+// BenchmarkCPUSavings regenerates the host-CPU comparison (§V headline).
+func BenchmarkCPUSavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CPUSavings(0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheduler == "DPDK QoS" {
+				b.ReportMetric(r.Cores, "dpdk-cores")
+			}
+		}
+	}
+}
+
+// BenchmarkConformance measures single-class rate conformance (§IV-D):
+// reports the relative error of the admitted rate against the policy.
+func BenchmarkConformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		errPct, err := experiments.SingleClassConformance(1e9, 2e9, 1e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(errPct*100, "conf-err-%")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationUpdateInterval sweeps the epoch length: accuracy vs
+// update overhead (DESIGN.md ablation).
+func BenchmarkAblationUpdateInterval(b *testing.B) {
+	for _, intervalUs := range []int64{10, 50, 250, 1000} {
+		b.Run(fmt.Sprintf("interval=%dµs", intervalUs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				errPct, err := experiments.ConformanceWithConfig(1e9, 2e9, 1e9, core.Config{
+					UpdateIntervalNs: intervalUs * 1000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(errPct*100, "conf-err-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBorrowing compares work conservation with and without
+// shadow-bucket borrowing: one active app on the 40G fair-queue policy.
+func BenchmarkAblationBorrowing(b *testing.B) {
+	for _, borrow := range []bool{true, false} {
+		name := "with-borrowing"
+		if !borrow {
+			name = "without-borrowing"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gbps, err := experiments.SoloAppThroughput(borrow)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(gbps, "solo-Gbps")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFlowCache compares NIC throughput with the exact-match
+// flow cache against a forced rule walk per packet.
+func BenchmarkAblationFlowCache(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "cache-on"
+		if !cached {
+			name = "cache-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mpps, err := experiments.FlowCacheThroughput(cached)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(mpps, "Mpps")
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the facade overhead a downstream user pays
+// over the internal scheduler.
+func BenchmarkPublicAPI(b *testing.B) {
+	p, err := flowvalve.FairQueuePolicy("1000gbit", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := flowvalve.NewScheduler(p, flowvalve.NewWallClock(), flowvalve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := s.Pin(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Schedule(1500)
+	}
+}
+
+// BenchmarkScale100G regenerates the §VI higher-line-rate projection.
+func BenchmarkScale100G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Scale100G(5e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].Mpps64, "nextgen-64B-Mpps")
+	}
+}
+
+// BenchmarkAblationExpiry sweeps the expired-status-removal threshold
+// (§IV-C subprocedure 3): with a long threshold, stale Γ starves the
+// residual class long after the prior flow stopped.
+func BenchmarkAblationExpiry(b *testing.B) {
+	for _, ms := range []int64{10, 50, 500} {
+		b.Run(fmt.Sprintf("expiry=%dms", ms), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec, err := experiments.ExpiryRecovery(ms * 1e6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rec, "recovery-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreads sweeps hardware thread contexts per
+// micro-engine: memory-stall hiding is what makes the NP's packet rate
+// compute-bound (§III-B).
+func BenchmarkAblationThreads(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mpps, err := experiments.ThreadSweepPoint(threads, 10e6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(mpps, "Mpps")
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package flowvalve
+
+import "testing"
+
+// End-to-end qdisc chaining (§III-E): a PRIO qdisc grafted under an HTB
+// class enforces strict priority inside that class's share while the
+// outer weighted split is untouched.
+func TestChainedQdiscEndToEnd(t *testing.T) {
+	p, err := ParsePolicy(`
+fv qdisc add dev nfp0 root handle 1: htb rate 9gbit default 1:20
+fv class add dev nfp0 parent 1: classid 1:10 htb weight 2
+fv class add dev nfp0 parent 1: classid 1:20 htb weight 1
+fv qdisc add dev nfp0 parent 1:10 handle 2: prio bands 2
+fv filter add dev nfp0 parent 2: app 0 flowid 2:1
+fv filter add dev nfp0 parent 2: app 1 flowid 2:2
+fv filter add dev nfp0 parent 1: app 2 flowid 1:20
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scenario{
+		Policy:      p,
+		DurationSec: 4,
+		Apps: []AppTraffic{
+			{App: 0, Conns: 2}, // band 2:1 — prior inside tenant A
+			{App: 1, Conns: 2}, // band 2:2
+			{App: 2, Conns: 2}, // tenant B
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpc := res.AppGbps(0, 1, 4)
+	bulk := res.AppGbps(1, 1, 4)
+	tenB := res.AppGbps(2, 1, 4)
+
+	// Outer split 2:1 of ≈8.85G usable: tenant A ≈5.9, tenant B ≈2.95.
+	if a := rpc + bulk; a < 5.0 || a > 6.5 {
+		t.Errorf("tenant A total = %.2fG, want ≈5.9", a)
+	}
+	if tenB < 2.4 || tenB > 3.5 {
+		t.Errorf("tenant B = %.2fG, want ≈2.95", tenB)
+	}
+	// Inner strict priority: the prior band takes nearly all of A's
+	// share.
+	if rpc < 4.5 {
+		t.Errorf("prior band = %.2fG, want ≈5.9 (strict priority in the chain)", rpc)
+	}
+	if bulk > 1.2 {
+		t.Errorf("low band = %.2fG, want ≈0 while the prior band saturates", bulk)
+	}
+}

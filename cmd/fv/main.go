@@ -1,0 +1,86 @@
+// Command fv is the FlowValve front end: it parses fv policy scripts
+// (tc-inherited syntax, §III-E of the paper), validates them, and prints
+// the compiled scheduling tree and filter rules — what the real front
+// end would populate into the SmartNIC shared memory.
+//
+// Usage:
+//
+//	fv -f policy.fv          # compile and show a script file
+//	fv -f -                  # read the script from stdin
+//	fv -motivation           # show the paper's canonical example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flowvalve/internal/classifier"
+	"flowvalve/internal/fvconf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fv", flag.ContinueOnError)
+	file := fs.String("f", "", "policy script file ('-' for stdin)")
+	motivation := fs.Bool("motivation", false, "show the paper's motivation policy")
+	dumpTables := fs.Bool("dump-tables", false, "also dump the compiled match-action tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var text string
+	switch {
+	case *motivation:
+		text = fvconf.MotivationScript
+	case *file == "-":
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		text = string(b)
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		text = string(b)
+	default:
+		return fmt.Errorf("nothing to do: pass -f FILE or -motivation")
+	}
+
+	script, err := fvconf.Parse(text)
+	if err != nil {
+		return err
+	}
+	desc, err := script.Describe()
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(out, desc); err != nil {
+		return err
+	}
+	if *dumpTables {
+		t, rules, err := script.Compile()
+		if err != nil {
+			return err
+		}
+		cls, err := classifier.New(t, rules, script.DefaultClass)
+		if err != nil {
+			return err
+		}
+		for _, tbl := range cls.Pipeline().Tables() {
+			if _, err := io.WriteString(out, tbl.Dump()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

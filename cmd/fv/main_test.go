@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunMotivation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-motivation"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"qdisc 1:", "guarantee 2gbit", "filter app 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.fv")
+	script := "qdisc add dev x root handle 1: htb rate 1gbit\n" +
+		"class add dev x parent 1: classid 1:1\n"
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-f", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "class 1:1") {
+		t.Fatalf("output missing class:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("no-args run succeeded")
+	}
+	if err := run([]string{"-f", "/does/not/exist.fv"}, &sb); err == nil {
+		t.Fatal("missing file succeeded")
+	}
+	path := filepath.Join(t.TempDir(), "bad.fv")
+	if err := os.WriteFile(path, []byte("gibberish here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", path}, &sb); err == nil {
+		t.Fatal("bad script succeeded")
+	}
+}
+
+func TestRunTestdataPolicies(t *testing.T) {
+	for _, f := range []string{"testdata/motivation.fv", "testdata/chained.fv"} {
+		var sb strings.Builder
+		if err := run([]string{"-f", f, "-dump-tables"}, &sb); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "table filters") {
+			t.Errorf("%s: table dump missing:\n%s", f, out)
+		}
+	}
+}
+
+func TestDumpTablesShowsMatches(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-f", "testdata/chained.fv", "-dump-tables"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "l4.dport=0x1453") { // 5203
+		t.Fatalf("u32 match missing from dump:\n%s", sb.String())
+	}
+}

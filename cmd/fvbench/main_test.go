@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-size", "64", "-duration", "10ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"delivered:", "bottleneck:", "Mpps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeepTree(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-size", "1518", "-depth", "4", "-duration", "5ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "depth=4") {
+		t.Fatal("depth not reflected")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-size", "notanumber"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

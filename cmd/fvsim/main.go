@@ -1,0 +1,220 @@
+// Command fvsim regenerates the paper's evaluation: every figure and
+// table of §V, plus the ablation experiments, on the discrete-event
+// SmartNIC model.
+//
+// Usage:
+//
+//	fvsim -experiment fig11a            # one experiment at full scale
+//	fvsim -experiment all -scale 0.2    # everything, scaled down 5×
+//	fvsim -experiment fig11b -csv       # emit the raw series as CSV
+//
+// Experiments: fig3 fig11a fig11b fig11c fig13 fig14 cpu prop
+// scale100g all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"flowvalve/internal/experiments"
+	"flowvalve/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fvsim", flag.ContinueOnError)
+	exp := fs.String("experiment", "all", "fig3|fig11a|fig11b|fig11c|fig13|fig14|cpu|prop|scale100g|conns|priocmp|all")
+	scale := fs.Float64("scale", 1.0, "time-scale factor (1.0 = paper durations)")
+	csv := fs.Bool("csv", false, "emit raw per-second series as CSV where applicable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig3", "fig11a", "fig11b", "fig11c", "fig13", "fig14", "cpu", "prop", "scale100g", "conns", "priocmp"}
+	}
+	for _, name := range names {
+		if err := runOne(name, *scale, *csv, out); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+var motivationWindows = [][2]int64{{2, 15}, {17, 30}, {32, 45}}
+
+func runOne(name string, scale float64, csv bool, out io.Writer) error {
+	switch name {
+	case "fig3":
+		res, err := experiments.Fig3(scale)
+		if err != nil {
+			return err
+		}
+		wins := experiments.Windows(res, scale, 4, motivationWindows)
+		fmt.Fprint(out, experiments.FormatWindows(
+			"Fig 3 — kernel HTB on the motivation policy (10G ceiling on the 40G wire)",
+			[]string{"NC", "KVS", "ML", "WS"}, wins))
+		fmt.Fprintf(out, "host cores consumed: %.2f\n", res.CoresUsed)
+		fmt.Fprintln(out, "paper: NC not prioritized; ≈12G total (ceiling overshoot); KVS=ML (priority ignored)")
+		if csv {
+			writeSeries(out, res, 4, []string{"NC", "KVS", "ML", "WS"})
+		}
+	case "fig11a":
+		res, err := experiments.Fig11a(scale)
+		if err != nil {
+			return err
+		}
+		wins := experiments.Windows(res, scale, 4, motivationWindows)
+		fmt.Fprint(out, experiments.FormatWindows(
+			"Fig 11(a) — FlowValve on the motivation policy (10Gbps)",
+			[]string{"NC", "KVS", "ML", "WS"}, wins))
+		fmt.Fprintln(out, "paper: NC first; then KVS 4.67 / ML 2 / WS 3.33; then KVS 8 / ML 2; total ≤ 10G")
+		if csv {
+			writeSeries(out, res, 4, []string{"NC", "KVS", "ML", "WS"})
+			writeRates(out, res)
+		}
+	case "fig11b":
+		res, err := experiments.Fig11b(scale)
+		if err != nil {
+			return err
+		}
+		wins := experiments.Windows(res, scale, 4, [][2]int64{{2, 10}, {12, 20}, {22, 30}, {32, 45}})
+		fmt.Fprint(out, experiments.FormatWindows(
+			"Fig 11(b) — FlowValve 40G fair queueing, staged joins at 0/10/20/30s",
+			appNames(4), wins))
+		fmt.Fprintln(out, "paper: 40 → 20/20 → 13.3×3 → 10×4, line rate throughout")
+		if csv {
+			writeSeries(out, res, 4, appNames(4))
+		}
+	case "fig11c":
+		res, err := experiments.Fig11c(scale)
+		if err != nil {
+			return err
+		}
+		wins := experiments.Windows(res, scale, 4, [][2]int64{{2, 20}, {22, 30}, {32, 45}})
+		fmt.Fprint(out, experiments.FormatWindows(
+			"Fig 11(c) — FlowValve 40G weighted fair queueing (Fig 12 policy)",
+			appNames(4), wins))
+		fmt.Fprintln(out, "paper: App0 holds 20G when App2 joins at 20s; after App0 stops at 30s the rest share the link")
+		if csv {
+			writeSeries(out, res, 4, appNames(4))
+		}
+	case "fig13":
+		rows, err := experiments.Fig13(int64(50e6 * scale))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatFig13(rows))
+	case "fig14":
+		rows, err := experiments.Fig14(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatFig14(rows))
+	case "cpu":
+		rows, err := experiments.CPUSavings(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatCPU(rows))
+	case "prop":
+		rows, err := experiments.PropagationDelay()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatPropagation(rows))
+	case "conns":
+		rows, err := experiments.ConnsSweep(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatConns(rows))
+	case "priocmp":
+		rows, err := experiments.PrioComparison(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatPrioCmp(rows))
+	case "scale100g":
+		rows, err := experiments.Scale100G(int64(20e6 * scale))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatScale100G(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func appNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("App%d", i)
+	}
+	return out
+}
+
+// writeRates dumps the sampled per-class θ/Γ dynamics as CSV (present
+// when the harness enabled rate sampling).
+func writeRates(out io.Writer, res *experiments.Result) {
+	if len(res.Rates) == 0 {
+		return
+	}
+	names := make([]string, 0, len(res.Rates))
+	for name := range res.Rates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprint(out, "t_s")
+	for _, n := range names {
+		fmt.Fprintf(out, ",theta_%s,gamma_%s", n, n)
+	}
+	fmt.Fprintln(out)
+	for i := 0; i < len(res.Rates[names[0]]); i++ {
+		fmt.Fprintf(out, "%.2f", float64(res.Rates[names[0]][i].AtNs)/1e9)
+		for _, n := range names {
+			smp := res.Rates[n][i]
+			fmt.Fprintf(out, ",%s,%s", stats.Gbps(smp.ThetaBps), stats.Gbps(smp.GammaBps))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// writeSeries dumps the per-bin throughput of each app as CSV.
+func writeSeries(out io.Writer, res *experiments.Result, apps int, names []string) {
+	fmt.Fprintf(out, "bin_s,%s\n", strings.Join(names, ","))
+	series := make([][]float64, apps)
+	maxLen := 0
+	for a := 0; a < apps; a++ {
+		series[a] = res.Meter.Series(experiments.AppSeries(a))
+		if len(series[a]) > maxLen {
+			maxLen = len(series[a])
+		}
+	}
+	binSec := float64(res.Meter.BinNs()) / 1e9
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, apps+1)
+		row = append(row, fmt.Sprintf("%.1f", float64(i)*binSec))
+		for a := 0; a < apps; a++ {
+			v := 0.0
+			if i < len(series[a]) {
+				v = series[a][i]
+			}
+			row = append(row, stats.Gbps(v))
+		}
+		fmt.Fprintln(out, strings.Join(row, ","))
+	}
+}

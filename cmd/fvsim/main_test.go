@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig11aScaled(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig11a", "-scale", "0.1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig 11(a)") {
+		t.Fatalf("missing title:\n%s", sb.String())
+	}
+}
+
+func TestRunFig3CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig3", "-scale", "0.1", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "bin_s,NC,KVS,ML,WS") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+}
+
+func TestRunProp(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "prop"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "depth") {
+		t.Fatal("missing propagation table")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig99"}, &sb); err == nil {
+		t.Fatal("unknown experiment succeeded")
+	}
+}

@@ -1,0 +1,123 @@
+package flowvalve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The discrete-event substrate is deterministic: two runs of the same
+// scenario produce identical series — the property that makes every
+// figure in EXPERIMENTS.md exactly regenerable.
+func TestScenarioDeterministic(t *testing.T) {
+	build := func() Scenario {
+		policy, err := FairQueuePolicy("40gbit", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Scenario{
+			Policy:      policy,
+			DurationSec: 2,
+			Apps: []AppTraffic{
+				{App: 0, Conns: 3},
+				{App: 1, Conns: 2, StartSec: 0.5},
+				{App: 2, Conns: 1, StartSec: 1, StopSec: 1.5},
+			},
+		}
+	}
+	r1, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app := 0; app < 3; app++ {
+		s1, s2 := r1.Series(app), r2.Series(app)
+		if len(s1) != len(s2) {
+			t.Fatalf("app %d series lengths differ: %d vs %d", app, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("app %d bin %d differs: %v vs %v", app, i, s1[i], s2[i])
+			}
+		}
+	}
+	d1s, d1o := r1.SchedDrops()
+	d2s, d2o := r2.SchedDrops()
+	if d1s != d2s || d1o != d2o {
+		t.Fatalf("drop counts differ: (%d,%d) vs (%d,%d)", d1s, d1o, d2s, d2o)
+	}
+}
+
+// System-level property: for random two-class weighted policies under
+// random saturating TCP load, the scheduler is (a) rate-bounded — total
+// goodput never exceeds the policy rate — and (b) roughly
+// weight-proportional between the saturating classes.
+func TestRandomPolicyInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sim sweep is slow")
+	}
+	check := func(w1Raw, w2Raw uint8, rateStep uint8) bool {
+		w1 := int(w1Raw%4) + 1
+		w2 := int(w2Raw%4) + 1
+		rateGbit := 5 + int(rateStep%4)*5 // 5..20 Gbit
+		script := `
+qdisc add dev x root handle 1: htb rate ` + itoa(rateGbit) + `gbit default 1:20
+class add dev x parent 1: classid 1:10 weight ` + itoa(w1) + `
+class add dev x parent 1: classid 1:20 weight ` + itoa(w2) + `
+filter add dev x app 0 flowid 1:10
+filter add dev x app 1 flowid 1:20
+`
+		policy, err := ParsePolicy(script)
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		res, err := Scenario{
+			Policy:      policy,
+			DurationSec: 2,
+			Apps: []AppTraffic{
+				{App: 0, Conns: 2},
+				{App: 1, Conns: 2},
+			},
+		}.Run()
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		a := res.AppGbps(0, 0.5, 2)
+		b := res.AppGbps(1, 0.5, 2)
+		total := a + b
+		// (a) Rate bound: ≤ policy rate + 8% (bursts + measurement bins).
+		if total > float64(rateGbit)*1.08 {
+			t.Logf("total %.2fG exceeds %dG policy (w=%d:%d)", total, rateGbit, w1, w2)
+			return false
+		}
+		// (b) Weight proportionality within 30%.
+		wantA := total * float64(w1) / float64(w1+w2)
+		if wantA > 0 && math.Abs(a-wantA) > 0.3*wantA {
+			t.Logf("share a=%.2fG want %.2fG (w=%d:%d rate=%dG)", a, wantA, w1, w2, rateGbit)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

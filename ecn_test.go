@@ -1,0 +1,63 @@
+package flowvalve
+
+import "testing"
+
+// The mark-on-red extension: red packets carry a congestion signal
+// instead of being dropped. Shares still follow the policy (marks are
+// issued exactly where drops would be), while the loss rate collapses.
+func TestECNMarkingExtension(t *testing.T) {
+	policy, err := ParsePolicy(`
+qdisc add dev x root handle 1: htb rate 10gbit
+class add dev x parent 1: classid 1:10 weight 3
+class add dev x parent 1: classid 1:20 weight 1
+filter add dev x app 0 flowid 1:10
+filter add dev x app 1 flowid 1:20
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ecn bool) (a0, a1 float64, drops uint64) {
+		res, err := Scenario{
+			Policy:      policy,
+			DurationSec: 3,
+			ECN:         ecn,
+			Apps: []AppTraffic{
+				{App: 0, Conns: 2},
+				{App: 1, Conns: 2},
+			},
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, overflow := res.SchedDrops()
+		return res.AppGbps(0, 1, 3), res.AppGbps(1, 1, 3), sched + overflow
+	}
+
+	dropA0, dropA1, dropDrops := run(false)
+	ecnA0, ecnA1, ecnDrops := run(true)
+
+	// Policy shares hold in both modes: 3:1 of ≈9.84G.
+	for _, tc := range []struct {
+		name   string
+		a0, a1 float64
+	}{
+		{"drop mode", dropA0, dropA1},
+		{"ecn mode", ecnA0, ecnA1},
+	} {
+		ratio := tc.a0 / tc.a1
+		if ratio < 2.2 || ratio > 4.2 {
+			t.Errorf("%s: split %.2f/%.2f (ratio %.2f), want ≈3:1", tc.name, tc.a0, tc.a1, ratio)
+		}
+		if total := tc.a0 + tc.a1; total < 8.5 || total > 11.5 {
+			t.Errorf("%s: total %.2fG, want ≈10G policy", tc.name, total)
+		}
+	}
+	// ECN mode nearly eliminates packet loss.
+	if dropDrops == 0 {
+		t.Fatal("drop mode saw no drops — test is not exercising overload")
+	}
+	if ecnDrops > dropDrops/10 {
+		t.Errorf("ECN mode dropped %d packets vs %d in drop mode — marking should collapse loss",
+			ecnDrops, dropDrops)
+	}
+}

@@ -1,0 +1,61 @@
+// Chained demonstrates offloaded qdisc chaining (§III-E): a strict-
+// priority PRIO qdisc grafted under one class of an HTB hierarchy, all
+// compiled into a single on-NIC scheduling tree. Tenant A owns 2/3 of a
+// 9Gbps link and runs a latency-critical RPC service (band 2:1) above a
+// bulk backup job (band 2:3); tenant B takes the remaining third.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowvalve"
+)
+
+const policy = `
+fv qdisc add dev nfp0 root handle 1: htb rate 9gbit default 1:20
+fv class add dev nfp0 parent 1: classid 1:10 htb weight 2                 # tenant A
+fv class add dev nfp0 parent 1: classid 1:20 htb weight 1 borrow 1:10     # tenant B
+fv qdisc add dev nfp0 parent 1:10 handle 2: prio bands 3                  # chained PRIO
+fv filter add dev nfp0 parent 2: app 0 flowid 2:1                         # A: RPC (prior)
+fv filter add dev nfp0 parent 2: app 1 flowid 2:3                         # A: backup
+fv filter add dev nfp0 parent 1: app 2 flowid 1:20                        # B
+`
+
+func main() {
+	p, err := flowvalve.ParsePolicy(policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Compiled chain (one scheduling tree):")
+	fmt.Print(p.Describe())
+
+	res, err := flowvalve.Scenario{
+		Policy:      p,
+		DurationSec: 12,
+		Apps: []flowvalve.AppTraffic{
+			{App: 0, Conns: 2, StartSec: 4, StopSec: 8}, // RPC bursts mid-run
+			{App: 1, Conns: 2},                          // backup always on
+			{App: 2, Conns: 2},                          // tenant B always on
+		},
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nMean Gbps (HTB split 2:1, PRIO inside tenant A):")
+	rows := []struct {
+		label    string
+		from, to float64
+	}{
+		{"backup alone in A ", 1, 4},
+		{"RPC preempts      ", 5, 8},
+		{"backup recovers   ", 9, 12},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %s RPC=%5.2f backup=%5.2f tenantB=%5.2f\n", r.label,
+			res.AppGbps(0, r.from, r.to), res.AppGbps(1, r.from, r.to), res.AppGbps(2, r.from, r.to))
+	}
+	fmt.Println("\nWhile the RPC service bursts, the chained PRIO band preempts the")
+	fmt.Println("backup inside tenant A's 6G share; tenant B's 3G is never touched.")
+}

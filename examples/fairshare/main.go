@@ -1,0 +1,75 @@
+// Fairshare runs FlowValve's 40Gbps fair-queueing experiment (the
+// paper's Fig 11(b)): four applications of four TCP connections each join
+// a 4-way equal-share policy at 0/10/20/30s. Shadow-bucket borrowing
+// keeps the link at line rate whatever the number of active apps:
+// 40 → 20/20 → 13.3×3 → 10×4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowvalve"
+)
+
+func main() {
+	policy, err := flowvalve.FairQueuePolicy("40gbit", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := flowvalve.Scenario{
+		Policy:      policy,
+		DurationSec: 45,
+		WireGbps:    40,
+		WirePorts:   4,
+		Apps: []flowvalve.AppTraffic{
+			{App: 0, Conns: 4, StartSec: 0},
+			{App: 1, Conns: 4, StartSec: 10},
+			{App: 2, Conns: 4, StartSec: 20},
+			{App: 3, Conns: 4, StartSec: 30},
+		},
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("40G fair queueing — mean Gbps per phase:")
+	phases := []struct {
+		label    string
+		from, to float64
+		want     string
+	}{
+		{"1 app ", 2, 10, "≈40"},
+		{"2 apps", 12, 20, "≈20 each"},
+		{"3 apps", 22, 30, "≈13.3 each"},
+		{"4 apps", 32, 45, "≈10 each"},
+	}
+	for _, ph := range phases {
+		fmt.Printf("  %s:", ph.label)
+		for app := 0; app < 4; app++ {
+			fmt.Printf(" %6.2f", res.AppGbps(app, ph.from, ph.to))
+		}
+		fmt.Printf("   total %6.2f  (paper: %s)\n", res.TotalGbps(ph.from, ph.to), ph.want)
+	}
+
+	// ASCII sparkline of App0's share over time: full link alone,
+	// halving as peers join.
+	fmt.Println("\nApp0 Gbps over time:")
+	series := res.Series(0)
+	for i := 0; i < len(series); i += 2 {
+		bar := int(series[i] / 40 * 60)
+		if bar < 0 {
+			bar = 0
+		}
+		fmt.Printf("  %4.1fs %5.1fG |%s\n", float64(i)*0.45, series[i], repeat('#', bar))
+	}
+}
+
+func repeat(ch byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

@@ -1,0 +1,44 @@
+// Jitter examines FlowValve's one-way delay behaviour (the paper's
+// Fig 14 and §V-B discussion): at a 10Gbps policy the NIC path is nearly
+// empty and delay is minimal; at the full 40Gbps line rate the delay
+// floor rises to ≈160µs (traffic-manager occupancy ahead of the wire
+// bottleneck) but the *variation* stays small — which is what makes the
+// egress pattern predictable enough for jitter-sensitive traffic such as
+// video.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowvalve"
+)
+
+func main() {
+	fmt.Println("One-way delay under fair queueing, 4 apps × 4 TCP connections:")
+	fmt.Printf("%8s %12s %12s %12s\n", "policy", "mean(µs)", "std(µs)", "p99(µs)")
+	for _, gbps := range []int{10, 40} {
+		policy, err := flowvalve.FairQueuePolicy(fmt.Sprintf("%dgbit", gbps), 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := flowvalve.Scenario{
+			Policy:         policy,
+			DurationSec:    2,
+			WireGbps:       40, // the wire is always the 40GbE NIC
+			WirePorts:      4,
+			SegBytes:       1518, // wire-sized frames for per-packet delay
+			MeasureLatency: true,
+			Apps: []flowvalve.AppTraffic{
+				{App: 0, Conns: 4}, {App: 1, Conns: 4},
+				{App: 2, Conns: 4}, {App: 3, Conns: 4},
+			},
+		}.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, std, p99 := res.Latency()
+		fmt.Printf("%6dG %12.1f %12.1f %12.1f\n", gbps, mean, std, p99)
+	}
+	fmt.Println("\npaper: lowest delay at 10G; ≈4× higher at 40G (≈161µs floor) with near-zero variation")
+}

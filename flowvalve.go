@@ -1,0 +1,324 @@
+// Package flowvalve is the public API of the FlowValve reproduction — a
+// parallel packet scheduler for NP-based SmartNICs that offloads Linux
+// traffic-control classification and queueing disciplines (PRIO, HTB)
+// onto the NIC, enforcing hierarchies of network policies with
+// hierarchical token buckets, dataplane rate estimation, and specialized
+// tail drop (Xi, Li, Wang — ICDCS 2022).
+//
+// The package offers two entry points:
+//
+//   - A policy compiler and scheduler you can embed in your own
+//     datapath: ParsePolicy compiles fv/tc-style command scripts into a
+//     scheduling tree, and NewScheduler instantiates the scheduling
+//     function, safe to call from any number of worker goroutines — the
+//     software analogue of the NP micro-engines.
+//
+//   - A discrete-event SmartNIC simulation (see sim.go) that reproduces
+//     the paper's testbed: a Netronome-class NP model, closed-loop TCP
+//     traffic, and the software baselines (kernel HTB/PRIO, DPDK QoS
+//     Scheduler) it is evaluated against.
+package flowvalve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flowvalve/internal/classifier"
+	"flowvalve/internal/clock"
+	"flowvalve/internal/core"
+	"flowvalve/internal/fvconf"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+)
+
+// Policy is a compiled QoS policy: the scheduling tree (class hierarchy
+// with priorities, weights, guarantees, ceilings, and borrow labels) plus
+// the filter rules that classify packets to leaf classes.
+type Policy struct {
+	script *fvconf.Script
+	tree   *tree.Tree
+	rules  []classifier.Rule
+}
+
+// ParsePolicy compiles an fv command script (tc-inherited syntax, §III-E
+// of the paper) into a Policy. See internal/fvconf for the grammar; the
+// canonical example:
+//
+//	fv qdisc add dev nfp0 root handle 1: htb rate 10gbit default 1:30
+//	fv class add dev nfp0 parent 1: classid 1:1 htb prio 0
+//	fv filter add dev nfp0 parent 1: protocol ip app 0 flowid 1:1
+func ParsePolicy(script string) (*Policy, error) {
+	s, err := fvconf.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	t, rules, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{script: s, tree: t, rules: rules}, nil
+}
+
+// MotivationPolicy returns the paper's motivation example (Fig 2/6):
+// 10Gbps, NC strictly prior, vm1:vm2 = 2:1, KVS prior to ML, ML
+// guaranteed 2Gbps. Apps: 0=NC, 1=KVS, 2=ML, 3=WS.
+func MotivationPolicy() *Policy {
+	p, err := ParsePolicy(fvconf.MotivationScript)
+	if err != nil {
+		panic("flowvalve: canonical motivation policy failed to compile: " + err.Error())
+	}
+	return p
+}
+
+// FairQueuePolicy returns an n-way fair-queueing policy at the given rate
+// (e.g. "40gbit") with full mutual borrowing — the paper's Fig 11(b)
+// configuration.
+func FairQueuePolicy(rate string, n int) (*Policy, error) {
+	return ParsePolicy(fvconf.FairQueueScript(rate, n))
+}
+
+// Describe renders the compiled policy in fv show format.
+func (p *Policy) Describe() string {
+	out, err := p.script.Describe()
+	if err != nil {
+		// The policy compiled at construction; Describe re-compiles
+		// the same script, so this cannot fail.
+		panic("flowvalve: describe of compiled policy failed: " + err.Error())
+	}
+	return out
+}
+
+// Classes returns the class names in the policy, root first.
+func (p *Policy) Classes() []string {
+	out := make([]string, 0, p.tree.Len())
+	for _, c := range p.tree.Classes() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// Clock is a monotonic nanosecond time source driving a Scheduler.
+type Clock = clock.Clock
+
+// NewWallClock returns a Clock backed by real time — use it when
+// embedding the scheduler in a live datapath.
+func NewWallClock() Clock { return clock.NewWall() }
+
+// Options tunes a Scheduler. The zero value uses the paper-calibrated
+// defaults.
+type Options struct {
+	// UpdateIntervalNs is the epoch between token-bucket updates of one
+	// class (default 250µs).
+	UpdateIntervalNs int64
+	// ExpireAfterNs is the idle threshold for expired-status removal
+	// (default 50ms).
+	ExpireAfterNs int64
+	// BurstNs sizes class buckets to θ·BurstNs (default 4ms).
+	BurstNs int64
+}
+
+// Scheduler is a FlowValve instance: the labeling function (filter rules
+// + exact-match flow cache) and the scheduling function (Algorithm 1)
+// over one policy. Schedule is safe for concurrent use, and the policy
+// can be replaced at runtime with Swap — the front end repopulating the
+// SmartNIC shared memory with a new configuration.
+type Scheduler struct {
+	clk   Clock
+	opts  Options
+	inner atomic.Pointer[schedulerInner]
+}
+
+// schedulerInner is one compiled policy generation.
+type schedulerInner struct {
+	pol   *Policy
+	cls   *classifier.Classifier
+	sched *core.Scheduler
+}
+
+func buildInner(p *Policy, clk Clock, opts Options) (*schedulerInner, error) {
+	cls, err := classifier.New(p.tree, p.rules, p.script.DefaultClass)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.New(p.tree, clk, core.Config{
+		UpdateIntervalNs: opts.UpdateIntervalNs,
+		ExpireAfterNs:    opts.ExpireAfterNs,
+		BurstNs:          opts.BurstNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &schedulerInner{pol: p, cls: cls, sched: sched}, nil
+}
+
+// NewScheduler instantiates the scheduling function for a policy.
+func NewScheduler(p *Policy, clk Clock, opts Options) (*Scheduler, error) {
+	if p == nil {
+		return nil, fmt.Errorf("flowvalve: nil policy")
+	}
+	if clk == nil {
+		clk = NewWallClock()
+	}
+	in, err := buildInner(p, clk, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{clk: clk, opts: opts}
+	s.inner.Store(in)
+	return s, nil
+}
+
+// Swap atomically replaces the active policy: packets scheduled after
+// Swap returns are classified and rate-controlled under the new policy
+// with fresh runtime state. FlowHandles pinned before the swap keep
+// operating under the old policy until re-pinned (their classes may no
+// longer exist in the new tree).
+func (s *Scheduler) Swap(p *Policy) error {
+	if p == nil {
+		return fmt.Errorf("flowvalve: nil policy")
+	}
+	in, err := buildInner(p, s.clk, s.opts)
+	if err != nil {
+		return err
+	}
+	s.inner.Store(in)
+	return nil
+}
+
+// Policy returns the currently active policy.
+func (s *Scheduler) Policy() *Policy { return s.inner.Load().pol }
+
+// Verdict is the forwarding decision for one packet.
+type Verdict int
+
+const (
+	// Forward admits the packet.
+	Forward Verdict = iota + 1
+	// Drop discards it (the specialized tail drop).
+	Drop
+	// Unclassified means no filter rule matched and the policy has no
+	// default class.
+	Unclassified
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Forward:
+		return "forward"
+	case Drop:
+		return "drop"
+	case Unclassified:
+		return "unclassified"
+	default:
+		return "invalid"
+	}
+}
+
+// Decision reports the outcome of scheduling one packet.
+type Decision struct {
+	Verdict Verdict
+	// Class is the leaf class the packet matched ("" if unclassified).
+	Class string
+	// Borrowed is true when the packet passed on a lender's shadow
+	// bucket; Lender names it.
+	Borrowed bool
+	Lender   string
+}
+
+// Schedule classifies and schedules one packet of `size` bytes from the
+// given application (virtual function) and flow, returning the
+// forwarding decision.
+//
+// Classification is not synchronized — when calling from multiple
+// goroutines, classify flows up front with Pin or shard packets by flow.
+func (s *Scheduler) Schedule(app, flow uint32, size int) Decision {
+	in := s.inner.Load()
+	p := packet.Packet{App: packet.AppID(app), Flow: packet.FlowID(flow), Size: size}
+	lbl, _ := in.cls.Lookup(&p)
+	return in.scheduleLabel(lbl, size)
+}
+
+// Pin resolves and caches the classification of one flow, returning a
+// handle whose Schedule method is safe for concurrent use from any
+// goroutine with zero allocation.
+func (s *Scheduler) Pin(app, flow uint32) (*FlowHandle, error) {
+	in := s.inner.Load()
+	p := packet.Packet{App: packet.AppID(app), Flow: packet.FlowID(flow)}
+	lbl, _ := in.cls.Lookup(&p)
+	if lbl == nil {
+		return nil, fmt.Errorf("flowvalve: flow (app=%d, flow=%d) matches no rule and there is no default class", app, flow)
+	}
+	return &FlowHandle{in: in, lbl: lbl}, nil
+}
+
+// FlowHandle is a pinned classification for one flow, bound to the
+// policy generation it was pinned under.
+type FlowHandle struct {
+	in  *schedulerInner
+	lbl *tree.Label
+}
+
+// Class returns the leaf class the flow is pinned to.
+func (h *FlowHandle) Class() string { return h.lbl.Leaf.Name }
+
+// Schedule runs the scheduling function for one packet of the pinned
+// flow. Safe for concurrent use.
+func (h *FlowHandle) Schedule(size int) Decision {
+	return h.in.scheduleLabel(h.lbl, size)
+}
+
+func (in *schedulerInner) scheduleLabel(lbl *tree.Label, size int) Decision {
+	if lbl == nil {
+		return Decision{Verdict: Unclassified}
+	}
+	d := in.sched.Schedule(lbl, size)
+	out := Decision{Class: lbl.Leaf.Name}
+	if d.Verdict == core.Forward {
+		out.Verdict = Forward
+	} else {
+		out.Verdict = Drop
+	}
+	if d.Borrowed {
+		out.Borrowed = true
+		out.Lender = d.Lender.Name
+	}
+	return out
+}
+
+// ClassStats is a monitoring snapshot of one traffic class.
+type ClassStats struct {
+	Class string
+	// ThetaBps is the granted token rate; GammaBps the measured
+	// consumption rate; LendableBps the published shadow rate — all in
+	// bits/second.
+	ThetaBps    float64
+	GammaBps    float64
+	LendableBps float64
+	// Leaf counters.
+	FwdPkts    int64
+	FwdBytes   int64
+	DropPkts   int64
+	DropBytes  int64
+	BorrowPkts int64
+}
+
+// Stats snapshots every class in the active policy.
+func (s *Scheduler) Stats() []ClassStats {
+	raw := s.inner.Load().sched.Snapshot()
+	out := make([]ClassStats, len(raw))
+	for i, st := range raw {
+		out[i] = ClassStats{
+			Class:       st.Class.Name,
+			ThetaBps:    st.ThetaBps,
+			GammaBps:    st.GammaBps,
+			LendableBps: st.LendableBps,
+			FwdPkts:     st.FwdPkts,
+			FwdBytes:    st.FwdBytes,
+			DropPkts:    st.DropPkts,
+			DropBytes:   st.DropBytes,
+			BorrowPkts:  st.BorrowPkts,
+		}
+	}
+	return out
+}

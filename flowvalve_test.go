@@ -1,0 +1,307 @@
+package flowvalve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParsePolicyAndDescribe(t *testing.T) {
+	p, err := ParsePolicy(`
+qdisc add dev nfp0 root handle 1: htb rate 1gbit default 1:2
+class add dev nfp0 parent 1: classid 1:1 prio 0
+class add dev nfp0 parent 1: classid 1:2 prio 1
+filter add dev nfp0 parent 1: app 0 flowid 1:1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Describe(), "qdisc 1:") {
+		t.Fatal("Describe missing qdisc line")
+	}
+	classes := p.Classes()
+	if len(classes) != 3 || classes[0] != "1:" {
+		t.Fatalf("Classes() = %v", classes)
+	}
+}
+
+func TestParsePolicyError(t *testing.T) {
+	if _, err := ParsePolicy("garbage"); err == nil {
+		t.Fatal("garbage policy accepted")
+	}
+}
+
+func TestMotivationPolicyCompiles(t *testing.T) {
+	p := MotivationPolicy()
+	if len(p.Classes()) != 7 {
+		t.Fatalf("motivation policy has %d classes, want 7", len(p.Classes()))
+	}
+}
+
+func TestFairQueuePolicy(t *testing.T) {
+	p, err := FairQueuePolicy("40gbit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Classes()) != 5 {
+		t.Fatalf("fair queue policy has %d classes, want 5", len(p.Classes()))
+	}
+}
+
+func TestSchedulerScheduleAndStats(t *testing.T) {
+	p := MotivationPolicy()
+	s, err := NewScheduler(p, NewWallClock(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Schedule(0, 1, 1500) // app 0 = NC
+	if d.Verdict != Forward {
+		t.Fatalf("first NC packet = %v, want forward", d.Verdict)
+	}
+	if d.Class != "1:1" {
+		t.Fatalf("classified to %q, want 1:1", d.Class)
+	}
+	var fwd int64
+	for _, st := range s.Stats() {
+		fwd += st.FwdPkts
+	}
+	if fwd != 1 {
+		t.Fatalf("stats count %d forwarded, want 1", fwd)
+	}
+}
+
+func TestSchedulerDefaultClass(t *testing.T) {
+	p := MotivationPolicy()
+	s, err := NewScheduler(p, NewWallClock(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Schedule(77, 1, 100) // unmatched app → default 1:30
+	if d.Class != "1:30" {
+		t.Fatalf("unmatched app classified to %q, want default 1:30", d.Class)
+	}
+}
+
+func TestNewSchedulerNilPolicy(t *testing.T) {
+	if _, err := NewScheduler(nil, NewWallClock(), Options{}); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+func TestNewSchedulerNilClockDefaultsToWall(t *testing.T) {
+	s, err := NewScheduler(MotivationPolicy(), nil, Options{})
+	if err != nil || s == nil {
+		t.Fatalf("nil clock should default to wall: %v", err)
+	}
+}
+
+func TestPinConcurrentSchedule(t *testing.T) {
+	p, err := FairQueuePolicy("8gbit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(p, NewWallClock(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*FlowHandle, 4)
+	for app := range handles {
+		h, err := s.Pin(uint32(app), uint32(app))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Class() == "" {
+			t.Fatal("pinned handle has no class")
+		}
+		handles[app] = h
+	}
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		h := h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				if v := h.Schedule(1500).Verdict; v != Forward && v != Drop {
+					t.Errorf("invalid verdict %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPinUnmatchedFlowErrors(t *testing.T) {
+	p, err := ParsePolicy(`
+qdisc add dev nfp0 root handle 1: htb rate 1gbit
+class add dev nfp0 parent 1: classid 1:1
+filter add dev nfp0 parent 1: app 0 flowid 1:1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(p, NewWallClock(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pin(99, 0); err == nil {
+		t.Fatal("pin of unmatched flow without default succeeded")
+	}
+	if d := s.Schedule(99, 0, 100); d.Verdict != Unclassified {
+		t.Fatalf("unmatched packet verdict = %v, want unclassified", d.Verdict)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Forward: "forward", Drop: "drop", Unclassified: "unclassified", Verdict(0): "invalid",
+	} {
+		if v.String() != want {
+			t.Fatalf("%d.String() = %q", v, v.String())
+		}
+	}
+}
+
+// The simulation facade: a tiny fair-queueing run producing sane shares.
+func TestScenarioRun(t *testing.T) {
+	policy, err := FairQueuePolicy("40gbit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scenario{
+		Policy:      policy,
+		DurationSec: 2,
+		Apps: []AppTraffic{
+			{App: 0, Conns: 2},
+			{App: 1, Conns: 2},
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := res.AppGbps(0, 0.5, 2)
+	a1 := res.AppGbps(1, 0.5, 2)
+	if a0 < 12 || a1 < 12 {
+		t.Fatalf("two-way split %.1f/%.1f, want ≈19 each", a0, a1)
+	}
+	if total := res.TotalGbps(0.5, 2); total < 30 {
+		t.Fatalf("total %.1fG, want ≈39", total)
+	}
+	if len(res.Series(0)) == 0 {
+		t.Fatal("empty series")
+	}
+	if sched, _ := res.SchedDrops(); sched == 0 {
+		t.Fatal("saturating TCP should see scheduling drops")
+	}
+}
+
+func TestScenarioLatency(t *testing.T) {
+	policy, err := FairQueuePolicy("10gbit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scenario{
+		Policy:         policy,
+		DurationSec:    0.5,
+		MeasureLatency: true,
+		SegBytes:       1518,
+		Apps:           []AppTraffic{{App: 0, Conns: 2}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, p99 := res.Latency()
+	if mean <= 0 || p99 < mean {
+		t.Fatalf("latency stats implausible: mean=%g p99=%g", mean, p99)
+	}
+}
+
+func TestScenarioRequiresApps(t *testing.T) {
+	policy, err := FairQueuePolicy("10gbit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Scenario{Policy: policy, DurationSec: 1, Apps: []AppTraffic{{App: 0}}}).Run(); err == nil {
+		t.Fatal("app without connections accepted")
+	}
+}
+
+// Runtime policy replacement: after Swap, packets are scheduled under the
+// new tree; handles pinned before the swap keep the old generation.
+func TestPolicySwap(t *testing.T) {
+	p1, err := ParsePolicy(`
+qdisc add dev x root handle 1: htb rate 1gbit
+class add dev x parent 1: classid 1:1
+filter add dev x app 0 flowid 1:1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(p1, NewWallClock(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldHandle, err := s.Pin(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := ParsePolicy(`
+qdisc add dev x root handle 9: htb rate 2gbit
+class add dev x parent 9: classid 9:5
+filter add dev x app 0 flowid 9:5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Swap(p2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy() != p2 {
+		t.Fatal("Policy() did not switch")
+	}
+	if d := s.Schedule(0, 2, 100); d.Class != "9:5" {
+		t.Fatalf("post-swap classification = %q, want 9:5", d.Class)
+	}
+	// The pre-swap handle still works against the old generation.
+	if d := oldHandle.Schedule(100); d.Class != "1:1" {
+		t.Fatalf("old handle class = %q, want 1:1", d.Class)
+	}
+	if err := s.Swap(nil); err == nil {
+		t.Fatal("Swap(nil) accepted")
+	}
+}
+
+// Swap is safe while other goroutines schedule.
+func TestPolicySwapConcurrent(t *testing.T) {
+	p, err := FairQueuePolicy("8gbit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(p, NewWallClock(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			p2, err := FairQueuePolicy("8gbit", 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Swap(p2); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20_000; i++ {
+		if v := s.Schedule(uint32(i%4), uint32(i%4), 1500).Verdict; v != Forward && v != Drop {
+			t.Fatalf("invalid verdict %v", v)
+		}
+	}
+	<-done
+}

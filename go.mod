@@ -1,0 +1,3 @@
+module flowvalve
+
+go 1.22

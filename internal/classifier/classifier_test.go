@@ -1,0 +1,206 @@
+package classifier
+
+import (
+	"testing"
+
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+)
+
+func testTree(t *testing.T) *tree.Tree {
+	t.Helper()
+	return tree.NewBuilder().
+		Root("root", 10e9).
+		Add(tree.ClassSpec{Name: "a", Parent: "root"}).
+		Add(tree.ClassSpec{Name: "b", Parent: "root"}).
+		Add(tree.ClassSpec{Name: "def", Parent: "root"}).
+		MustBuild()
+}
+
+func pkt(app packet.AppID, flow packet.FlowID) *packet.Packet {
+	return &packet.Packet{App: app, Flow: flow, Size: 100}
+}
+
+func TestRuleMatchFirstWins(t *testing.T) {
+	tr := testTree(t)
+	c, err := New(tr, []Rule{
+		{App: 1, Flow: AnyFlow, Class: "a"},
+		{App: AnyApp, Flow: AnyFlow, Class: "b"},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, hit := c.Lookup(pkt(1, 10))
+	if hit {
+		t.Fatal("first lookup reported a cache hit")
+	}
+	if lbl == nil || lbl.Leaf.Name != "a" {
+		t.Fatalf("app1 matched %v, want a", lbl)
+	}
+	lbl, _ = c.Lookup(pkt(2, 11))
+	if lbl == nil || lbl.Leaf.Name != "b" {
+		t.Fatalf("app2 matched %v, want wildcard b", lbl)
+	}
+}
+
+func TestFlowSpecificRule(t *testing.T) {
+	tr := testTree(t)
+	c, err := New(tr, []Rule{
+		{App: 1, Flow: 5, Class: "a"},
+		{App: 1, Flow: AnyFlow, Class: "b"},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbl, _ := c.Lookup(pkt(1, 5)); lbl.Leaf.Name != "a" {
+		t.Fatal("flow-specific rule did not win")
+	}
+	if lbl, _ := c.Lookup(pkt(1, 6)); lbl.Leaf.Name != "b" {
+		t.Fatal("fallback rule did not match")
+	}
+}
+
+func TestFlowCacheHit(t *testing.T) {
+	tr := testTree(t)
+	c, _ := New(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "")
+	c.Lookup(pkt(1, 1))
+	if _, hit := c.Lookup(pkt(1, 1)); !hit {
+		t.Fatal("second lookup missed the cache")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits, c.Misses)
+	}
+	if c.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d", c.CacheLen())
+	}
+}
+
+func TestDefaultClass(t *testing.T) {
+	tr := testTree(t)
+	c, err := New(tr, []Rule{{App: 1, Flow: AnyFlow, Class: "a"}}, "def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, _ := c.Lookup(pkt(9, 9))
+	if lbl == nil || lbl.Leaf.Name != "def" {
+		t.Fatalf("unmatched packet got %v, want default", lbl)
+	}
+}
+
+func TestUnmatchedWithoutDefault(t *testing.T) {
+	tr := testTree(t)
+	c, _ := New(tr, []Rule{{App: 1, Flow: AnyFlow, Class: "a"}}, "")
+	lbl, _ := c.Lookup(pkt(9, 9))
+	if lbl != nil {
+		t.Fatal("unmatched packet got a label without a default class")
+	}
+	// Negative result is cached too.
+	if _, hit := c.Lookup(pkt(9, 9)); !hit {
+		t.Fatal("negative result was not cached")
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	tr := testTree(t)
+	c, _ := New(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "")
+	c.Lookup(pkt(1, 1))
+	c.Lookup(pkt(1, 2))
+	c.Invalidate(1, 1)
+	if c.CacheLen() != 1 {
+		t.Fatalf("CacheLen after invalidate = %d, want 1", c.CacheLen())
+	}
+	c.Invalidate(9, 9) // unknown key is fine
+	c.Flush()
+	if c.CacheLen() != 0 || c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("flush did not clear cache and counters")
+	}
+}
+
+func TestNewValidatesTargets(t *testing.T) {
+	tr := testTree(t)
+	if _, err := New(tr, []Rule{{Class: "ghost"}}, ""); err == nil {
+		t.Fatal("rule to unknown class accepted")
+	}
+	if _, err := New(tr, []Rule{{Class: "root"}}, ""); err == nil {
+		t.Fatal("rule to interior class accepted")
+	}
+	if _, err := New(tr, nil, "ghost"); err == nil {
+		t.Fatal("unknown default class accepted")
+	}
+	if _, err := New(tr, nil, "root"); err == nil {
+		t.Fatal("interior default class accepted")
+	}
+}
+
+func TestRulesCopiedAtBoundary(t *testing.T) {
+	tr := testTree(t)
+	rules := []Rule{{App: 1, Flow: AnyFlow, Class: "a"}}
+	c, _ := New(tr, rules, "")
+	rules[0].Class = "b" // caller mutation must not leak in
+	lbl, _ := c.Lookup(pkt(1, 1))
+	if lbl.Leaf.Name != "a" {
+		t.Fatal("classifier shared the caller's rule slice")
+	}
+}
+
+// Tuple-based rules classify through the parser + pipeline path.
+func TestTupleRuleClassification(t *testing.T) {
+	tr := testTree(t)
+	c, err := New(tr, []Rule{
+		{App: AnyApp, Flow: AnyFlow, DstPort: 5201, DstPortMask: 0xffff, Class: "a"},
+		{App: AnyApp, Flow: AnyFlow, SrcIP: 0x0a000200, SrcIPMask: 0xffffff00, Class: "b"},
+	}, "def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// App-0 packets target dst port 5201 → class a.
+	var alloc packet.Alloc
+	p := alloc.New(1, 0, 1500, 0)
+	lbl, _ := c.Lookup(p)
+	if lbl == nil || lbl.Leaf.Name != "a" {
+		t.Fatalf("dport rule matched %v, want a", lbl)
+	}
+	// App 2's subnet is 10.0.2.0/24 → rule b when the port rule is
+	// bypassed.
+	p2 := alloc.New(2, 2, 1500, 0)
+	p2.Tuple.DstPort = 80
+	lbl, _ = c.Lookup(p2)
+	if lbl == nil || lbl.Leaf.Name != "b" {
+		t.Fatalf("src-subnet rule matched %v, want b", lbl)
+	}
+	// Nothing matches → default.
+	p3 := alloc.New(3, 9, 1500, 0)
+	p3.Tuple.DstPort = 80
+	p3.Tuple.SrcIP = 0x0b000001
+	lbl, _ = c.Lookup(p3)
+	if lbl == nil || lbl.Leaf.Name != "def" {
+		t.Fatalf("default fallthrough got %v", lbl)
+	}
+	if c.ParseErrors != 0 {
+		t.Fatalf("parser rejected %d synthetic frames", c.ParseErrors)
+	}
+	if c.Pipeline() == nil || len(c.Pipeline().Tables()) != 1 {
+		t.Fatal("pipeline not exposed")
+	}
+}
+
+// A packet without a tuple (zero value) classifies on metadata only.
+func TestMetadataOnlyPacket(t *testing.T) {
+	tr := testTree(t)
+	c, err := New(tr, []Rule{
+		{App: 1, Flow: AnyFlow, Class: "a"},
+		{App: AnyApp, Flow: AnyFlow, DstPort: 5201, DstPortMask: 0xffff, Class: "b"},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, _ := c.Lookup(&packet.Packet{App: 1, Flow: 7, Size: 100})
+	if lbl == nil || lbl.Leaf.Name != "a" {
+		t.Fatalf("metadata rule matched %v, want a", lbl)
+	}
+	// No tuple → the dport rule cannot match; no default → nil.
+	lbl, _ = c.Lookup(&packet.Packet{App: 2, Flow: 8, Size: 100})
+	if lbl != nil {
+		t.Fatalf("tuple rule matched a tuple-less packet: %v", lbl)
+	}
+}

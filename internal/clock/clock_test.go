@@ -1,0 +1,85 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualStartsAtGivenTime(t *testing.T) {
+	m := NewManual(42)
+	if got := m.Now(); got != 42 {
+		t.Fatalf("Now() = %d, want 42", got)
+	}
+}
+
+func TestManualZeroValue(t *testing.T) {
+	var m Manual
+	if got := m.Now(); got != 0 {
+		t.Fatalf("zero Manual Now() = %d, want 0", got)
+	}
+}
+
+func TestManualSetAndAdvance(t *testing.T) {
+	m := NewManual(0)
+	m.Set(100)
+	if got := m.Now(); got != 100 {
+		t.Fatalf("after Set(100), Now() = %d", got)
+	}
+	if got := m.Advance(50); got != 150 {
+		t.Fatalf("Advance(50) = %d, want 150", got)
+	}
+	if got := m.Now(); got != 150 {
+		t.Fatalf("after Advance, Now() = %d, want 150", got)
+	}
+}
+
+func TestManualSetBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards did not panic")
+		}
+	}()
+	m := NewManual(100)
+	m.Set(99)
+}
+
+func TestManualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	m := NewManual(0)
+	m.Advance(-1)
+}
+
+func TestManualConcurrentReaders(t *testing.T) {
+	m := NewManual(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last int64
+		for i := 0; i < 10000; i++ {
+			now := m.Now()
+			if now < last {
+				t.Error("observed time moving backwards")
+				return
+			}
+			last = now
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		m.Advance(1)
+	}
+	<-done
+}
+
+func TestWallMonotonic(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	time.Sleep(time.Millisecond)
+	b := w.Now()
+	if b <= a {
+		t.Fatalf("wall clock not advancing: %d then %d", a, b)
+	}
+}

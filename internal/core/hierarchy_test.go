@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/sim"
+)
+
+// A depth-4 hierarchy mixing every condition template: priority at the
+// top, weights in the middle, a guarantee and a ceiling at the leaves.
+// Verifies the whole Fig 6 machinery composes.
+func TestDeepHierarchyComposition(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("root", 20e9).
+		Add(tree.ClassSpec{Name: "ctl", Parent: "root", Prio: 0, CeilBps: 4e9}).
+		Add(tree.ClassSpec{Name: "tenants", Parent: "root", Prio: 1}).
+		Add(tree.ClassSpec{Name: "tA", Parent: "tenants", Weight: 3}).
+		Add(tree.ClassSpec{Name: "tB", Parent: "tenants", Weight: 1}).
+		Add(tree.ClassSpec{Name: "a-rpc", Parent: "tA", Prio: 0}).
+		Add(tree.ClassSpec{Name: "a-bulk", Parent: "tA", Prio: 1, GuaranteeBps: 2e9}).
+		Add(tree.ClassSpec{Name: "b-web", Parent: "tB"}).
+		MustBuild()
+	eng := sim.New()
+	s := newSched(t, eng, tr)
+
+	labels := map[string]*tree.Label{}
+	for _, name := range []string{"ctl", "a-rpc", "a-bulk", "b-web"} {
+		lbl, ok := tr.LabelByName(name)
+		if !ok {
+			t.Fatalf("label %s missing", name)
+		}
+		labels[name] = lbl
+	}
+
+	const horizon = int64(1500e6)
+	drv := map[string]*driver{
+		"ctl":    offer(eng, s, labels["ctl"], 1500, 10e9, 0, horizon),
+		"a-rpc":  offer(eng, s, labels["a-rpc"], 1500, 20e9, 0, horizon),
+		"a-bulk": offer(eng, s, labels["a-bulk"], 1500, 20e9, 0, horizon),
+		"b-web":  offer(eng, s, labels["b-web"], 1500, 20e9, 0, horizon),
+	}
+	eng.RunUntil(horizon)
+
+	got := map[string]float64{}
+	for name, d := range drv {
+		got[name] = bps(d.fwdBytes, 0, horizon)
+	}
+	// ctl: wants 10G, ceiling clamps to 4G.
+	within(t, "ctl (ceil 4G)", got["ctl"], 4e9, 0.06)
+	// tenants get 16G split 3:1 → tA 12G, tB 4G.
+	within(t, "b-web (tB)", got["b-web"], 4e9, 0.08)
+	// Inside tA: a-rpc prior, a-bulk keeps its 2G guarantee.
+	within(t, "a-rpc", got["a-rpc"], 10e9, 0.08)
+	within(t, "a-bulk (guarantee)", got["a-bulk"], 2e9, 0.10)
+
+	var total float64
+	for _, v := range got {
+		total += v
+	}
+	if total > 20e9*1.05 {
+		t.Fatalf("total %.2fG exceeds the 20G root", total/1e9)
+	}
+}
+
+// Property: single-class conformance holds across random rates, offered
+// loads, and packet sizes — the §IV-D claim, quick-checked.
+func TestConformanceProperty(t *testing.T) {
+	check := func(rateStep, overStep, sizeStep uint8) bool {
+		rate := 0.5e9 + float64(rateStep%16)*0.5e9 // 0.5..8G
+		offered := rate * (1.1 + float64(overStep%8)*0.25)
+		size := 256 + int(sizeStep%5)*256 // 256..1280
+
+		tr := tree.NewBuilder().
+			Root("root", rate).
+			Add(tree.ClassSpec{Name: "A", Parent: "root"}).
+			MustBuild()
+		eng := sim.New()
+		s, err := New(tr, eng.Clock(), Config{})
+		if err != nil {
+			return false
+		}
+		lbl, _ := tr.LabelByName("A")
+		const horizon = int64(1e9)
+		d := offer(eng, s, lbl, size, offered, 0, horizon)
+		eng.RunUntil(horizon)
+		got := bps(d.fwdBytes, 0, horizon)
+		// Admitted within 6% of the configured rate.
+		return got > rate*0.94 && got < rate*1.06
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two priority levels with multiple classes per level: residual
+// subtraction must account for the whole higher group.
+func TestMultiClassPriorityGroups(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("root", 10e9).
+		Add(tree.ClassSpec{Name: "hi1", Parent: "root", Prio: 0, Weight: 1}).
+		Add(tree.ClassSpec{Name: "hi2", Parent: "root", Prio: 0, Weight: 1}).
+		Add(tree.ClassSpec{Name: "lo", Parent: "root", Prio: 1}).
+		MustBuild()
+	eng := sim.New()
+	s := newSched(t, eng, tr)
+	hi1, _ := tr.LabelByName("hi1")
+	hi2, _ := tr.LabelByName("hi2")
+	lo, _ := tr.LabelByName("lo")
+
+	const horizon = int64(2e9)
+	// hi1 wants 3G, hi2 wants 4G (both below their 5G shares), lo wants
+	// everything.
+	d1 := offer(eng, s, hi1, 1500, 3e9, 0, horizon)
+	d2 := offer(eng, s, hi2, 1500, 4e9, 0, horizon)
+	d3 := offer(eng, s, lo, 1500, 12e9, 0, horizon)
+	eng.RunUntil(horizon)
+
+	within(t, "hi1", bps(d1.fwdBytes, 0, horizon), 3e9, 0.05)
+	within(t, "hi2", bps(d2.fwdBytes, 0, horizon), 4e9, 0.05)
+	// lo gets the residual 10−3−4 = 3G.
+	within(t, "lo residual", bps(d3.fwdBytes, 0, horizon), 3e9, 0.12)
+}

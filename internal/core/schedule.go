@@ -1,0 +1,346 @@
+package core
+
+import (
+	"flowvalve/internal/sched/tree"
+)
+
+// Verdict is the forwarding decision of the scheduling function.
+type Verdict int
+
+const (
+	// Forward admits the packet to the transmit buffer.
+	Forward Verdict = iota + 1
+	// Drop discards the packet — the specialized tail drop.
+	Drop
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Forward:
+		return "forward"
+	case Drop:
+		return "drop"
+	default:
+		return "invalid"
+	}
+}
+
+// Decision reports the outcome of scheduling one packet, with enough
+// detail for the NIC model to charge cycle costs and for tests to assert
+// on the borrowing path.
+type Decision struct {
+	Verdict Verdict
+	// Marked is true when the packet was forwarded carrying a
+	// congestion mark instead of being dropped (Config.MarkOnRed).
+	Marked bool
+	// Borrowed is true when the packet passed on a lender's shadow
+	// bucket rather than its own class bucket.
+	Borrowed bool
+	// Lender is the class whose shadow bucket admitted the packet
+	// (nil unless Borrowed).
+	Lender *tree.Class
+	// Updates is the number of epoch updates this call executed; the
+	// NIC model charges the update cycle cost per entry.
+	Updates int
+	// LockMisses counts try-lock failures (another core held the class
+	// lock) — only meaningful under real concurrency.
+	LockMisses int
+}
+
+// Schedule runs the scheduling function (Algorithm 1) for one packet of
+// `size` bytes carrying QoS label lbl, and returns the forwarding
+// decision. It is safe to call from any number of goroutines.
+func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
+	now := s.clk.Now()
+	sz := int64(size)
+	var d Decision
+
+	// Lines 1–5: walk the hierarchy label root→leaf; refresh token
+	// buckets opportunistically and record the packet against every
+	// class's consumption counter on forward (deferred below so that
+	// dropped packets do not inflate Γ — Γ measures *forwarding*
+	// consumption, Eq. 3).
+	for _, c := range lbl.Path {
+		st := &s.states[c.ID]
+		st.lastSeen.Store(now)
+		s.maybeUpdate(c, st, now, &d)
+	}
+
+	leaf := lbl.Leaf
+	lst := &s.states[leaf.ID]
+
+	// Lines 6–8: meter at the leaf.
+	if lst.bucket.TryConsume(sz) {
+		s.recordForward(lbl, sz)
+		d.Verdict = Forward
+		// Virtual-queue ECN extension: signal congestion early while
+		// the packet is still green.
+		if f := s.cfg.ECNMarkFrac; f > 0 &&
+			lst.bucket.Tokens() < int64(f*float64(lst.bucket.Burst())) {
+			lst.markPkts.Add(1)
+			d.Marked = true
+		}
+		return d
+	}
+
+	// Lines 9–15: borrowing — query the shadow bucket of each lender in
+	// the borrowing label. The query is "another practice of the
+	// rate-limiting process" (§IV-C): the borrower opportunistically
+	// runs the lender's update subprocedure so that an idle lender's
+	// shadow keeps filling at its lendable rate even though the lender
+	// itself sees no packet arrivals.
+	for _, lender := range lbl.Borrow {
+		ls := &s.states[lender.ID]
+		s.maybeUpdate(lender, ls, now, &d)
+		if ls.shadow.TryConsume(sz) {
+			// Borrowed bandwidth is inherently contended; mark it
+			// under the ECN extension so borrowers yield first.
+			if s.cfg.ECNMarkFrac > 0 {
+				lst.markPkts.Add(1)
+				d.Marked = true
+			}
+			ls.lentBytes.Add(sz)
+			ls.lentEpoch.Add(sz)
+			// The lender's reservation is in active use, so its
+			// status must not expire while it keeps lending.
+			ls.lastSeen.Store(now)
+			// Lent bandwidth is consumption of the lender's
+			// reservation: it must appear in the lender's Γ so the
+			// rate-distribution templates see the share as used
+			// (Fig 9). When the lender sits on the packet's own
+			// hierarchy path, recordForward below already counts
+			// it — "its flow rate is fully reflected on S2's token
+			// consumption rate" — so skip the extra count.
+			if !labelPathContains(lbl, lender) {
+				ls.est.Count(sz)
+			}
+			lst.borrowPkts.Add(1)
+			s.recordForward(lbl, sz)
+			d.Verdict = Forward
+			d.Borrowed = true
+			d.Lender = lender
+			return d
+		}
+	}
+
+	// Line 16: drop.
+	lst.dropPkts.Add(1)
+	lst.dropBytes.Add(sz)
+	d.Verdict = Drop
+	return d
+}
+
+// labelPathContains reports whether c is on the label's hierarchy path.
+// Paths are at most a handful of classes, so a linear scan beats any
+// precomputed set.
+func labelPathContains(lbl *tree.Label, c *tree.Class) bool {
+	for _, pc := range lbl.Path {
+		if pc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeUpdate runs the update subprocedure for one class under the
+// configured locking strategy, accumulating decision telemetry.
+func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Decision) {
+	switch s.cfg.Lock {
+	case PerClassTryLock:
+		if st.mu.TryLock() {
+			if s.updateLocked(c, st, now) {
+				d.Updates++
+			}
+			st.mu.Unlock()
+		} else {
+			d.LockMisses++
+		}
+	case GlobalLock:
+		s.globalMu.Lock()
+		if s.updateLocked(c, st, now) {
+			d.Updates++
+		}
+		s.globalMu.Unlock()
+	case NoLock:
+		// Ablation: races between epochs permitted.
+		if s.updateRacy(c, st, now) {
+			d.Updates++
+		}
+	}
+}
+
+// recordForward counts a forwarded packet against every class on the path
+// (estimators feeding Γ) and the leaf's forward statistics.
+func (s *Scheduler) recordForward(lbl *tree.Label, sz int64) {
+	for _, c := range lbl.Path {
+		s.states[c.ID].est.Count(sz)
+	}
+	lst := &s.states[lbl.Leaf.ID]
+	lst.fwdPkts.Add(1)
+	lst.fwdBytes.Add(sz)
+}
+
+// updateLocked runs the update subprocedure for class c if its epoch has
+// elapsed, returning whether an update executed. Caller holds st.mu (or
+// the global lock).
+func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool {
+	last := st.lastUpdate.Load()
+	dt := now - last
+	if dt < s.cfg.UpdateIntervalNs {
+		return false
+	}
+	st.lastUpdate.Store(now)
+
+	// Subprocedure 3: expired-status removal. A long-idle class
+	// restarts from its initial state rather than replaying the idle
+	// gap as a giant refill.
+	if dt > s.cfg.ExpireAfterNs {
+		st.est.Reset()
+		st.bucket.Reset(s.burstFor(st.theta.Load(), s.cfg.BurstNs))
+		st.shadow.Reset(0)
+		st.lendRate.Store(0)
+		dt = s.cfg.UpdateIntervalNs // charge one nominal epoch
+	}
+
+	theta := st.theta.Load()
+
+	// Roll the Γ estimator over the epoch. Γ includes bytes lent from
+	// the shadow bucket (they consume this class's reservation), but
+	// the shadow refill below must exclude them — the shadow was
+	// already drained by the borrowers.
+	consumed, _ := st.est.Roll(dt)
+	gamma := st.est.Rate()
+	lent := st.lentEpoch.Swap(0)
+	own := consumed - lent
+	if own < 0 {
+		own = 0
+	}
+
+	// Refill the class bucket: supplement = θ·ΔT (the paper's update
+	// stage), with the burst re-sized to the current θ.
+	supplement := int64(theta * float64(dt) / 1e9)
+	st.bucket.SetBurst(s.burstFor(theta, s.cfg.BurstNs))
+	absorbed := st.bucket.Refill(supplement)
+
+	// Shadow bucket (subprocedure 2): publish this epoch's unconsumed
+	// tokens for eligible borrowers. For a leaf, "unconsumed" is
+	// whatever its (metered) bucket could not absorb — routing the
+	// overflow, never minting twice. Interior buckets are measuring
+	// devices that are never consumed from, so their unconsumed share
+	// is computed from the counted consumption instead.
+	lendable := tree.Lendable(theta, gamma)
+	st.lendRate.Store(lendable)
+	st.shadow.SetBurst(s.burstFor(theta, s.cfg.ShadowBurstNs))
+	unused := supplement - absorbed
+	if !c.Leaf() {
+		unused = s.interiorUnused(st, supplement, own, theta)
+	}
+	if unused > 0 {
+		st.shadow.Refill(unused)
+	}
+
+	// Recompute the children's token rates from the condition templates
+	// (priority residual / weights / guarantees / ceilings).
+	if len(c.Children) > 0 {
+		rates := tree.ChildRates(c, theta, s.gammaFuncAt(now), st.rateScratch)
+		st.rateScratch = rates
+		for i, ch := range c.Children {
+			s.states[ch.ID].theta.Store(rates[i])
+		}
+	}
+	st.updates.Add(1)
+	return true
+}
+
+// updateRacy is the NoLock ablation: identical logic but callable
+// concurrently; the scratch slice is allocated per call to stay
+// memory-safe while epoch arithmetic is deliberately allowed to race.
+func (s *Scheduler) updateRacy(c *tree.Class, st *classState, now int64) bool {
+	last := st.lastUpdate.Load()
+	dt := now - last
+	if dt < s.cfg.UpdateIntervalNs {
+		return false
+	}
+	st.lastUpdate.Store(now)
+	consumed, _ := st.est.Roll(dt)
+	lent := st.lentEpoch.Swap(0)
+	own := consumed - lent
+	if own < 0 {
+		own = 0
+	}
+	theta := st.theta.Load()
+	supplement := int64(theta * float64(dt) / 1e9)
+	st.bucket.SetBurst(s.burstFor(theta, s.cfg.BurstNs))
+	absorbed := st.bucket.Refill(supplement)
+	st.lendRate.Store(tree.Lendable(theta, st.est.Rate()))
+	st.shadow.SetBurst(s.burstFor(theta, s.cfg.ShadowBurstNs))
+	unused := supplement - absorbed
+	if !c.Leaf() {
+		unused = s.interiorUnused(st, supplement, own, theta)
+	}
+	if unused > 0 {
+		st.shadow.Refill(unused)
+	}
+	if len(c.Children) > 0 {
+		rates := tree.ChildRates(c, theta, s.gammaFuncAt(now), nil)
+		for i, ch := range c.Children {
+			s.states[ch.ID].theta.Store(rates[i])
+		}
+	}
+	st.updates.Add(1)
+	return true
+}
+
+// interiorUnused maintains the interior-class lend ledger: each epoch
+// contributes (supplement − counted consumption), which can be negative
+// when the subtree burns banked burst tokens above the rate. Lendable
+// tokens are released only while the ledger is positive, so dip tokens a
+// child later reclaims from its own bucket are never also lent out —
+// that asymmetry would rectify the TCP sawtooth into sustained ceiling
+// overshoot. The debt is bounded by one bucket burst so a measurement
+// anomaly cannot mute lending forever.
+func (s *Scheduler) interiorUnused(st *classState, supplement, own int64, theta float64) int64 {
+	carry := st.lendCarry.Load() + supplement - own
+	if debtCap := -s.burstFor(theta, s.cfg.BurstNs); carry < debtCap {
+		carry = debtCap
+	}
+	if carry > 0 {
+		st.lendCarry.Store(0)
+		return carry
+	}
+	st.lendCarry.Store(carry)
+	return 0
+}
+
+// gammaFuncAt returns a tree.GammaFunc that reads each class's estimator,
+// treating classes idle past the expiry threshold as zero-rate (the
+// reader-side half of expired-status removal).
+func (s *Scheduler) gammaFuncAt(now int64) tree.GammaFunc {
+	return func(c *tree.Class) float64 {
+		return s.effectiveGammaAt(c, now)
+	}
+}
+
+func (s *Scheduler) effectiveGammaAt(c *tree.Class, now int64) float64 {
+	st := &s.states[c.ID]
+	if now-st.lastSeen.Load() > s.cfg.ExpireAfterNs {
+		return 0
+	}
+	return st.est.Rate()
+}
+
+// ForceUpdate runs the update subprocedure for every class immediately,
+// regardless of epoch elapse. Tests and the DES warm-up use it to bring
+// the tree to a consistent state at a known instant.
+func (s *Scheduler) ForceUpdate() {
+	now := s.clk.Now()
+	for _, c := range s.tree.Classes() {
+		st := &s.states[c.ID]
+		st.mu.Lock()
+		// Rewind lastUpdate just enough to satisfy the epoch check.
+		st.lastUpdate.Store(now - s.cfg.UpdateIntervalNs)
+		s.updateLocked(c, st, now)
+		st.mu.Unlock()
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "flowvalve/internal/sched/tree"
+
+// ClassStats is a point-in-time snapshot of one class's runtime state and
+// counters.
+type ClassStats struct {
+	Class *tree.Class
+
+	// ThetaBps is the granted token rate in bits/second.
+	ThetaBps float64
+	// GammaBps is the measured consumption rate in bits/second.
+	GammaBps float64
+	// LendableBps is the published shadow rate in bits/second.
+	LendableBps float64
+
+	// BucketTokens / ShadowTokens are current bucket levels in bytes.
+	BucketTokens int64
+	ShadowTokens int64
+
+	// Leaf counters (zero on interior classes except LentBytes).
+	FwdPkts    int64
+	FwdBytes   int64
+	DropPkts   int64
+	DropBytes  int64
+	BorrowPkts int64
+	MarkPkts   int64
+	LentBytes  int64
+	Updates    int64
+}
+
+// Snapshot returns per-class statistics in ClassID order.
+func (s *Scheduler) Snapshot() []ClassStats {
+	classes := s.tree.Classes()
+	out := make([]ClassStats, len(classes))
+	for i, c := range classes {
+		st := &s.states[c.ID]
+		out[i] = ClassStats{
+			Class:        c,
+			ThetaBps:     st.theta.Load() * 8,
+			GammaBps:     st.est.Rate() * 8,
+			LendableBps:  st.lendRate.Load() * 8,
+			BucketTokens: st.bucket.Tokens(),
+			ShadowTokens: st.shadow.Tokens(),
+			FwdPkts:      st.fwdPkts.Load(),
+			FwdBytes:     st.fwdBytes.Load(),
+			DropPkts:     st.dropPkts.Load(),
+			DropBytes:    st.dropBytes.Load(),
+			BorrowPkts:   st.borrowPkts.Load(),
+			MarkPkts:     st.markPkts.Load(),
+			LentBytes:    st.lentBytes.Load(),
+			Updates:      st.updates.Load(),
+		}
+	}
+	return out
+}
+
+// StatsFor returns the snapshot of a single class.
+func (s *Scheduler) StatsFor(c *tree.Class) ClassStats {
+	st := &s.states[c.ID]
+	return ClassStats{
+		Class:        c,
+		ThetaBps:     st.theta.Load() * 8,
+		GammaBps:     st.est.Rate() * 8,
+		LendableBps:  st.lendRate.Load() * 8,
+		BucketTokens: st.bucket.Tokens(),
+		ShadowTokens: st.shadow.Tokens(),
+		FwdPkts:      st.fwdPkts.Load(),
+		FwdBytes:     st.fwdBytes.Load(),
+		DropPkts:     st.dropPkts.Load(),
+		DropBytes:    st.dropBytes.Load(),
+		BorrowPkts:   st.borrowPkts.Load(),
+		MarkPkts:     st.markPkts.Load(),
+		LentBytes:    st.lentBytes.Load(),
+		Updates:      st.updates.Load(),
+	}
+}

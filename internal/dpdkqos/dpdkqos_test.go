@@ -1,0 +1,146 @@
+package dpdkqos
+
+import (
+	"testing"
+
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sim"
+	"flowvalve/internal/trafficgen"
+)
+
+type dpdkRig struct {
+	eng   *sim.Engine
+	s     *Scheduler
+	bytes map[int]int64
+	drops int
+}
+
+func newDPDKRig(t *testing.T, cfg Config) *dpdkRig {
+	t.Helper()
+	r := &dpdkRig{eng: sim.New(), bytes: make(map[int]int64)}
+	var err error
+	r.s, err = New(r.eng, cfg,
+		func(p *packet.Packet) int { return int(p.App) },
+		Callbacks{
+			OnDeliver: func(p *packet.Packet) { r.bytes[int(p.App)] += int64(p.Size) },
+			OnDrop:    func(*packet.Packet) { r.drops++ },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := Config{Pipes: []PipeConfig{{RateBps: 1e9}}}
+	if _, err := New(nil, cfg, func(*packet.Packet) int { return 0 }, Callbacks{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := New(sim.New(), cfg, nil, Callbacks{}); err == nil {
+		t.Fatal("nil classifier accepted")
+	}
+	if _, err := New(sim.New(), Config{}, func(*packet.Packet) int { return 0 }, Callbacks{}); err == nil {
+		t.Fatal("no pipes accepted")
+	}
+}
+
+// Pipe rates are enforced (rate conformance — the paper credits the DPDK
+// scheduler with good conformance).
+func TestPipeRateConformance(t *testing.T) {
+	r := newDPDKRig(t, Config{
+		LinkRateBps: 10e9,
+		Cores:       4,
+		Pipes:       []PipeConfig{{RateBps: 2e9}, {RateBps: 6e9}},
+	})
+	alloc := &packet.Alloc{}
+	for app := packet.AppID(0); app < 2; app++ {
+		if _, err := trafficgen.NewCBR(r.eng, alloc, packet.FlowID(app), app, 1500,
+			8e9, 0, 200e6, r.s.Enqueue); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run()
+	rate0 := float64(r.bytes[0]) * 8 / 0.2
+	rate1 := float64(r.bytes[1]) * 8 / 0.2
+	if rate0 < 1.7e9 || rate0 > 2.3e9 {
+		t.Fatalf("pipe0 = %.2fG, want ≈2G", rate0/1e9)
+	}
+	if rate1 < 5.2e9 || rate1 > 6.6e9 {
+		t.Fatalf("pipe1 = %.2fG, want ≈6G", rate1/1e9)
+	}
+}
+
+// Throughput is CPU-bound: one core ≈ freq/cycles packets per second.
+func TestCPUBoundThroughput(t *testing.T) {
+	r := newDPDKRig(t, Config{
+		LinkRateBps: 100e9, // wire never binds
+		Cores:       1,
+		Pipes:       []PipeConfig{{RateBps: 100e9}},
+	})
+	alloc := &packet.Alloc{}
+	if _, err := trafficgen.NewSaturator(r.eng, alloc, []packet.FlowID{0, 1, 2, 3}, 0, 64,
+		4e9, 0, 50e6, r.s.Enqueue); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	st := r.s.Stats()
+	pps := float64(st.Delivered) / 0.05
+	cfg := Config{}.Defaults()
+	want := cfg.Host.FreqHz / float64(cfg.CyclesPerPkt)
+	if pps < want*0.9 || pps > want*1.1 {
+		t.Fatalf("delivered %.2fMpps, CPU model predicts %.2fMpps", pps/1e6, want/1e6)
+	}
+	if st.CPUDrops == 0 {
+		t.Fatal("overload should drop at the CPU stage")
+	}
+}
+
+// Adding cores scales throughput near-linearly (Fig 13's core column).
+func TestCoreScaling(t *testing.T) {
+	rates := make(map[int]float64)
+	for _, cores := range []int{1, 2, 4} {
+		r := newDPDKRig(t, Config{
+			LinkRateBps: 100e9,
+			Cores:       cores,
+			Pipes:       []PipeConfig{{RateBps: 100e9}},
+		})
+		alloc := &packet.Alloc{}
+		if _, err := trafficgen.NewSaturator(r.eng, alloc, []packet.FlowID{0, 1, 2, 3}, 0, 64,
+			15e9, 0, 20e6, r.s.Enqueue); err != nil {
+			t.Fatal(err)
+		}
+		r.eng.Run()
+		rates[cores] = float64(r.s.Stats().Delivered) / 0.02
+	}
+	if rates[2] < rates[1]*1.8 || rates[4] < rates[1]*3.5 {
+		t.Fatalf("scaling broken: %v", rates)
+	}
+}
+
+func TestBadPipeIndexDrops(t *testing.T) {
+	r := newDPDKRig(t, Config{Pipes: []PipeConfig{{RateBps: 1e9}}})
+	var a packet.Alloc
+	r.s.Enqueue(a.New(0, 5, 100, 0)) // app 5 → pipe 5: out of range
+	r.eng.Run()
+	if r.drops != 1 {
+		t.Fatalf("drops = %d, want 1", r.drops)
+	}
+}
+
+func TestBacklogDrains(t *testing.T) {
+	r := newDPDKRig(t, Config{
+		LinkRateBps: 1e9,
+		Pipes:       []PipeConfig{{RateBps: 1e9}},
+	})
+	var a packet.Alloc
+	for i := 0; i < 20; i++ {
+		r.s.Enqueue(a.New(0, 0, 1000, 0))
+	}
+	r.eng.Run()
+	if r.s.Backlog() != 0 {
+		t.Fatalf("backlog = %d after drain", r.s.Backlog())
+	}
+	if got := r.s.Stats().Delivered; got != 20 {
+		t.Fatalf("delivered %d, want 20", got)
+	}
+}

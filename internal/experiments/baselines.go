@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flowvalve/internal/dpdkqos"
+	"flowvalve/internal/htb"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/sim"
+	"flowvalve/internal/stats"
+	"flowvalve/internal/tcp"
+)
+
+// RunHTBTCP executes a TCP scenario against the kernel-HTB baseline on
+// the host model. The scenario's Rules are interpreted as app→class
+// mappings (Flow wildcards only).
+func RunHTBTCP(sc TCPScenario, cfg htb.Config) (*Result, error) {
+	sc.defaults()
+	if sc.Tree == nil {
+		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
+	}
+	eng := sim.New()
+
+	classOf, err := appClassMap(sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Meter:      stats.NewThroughputMeter(sc.BinNs),
+		DurationNs: sc.DurationNs,
+	}
+	if sc.MeasureLatency {
+		res.Latency = stats.NewLatencyRecorder()
+	}
+	flows := tcp.NewSet()
+
+	qdisc, err := htb.New(eng, cfg, sc.Tree,
+		func(p *packet.Packet) *tree.Class { return classOf[int(p.App)] },
+		htb.Callbacks{
+			OnDeliver: func(p *packet.Packet) {
+				res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
+				if res.Latency != nil {
+					res.Latency.Record(p.EgressAt - p.SentAt)
+				}
+				flows.OnDeliver(p)
+			},
+			OnDrop: func(p *packet.Packet) { flows.OnDrop(p) },
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := buildFlows(eng, sc, flows, qdisc.Enqueue); err != nil {
+		return nil, err
+	}
+	eng.RunUntil(sc.DurationNs)
+	res.CoresUsed = qdisc.CPU().CoresUsed(sc.DurationNs)
+	return res, nil
+}
+
+// RunDPDKTCP executes a TCP scenario against the DPDK QoS Scheduler
+// baseline. Each app maps to one pipe; pipe rates come from the
+// scenario's tree leaves (θ primed top-down with everything idle), which
+// matches how an operator would configure rte_sched for the same policy.
+func RunDPDKTCP(sc TCPScenario, cfg dpdkqos.Config) (*Result, error) {
+	sc.defaults()
+	if sc.Tree == nil {
+		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
+	}
+	eng := sim.New()
+
+	classOf, err := appClassMap(sc)
+	if err != nil {
+		return nil, err
+	}
+	// Build one pipe per app in app order.
+	apps := make([]int, 0, len(sc.Apps))
+	for _, a := range sc.Apps {
+		apps = append(apps, a.App)
+	}
+	pipeOf := make(map[int]int, len(apps))
+	if len(cfg.Pipes) == 0 {
+		shares := leafShares(sc.Tree)
+		for i, app := range apps {
+			leaf := classOf[app]
+			if leaf == nil {
+				return nil, fmt.Errorf("experiments: app %d has no class mapping", app)
+			}
+			cfg.Pipes = append(cfg.Pipes, dpdkqos.PipeConfig{
+				RateBps: shares[leaf.ID],
+				Weight:  leaf.EffectiveWeight(),
+			})
+			pipeOf[app] = i
+		}
+	} else {
+		for i, app := range apps {
+			pipeOf[app] = i % len(cfg.Pipes)
+		}
+	}
+
+	res := &Result{
+		Meter:      stats.NewThroughputMeter(sc.BinNs),
+		DurationNs: sc.DurationNs,
+	}
+	if sc.MeasureLatency {
+		res.Latency = stats.NewLatencyRecorder()
+	}
+	flows := tcp.NewSet()
+
+	sched, err := dpdkqos.New(eng, cfg,
+		func(p *packet.Packet) int {
+			pipe, ok := pipeOf[int(p.App)]
+			if !ok {
+				return -1
+			}
+			return pipe
+		},
+		dpdkqos.Callbacks{
+			OnDeliver: func(p *packet.Packet) {
+				res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
+				if res.Latency != nil {
+					res.Latency.Record(p.EgressAt - p.SentAt)
+				}
+				flows.OnDeliver(p)
+			},
+			OnDrop: func(p *packet.Packet) { flows.OnDrop(p) },
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := buildFlows(eng, sc, flows, sched.Enqueue); err != nil {
+		return nil, err
+	}
+	eng.RunUntil(sc.DurationNs)
+	res.CoresUsed = sched.CPU().CoresUsed(sc.DurationNs)
+	return res, nil
+}
+
+// appClassMap resolves each app's leaf class from the scenario rules.
+func appClassMap(sc TCPScenario) (map[int]*tree.Class, error) {
+	m := make(map[int]*tree.Class)
+	for _, r := range sc.Rules {
+		if r.App < 0 {
+			continue
+		}
+		c, ok := sc.Tree.Lookup(r.Class)
+		if !ok {
+			return nil, fmt.Errorf("experiments: rule targets unknown class %q", r.Class)
+		}
+		if _, dup := m[r.App]; !dup {
+			m[r.App] = c
+		}
+	}
+	if sc.DefaultClass != "" {
+		def, ok := sc.Tree.Lookup(sc.DefaultClass)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown default class %q", sc.DefaultClass)
+		}
+		for _, a := range sc.Apps {
+			if _, exists := m[a.App]; !exists {
+				m[a.App] = def
+			}
+		}
+	}
+	return m, nil
+}
+
+// leafShares computes each leaf's static policy share (θ primed with all
+// classes idle): the rate an operator would configure per pipe/class in a
+// flat scheduler.
+func leafShares(t *tree.Tree) map[tree.ClassID]float64 {
+	shares := make(map[tree.ClassID]float64, t.Len())
+	shares[t.Root().ID] = t.Root().RateBps
+	zero := func(*tree.Class) float64 { return 0 }
+	queue := []*tree.Class{t.Root()}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if len(c.Children) == 0 {
+			continue
+		}
+		rates := tree.ChildRates(c, shares[c.ID]/8, zero, nil)
+		for i, ch := range c.Children {
+			shares[ch.ID] = rates[i] * 8
+			queue = append(queue, ch)
+		}
+	}
+	return shares
+}

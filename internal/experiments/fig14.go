@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flowvalve/internal/dpdkqos"
+	"flowvalve/internal/fvconf"
+	"flowvalve/internal/htb"
+	"flowvalve/internal/nic"
+	"flowvalve/internal/sched/tree"
+)
+
+// Fig14Row is one bar of the paper's Fig 14: one-way delay of a scheduler
+// enforcing fair queueing at a given aggregate bandwidth.
+type Fig14Row struct {
+	Scheduler string
+	LinkGbps  float64
+	MeanUs    float64
+	StdUs     float64
+	P99Us     float64
+	Samples   int
+}
+
+// Fig14 measures one-way delay for FlowValve (10G and 40G policies),
+// kernel HTB (10G only — the paper omits HTB beyond 10G because it cannot
+// enforce policies there), and DPDK QoS (10G and 40G). scale scales the
+// measurement duration (1.0 ≈ 3 simulated seconds per point).
+func Fig14(scale float64) ([]Fig14Row, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	duration := int64(3e9 * scale)
+	var rows []Fig14Row
+
+	for _, gbps := range []float64{10, 40} {
+		res, err := fig14FlowValve(gbps, duration)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 flowvalve %gG: %w", gbps, err)
+		}
+		rows = append(rows, fig14Row("FlowValve", gbps, res))
+	}
+
+	// The paper's floor check: FlowValve disabled, plain forwarding at
+	// 40G still shows the ≈161µs delay — the bottleneck is elsewhere in
+	// the pipeline.
+	fwdRes, err := fig14ForwardOnly(duration)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 forward-only: %w", err)
+	}
+	rows = append(rows, fig14Row("Fwd-only", 40, fwdRes))
+
+	htbRes, err := fig14HTB(duration)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 htb: %w", err)
+	}
+	rows = append(rows, fig14Row("HTB", 10, htbRes))
+
+	for _, gbps := range []float64{10, 40} {
+		res, err := fig14DPDK(gbps, duration)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 dpdk %gG: %w", gbps, err)
+		}
+		rows = append(rows, fig14Row("DPDK QoS", gbps, res))
+	}
+	return rows, nil
+}
+
+func fig14Row(name string, gbps float64, res *Result) Fig14Row {
+	return Fig14Row{
+		Scheduler: name,
+		LinkGbps:  gbps,
+		MeanUs:    res.Latency.MeanUs(),
+		StdUs:     res.Latency.StdUs(),
+		P99Us:     res.Latency.PercentileUs(99),
+		Samples:   res.Latency.Count(),
+	}
+}
+
+// fig14Scenario is the shared fair-queueing TCP workload: four apps, four
+// connections each, wire-sized segments for realistic per-packet delay.
+func fig14Scenario(rate string, duration int64) (TCPScenario, error) {
+	script, err := fvconf.Parse(fvconf.FairQueueScript(rate, 4))
+	if err != nil {
+		return TCPScenario{}, err
+	}
+	t, rules, err := script.Compile()
+	if err != nil {
+		return TCPScenario{}, err
+	}
+	return TCPScenario{
+		DurationNs: duration,
+		BinNs:      duration / 4,
+		SegBytes:   1518,
+		Apps: []AppSpec{
+			{App: 0, Conns: 4}, {App: 1, Conns: 4},
+			{App: 2, Conns: 4}, {App: 3, Conns: 4},
+		},
+		Tree:           t,
+		Rules:          rules,
+		DefaultClass:   script.DefaultClass,
+		MeasureLatency: true,
+	}, nil
+}
+
+func fig14FlowValve(gbps float64, duration int64) (*Result, error) {
+	sc, err := fig14Scenario(fmt.Sprintf("%ggbit", gbps), duration)
+	if err != nil {
+		return nil, err
+	}
+	// The wire is always the 40GbE NIC feeding four 10GbE receiver
+	// ports; the policy rate is what varies.
+	sc.NIC = nic.Config{WireRateBps: 40e9, WirePorts: 4}
+	return RunFlowValveTCP(sc)
+}
+
+// fig14ForwardOnly drives the same workload through the NIC with the
+// scheduler disabled (nil) — pass-through forwarding.
+func fig14ForwardOnly(duration int64) (*Result, error) {
+	sc, err := fig14Scenario("40gbit", duration)
+	if err != nil {
+		return nil, err
+	}
+	sc.NIC = nic.Config{WireRateBps: 40e9, WirePorts: 4}
+	return runForwardOnlyTCP(sc)
+}
+
+func fig14HTB(duration int64) (*Result, error) {
+	sc, err := fig14Scenario("10gbit", duration)
+	if err != nil {
+		return nil, err
+	}
+	// HTB semantics: equal assured rates, ceil at the policy rate.
+	sc.Tree = fairHTBTree(10e9, 4)
+	return RunHTBTCP(sc, htb.Config{LinkRateBps: 40e9})
+}
+
+func fig14DPDK(gbps float64, duration int64) (*Result, error) {
+	sc, err := fig14Scenario(fmt.Sprintf("%ggbit", gbps), duration)
+	if err != nil {
+		return nil, err
+	}
+	cores := 1
+	if gbps > 10 {
+		cores = 2 // ≈3.3Mpps at 1518B needs two poll cores
+	}
+	return RunDPDKTCP(sc, dpdkqos.Config{
+		LinkRateBps: gbps * 1e9,
+		Cores:       cores,
+		QueuePkts:   64, // rte_sched default qsize
+	})
+}
+
+// fairHTBTree builds an HTB fair-queueing tree: n children with equal
+// assured rates under a rate-limited root.
+func fairHTBTree(rateBps float64, n int) *tree.Tree {
+	b := tree.NewBuilder().Root("1:", rateBps)
+	for i := 0; i < n; i++ {
+		b.Add(tree.ClassSpec{
+			Name:    fmt.Sprintf("1:%d", 10*(i+1)),
+			Parent:  "1:",
+			RateBps: rateBps / float64(n),
+			CeilBps: rateBps,
+		})
+	}
+	return b.MustBuild()
+}
+
+// FormatFig14 renders the delay table next to the paper's reference
+// points.
+func FormatFig14(rows []Fig14Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 14 — one-way delay, fair queueing\n")
+	sb.WriteString(fmt.Sprintf("%-10s %6s %10s %10s %10s %9s\n",
+		"scheduler", "Gbps", "mean(µs)", "std(µs)", "p99(µs)", "samples"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %6.0f %10.2f %10.2f %10.2f %9d\n",
+			r.Scheduler, r.LinkGbps, r.MeanUs, r.StdUs, r.P99Us, r.Samples))
+	}
+	sb.WriteString("paper: FlowValve lowest at 10G; ≈4× higher at 40G (≈161µs pipeline floor) with near-zero variation\n")
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Tests run the figure harnesses at reduced scale (a few simulated
+// seconds) and assert the paper's qualitative shapes with generous
+// tolerances; the full-scale runs recorded in EXPERIMENTS.md use
+// cmd/fvsim.
+
+const testScale = 0.2 // 9 simulated seconds per motivation run
+
+func gbpsNear(t *testing.T, name string, got, want, tolFrac float64) {
+	t.Helper()
+	if math.Abs(got-want) > want*tolFrac {
+		t.Errorf("%s = %.2fG, want ≈%.2fG (±%.0f%%)", name, got, want, tolFrac*100)
+	}
+}
+
+// Fig 11(a): FlowValve enforces the motivation policy.
+// Windows (scaled): [0,15) NC≈10; [15,30) KVS≈4.67 ML≈2 WS≈3.33;
+// [30,45) KVS≈8 ML≈2.
+func TestFig11aMotivationShares(t *testing.T) {
+	res, err := Fig11a(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the first fifth of each window for TCP convergence.
+	w1 := Windows(res, testScale, 4, [][2]int64{{3, 15}, {18, 30}, {33, 45}})
+
+	// Window 1: NC takes all the bandwidth it demands (TCP sawtooth
+	// caps a single flow below the shaped rate; the residual work-
+	// conserves to the other classes, so NC dominates rather than
+	// holding the link exactly).
+	var w1total float64
+	for _, g := range w1[0].AppGbps {
+		w1total += g
+	}
+	if nc := w1[0].AppGbps[0]; nc < 7.0 || nc < 0.7*w1total {
+		t.Errorf("NC in [0,15) = %.2fG of %.2fG total, want ≥7G and dominant", nc, w1total)
+	}
+	// Window 2: KVS 4.67, ML 2, WS 3.33.
+	gbpsNear(t, "KVS [15,30)", w1[1].AppGbps[1], 4.67, 0.25)
+	gbpsNear(t, "ML  [15,30)", w1[1].AppGbps[2], 2.0, 0.30)
+	gbpsNear(t, "WS  [15,30)", w1[1].AppGbps[3], 3.33, 0.25)
+	// Window 3: KVS 8, ML 2.
+	gbpsNear(t, "KVS [30,45)", w1[2].AppGbps[1], 8.0, 0.25)
+	gbpsNear(t, "ML  [30,45)", w1[2].AppGbps[2], 2.0, 0.30)
+
+	// The policy ceiling must hold: total ≤ 10G (+5%).
+	for _, w := range w1 {
+		var total float64
+		for _, g := range w.AppGbps {
+			total += g
+		}
+		if total > 10.5 {
+			t.Errorf("total in [%.0f,%.0f) = %.2fG exceeds the 10G ceiling", w.FromS, w.ToS, total)
+		}
+	}
+}
+
+// Fig 3: kernel HTB fails the same policy in the three documented ways.
+func TestFig3HTBInaccuracies(t *testing.T) {
+	res, err := Fig3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Windows(res, testScale, 4, [][2]int64{{3, 15}, {18, 30}})
+
+	// (1) NC is not prioritized: it gets far less than the full link.
+	if nc := w[0].AppGbps[0]; nc > 6.0 {
+		t.Errorf("HTB gave NC %.2fG — model should show the priority failure (<6G)", nc)
+	}
+	// (2) Ceiling overshoot: total in the busy window exceeds 10G by
+	// roughly 15–30%.
+	var total float64
+	for _, g := range w[1].AppGbps {
+		total += g
+	}
+	if total < 10.8 || total > 13.5 {
+		t.Errorf("HTB total = %.2fG, want ≈12G overshoot (10.8–13.5)", total)
+	}
+	// (3) Priority between KVS and ML ignored: equal split.
+	kvs, ml := w[1].AppGbps[1], w[1].AppGbps[2]
+	if kvs > 0 && math.Abs(kvs-ml)/math.Max(kvs, ml) > 0.25 {
+		t.Errorf("HTB KVS=%.2fG ML=%.2fG, want ≈equal (priority ignored)", kvs, ml)
+	}
+	// HTB burns host CPU.
+	if res.CoresUsed <= 0 {
+		t.Error("HTB consumed no host CPU")
+	}
+}
+
+// Fig 11(b): fair queueing at 40G with staged joins.
+func TestFig11bFairQueueing(t *testing.T) {
+	res, err := Fig11b(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Windows(res, testScale, 4, [][2]int64{{3, 10}, {13, 20}, {23, 30}, {34, 45}})
+
+	// Solo app0 drives ≈ line rate via borrowing.
+	if w[0].AppGbps[0] < 30 {
+		t.Errorf("solo app0 = %.2fG, want ≈40 (≥30)", w[0].AppGbps[0])
+	}
+	// Two apps ≈ 20/20.
+	gbpsNear(t, "app0 two-way", w[1].AppGbps[0], 20, 0.30)
+	gbpsNear(t, "app1 two-way", w[1].AppGbps[1], 20, 0.30)
+	// Four apps ≈ 10 each.
+	for a := 0; a < 4; a++ {
+		gbpsNear(t, "app four-way", w[3].AppGbps[a], 10, 0.30)
+	}
+	// Line rate within 15%.
+	var total float64
+	for _, g := range w[3].AppGbps {
+		total += g
+	}
+	if total < 34 {
+		t.Errorf("four-way total = %.2fG, want ≈40", total)
+	}
+}
+
+// Fig 11(c): weighted fair queueing per Fig 12.
+func TestFig11cWeightedFairQueueing(t *testing.T) {
+	res, err := Fig11c(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Windows(res, testScale, 4, [][2]int64{{23, 30}, {33, 45}})
+
+	// With everyone active (App2 joined at 20s): App0 must hold its 20G
+	// weighted share undisturbed.
+	gbpsNear(t, "app0 all-active", w[0].AppGbps[0], 20, 0.25)
+	// After App0 stops at 30s the residual is shared through shadow
+	// borrowing: the run stays work-conserving and every class keeps at
+	// least its weighted share. (The paper reports an equal three-way
+	// split here; per-packet FCFS shadow metering plus TCP converges to
+	// a share-proportional split instead — recorded as a deviation in
+	// EXPERIMENTS.md.)
+	a1, a2, a3 := w[1].AppGbps[1], w[1].AppGbps[2], w[1].AppGbps[3]
+	if a1 < 9 {
+		t.Errorf("app1 after App0 stop = %.2fG, want ≥ its 10G weighted share", a1)
+	}
+	for i, g := range []float64{a2, a3} {
+		if g < 4.5 {
+			t.Errorf("app%d after App0 stop = %.2fG, want ≥ its 5G weighted share", i+2, g)
+		}
+	}
+	if total := a1 + a2 + a3; total < 32 {
+		t.Errorf("post-App0 total = %.2fG, want ≈40 (work conservation)", total)
+	}
+}
+
+func TestFairQueueManyConns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many-connection sweep is slow")
+	}
+	res, err := FairQueueConns(0.1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Windows(res, 0.1, 4, [][2]int64{{34, 45}})
+	for a := 0; a < 4; a++ {
+		gbpsNear(t, "16-conn four-way", w[0].AppGbps[a], 10, 0.35)
+	}
+}

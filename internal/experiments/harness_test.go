@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"flowvalve/internal/core"
+)
+
+func TestFig13PointReferenceValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig13 point is slow")
+	}
+	// 1518B: both line-rate/CPU-bound values from the paper.
+	row, err := Fig13Point(1518, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.FlowValveMpps < 3.1 || row.FlowValveMpps > 3.4 {
+		t.Errorf("FlowValve@1518B = %.2f Mpps, paper 3.23", row.FlowValveMpps)
+	}
+	if row.DPDKMpps < 2.1 || row.DPDKMpps > 2.4 {
+		t.Errorf("DPDK@1518B = %.2f Mpps, paper 2.25", row.DPDKMpps)
+	}
+	// 64B: processing-bound.
+	row, err = Fig13Point(64, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.FlowValveMpps < 18.5 || row.FlowValveMpps > 21 {
+		t.Errorf("FlowValve@64B = %.2f Mpps, paper 19.69", row.FlowValveMpps)
+	}
+	if row.DPDKMpps < 8.5 || row.DPDKMpps > 9.5 {
+		t.Errorf("DPDK@64B = %.2f Mpps, paper 9.06", row.DPDKMpps)
+	}
+	if row.DPDKCoresToMatch < 8 || row.DPDKCoresToMatch > 10 {
+		t.Errorf("cores-to-match = %d, paper ≈8", row.DPDKCoresToMatch)
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig14 is slow")
+	}
+	rows, err := Fig14(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Fig14Row{}
+	for _, r := range rows {
+		byKey[r.Scheduler+"@"+string(rune('0'+int(r.LinkGbps/10)))] = r
+	}
+	fv10 := byKey["FlowValve@1"]
+	fv40 := byKey["FlowValve@4"]
+	htb10 := byKey["HTB@1"]
+	// FlowValve lowest at 10G.
+	if fv10.MeanUs >= htb10.MeanUs {
+		t.Errorf("FlowValve@10G %.1fµs not below HTB %.1fµs", fv10.MeanUs, htb10.MeanUs)
+	}
+	// 40G floor: 3–6× the 10G figure, around 150µs.
+	if fv40.MeanUs < 100 || fv40.MeanUs > 220 {
+		t.Errorf("FlowValve@40G mean = %.1fµs, paper ≈161µs", fv40.MeanUs)
+	}
+	// Variation far below the kernel scheduler's.
+	if fv40.StdUs >= htb10.StdUs {
+		t.Errorf("FlowValve std %.1fµs not below HTB's %.1fµs", fv40.StdUs, htb10.StdUs)
+	}
+	if s := FormatFig14(rows); !strings.Contains(s, "FlowValve") {
+		t.Error("FormatFig14 missing rows")
+	}
+}
+
+func TestCPUSavingsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cpu experiment is slow")
+	}
+	rows, err := CPUSavings(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Scheduler {
+		case "FlowValve":
+			if r.Cores != 0 {
+				t.Errorf("FlowValve uses %.2f host cores, want 0", r.Cores)
+			}
+			if r.ThroughputGbps < 30 {
+				t.Errorf("FlowValve@40G drove %.1fG, want ≈39", r.ThroughputGbps)
+			}
+		case "DPDK QoS":
+			if r.Cores < 2 {
+				t.Errorf("DPDK cores = %.1f, want ≥2 (the savings claim)", r.Cores)
+			}
+		case "HTB":
+			if r.Cores <= 0 {
+				t.Error("HTB reported zero host cores")
+			}
+		}
+	}
+	if s := FormatCPU(rows); !strings.Contains(s, "FlowValve") {
+		t.Error("FormatCPU missing rows")
+	}
+}
+
+func TestSingleClassConformanceTight(t *testing.T) {
+	errFrac, err := SingleClassConformance(1e9, 2e9, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errFrac > 0.01 {
+		t.Fatalf("conformance error %.2f%%, want <1%% (§IV-D)", errFrac*100)
+	}
+	// Under-offered: even tighter.
+	errFrac, err = SingleClassConformance(1e9, 0.4e9, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errFrac > 0.005 {
+		t.Fatalf("under-offered conformance error %.2f%%", errFrac*100)
+	}
+}
+
+func TestConformanceWithCoarseEpochs(t *testing.T) {
+	// Even 1ms epochs keep conformance within a few percent.
+	errFrac, err := ConformanceWithConfig(1e9, 2e9, 1e9, core.Config{UpdateIntervalNs: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errFrac > 0.03 {
+		t.Fatalf("1ms-epoch conformance error %.2f%%", errFrac*100)
+	}
+}
+
+func TestBorrowingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs TCP sims")
+	}
+	with, err := SoloAppThroughput(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := SoloAppThroughput(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with < 3*without {
+		t.Fatalf("borrowing %.1fG vs %.1fG — shadow buckets should roughly 4× a solo app", with, without)
+	}
+	if without > 11 {
+		t.Fatalf("without borrowing the app exceeded its 10G share: %.1fG", without)
+	}
+}
+
+func TestFlowCacheAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs NIC sims")
+	}
+	on, err := FlowCacheThroughput(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := FlowCacheThroughput(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on <= off {
+		t.Fatalf("cache on %.1f Mpps not above cache off %.1f", on, off)
+	}
+}
+
+func TestPropagationDelayWithinPaperBound(t *testing.T) {
+	rows, err := PropagationDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// "each update stage finishes within tens of milliseconds".
+		if r.RecoveryMs <= 0 || r.RecoveryMs > 50 {
+			t.Errorf("depth %d recovery = %.1fms, want (0, 50]", r.Depth, r.RecoveryMs)
+		}
+	}
+	if s := FormatPropagation(rows); !strings.Contains(s, "depth") {
+		t.Error("FormatPropagation empty")
+	}
+}
+
+func TestFormatFig13(t *testing.T) {
+	s := FormatFig13([]Fig13Row{{SizeBytes: 64, FlowValveMpps: 19.7, DPDKMpps: 9.0, DPDKCores: 4, DPDKCoresToMatch: 9}})
+	if !strings.Contains(s, "19.7") || !strings.Contains(s, "paper") {
+		t.Fatalf("FormatFig13 output wrong:\n%s", s)
+	}
+}
+
+func TestFormatWindows(t *testing.T) {
+	s := FormatWindows("T", []string{"a", "b"}, []WindowMeans{{FromS: 0, ToS: 1, AppGbps: []float64{1, 2}}})
+	if !strings.Contains(s, "T") || !strings.Contains(s, "3.00G") {
+		t.Fatalf("FormatWindows output wrong:\n%s", s)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := RunFlowValveTCP(TCPScenario{DurationNs: 1e9}); err == nil {
+		t.Fatal("scenario without tree accepted")
+	}
+}
+
+func TestScale100GProjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale projection is slow")
+	}
+	rows, err := Scale100G(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// §VI claim: the same NP saturates 100G with 1518B packets because
+	// only ≈8.1Mpps are needed.
+	for _, r := range rows {
+		if !r.LineRate1518 {
+			t.Errorf("%s did not reach 1518B line rate (%.2f Mpps)", r.Label, r.Mpps1518)
+		}
+	}
+	// More MEs at higher frequency raise the small-packet rate.
+	if rows[2].Mpps64 < 2*rows[0].Mpps64 {
+		t.Errorf("next-gen 64B rate %.1f not well above baseline %.1f",
+			rows[2].Mpps64, rows[0].Mpps64)
+	}
+	if s := FormatScale100G(rows); !strings.Contains(s, "100") {
+		t.Error("FormatScale100G output empty")
+	}
+}
+
+func TestExpiryAblationScalesWithThreshold(t *testing.T) {
+	fast, err := ExpiryRecovery(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ExpiryRecovery(200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow < 3*fast {
+		t.Fatalf("recovery fast=%.1fms slow=%.1fms — expiry threshold should dominate", fast, slow)
+	}
+	if fast > 60 {
+		t.Fatalf("10ms-expiry recovery = %.1fms, want tens of ms", fast)
+	}
+}
+
+func TestRateSampling(t *testing.T) {
+	sc, err := motivationScenario(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SampleRatesNs = 100e6
+	res, err := RunFlowValveTCP(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) != sc.Tree.Len() {
+		t.Fatalf("sampled %d classes, want %d", len(res.Rates), sc.Tree.Len())
+	}
+	root := res.Rates["1:"]
+	if len(root) < 10 {
+		t.Fatalf("root samples = %d, want ≥10", len(root))
+	}
+	for _, smp := range root {
+		if smp.ThetaBps < 9e9 || smp.ThetaBps > 11e9 {
+			t.Fatalf("root θ = %.2fG, want the fixed 10G", smp.ThetaBps/1e9)
+		}
+	}
+	// NC's Γ must be visible in the samples while it sends.
+	var sawNC bool
+	for _, smp := range res.Rates["1:1"] {
+		if smp.GammaBps > 5e9 {
+			sawNC = true
+			break
+		}
+	}
+	if !sawNC {
+		t.Fatal("NC's measured rate never appeared in the samples")
+	}
+}
+
+func TestConnsSweepFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conns sweep is slow")
+	}
+	rows, err := ConnsSweep(0.15, []int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Jain < 0.999 {
+			t.Errorf("%d conns/app: Jain index %.4f, want ≈1 (equal shares)", r.ConnsPerApp, r.Jain)
+		}
+		var total float64
+		for _, g := range r.AppGbps {
+			total += g
+		}
+		if total < 33 {
+			t.Errorf("%d conns/app: total %.1fG, want near line rate", r.ConnsPerApp, total)
+		}
+	}
+	if s := FormatConns(rows); !strings.Contains(s, "conns/app") {
+		t.Error("FormatConns empty")
+	}
+}
+
+func TestPrioComparison(t *testing.T) {
+	rows, err := PrioComparison(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Strict priority: the high band dominates ≈10× or more.
+		if r.HighGbps < 5*r.LowGbps {
+			t.Errorf("%s: high/low = %.2f/%.2f — priority not enforced", r.Scheduler, r.HighGbps, r.LowGbps)
+		}
+	}
+	fv, kernel := rows[0], rows[1]
+	if fv.HostCores != 0 {
+		t.Errorf("FlowValve used %.2f host cores", fv.HostCores)
+	}
+	if kernel.HostCores <= 0 {
+		t.Error("kernel PRIO reported no host cycles")
+	}
+	if fv.MeanDelayUs >= kernel.MeanDelayUs {
+		t.Errorf("offloaded delay %.1fµs not below kernel's %.1fµs (qdisc queueing)",
+			fv.MeanDelayUs, kernel.MeanDelayUs)
+	}
+	if s := FormatPrioCmp(rows); !strings.Contains(s, "FlowValve") {
+		t.Error("FormatPrioCmp empty")
+	}
+}

@@ -1,0 +1,259 @@
+// Package experiments contains the harnesses that regenerate every table
+// and figure of the paper's evaluation (§V), plus the ablation studies
+// called out in DESIGN.md. Each harness assembles traffic sources, a
+// scheduler (FlowValve on the NIC model, or a software baseline on the
+// host model), and the measurement instruments, runs the discrete-event
+// simulation, and returns printable results.
+package experiments
+
+import (
+	"fmt"
+
+	"flowvalve/internal/classifier"
+	"flowvalve/internal/core"
+	"flowvalve/internal/nic"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/sim"
+	"flowvalve/internal/stats"
+	"flowvalve/internal/tcp"
+)
+
+// AppSpec describes one application's traffic in a TCP scenario.
+type AppSpec struct {
+	// App is the application / virtual-function index.
+	App int
+	// Conns is the number of parallel TCP connections.
+	Conns int
+	// StartNs / StopNs bound the sending period (StopNs 0 = run to the
+	// end).
+	StartNs int64
+	StopNs  int64
+}
+
+// TCPScenario is a closed-loop experiment: applications with staged TCP
+// connections driven against one scheduler.
+type TCPScenario struct {
+	// DurationNs is the simulated time.
+	DurationNs int64
+	// BinNs is the throughput-series bin width (default 1s).
+	BinNs int64
+	// SegBytes is the TCP segment size handed to the NIC (TSO-style
+	// super-segments by default — see the tcp package).
+	SegBytes int
+	// BaseRTTNs is the flows' path RTT.
+	BaseRTTNs int64
+	// Apps lists the applications.
+	Apps []AppSpec
+
+	// Tree and Rules define the policy (compile them with fvconf or
+	// build directly).
+	Tree  *tree.Tree
+	Rules []classifier.Rule
+	// DefaultClass absorbs unmatched traffic (may be empty).
+	DefaultClass string
+
+	// NIC configures the SmartNIC model (FlowValve runs); zero takes
+	// defaults.
+	NIC nic.Config
+	// Sched configures the FlowValve scheduler; zero takes defaults.
+	Sched core.Config
+	// MeasureLatency records per-packet one-way delay when true.
+	MeasureLatency bool
+	// SampleRatesNs, when positive, samples every class's granted rate
+	// θ and measured rate Γ on this period — the token-rate dynamics
+	// behind the figures (Fig 6/10 style curves).
+	SampleRatesNs int64
+}
+
+func (sc *TCPScenario) defaults() {
+	if sc.BinNs <= 0 {
+		sc.BinNs = 1e9
+	}
+	if sc.SegBytes <= 0 {
+		sc.SegBytes = 16 * 1024
+	}
+	if sc.BaseRTTNs <= 0 {
+		sc.BaseRTTNs = 200_000
+	}
+}
+
+// Result bundles the measurements of one scenario run.
+type Result struct {
+	// Meter holds per-app throughput series keyed "app<N>".
+	Meter *stats.ThroughputMeter
+	// Latency holds one-way delay samples (nil unless requested).
+	Latency *stats.LatencyRecorder
+	// NICStats is set for FlowValve runs.
+	NICStats nic.Stats
+	// Sched is the FlowValve scheduler (for snapshots); nil for
+	// baselines.
+	Sched *core.Scheduler
+	// CoresUsed is the host CPU cores consumed by a software baseline
+	// over the run (0 for FlowValve — scheduling is offloaded).
+	CoresUsed float64
+	// DurationNs echoes the simulated time.
+	DurationNs int64
+	// Rates holds sampled per-class token-rate dynamics, keyed by class
+	// name (only when TCPScenario.SampleRatesNs was set).
+	Rates map[string][]RateSample
+}
+
+// RateSample is one telemetry point of a class's rate state.
+type RateSample struct {
+	AtNs     int64
+	ThetaBps float64
+	GammaBps float64
+}
+
+// AppSeries returns the throughput series name of app n.
+func AppSeries(n int) string { return fmt.Sprintf("app%d", n) }
+
+// RunFlowValveTCP executes a TCP scenario against FlowValve on the
+// SmartNIC model.
+func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
+	sc.defaults()
+	if sc.Tree == nil {
+		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
+	}
+	eng := sim.New()
+
+	cls, err := classifier.New(sc.Tree, sc.Rules, sc.DefaultClass)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.New(sc.Tree, eng.Clock(), sc.Sched)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Meter:      stats.NewThroughputMeter(sc.BinNs),
+		Sched:      sched,
+		DurationNs: sc.DurationNs,
+	}
+	if sc.MeasureLatency {
+		res.Latency = stats.NewLatencyRecorder()
+	}
+	flows := tcp.NewSet()
+
+	cb := nic.Callbacks{
+		OnDeliver: func(p *packet.Packet) {
+			res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
+			if res.Latency != nil {
+				res.Latency.Record(p.EgressAt - p.SentAt)
+			}
+			flows.OnDeliver(p)
+		},
+		OnDrop: func(p *packet.Packet, _ nic.DropReason) {
+			flows.OnDrop(p)
+		},
+	}
+	dev, err := nic.New(eng, sc.NIC, cls, sched, cb)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := buildFlows(eng, sc, flows, dev.Inject); err != nil {
+		return nil, err
+	}
+	if sc.SampleRatesNs > 0 {
+		res.Rates = make(map[string][]RateSample)
+		var sample func()
+		sample = func() {
+			now := eng.Now()
+			for _, c := range sc.Tree.Classes() {
+				res.Rates[c.Name] = append(res.Rates[c.Name], RateSample{
+					AtNs:     now,
+					ThetaBps: sched.Theta(c),
+					GammaBps: sched.Gamma(c),
+				})
+			}
+			if now+sc.SampleRatesNs <= sc.DurationNs {
+				eng.After(sc.SampleRatesNs, sample)
+			}
+		}
+		eng.After(sc.SampleRatesNs, sample)
+	}
+	eng.RunUntil(sc.DurationNs)
+	res.NICStats = dev.Stats()
+	return res, nil
+}
+
+// runForwardOnlyTCP executes a TCP scenario against the NIC model with
+// no scheduler attached — the paper's "disable FlowValve to simply
+// forward packets" baseline. Congestion control is then provided solely
+// by the traffic manager's tail drop.
+func runForwardOnlyTCP(sc TCPScenario) (*Result, error) {
+	sc.defaults()
+	if sc.Tree == nil {
+		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
+	}
+	eng := sim.New()
+	cls, err := classifier.New(sc.Tree, sc.Rules, sc.DefaultClass)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Meter:      stats.NewThroughputMeter(sc.BinNs),
+		DurationNs: sc.DurationNs,
+	}
+	if sc.MeasureLatency {
+		res.Latency = stats.NewLatencyRecorder()
+	}
+	flows := tcp.NewSet()
+	dev, err := nic.New(eng, sc.NIC, cls, nil, nic.Callbacks{
+		OnDeliver: func(p *packet.Packet) {
+			res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
+			if res.Latency != nil {
+				res.Latency.Record(p.EgressAt - p.SentAt)
+			}
+			flows.OnDeliver(p)
+		},
+		OnDrop: func(p *packet.Packet, _ nic.DropReason) { flows.OnDrop(p) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := buildFlows(eng, sc, flows, dev.Inject); err != nil {
+		return nil, err
+	}
+	eng.RunUntil(sc.DurationNs)
+	res.NICStats = dev.Stats()
+	return res, nil
+}
+
+// buildFlows creates the per-app TCP connections and their start/stop
+// schedule, sending packets via inject.
+func buildFlows(eng *sim.Engine, sc TCPScenario, flows *tcp.Set, inject func(*packet.Packet)) error {
+	alloc := &packet.Alloc{}
+	nextFlow := packet.FlowID(0)
+	for _, app := range sc.Apps {
+		if app.Conns <= 0 {
+			return fmt.Errorf("experiments: app %d has no connections", app.App)
+		}
+		for c := 0; c < app.Conns; c++ {
+			f, err := tcp.NewFlow(eng, alloc, nextFlow, packet.AppID(app.App), tcp.Config{
+				SegBytes:  sc.SegBytes,
+				BaseRTTNs: sc.BaseRTTNs,
+			}, inject)
+			if err != nil {
+				return err
+			}
+			nextFlow++
+			flows.Add(f)
+			f.StartAt(app.StartNs)
+			stop := app.StopNs
+			if stop <= 0 {
+				stop = sc.DurationNs
+			}
+			f.StopAt(stop)
+		}
+	}
+	return nil
+}
+
+// MeanWindowBps returns an app's mean rate over [fromNs, toNs).
+func (r *Result) MeanWindowBps(app int, fromNs, toNs int64) float64 {
+	return r.Meter.MeanBps(AppSeries(app), fromNs, toNs)
+}

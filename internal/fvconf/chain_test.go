@@ -1,0 +1,186 @@
+package fvconf
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's qdisc-chaining feature: a PRIO qdisc chained under an HTB
+// class compiles into one scheduling tree.
+const chainedScript = `
+fv qdisc add dev nfp0 root handle 1: htb rate 10gbit default 1:20
+fv class add dev nfp0 parent 1: classid 1:10 htb weight 2
+fv class add dev nfp0 parent 1: classid 1:20 htb weight 1
+fv qdisc add dev nfp0 parent 1:10 handle 2: prio bands 3
+fv filter add dev nfp0 parent 2: app 0 flowid 2:1
+fv filter add dev nfp0 parent 2: app 1 flowid 2:3
+fv filter add dev nfp0 parent 1: app 2 flowid 1:20
+`
+
+func TestChainedPrioUnderHTB(t *testing.T) {
+	s, err := Parse(chainedScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Children) != 1 {
+		t.Fatalf("children = %d, want 1", len(s.Children))
+	}
+	child := s.Children[0]
+	if child.Handle != "2:" || child.Parent != "1:10" || child.Kind != "prio" || child.Bands != 3 {
+		t.Fatalf("child qdisc parsed wrong: %+v", child)
+	}
+
+	tr, rules, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root + 1:10 + 1:20 + three bands = 6 classes.
+	if tr.Len() != 6 {
+		t.Fatalf("tree size = %d, want 6", tr.Len())
+	}
+	band1, ok := tr.Lookup("2:1")
+	if !ok {
+		t.Fatal("band 2:1 missing")
+	}
+	if band1.Parent.Name != "1:10" {
+		t.Fatalf("band parent = %s, want 1:10 (grafted)", band1.Parent.Name)
+	}
+	if band1.Prio != 0 {
+		t.Fatalf("band 2:1 prio = %d, want 0", band1.Prio)
+	}
+	band3, _ := tr.Lookup("2:3")
+	if band3.Prio != 2 {
+		t.Fatalf("band 2:3 prio = %d, want 2", band3.Prio)
+	}
+	if len(rules) != 3 || rules[0].Class != "2:1" {
+		t.Fatalf("rules wrong: %+v", rules)
+	}
+}
+
+// Explicit classes under a chained HTB qdisc.
+func TestChainedHTBWithClasses(t *testing.T) {
+	s, err := Parse(`
+qdisc add dev x root handle 1: htb rate 10gbit
+class add dev x parent 1: classid 1:10 weight 1
+qdisc add dev x parent 1:10 handle 2: htb
+class add dev x parent 2: classid 2:5 weight 3
+class add dev x parent 2: classid 2:6 weight 1
+filter add dev x app 0 flowid 2:5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := tr.Lookup("2:5")
+	if !ok || c.Parent.Name != "1:10" {
+		t.Fatalf("2:5 not grafted under 1:10: %v", c)
+	}
+	if c.Weight != 3 {
+		t.Fatalf("weight = %g", c.Weight)
+	}
+}
+
+// A qdisc grafted onto an auto-generated band of another chained qdisc.
+func TestChainOntoBand(t *testing.T) {
+	s, err := Parse(`
+qdisc add dev x root handle 1: prio bands 2 rate 10gbit
+qdisc add dev x parent 1:2 handle 3: htb
+class add dev x parent 3: classid 3:1 weight 1
+class add dev x parent 3: classid 3:2 weight 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := tr.Lookup("3:2")
+	if !ok || c.Parent.Name != "1:2" {
+		t.Fatalf("3:2 not under band 1:2: %v", c)
+	}
+}
+
+// Classless root prio auto-generates its bands.
+func TestClasslessRootPrio(t *testing.T) {
+	s, err := Parse(`qdisc add dev x root handle 1: prio bands 3 rate 1gbit`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("tree size = %d, want root + 3 bands", tr.Len())
+	}
+	for i, want := range []int{0, 1, 2} {
+		c, ok := tr.Lookup("1:" + string(rune('1'+i)))
+		if !ok || c.Prio != want {
+			t.Fatalf("band %d wrong: %v", i+1, c)
+		}
+	}
+}
+
+func TestChainErrors(t *testing.T) {
+	cases := map[string]string{
+		"child without parent": `
+qdisc add dev x root handle 1: htb rate 1gbit
+qdisc add dev x handle 2: htb`,
+		"child with rate": `
+qdisc add dev x root handle 1: htb rate 1gbit
+class add dev x parent 1: classid 1:1
+qdisc add dev x parent 1:1 handle 2: htb rate 1gbit`,
+		"child with default": `
+qdisc add dev x root handle 1: htb rate 1gbit
+class add dev x parent 1: classid 1:1
+qdisc add dev x parent 1:1 handle 2: htb default 2:1`,
+		"bad bands": `qdisc add dev x root handle 1: prio bands zero rate 1gbit`,
+	}
+	for name, script := range cases {
+		if _, err := Parse(script); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+
+	compileCases := map[string]string{
+		"graft onto unknown class": `
+qdisc add dev x root handle 1: htb rate 1gbit
+class add dev x parent 1: classid 1:1
+qdisc add dev x parent 1:99 handle 2: htb
+class add dev x parent 2: classid 2:1`,
+		"handle collides with class": `
+qdisc add dev x root handle 1: htb rate 1gbit
+class add dev x parent 1: classid 1:1
+class add dev x parent 1: classid 2:
+qdisc add dev x parent 1:1 handle 2: htb
+class add dev x parent 2: classid 2:1`,
+	}
+	for name, script := range compileCases {
+		s, err := Parse(script)
+		if err != nil {
+			t.Errorf("%s: Parse failed early: %v", name, err)
+			continue
+		}
+		if _, _, err := s.Compile(); err == nil {
+			t.Errorf("%s: Compile succeeded, want error", name)
+		}
+	}
+}
+
+func TestDescribeShowsChain(t *testing.T) {
+	s, err := Parse(chainedScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "qdisc 2: parent 1:10 prio bands 3") {
+		t.Fatalf("Describe missing chained qdisc:\n%s", out)
+	}
+}

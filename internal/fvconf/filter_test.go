@@ -1,0 +1,87 @@
+package fvconf
+
+import "testing"
+
+const header = "qdisc add dev x root handle 1: htb rate 1gbit\n" +
+	"class add dev x parent 1: classid 1:1\n" +
+	"class add dev x parent 1: classid 1:2\n"
+
+func TestFilterTupleMatches(t *testing.T) {
+	s, err := Parse(header + `
+filter add dev x parent 1: protocol ip u32 match ip dport 5201 0xffff flowid 1:1
+filter add dev x parent 1: u32 match ip src 10.0.3.0/24 match ip protocol tcp flowid 1:2
+filter add dev x parent 1: match ip dst 10.99.0.1 flowid 1:1
+filter add dev x parent 1: match ip sport 33000 0xff00 flowid 1:2
+filter add dev x parent 1: match ip protocol udp flowid 1:1
+filter add dev x parent 1: match ip protocol 47 flowid 1:2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Filters
+	if len(r) != 6 {
+		t.Fatalf("filters = %d, want 6", len(r))
+	}
+	if r[0].DstPort != 5201 || r[0].DstPortMask != 0xffff {
+		t.Fatalf("dport rule wrong: %+v", r[0])
+	}
+	if r[1].SrcIP != 0x0a000300 || r[1].SrcIPMask != 0xffffff00 || r[1].Proto != 6 {
+		t.Fatalf("src/proto rule wrong: %+v", r[1])
+	}
+	if r[2].DstIP != 0x0a630001 || r[2].DstIPMask != 0xffffffff {
+		t.Fatalf("dst host rule wrong: %+v", r[2])
+	}
+	if r[3].SrcPort != 33000 || r[3].SrcPortMask != 0xff00 {
+		t.Fatalf("sport mask rule wrong: %+v", r[3])
+	}
+	if r[4].Proto != 17 || r[5].Proto != 47 {
+		t.Fatalf("proto rules wrong: %+v %+v", r[4], r[5])
+	}
+	if _, _, err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterMatchErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad family":    header + "filter add dev x match ipv6 src ::1 flowid 1:1",
+		"bad selector":  header + "filter add dev x match ip tos 4 flowid 1:1",
+		"bad ip":        header + "filter add dev x match ip src 10.0.0 flowid 1:1",
+		"bad ip octet":  header + "filter add dev x match ip src 10.0.0.999 flowid 1:1",
+		"bad prefix":    header + "filter add dev x match ip src 10.0.0.0/40 flowid 1:1",
+		"bad port":      header + "filter add dev x match ip dport 99999 flowid 1:1",
+		"bad mask":      header + "filter add dev x match ip dport 80 0xzz flowid 1:1",
+		"bad protocol":  header + "filter add dev x match ip protocol icmpish flowid 1:1",
+		"zero protocol": header + "filter add dev x match ip protocol 0 flowid 1:1",
+		"dangling":      header + "filter add dev x match ip src",
+	}
+	for name, script := range cases {
+		if _, err := Parse(script); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseIPv4CIDR(t *testing.T) {
+	cases := []struct {
+		in   string
+		ip   uint32
+		mask uint32
+	}{
+		{"10.0.0.1", 0x0a000001, 0xffffffff},
+		{"10.0.0.0/24", 0x0a000000, 0xffffff00},
+		{"0.0.0.0/0", 0, 0},
+		{"255.255.255.255/32", 0xffffffff, 0xffffffff},
+		{"192.168.1.0/31", 0xc0a80100, 0xfffffffe},
+	}
+	for _, tc := range cases {
+		ip, mask, err := parseIPv4CIDR(tc.in)
+		if err != nil {
+			t.Errorf("%s: %v", tc.in, err)
+			continue
+		}
+		if ip != tc.ip || mask != tc.mask {
+			t.Errorf("%s = %#x/%#x, want %#x/%#x", tc.in, ip, mask, tc.ip, tc.mask)
+		}
+	}
+}

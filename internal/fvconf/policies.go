@@ -1,0 +1,73 @@
+package fvconf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MotivationScript is the paper's motivation policy (§II, Fig 2/6) as fv
+// commands: 10Gbps egress; NC strictly prior; vm1 (KVS, ML) and vm2 (WS)
+// share the rest 2:1; KVS prior to ML inside vm1; ML guaranteed 2Gbps.
+// Apps map: 0=NC, 1=KVS, 2=ML, 3=WS.
+const MotivationScript = `
+# Motivation example (Fig 2/6): 10Gbps, NC strictly prior,
+# vm1 : vm2 = 2 : 1, KVS prior to ML, ML guaranteed 2Gbps.
+fv qdisc add dev nfp0 root handle 1: htb rate 10gbit default 1:30
+fv class add dev nfp0 parent 1: classid 1:1 htb prio 0                        # NC
+fv class add dev nfp0 parent 1: classid 1:2 htb prio 1                        # S1
+fv class add dev nfp0 parent 1:2 classid 1:30 htb weight 1 borrow 1:21        # WS
+fv class add dev nfp0 parent 1:2 classid 1:21 htb weight 2                    # S2
+fv class add dev nfp0 parent 1:21 classid 1:40 htb prio 0 weight 1 borrow 1:30  # KVS
+fv class add dev nfp0 parent 1:21 classid 1:50 htb prio 1 weight 1 guarantee 2gbit borrow 1:21,1:40  # ML
+fv filter add dev nfp0 parent 1: protocol ip app 0 flowid 1:1
+fv filter add dev nfp0 parent 1: protocol ip app 1 flowid 1:40
+fv filter add dev nfp0 parent 1: protocol ip app 2 flowid 1:50
+fv filter add dev nfp0 parent 1: protocol ip app 3 flowid 1:30
+`
+
+// FairQueueScript builds the Fig 11(b) policy: nApps equal-weight classes
+// sharing `rate`, with full mutual borrowing so any single active app can
+// drive the whole link.
+func FairQueueScript(rate string, nApps int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fv qdisc add dev nfp0 root handle 1: htb rate %s default 1:10\n", rate)
+	for i := 0; i < nApps; i++ {
+		var lenders []string
+		for j := 0; j < nApps; j++ {
+			if j != i {
+				lenders = append(lenders, classID(j))
+			}
+		}
+		fmt.Fprintf(&sb, "fv class add dev nfp0 parent 1: classid %s htb weight 1 borrow %s\n",
+			classID(i), strings.Join(lenders, ","))
+	}
+	for i := 0; i < nApps; i++ {
+		fmt.Fprintf(&sb, "fv filter add dev nfp0 parent 1: protocol ip app %d flowid %s\n", i, classID(i))
+	}
+	return sb.String()
+}
+
+func classID(app int) string { return fmt.Sprintf("1:%d", 10*(app+1)) }
+
+// WeightedFQScript builds the Fig 11(c)/Fig 12 policy on `rate`:
+//
+//	S0 ── App0 (1) ── S1 ── App1 (1) ── S2 ── App2 (1), App3 (1)
+//
+// App0:S1 = 1:1, App1:S2 = 1:1, App2:App3 = 1:1, with unweighted mutual
+// borrowing between all leaves (the paper does not enforce weighted
+// borrowing, so idle bandwidth is shared equally).
+func WeightedFQScript(rate string) string {
+	return fmt.Sprintf(`
+fv qdisc add dev nfp0 root handle 1: htb rate %s default 1:10
+fv class add dev nfp0 parent 1:  classid 1:10 htb weight 1 borrow 1:20,1:30,1:40   # App0
+fv class add dev nfp0 parent 1:  classid 1:2  htb weight 1                          # S1
+fv class add dev nfp0 parent 1:2 classid 1:20 htb weight 1 borrow 1:10,1:30,1:40   # App1
+fv class add dev nfp0 parent 1:2 classid 1:3  htb weight 1                          # S2
+fv class add dev nfp0 parent 1:3 classid 1:30 htb weight 1 borrow 1:10,1:20,1:40   # App2
+fv class add dev nfp0 parent 1:3 classid 1:40 htb weight 1 borrow 1:10,1:20,1:30   # App3
+fv filter add dev nfp0 parent 1: protocol ip app 0 flowid 1:10
+fv filter add dev nfp0 parent 1: protocol ip app 1 flowid 1:20
+fv filter add dev nfp0 parent 1: protocol ip app 2 flowid 1:30
+fv filter add dev nfp0 parent 1: protocol ip app 3 flowid 1:40
+`, rate)
+}

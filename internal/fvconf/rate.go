@@ -1,0 +1,79 @@
+// Package fvconf implements the FlowValve front end: parsing fv command
+// scripts — which inherit the tc command options (§III-E) — and compiling
+// them into a scheduling tree plus classifier filter rules ready to be
+// populated into the (simulated) SmartNIC shared memory.
+package fvconf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRate converts a tc-style rate string to bits per second.
+//
+// tc semantics: the "bit" suffixes (bit, kbit, mbit, gbit, tbit) are bits
+// per second with decimal SI prefixes; the "bps" suffixes (bps, kbps,
+// mbps, gbps) are BYTES per second. A bare number is bits per second.
+func ParseRate(s string) (float64, error) {
+	orig := s
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("fvconf: empty rate")
+	}
+
+	mult := 1.0
+	bytes := false
+	switch {
+	case strings.HasSuffix(s, "tbit"):
+		mult, s = 1e12, strings.TrimSuffix(s, "tbit")
+	case strings.HasSuffix(s, "gbit"):
+		mult, s = 1e9, strings.TrimSuffix(s, "gbit")
+	case strings.HasSuffix(s, "mbit"):
+		mult, s = 1e6, strings.TrimSuffix(s, "mbit")
+	case strings.HasSuffix(s, "kbit"):
+		mult, s = 1e3, strings.TrimSuffix(s, "kbit")
+	case strings.HasSuffix(s, "gbps"):
+		mult, bytes, s = 1e9, true, strings.TrimSuffix(s, "gbps")
+	case strings.HasSuffix(s, "mbps"):
+		mult, bytes, s = 1e6, true, strings.TrimSuffix(s, "mbps")
+	case strings.HasSuffix(s, "kbps"):
+		mult, bytes, s = 1e3, true, strings.TrimSuffix(s, "kbps")
+	case strings.HasSuffix(s, "bps"):
+		bytes, s = true, strings.TrimSuffix(s, "bps")
+	case strings.HasSuffix(s, "bit"):
+		s = strings.TrimSuffix(s, "bit")
+	}
+
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("fvconf: bad rate %q: %w", orig, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("fvconf: negative rate %q", orig)
+	}
+	v *= mult
+	if bytes {
+		v *= 8
+	}
+	return v, nil
+}
+
+// FormatRate renders bits/second in the most compact tc unit.
+func FormatRate(bps float64) string {
+	switch {
+	case bps >= 1e9 && bps == float64(int64(bps/1e8))*1e8:
+		return trimZero(bps/1e9) + "gbit"
+	case bps >= 1e6:
+		return trimZero(bps/1e6) + "mbit"
+	case bps >= 1e3:
+		return trimZero(bps/1e3) + "kbit"
+	default:
+		return trimZero(bps) + "bit"
+	}
+}
+
+func trimZero(v float64) string {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	return s
+}

@@ -1,0 +1,649 @@
+package fvconf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flowvalve/internal/classifier"
+	"flowvalve/internal/sched/tree"
+)
+
+// Script is a parsed fv policy: a root qdisc, optional chained child
+// qdiscs grafted onto classes (§III-E: "FlowValve can fully offload PRIO
+// and HTB meanwhile support qdisc chaining"), a class hierarchy, and
+// filter rules.
+type Script struct {
+	// Dev is the device name from the qdisc command (informational).
+	Dev string
+	// Handle is the root qdisc handle (e.g. "1:"), which becomes the
+	// root class name.
+	Handle string
+	// RootRateBps is the policy ceiling from the qdisc "rate" option.
+	RootRateBps float64
+	// RootBands auto-generates band classes for a classless root prio
+	// qdisc.
+	RootBands int
+	// DefaultClass absorbs unmatched traffic ("default" option).
+	DefaultClass string
+	// Classes in declaration order (parents before children, enforced
+	// at parse time through the tree builder).
+	Classes []tree.ClassSpec
+	// Filters in declaration order.
+	Filters []classifier.Rule
+	// Kind is the root discipline: "htb" or "prio".
+	Kind string
+	// Children are chained qdiscs grafted onto classes.
+	Children []ChildQdisc
+}
+
+// ChildQdisc is a qdisc chained under a class of an outer qdisc: its
+// handle aliases the parent class, so classes declared with `parent H:`
+// become children of that class — FlowValve compiles the whole chain
+// into one scheduling tree and keeps the chained discipline's rates
+// adjusted at runtime, exactly as the paper describes.
+type ChildQdisc struct {
+	// Handle is the child qdisc handle (e.g. "2:").
+	Handle string
+	// Parent is the class the qdisc is grafted onto (e.g. "1:21").
+	Parent string
+	// Kind is "htb" or "prio".
+	Kind string
+	// Bands auto-generates strict-priority band classes (H:1 .. H:N,
+	// Prio 0..N−1) for a classless prio qdisc; 0 if classes are
+	// declared explicitly.
+	Bands int
+}
+
+// Parse reads an fv command script: one command per line, `#` comments,
+// blank lines ignored. Each command is
+//
+//	[fv] qdisc add dev DEV root handle H: (htb|prio) rate RATE [default CLASSID]
+//	[fv] class add dev DEV parent P classid C [htb] [rate RATE] [ceil RATE]
+//	       [prio N] [weight W] [guarantee RATE] [borrow C1,C2,...]
+//	[fv] filter add dev DEV parent P [protocol ip] [u32] [app N] [flow N]
+//	       [match ip src A.B.C.D[/len]] [match ip dst A.B.C.D[/len]]
+//	       [match ip sport N [0xMASK]] [match ip dport N [0xMASK]]
+//	       [match ip protocol tcp|udp|N] flowid C
+//
+// mirroring the tc options the paper's fv tool inherits, plus the
+// FlowValve-specific weight/guarantee/borrow extensions. Chained qdiscs
+// are declared with `qdisc add ... parent CLASSID handle H:`.
+func Parse(text string) (*Script, error) {
+	s := &Script{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "fv" || fields[0] == "tc" {
+			fields = fields[1:]
+		}
+		if len(fields) < 2 || fields[1] != "add" {
+			return nil, fmt.Errorf("fvconf: line %d: expected '<qdisc|class|filter> add ...'", lineNo+1)
+		}
+		var err error
+		switch fields[0] {
+		case "qdisc":
+			err = s.parseQdisc(fields[2:])
+		case "class":
+			err = s.parseClass(fields[2:])
+		case "filter":
+			err = s.parseFilter(fields[2:])
+		default:
+			err = fmt.Errorf("unknown object %q", fields[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fvconf: line %d: %w", lineNo+1, err)
+		}
+	}
+	if s.Handle == "" {
+		return nil, fmt.Errorf("fvconf: script has no qdisc")
+	}
+	return s, nil
+}
+
+// kv scans "key value" pairs from tc-style option lists.
+type kv struct {
+	fields []string
+	i      int
+}
+
+func (p *kv) next() (key, val string, ok bool, err error) {
+	if p.i >= len(p.fields) {
+		return "", "", false, nil
+	}
+	key = p.fields[p.i]
+	// Flag-style keys with no value.
+	switch key {
+	case "htb", "prio-qdisc", "ip":
+		p.i++
+		return key, "", true, nil
+	}
+	if p.i+1 >= len(p.fields) {
+		return "", "", false, fmt.Errorf("option %q missing value", key)
+	}
+	val = p.fields[p.i+1]
+	p.i += 2
+	return key, val, true, nil
+}
+
+// qdiscKeys are the option keys valid on a qdisc line; used to recognize
+// the bare "prio" discipline flag (which would otherwise swallow the next
+// token as its value).
+var qdiscKeys = map[string]bool{
+	"dev": true, "root": true, "handle": true, "rate": true,
+	"default": true, "bands": true, "htb": true,
+}
+
+// qdiscKeysParent extends qdiscKeys for child-qdisc lines.
+var qdiscKeysParent = map[string]bool{"parent": true}
+
+func (s *Script) parseQdisc(fields []string) error {
+	fields = append([]string(nil), fields...)
+	for i, f := range fields {
+		if f == "prio" && (i+1 == len(fields) || qdiscKeys[fields[i+1]] || qdiscKeysParent[fields[i+1]]) {
+			fields[i] = "prio-qdisc"
+		}
+	}
+	var (
+		sawRoot bool
+		handle  string
+		parent  string
+		kind    string
+		rate    float64
+		def     string
+		bands   int
+	)
+	p := &kv{fields: fields}
+	for {
+		key, val, ok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		switch key {
+		case "dev":
+			if s.Dev == "" {
+				s.Dev = val
+			}
+		case "root":
+			sawRoot = true
+			p.i-- // "root" is a flag; re-read its "value" as next key
+		case "parent":
+			parent = val
+		case "handle":
+			handle = val
+		case "htb", "prio-qdisc":
+			kind = strings.TrimSuffix(key, "-qdisc")
+		case "rate":
+			r, err := ParseRate(val)
+			if err != nil {
+				return err
+			}
+			rate = r
+		case "default":
+			def = val
+		case "bands":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad bands %q", val)
+			}
+			bands = n
+		default:
+			return fmt.Errorf("unknown qdisc option %q", key)
+		}
+	}
+	if handle == "" {
+		return fmt.Errorf("qdisc needs 'handle'")
+	}
+	if kind == "" {
+		kind = "htb"
+	}
+
+	if sawRoot {
+		if s.Handle != "" {
+			return fmt.Errorf("multiple root qdiscs")
+		}
+		if parent != "" {
+			return fmt.Errorf("root qdisc cannot have a parent")
+		}
+		if rate <= 0 {
+			return fmt.Errorf("root qdisc needs a positive 'rate'")
+		}
+		s.Handle = handle
+		s.Kind = kind
+		s.RootRateBps = rate
+		s.DefaultClass = def
+		s.RootBands = bands
+		return nil
+	}
+
+	// Chained qdisc grafted under a class of an outer qdisc.
+	if parent == "" {
+		return fmt.Errorf("qdisc must be 'root' or have a 'parent' class")
+	}
+	if rate > 0 {
+		return fmt.Errorf("a chained qdisc takes its rate from its parent class; drop 'rate'")
+	}
+	if def != "" {
+		return fmt.Errorf("'default' belongs on the root qdisc")
+	}
+	s.Children = append(s.Children, ChildQdisc{
+		Handle: handle,
+		Parent: parent,
+		Kind:   kind,
+		Bands:  bands,
+	})
+	return nil
+}
+
+func (s *Script) parseClass(fields []string) error {
+	spec := tree.ClassSpec{}
+	p := &kv{fields: fields}
+	for {
+		key, val, ok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		switch key {
+		case "dev", "htb":
+			// dev is informational; htb is the discipline flag.
+		case "parent":
+			spec.Parent = val
+		case "classid":
+			spec.Name = val
+		case "rate":
+			// tc semantics: the HTB class "rate" is the assured
+			// rate — FlowValve's guarantee floor.
+			r, err := ParseRate(val)
+			if err != nil {
+				return err
+			}
+			spec.GuaranteeBps = r
+		case "ceil":
+			r, err := ParseRate(val)
+			if err != nil {
+				return err
+			}
+			spec.CeilBps = r
+		case "fixed":
+			r, err := ParseRate(val)
+			if err != nil {
+				return err
+			}
+			spec.RateBps = r
+		case "guarantee":
+			r, err := ParseRate(val)
+			if err != nil {
+				return err
+			}
+			spec.GuaranteeBps = r
+		case "prio":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad prio %q", val)
+			}
+			spec.Prio = n
+		case "weight":
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("bad weight %q", val)
+			}
+			spec.Weight = w
+		case "borrow":
+			spec.BorrowFrom = strings.Split(val, ",")
+		default:
+			return fmt.Errorf("unknown class option %q", key)
+		}
+	}
+	if spec.Name == "" {
+		return fmt.Errorf("class needs 'classid'")
+	}
+	if spec.Parent == "" {
+		return fmt.Errorf("class %s needs 'parent'", spec.Name)
+	}
+	s.Classes = append(s.Classes, spec)
+	return nil
+}
+
+// parseFilter reads a tc-style filter line. Besides the metadata
+// selectors (app/vf, flow), it supports u32-style five-tuple matches:
+//
+//	match ip src 10.0.1.0/24        match ip dst 10.99.0.1
+//	match ip sport 33000 0xff00     match ip dport 5201 0xffff
+//	match ip protocol tcp|udp|<n>
+func (s *Script) parseFilter(fields []string) error {
+	rule := classifier.Rule{App: classifier.AnyApp, Flow: classifier.AnyFlow}
+	i := 0
+	next := func(what string) (string, error) {
+		if i >= len(fields) {
+			return "", fmt.Errorf("option %q missing value", what)
+		}
+		v := fields[i]
+		i++
+		return v, nil
+	}
+	for i < len(fields) {
+		key := fields[i]
+		i++
+		switch key {
+		case "u32", "ip":
+			// Structure markers, no value.
+		case "dev", "parent":
+			if _, err := next(key); err != nil {
+				return err
+			}
+		case "protocol":
+			// "protocol ip" — the outer tc selector.
+			if _, err := next(key); err != nil {
+				return err
+			}
+		case "app", "vf":
+			val, err := next(key)
+			if err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad app %q", val)
+			}
+			rule.App = n
+		case "flow":
+			val, err := next(key)
+			if err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad flow %q", val)
+			}
+			rule.Flow = n
+		case "match":
+			if err := parseMatch(fields, &i, &rule); err != nil {
+				return err
+			}
+		case "flowid":
+			val, err := next(key)
+			if err != nil {
+				return err
+			}
+			rule.Class = val
+		default:
+			return fmt.Errorf("unknown filter option %q", key)
+		}
+	}
+	if rule.Class == "" {
+		return fmt.Errorf("filter needs 'flowid'")
+	}
+	s.Filters = append(s.Filters, rule)
+	return nil
+}
+
+// parseMatch consumes one "match ip <selector> <value> [mask]" clause.
+func parseMatch(fields []string, i *int, rule *classifier.Rule) error {
+	take := func(what string) (string, error) {
+		if *i >= len(fields) {
+			return "", fmt.Errorf("match %s: missing token", what)
+		}
+		v := fields[*i]
+		*i++
+		return v, nil
+	}
+	proto, err := take("family")
+	if err != nil {
+		return err
+	}
+	if proto != "ip" {
+		return fmt.Errorf("match: only 'ip' selectors are supported, got %q", proto)
+	}
+	sel, err := take("selector")
+	if err != nil {
+		return err
+	}
+	switch sel {
+	case "src", "dst":
+		val, err := take(sel)
+		if err != nil {
+			return err
+		}
+		ip, mask, err := parseIPv4CIDR(val)
+		if err != nil {
+			return err
+		}
+		if sel == "src" {
+			rule.SrcIP, rule.SrcIPMask = ip, mask
+		} else {
+			rule.DstIP, rule.DstIPMask = ip, mask
+		}
+	case "sport", "dport":
+		val, err := take(sel)
+		if err != nil {
+			return err
+		}
+		port, err := strconv.ParseUint(val, 10, 16)
+		if err != nil {
+			return fmt.Errorf("bad port %q", val)
+		}
+		mask := uint32(0xffff)
+		// Optional hex mask (u32 syntax: "dport 5201 0xffff").
+		if *i < len(fields) && strings.HasPrefix(fields[*i], "0x") {
+			m, err := strconv.ParseUint(fields[*i][2:], 16, 16)
+			if err != nil {
+				return fmt.Errorf("bad port mask %q", fields[*i])
+			}
+			mask = uint32(m)
+			*i++
+		}
+		if sel == "sport" {
+			rule.SrcPort, rule.SrcPortMask = uint32(port), mask
+		} else {
+			rule.DstPort, rule.DstPortMask = uint32(port), mask
+		}
+	case "protocol":
+		val, err := take("protocol")
+		if err != nil {
+			return err
+		}
+		switch val {
+		case "tcp":
+			rule.Proto = 6
+		case "udp":
+			rule.Proto = 17
+		default:
+			n, err := strconv.ParseUint(val, 10, 8)
+			if err != nil || n == 0 {
+				return fmt.Errorf("bad protocol %q", val)
+			}
+			rule.Proto = int(n)
+		}
+	default:
+		return fmt.Errorf("unknown match selector %q", sel)
+	}
+	return nil
+}
+
+// parseIPv4CIDR reads "A.B.C.D" (exact host) or "A.B.C.D/len".
+func parseIPv4CIDR(s string) (ip, mask uint32, err error) {
+	addr := s
+	prefix := 32
+	if slash := strings.IndexByte(s, '/'); slash >= 0 {
+		addr = s[:slash]
+		prefix, err = strconv.Atoi(s[slash+1:])
+		if err != nil || prefix < 0 || prefix > 32 {
+			return 0, 0, fmt.Errorf("bad prefix length in %q", s)
+		}
+	}
+	parts := strings.Split(addr, ".")
+	if len(parts) != 4 {
+		return 0, 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		ip = ip<<8 | uint32(n)
+	}
+	if prefix == 0 {
+		return ip, 0, nil
+	}
+	mask = ^uint32(0) << (32 - prefix)
+	return ip, mask, nil
+}
+
+// Compile builds the scheduling tree and classifier from the script. The
+// root qdisc handle becomes the root class carrying the policy ceiling;
+// chained qdisc handles alias their parent class, so a chain of PRIO and
+// HTB disciplines compiles into one scheduling tree (the offloaded
+// qdisc-chaining feature of §III-E).
+func (s *Script) Compile() (*tree.Tree, []classifier.Rule, error) {
+	// Handle aliases: a class declared with `parent 2:` is a child of
+	// the class qdisc 2: is grafted onto.
+	alias := map[string]string{}
+	declared := map[string]bool{s.Handle: true}
+	for _, spec := range s.Classes {
+		declared[spec.Name] = true
+	}
+	hasClassesUnder := map[string]bool{}
+	for _, spec := range s.Classes {
+		hasClassesUnder[spec.Parent] = true
+	}
+	// Auto-generated prio bands are declared names too, so a further
+	// qdisc can graft onto a band (e.g. HTB under band 2:1).
+	markBands := func(handle string, bands int) {
+		if bands <= 0 || hasClassesUnder[handle] {
+			return
+		}
+		for i := 1; i <= bands; i++ {
+			declared[fmt.Sprintf("%s%d", handle, i)] = true
+		}
+	}
+	if s.Kind == "prio" {
+		markBands(s.Handle, s.RootBands)
+	}
+	for _, child := range s.Children {
+		if child.Kind == "prio" {
+			markBands(child.Handle, child.Bands)
+		}
+	}
+	for _, child := range s.Children {
+		if declared[child.Handle] {
+			return nil, nil, fmt.Errorf("fvconf: qdisc handle %q collides with a class", child.Handle)
+		}
+		if !declared[child.Parent] {
+			return nil, nil, fmt.Errorf("fvconf: qdisc %s grafted onto unknown class %q", child.Handle, child.Parent)
+		}
+		alias[child.Handle] = child.Parent
+	}
+	resolve := func(name string) string {
+		for i := 0; i < len(alias)+1; i++ {
+			target, ok := alias[name]
+			if !ok {
+				return name
+			}
+			name = target
+		}
+		return name
+	}
+
+	b := tree.NewBuilder().Root(s.Handle, s.RootRateBps)
+	// A classless prio qdisc (root or chained) auto-generates its
+	// strict-priority bands H:1..H:N.
+	addBands := func(handle, parent string, bands int) {
+		for i := 1; i <= bands; i++ {
+			b.Add(tree.ClassSpec{
+				Name:   fmt.Sprintf("%s%d", handle, i),
+				Parent: parent,
+				Prio:   i - 1,
+			})
+		}
+	}
+	if s.Kind == "prio" && s.RootBands > 0 && !hasClassesUnder[s.Handle] {
+		addBands(s.Handle, s.Handle, s.RootBands)
+	}
+	for _, spec := range s.Classes {
+		spec.Parent = resolve(spec.Parent)
+		b.Add(spec)
+	}
+	for _, child := range s.Children {
+		if child.Kind == "prio" && child.Bands > 0 && !hasClassesUnder[child.Handle] {
+			addBands(child.Handle, resolve(child.Handle), child.Bands)
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range s.Filters {
+		if lbl, ok := t.LabelByName(r.Class); !ok || lbl == nil {
+			return nil, nil, fmt.Errorf("fvconf: filter targets unknown or non-leaf class %q", r.Class)
+		}
+	}
+	if s.DefaultClass != "" {
+		if lbl, ok := t.LabelByName(s.DefaultClass); !ok || lbl == nil {
+			return nil, nil, fmt.Errorf("fvconf: default class %q unknown or not a leaf", s.DefaultClass)
+		}
+	}
+	return t, s.Filters, nil
+}
+
+// Describe renders a human-readable summary of the compiled policy — the
+// output of `fv show`.
+func (s *Script) Describe() (string, error) {
+	t, rules, err := s.Compile()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "qdisc %s dev %s %s rate %s", s.Handle, s.Dev, s.Kind, FormatRate(s.RootRateBps))
+	if s.DefaultClass != "" {
+		fmt.Fprintf(&sb, " default %s", s.DefaultClass)
+	}
+	sb.WriteByte('\n')
+	for _, child := range s.Children {
+		fmt.Fprintf(&sb, "qdisc %s parent %s %s", child.Handle, child.Parent, child.Kind)
+		if child.Bands > 0 {
+			fmt.Fprintf(&sb, " bands %d", child.Bands)
+		}
+		sb.WriteByte('\n')
+	}
+
+	classes := append([]*tree.Class(nil), t.Classes()...)
+	sort.Slice(classes, func(i, j int) bool { return classes[i].ID < classes[j].ID })
+	for _, c := range classes {
+		if c.Parent == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%sclass %s parent %s prio %d weight %g",
+			strings.Repeat("  ", c.Depth), c.Name, c.Parent.Name, c.Prio, c.EffectiveWeight())
+		if c.GuaranteeBps > 0 {
+			fmt.Fprintf(&sb, " guarantee %s", FormatRate(c.GuaranteeBps))
+		}
+		if c.CeilBps > 0 {
+			fmt.Fprintf(&sb, " ceil %s", FormatRate(c.CeilBps))
+		}
+		if len(c.BorrowFrom) > 0 {
+			names := make([]string, len(c.BorrowFrom))
+			for i, l := range c.BorrowFrom {
+				names[i] = l.Name
+			}
+			fmt.Fprintf(&sb, " borrow %s", strings.Join(names, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, r := range rules {
+		fmt.Fprintf(&sb, "filter app %d flow %d -> %s\n", r.App, r.Flow, r.Class)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,173 @@
+package fvconf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMotivationScript(t *testing.T) {
+	s, err := Parse(MotivationScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Handle != "1:" || s.Kind != "htb" || s.Dev != "nfp0" {
+		t.Fatalf("qdisc parsed wrong: %+v", s)
+	}
+	if s.RootRateBps != 10e9 {
+		t.Fatalf("root rate = %g, want 10e9", s.RootRateBps)
+	}
+	if s.DefaultClass != "1:30" {
+		t.Fatalf("default = %q, want 1:30", s.DefaultClass)
+	}
+	if len(s.Classes) != 6 || len(s.Filters) != 4 {
+		t.Fatalf("classes=%d filters=%d, want 6/4", len(s.Classes), len(s.Filters))
+	}
+
+	tr, rules, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("tree size = %d, want 7", tr.Len())
+	}
+	ml, ok := tr.Lookup("1:50")
+	if !ok || ml.GuaranteeBps != 2e9 || ml.Prio != 1 {
+		t.Fatalf("ML class wrong: %+v", ml)
+	}
+	if len(ml.BorrowFrom) != 2 || ml.BorrowFrom[0].Name != "1:21" || ml.BorrowFrom[1].Name != "1:40" {
+		t.Fatalf("ML borrow label wrong")
+	}
+	if rules[2].App != 2 || rules[2].Class != "1:50" {
+		t.Fatalf("filter 2 wrong: %+v", rules[2])
+	}
+}
+
+func TestParsePrioQdisc(t *testing.T) {
+	s, err := Parse(`
+qdisc add dev eth0 root handle 2: prio bands 3 rate 10gbit
+class add dev eth0 parent 2: classid 2:1 prio 0
+class add dev eth0 parent 2: classid 2:2 prio 1
+filter add dev eth0 parent 2: app 0 flowid 2:1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "prio" {
+		t.Fatalf("kind = %q, want prio", s.Kind)
+	}
+	if _, _, err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no qdisc":         `class add dev x parent 1: classid 1:1`,
+		"garbage":          `qdisc frobnicate dev x`,
+		"unknown object":   `gizmo add dev x`,
+		"qdisc no rate":    `qdisc add dev x root handle 1: htb`,
+		"qdisc no handle":  `qdisc add dev x root htb rate 1gbit`,
+		"qdisc not root":   `qdisc add dev x handle 1: htb rate 1gbit`,
+		"two qdiscs":       "qdisc add dev x root handle 1: htb rate 1gbit\nqdisc add dev x root handle 2: htb rate 1gbit",
+		"class no id":      "qdisc add dev x root handle 1: htb rate 1gbit\nclass add dev x parent 1:",
+		"class no parent":  "qdisc add dev x root handle 1: htb rate 1gbit\nclass add dev x classid 1:1",
+		"bad rate":         `qdisc add dev x root handle 1: htb rate tengbit`,
+		"bad prio":         "qdisc add dev x root handle 1: htb rate 1gbit\nclass add dev x parent 1: classid 1:1 prio abc",
+		"bad weight":       "qdisc add dev x root handle 1: htb rate 1gbit\nclass add dev x parent 1: classid 1:1 weight w",
+		"filter no flowid": "qdisc add dev x root handle 1: htb rate 1gbit\nfilter add dev x parent 1: app 0",
+		"dangling option":  "qdisc add dev x root handle 1: htb rate 1gbit default",
+		"unknown q option": `qdisc add dev x root handle 1: htb rate 1gbit frob 3`,
+		"unknown c option": "qdisc add dev x root handle 1: htb rate 1gbit\nclass add dev x parent 1: classid 1:1 frob 3",
+		"unknown f option": "qdisc add dev x root handle 1: htb rate 1gbit\nfilter add dev x frob 3 flowid 1:1",
+	}
+	for name, script := range cases {
+		if _, err := Parse(script); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	// Filter to unknown class.
+	s, err := Parse("qdisc add dev x root handle 1: htb rate 1gbit\n" +
+		"class add dev x parent 1: classid 1:1\n" +
+		"filter add dev x app 0 flowid 1:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Compile(); err == nil {
+		t.Fatal("Compile with bad filter target succeeded")
+	}
+
+	// Default to unknown class.
+	s, err = Parse("qdisc add dev x root handle 1: htb rate 1gbit default 1:99\n" +
+		"class add dev x parent 1: classid 1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Compile(); err == nil {
+		t.Fatal("Compile with bad default class succeeded")
+	}
+}
+
+func TestParseRateUnits(t *testing.T) {
+	cases := map[string]float64{
+		"10gbit":  10e9,
+		"2.5gbit": 2.5e9,
+		"500mbit": 500e6,
+		"100kbit": 100e3,
+		"1000bit": 1000,
+		"1000":    1000,
+		"1gbps":   8e9, // tc: bps = bytes/s
+		"1mbps":   8e6,
+		"1kbps":   8e3,
+		"10bps":   80,
+		"1tbit":   1e12,
+	}
+	for in, want := range cases {
+		got, err := ParseRate(in)
+		if err != nil {
+			t.Errorf("ParseRate(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseRate(%q) = %g, want %g", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-1gbit", "1qbit"} {
+		if _, err := ParseRate(bad); err == nil {
+			t.Errorf("ParseRate(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFormatRateRoundTrip(t *testing.T) {
+	check := func(mbit uint16) bool {
+		bps := float64(mbit) * 1e6
+		if bps == 0 {
+			return true
+		}
+		back, err := ParseRate(FormatRate(bps))
+		return err == nil && back == bps
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s, err := Parse(MotivationScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"qdisc 1: dev nfp0 htb rate 10gbit", "guarantee 2gbit", "borrow 1:21,1:40", "filter app 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+}

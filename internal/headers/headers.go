@@ -1,0 +1,187 @@
+// Package headers synthesizes and parses the on-wire packet headers the
+// simulated NP pipeline operates on. The paper's backend is a P4 program:
+// its parser walks real Ethernet/IPv4/TCP(UDP) headers, and its
+// match-action tables classify on header fields. To exercise that code
+// path honestly, the traffic generators synthesize genuine header bytes
+// from a five-tuple and the pipeline parses them back, rather than
+// passing metadata around the parser.
+package headers
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Proto numbers used by the pipeline.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// EtherTypeIPv4 is the only ethertype the parser accepts (the paper's
+// pipeline handles IP traffic).
+const EtherTypeIPv4 = 0x0800
+
+// Header lengths in bytes.
+const (
+	EthLen  = 14
+	IPv4Len = 20
+	TCPLen  = 20
+	UDPLen  = 8
+
+	// MaxStackLen is the longest header stack the parser visits.
+	MaxStackLen = EthLen + IPv4Len + TCPLen
+)
+
+// FiveTuple identifies a transport flow on the wire.
+type FiveTuple struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// String renders the tuple for diagnostics.
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s %s:%d -> %s:%d", protoName(t.Proto),
+		ipString(t.SrcIP), t.SrcPort, ipString(t.DstIP), t.DstPort)
+}
+
+func protoName(p uint8) string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto%d", p)
+	}
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Build writes an Ethernet+IPv4+L4 header stack for the tuple into buf
+// and returns the bytes written. buf must hold MaxStackLen bytes.
+// totalLen is the IP total length recorded in the header (frame size
+// minus the Ethernet header).
+func Build(buf []byte, t FiveTuple, totalLen int) (int, error) {
+	if len(buf) < MaxStackLen {
+		return 0, fmt.Errorf("headers: buffer %d short of %d", len(buf), MaxStackLen)
+	}
+	var l4 int
+	switch t.Proto {
+	case ProtoTCP:
+		l4 = TCPLen
+	case ProtoUDP:
+		l4 = UDPLen
+	default:
+		return 0, fmt.Errorf("headers: unsupported proto %d", t.Proto)
+	}
+
+	// Ethernet: synthetic locally-administered MACs derived from IPs.
+	copy(buf[0:6], []byte{0x02, 0, byte(t.DstIP >> 16), byte(t.DstIP >> 8), byte(t.DstIP), 1})
+	copy(buf[6:12], []byte{0x02, 0, byte(t.SrcIP >> 16), byte(t.SrcIP >> 8), byte(t.SrcIP), 2})
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EthLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = 0
+	if totalLen < IPv4Len+l4 {
+		totalLen = IPv4Len + l4
+	}
+	if totalLen > 0xffff {
+		totalLen = 0xffff
+	}
+	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(ip[4:6], 0) // identification
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000)
+	ip[8] = 64 // TTL
+	ip[9] = t.Proto
+	binary.BigEndian.PutUint16(ip[10:12], 0) // checksum filled below
+	binary.BigEndian.PutUint32(ip[12:16], t.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:20], t.DstIP)
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPv4Len]))
+
+	// L4 ports (the pipeline only reads the port fields).
+	l4buf := buf[EthLen+IPv4Len:]
+	binary.BigEndian.PutUint16(l4buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(l4buf[2:4], t.DstPort)
+	for i := 4; i < l4; i++ {
+		l4buf[i] = 0
+	}
+	return EthLen + IPv4Len + l4, nil
+}
+
+// Parsed is the header view the parser extracts.
+type Parsed struct {
+	Tuple FiveTuple
+	// HdrLen is the parsed stack length in bytes.
+	HdrLen int
+	// TotalLen is the IPv4 total length field.
+	TotalLen int
+}
+
+// Parse walks the header stack: Ethernet → IPv4 → TCP/UDP. It mirrors a
+// P4 parser's state machine, rejecting anything it has no state for.
+func Parse(buf []byte) (Parsed, error) {
+	var out Parsed
+	if len(buf) < EthLen+IPv4Len {
+		return out, fmt.Errorf("headers: truncated frame (%dB)", len(buf))
+	}
+	if et := binary.BigEndian.Uint16(buf[12:14]); et != EtherTypeIPv4 {
+		return out, fmt.Errorf("headers: unhandled ethertype %#04x", et)
+	}
+	ip := buf[EthLen:]
+	if ip[0]>>4 != 4 {
+		return out, fmt.Errorf("headers: not IPv4")
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4Len || len(ip) < ihl {
+		return out, fmt.Errorf("headers: bad IHL %d", ihl)
+	}
+	if ipChecksum(ip[:ihl]) != 0 {
+		return out, fmt.Errorf("headers: bad IPv4 checksum")
+	}
+	out.Tuple.Proto = ip[9]
+	out.Tuple.SrcIP = binary.BigEndian.Uint32(ip[12:16])
+	out.Tuple.DstIP = binary.BigEndian.Uint32(ip[16:20])
+	out.TotalLen = int(binary.BigEndian.Uint16(ip[2:4]))
+
+	l4 := ip[ihl:]
+	var l4len int
+	switch out.Tuple.Proto {
+	case ProtoTCP:
+		l4len = TCPLen
+	case ProtoUDP:
+		l4len = UDPLen
+	default:
+		return out, fmt.Errorf("headers: unhandled protocol %d", out.Tuple.Proto)
+	}
+	if len(l4) < 4 {
+		return out, fmt.Errorf("headers: truncated L4 header")
+	}
+	out.Tuple.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+	out.Tuple.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	out.HdrLen = EthLen + ihl + l4len
+	return out, nil
+}
+
+// ipChecksum is the standard internet checksum over the IPv4 header;
+// computing it over a header with the checksum in place yields zero.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

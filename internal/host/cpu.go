@@ -1,0 +1,101 @@
+// Package host models the end-host CPU for the software-scheduler
+// baselines: per-packet cycle budgets, lock/cache-contention scaling
+// across cores, and CPU-utilization accounting. FlowValve's headline
+// operational claim — "saves at least two CPU cores" — is evaluated by
+// comparing the cores these models consume at matched throughput against
+// the zero host cores FlowValve needs.
+//
+// The testbed in the paper is an 8-core 2.3GHz CPU; those are the
+// defaults.
+package host
+
+import "fmt"
+
+// Config describes the host CPU.
+type Config struct {
+	// Cores available for packet scheduling.
+	Cores int
+	// FreqHz is the per-core clock.
+	FreqHz float64
+	// ContentionBeta inflates the effective per-packet cost by
+	// (1 + β·(activeCores−1)) — lock and cache-line bouncing on shared
+	// scheduler structures, the degradation the paper traces in the
+	// DPDK hierarchical scheduler block.
+	ContentionBeta float64
+}
+
+// Defaults fills unset fields with the paper's testbed.
+func (c Config) Defaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 8
+	}
+	if c.FreqHz <= 0 {
+		c.FreqHz = 2.3e9
+	}
+	if c.ContentionBeta < 0 {
+		c.ContentionBeta = 0
+	}
+	return c
+}
+
+// CPU tracks cycle consumption against the host budget.
+type CPU struct {
+	cfg    Config
+	cycles float64 // consumed so far
+}
+
+// New returns a CPU accountant.
+func New(cfg Config) *CPU {
+	return &CPU{cfg: cfg.Defaults()}
+}
+
+// Config returns the effective configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Charge records cycles of work.
+func (c *CPU) Charge(cycles float64) { c.cycles += cycles }
+
+// Cycles returns the total cycles consumed.
+func (c *CPU) Cycles() float64 { return c.cycles }
+
+// CoresUsed converts consumption over a wall window into equivalent
+// fully-busy cores.
+func (c *CPU) CoresUsed(windowNs int64) float64 {
+	if windowNs <= 0 {
+		return 0
+	}
+	return c.cycles / (c.cfg.FreqHz * float64(windowNs) / 1e9)
+}
+
+// EffectiveCost returns the per-packet cost including the contention
+// penalty for running the scheduler on n cores.
+func (c *CPU) EffectiveCost(baseCycles float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return baseCycles * (1 + c.cfg.ContentionBeta*float64(n-1))
+}
+
+// Capacity returns the packet rate n cores sustain at the given base
+// per-packet cost, accounting for contention.
+func (c *CPU) Capacity(baseCycles float64, n int) float64 {
+	if n < 1 || baseCycles <= 0 {
+		return 0
+	}
+	if n > c.cfg.Cores {
+		n = c.cfg.Cores
+	}
+	return float64(n) * c.cfg.FreqHz / c.EffectiveCost(baseCycles, n)
+}
+
+// CoresFor returns the fewest cores that sustain the target packet rate
+// at the given base cost, or an error if the host cannot.
+func (c *CPU) CoresFor(baseCycles, targetPps float64) (int, error) {
+	for n := 1; n <= c.cfg.Cores; n++ {
+		if c.Capacity(baseCycles, n) >= targetPps {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("host: %d cores cannot sustain %.2f Mpps at %.0f cycles/pkt",
+		c.cfg.Cores, targetPps/1e6, baseCycles)
+}

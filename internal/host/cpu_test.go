@@ -1,0 +1,73 @@
+package host
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.Defaults()
+	if cfg.Cores != 8 || cfg.FreqHz != 2.3e9 {
+		t.Fatalf("defaults = %+v, want the paper's 8×2.3GHz host", cfg)
+	}
+}
+
+func TestChargeAndCoresUsed(t *testing.T) {
+	c := New(Config{})
+	c.Charge(2.3e9) // one core-second
+	if got := c.CoresUsed(1e9); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("CoresUsed = %g, want 1", got)
+	}
+	if got := c.CoresUsed(2e9); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("CoresUsed over 2s = %g, want 0.5", got)
+	}
+	if c.CoresUsed(0) != 0 {
+		t.Fatal("zero window should report 0")
+	}
+	if c.Cycles() != 2.3e9 {
+		t.Fatalf("Cycles = %g", c.Cycles())
+	}
+}
+
+func TestCapacityScalesWithCores(t *testing.T) {
+	c := New(Config{ContentionBeta: 0})
+	one := c.Capacity(1000, 1)
+	if math.Abs(one-2.3e6) > 1 {
+		t.Fatalf("1-core capacity = %g, want 2.3e6", one)
+	}
+	if got := c.Capacity(1000, 4); math.Abs(got-4*one) > 1 {
+		t.Fatalf("4-core capacity = %g, want linear %g", got, 4*one)
+	}
+	// Cores clamped to the host.
+	if got := c.Capacity(1000, 100); got != c.Capacity(1000, 8) {
+		t.Fatal("capacity not clamped to host cores")
+	}
+	if c.Capacity(1000, 0) != 0 || c.Capacity(0, 4) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func TestContentionPenalty(t *testing.T) {
+	c := New(Config{ContentionBeta: 0.1})
+	if got := c.EffectiveCost(1000, 1); got != 1000 {
+		t.Fatalf("1-core effective cost = %g", got)
+	}
+	if got := c.EffectiveCost(1000, 5); math.Abs(got-1400) > 1e-9 {
+		t.Fatalf("5-core effective cost = %g, want 1400", got)
+	}
+	lin := New(Config{ContentionBeta: 0})
+	if c.Capacity(1000, 8) >= lin.Capacity(1000, 8) {
+		t.Fatal("contention should reduce capacity")
+	}
+}
+
+func TestCoresFor(t *testing.T) {
+	c := New(Config{ContentionBeta: 0})
+	n, err := c.CoresFor(1000, 5e6) // needs ⌈5/2.3⌉ = 3 cores
+	if err != nil || n != 3 {
+		t.Fatalf("CoresFor = %d, %v; want 3", n, err)
+	}
+	if _, err := c.CoresFor(1000, 100e6); err == nil {
+		t.Fatal("impossible target should error")
+	}
+}

@@ -1,0 +1,534 @@
+// Package nic models an NP-based SmartNIC (Netronome Agilio class) as a
+// discrete-event system: a pool of worker micro-engine contexts pulling
+// packets from per-VF receive rings, a run-to-completion processing
+// pipeline (parse → exact-match flow cache → FlowValve scheduling
+// function), and a traffic manager feeding fixed-rate wire ports through
+// byte-bounded FIFO queues.
+//
+// This is the substitution for the paper's hardware prototype: the model
+// charges explicit cycle costs per pipeline stage (calibrated in
+// costs.go to the paper's 19.69Mpps@64B envelope), so processing-bound
+// versus line-rate-bound regimes, buffer occupancy, and one-way delay all
+// emerge from the same mechanics as on the NP.
+package nic
+
+import (
+	"fmt"
+
+	"flowvalve/internal/classifier"
+	"flowvalve/internal/core"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/pktq"
+	"flowvalve/internal/sim"
+)
+
+// DropReason distinguishes where in the NIC a packet died.
+type DropReason int
+
+const (
+	// DropSched is the FlowValve specialized tail drop (the intended
+	// control action).
+	DropSched DropReason = iota + 1
+	// DropRxRing means the per-VF receive ring overflowed (host pushed
+	// faster than the cores could drain).
+	DropRxRing
+	// DropTM means a traffic-manager port queue overflowed — the
+	// uncontrolled congestion FlowValve exists to prevent.
+	DropTM
+	// DropUnclassified means no filter rule matched and no default
+	// class exists.
+	DropUnclassified
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropSched:
+		return "sched"
+	case DropRxRing:
+		return "rx-ring"
+	case DropTM:
+		return "tm"
+	case DropUnclassified:
+		return "unclassified"
+	default:
+		return "invalid"
+	}
+}
+
+// Callbacks connects the NIC to the rest of the simulation. Either field
+// may be nil.
+type Callbacks struct {
+	// OnDeliver fires when a packet finishes transmitting on the wire;
+	// p.EgressAt is set.
+	OnDeliver func(p *packet.Packet)
+	// OnDrop fires when the NIC discards a packet.
+	OnDrop func(p *packet.Packet, reason DropReason)
+}
+
+// Config sizes the NIC model. Zero fields take the Agilio-calibrated
+// defaults from Defaults.
+type Config struct {
+	// Cores is the number of worker micro-engine contexts.
+	Cores int
+	// CoreFreqHz is the micro-engine clock.
+	CoreFreqHz float64
+	// WireRateBps is the aggregate wire rate (e.g. 40e9).
+	WireRateBps float64
+	// WirePorts is the number of egress ports the traffic manager
+	// serves; the paper's 40G testbed feeds four 10GbE receiver ports.
+	WirePorts int
+	// TMQueueBytes bounds each port's traffic-manager queue.
+	TMQueueBytes int64
+	// RxRingPkts bounds each per-VF receive ring.
+	RxRingPkts int
+	// ThreadsPerME is the number of hardware thread contexts per
+	// micro-engine. Memory stalls of one context are hidden by running
+	// another, so an ME's per-packet occupancy is
+	// max(compute, (compute+MemStall)/ThreadsPerME) cycles while the
+	// packet's latency is always compute+MemStall.
+	ThreadsPerME int
+	// Clusters groups the worker contexts into island clusters; the
+	// load-balancing module distributes packets round-robin across
+	// clusters with free contexts (§III-B).
+	Clusters int
+	// BufferPool is the number of packet buffers the NIC owns; a
+	// packet holds one from Rx pull to wire egress (or drop).
+	BufferPool int
+	// BufferRecycleNs is the manager-core batching interval: freed
+	// buffers are collected and re-linked to the free lists on this
+	// cadence, not instantly (§III-B's manager core).
+	BufferRecycleNs int64
+	// FixedLatencyNs is the constant pipeline latency outside the
+	// modelled stages (PCIe DMA, MAC, SerDes).
+	FixedLatencyNs int64
+	// Costs is the per-stage cycle cost table.
+	Costs CostModel
+}
+
+// Defaults fills unset fields with the calibrated Agilio CX 40GbE values.
+func (c Config) Defaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 50
+	}
+	if c.CoreFreqHz <= 0 {
+		c.CoreFreqHz = 800e6
+	}
+	if c.WireRateBps <= 0 {
+		c.WireRateBps = 40e9
+	}
+	if c.WirePorts <= 0 {
+		c.WirePorts = 4
+	}
+	if c.TMQueueBytes <= 0 {
+		c.TMQueueBytes = 200 * 1024
+	}
+	if c.RxRingPkts <= 0 {
+		c.RxRingPkts = 1024
+	}
+	if c.ThreadsPerME <= 0 {
+		c.ThreadsPerME = 4
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 5
+	}
+	if c.BufferPool <= 0 {
+		c.BufferPool = 8192
+	}
+	if c.BufferRecycleNs <= 0 {
+		c.BufferRecycleNs = 10_000
+	}
+	if c.FixedLatencyNs <= 0 {
+		// PCIe DMA, MAC and SerDes stages plus receiver turnaround:
+		// the constant part of the paper's one-way-delay floor (the
+		// 40G full-load figure of ≈161µs is this plus the pinned
+		// traffic-manager occupancy).
+		c.FixedLatencyNs = 35_000
+	}
+	c.Costs = c.Costs.Defaults()
+	return c
+}
+
+// Stats are cumulative NIC counters.
+type Stats struct {
+	Injected     uint64
+	Delivered    uint64
+	SchedDrops   uint64
+	RxRingDrops  uint64
+	TMDrops      uint64
+	Unclassified uint64
+	// BufferDrops counts packets rejected because the buffer pool was
+	// exhausted (freed buffers not yet recycled by the manager core).
+	BufferDrops uint64
+	// BusyCycles accumulates worker-core busy time for utilization
+	// accounting.
+	BusyCycles float64
+	// ClusterBusyCycles breaks BusyCycles down per island cluster.
+	ClusterBusyCycles []float64
+}
+
+// NIC is the SmartNIC discrete-event model.
+//
+// The scheduler is optional: with a nil scheduler the NIC forwards
+// everything (the paper's "disable FlowValve to simply forward packets"
+// baseline used to locate the 40G delay floor).
+type NIC struct {
+	eng   *sim.Engine
+	cfg   Config
+	cls   *classifier.Classifier
+	sched *core.Scheduler
+	cb    Callbacks
+
+	clusters    []*cluster
+	nextCluster int
+	rings       map[packet.AppID]*pktq.FIFO
+	ringOrder   []packet.AppID
+	nextRing    int
+
+	// Buffer manager state: freeBuffers are immediately allocatable;
+	// recycleBin holds buffers freed since the manager core's last
+	// pass.
+	freeBuffers  int
+	recycleBin   int
+	recycleArmed bool
+
+	// Reorder system: run-to-completion cores finish out of order (a
+	// flow-cache miss makes the first packet of a flow slower than its
+	// followers), so completions are released to the traffic manager in
+	// service-begin sequence, as on the NP.
+	seqIssue uint64
+	seqNext  uint64
+	pending  map[uint64]completion
+
+	ports []*wirePort
+
+	stats Stats
+}
+
+// completion is one finished worker routine waiting in the reorder
+// system. A nil packet marks a released (dropped) sequence slot.
+type completion struct {
+	p *packet.Packet
+}
+
+// cluster is one micro-engine island: a group of worker contexts fed by
+// the load-balancing module.
+type cluster struct {
+	idle int
+}
+
+type wirePort struct {
+	queue  *pktq.FIFO
+	freeAt int64 // wire busy until this instant
+	active bool  // a drain event is pending
+}
+
+// New assembles a NIC bound to the simulation engine. cls is required;
+// sched may be nil for pass-through forwarding.
+func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched *core.Scheduler, cb Callbacks) (*NIC, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("nic: nil engine")
+	}
+	if cls == nil {
+		return nil, fmt.Errorf("nic: nil classifier")
+	}
+	cfg = cfg.Defaults()
+	n := &NIC{
+		eng:         eng,
+		cfg:         cfg,
+		cls:         cls,
+		sched:       sched,
+		cb:          cb,
+		rings:       make(map[packet.AppID]*pktq.FIFO),
+		pending:     make(map[uint64]completion),
+		freeBuffers: cfg.BufferPool,
+	}
+	if cfg.Clusters > cfg.Cores {
+		cfg.Clusters = cfg.Cores
+		n.cfg.Clusters = cfg.Clusters
+	}
+	n.clusters = make([]*cluster, cfg.Clusters)
+	n.stats.ClusterBusyCycles = make([]float64, cfg.Clusters)
+	per := cfg.Cores / cfg.Clusters
+	extra := cfg.Cores % cfg.Clusters
+	for i := range n.clusters {
+		n.clusters[i] = &cluster{idle: per}
+		if i < extra {
+			n.clusters[i].idle++
+		}
+	}
+	n.ports = make([]*wirePort, cfg.WirePorts)
+	for i := range n.ports {
+		n.ports[i] = &wirePort{queue: pktq.New(0, cfg.TMQueueBytes)}
+	}
+	return n, nil
+}
+
+// grabCluster returns a cluster with a free context, round-robin from
+// the load balancer's cursor, or nil when every context is busy.
+func (n *NIC) grabCluster() *cluster {
+	for i := 0; i < len(n.clusters); i++ {
+		idx := (n.nextCluster + i) % len(n.clusters)
+		if c := n.clusters[idx]; c.idle > 0 {
+			n.nextCluster = (idx + 1) % len(n.clusters)
+			c.idle--
+			return c
+		}
+	}
+	return nil
+}
+
+// takeBuffer allocates one packet buffer, or reports exhaustion.
+func (n *NIC) takeBuffer() bool {
+	if n.freeBuffers == 0 {
+		return false
+	}
+	n.freeBuffers--
+	return true
+}
+
+// freeBuffer drops a buffer into the recycle bin; the manager core
+// re-links the bin to the free list on its next pass.
+func (n *NIC) freeBuffer() {
+	n.recycleBin++
+	if !n.recycleArmed {
+		n.recycleArmed = true
+		n.eng.After(n.cfg.BufferRecycleNs, n.recyclePass)
+	}
+}
+
+func (n *NIC) recyclePass() {
+	n.freeBuffers += n.recycleBin
+	n.recycleBin = 0
+	n.recycleArmed = false
+}
+
+// Stats returns a copy of the cumulative counters.
+func (n *NIC) Stats() Stats {
+	out := n.stats
+	out.ClusterBusyCycles = append([]float64(nil), n.stats.ClusterBusyCycles...)
+	return out
+}
+
+// Config returns the effective configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// QueuedBytes returns the total bytes currently waiting in the traffic
+// manager, for occupancy monitoring.
+func (n *NIC) QueuedBytes() int64 {
+	var total int64
+	for _, p := range n.ports {
+		total += p.queue.Bytes()
+	}
+	return total
+}
+
+// Inject hands a packet from the host (a virtual function ring) to the
+// NIC at the current simulation time. The load balancer assigns it to a
+// cluster with a free context; otherwise it waits in its VF's Rx ring.
+func (n *NIC) Inject(p *packet.Packet) {
+	n.stats.Injected++
+	if !n.takeBuffer() {
+		n.stats.BufferDrops++
+		n.drop(p, DropRxRing)
+		return
+	}
+	if c := n.grabCluster(); c != nil {
+		n.beginService(p, c)
+		return
+	}
+	ring := n.ringFor(p.App)
+	if !ring.TryPush(p) {
+		n.stats.RxRingDrops++
+		n.freeBuffer()
+		n.drop(p, DropRxRing)
+	}
+}
+
+func (n *NIC) ringFor(app packet.AppID) *pktq.FIFO {
+	ring, ok := n.rings[app]
+	if !ok {
+		ring = pktq.New(n.cfg.RxRingPkts, 0)
+		n.rings[app] = ring
+		n.ringOrder = append(n.ringOrder, app)
+	}
+	return ring
+}
+
+// beginService runs the run-to-completion pipeline for one packet on a
+// worker core: classify, schedule, and (after the modelled service time)
+// hand the completion to the reorder system.
+func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
+	seq := n.seqIssue
+	n.seqIssue++
+
+	lbl, hit := n.cls.Lookup(p)
+
+	cycles := n.cfg.Costs.Pipeline + n.cfg.Costs.Parse
+	if hit {
+		cycles += n.cfg.Costs.CacheHit
+	} else {
+		cycles += n.cfg.Costs.CacheMiss
+	}
+
+	forward := true
+	var reason DropReason
+	switch {
+	case lbl == nil:
+		forward = false
+		reason = DropUnclassified
+	case n.sched != nil:
+		// Tokens are charged in wire bytes (frame + preamble/IFG):
+		// the policy rates are link rates, and charging frame bytes
+		// only would over-subscribe the wire by the per-frame
+		// overhead (the linklayer overhead accounting of real
+		// shapers).
+		d := n.sched.Schedule(lbl, p.WireBytes())
+		cycles += n.cfg.Costs.SchedPerClass*int64(len(lbl.Path)) + n.cfg.Costs.Meter
+		cycles += n.cfg.Costs.Update * int64(d.Updates)
+		if d.Verdict == core.Drop || d.Borrowed {
+			// Red leaf meter ⇒ the borrow chain was walked (fully
+			// on drop, partially on a successful borrow).
+			cycles += n.cfg.Costs.Borrow * int64(len(lbl.Borrow))
+		}
+		if d.Verdict == core.Drop {
+			forward = false
+			reason = DropSched
+		}
+		p.Marked = d.Marked
+	}
+	if forward {
+		cycles += n.cfg.Costs.TxEnqueue
+	}
+
+	n.stats.BusyCycles += float64(cycles)
+	for i, c := range n.clusters {
+		if c == cl {
+			n.stats.ClusterBusyCycles[i] += float64(cycles)
+			break
+		}
+	}
+
+	// Latency includes the memory stalls; ME occupancy hides them
+	// behind the other thread contexts (§III-B). The ME is released to
+	// pull its next packet after the occupancy time; the packet itself
+	// completes (reorder system → traffic manager) after the full
+	// latency.
+	total := cycles + n.cfg.Costs.MemStall
+	occupancy := (total + int64(n.cfg.ThreadsPerME) - 1) / int64(n.cfg.ThreadsPerME)
+	if occupancy < cycles {
+		occupancy = cycles
+	}
+	occupancyNs := int64(float64(occupancy) / n.cfg.CoreFreqHz * 1e9)
+	latencyNs := int64(float64(total) / n.cfg.CoreFreqHz * 1e9)
+	n.eng.After(occupancyNs, func() { n.releaseContext(cl) })
+	n.eng.After(latencyNs, func() {
+		n.completeService(p, seq, forward, reason)
+	})
+}
+
+// releaseContext returns a micro-engine context to service: it pulls the
+// next waiting packet or goes idle.
+func (n *NIC) releaseContext(cl *cluster) {
+	if next := n.pullNext(); next != nil {
+		n.beginService(next, cl)
+	} else {
+		cl.idle++
+	}
+}
+
+// completeService finishes one packet's run-to-completion routine and
+// hands it to the reorder system.
+func (n *NIC) completeService(p *packet.Packet, seq uint64, forward bool, reason DropReason) {
+	if forward {
+		n.pending[seq] = completion{p: p}
+	} else {
+		switch reason {
+		case DropSched:
+			n.stats.SchedDrops++
+		case DropUnclassified:
+			n.stats.Unclassified++
+		}
+		n.drop(p, reason)
+		n.freeBuffer()
+		n.pending[seq] = completion{} // release the sequence slot
+	}
+	n.releaseInOrder()
+}
+
+// releaseInOrder feeds contiguous completed sequences to the traffic
+// manager, restoring service-begin order.
+func (n *NIC) releaseInOrder() {
+	for {
+		done, ok := n.pending[n.seqNext]
+		if !ok {
+			return
+		}
+		delete(n.pending, n.seqNext)
+		n.seqNext++
+		if done.p != nil {
+			n.txEnqueue(done.p)
+		}
+	}
+}
+
+func (n *NIC) pullNext() *packet.Packet {
+	for i := 0; i < len(n.ringOrder); i++ {
+		idx := (n.nextRing + i) % len(n.ringOrder)
+		if p := n.rings[n.ringOrder[idx]].Pop(); p != nil {
+			n.nextRing = (idx + 1) % len(n.ringOrder)
+			return p
+		}
+	}
+	return nil
+}
+
+// txEnqueue places a forwarded packet into its wire port's traffic-manager
+// queue. Port selection is by flow so per-flow order is preserved (the
+// NP reorder system guarantees the same property).
+func (n *NIC) txEnqueue(p *packet.Packet) {
+	port := n.ports[int(p.Flow)%len(n.ports)]
+	if !port.queue.TryPush(p) {
+		n.stats.TMDrops++
+		n.freeBuffer()
+		n.drop(p, DropTM)
+		return
+	}
+	if !port.active {
+		port.active = true
+		n.drainPort(port)
+	}
+}
+
+// drainPort serializes the head packet onto the wire and re-arms itself
+// while the queue is non-empty.
+func (n *NIC) drainPort(port *wirePort) {
+	p := port.queue.Pop()
+	if p == nil {
+		port.active = false
+		return
+	}
+	portRate := n.cfg.WireRateBps / float64(len(n.ports))
+	txNs := int64(float64(p.WireBytes()*8) / portRate * 1e9)
+	now := n.eng.Now()
+	if port.freeAt < now {
+		port.freeAt = now
+	}
+	port.freeAt += txNs
+	done := port.freeAt
+	n.eng.At(done, func() {
+		p.EgressAt = done + n.cfg.FixedLatencyNs
+		n.stats.Delivered++
+		n.freeBuffer()
+		if n.cb.OnDeliver != nil {
+			n.cb.OnDeliver(p)
+		}
+		n.drainPort(port)
+	})
+}
+
+func (n *NIC) drop(p *packet.Packet, reason DropReason) {
+	if n.cb.OnDrop != nil {
+		n.cb.OnDrop(p, reason)
+	}
+}

@@ -1,0 +1,254 @@
+// Package p4lite is a small match-action pipeline in the spirit of the
+// paper's P4 backend: parsed header fields plus per-packet metadata form
+// a key vector, and ternary match-action tables classify packets to
+// traffic classes (or drop them). FlowValve's labeling function compiles
+// tc-style filters into these tables; the exact-match flow cache sits in
+// front of the pipeline exactly as on the Netronome, so the table walk
+// only runs on cache misses.
+package p4lite
+
+import (
+	"fmt"
+	"strings"
+
+	"flowvalve/internal/headers"
+)
+
+// Field identifies one matchable key component: packet metadata (the
+// virtual function and transport flow id) or parsed header fields.
+type Field int
+
+const (
+	// FieldVF is the ingress virtual function (SR-IOV port) metadata.
+	FieldVF Field = iota + 1
+	// FieldFlowID is the transport flow metadata (simulation-level id).
+	FieldFlowID
+	// FieldSrcIP .. FieldProto are parsed from the header stack.
+	FieldSrcIP
+	FieldDstIP
+	FieldSrcPort
+	FieldDstPort
+	FieldProto
+
+	numFields = int(FieldProto)
+)
+
+// String names the field in table dumps.
+func (f Field) String() string {
+	switch f {
+	case FieldVF:
+		return "vf"
+	case FieldFlowID:
+		return "flow"
+	case FieldSrcIP:
+		return "ip.src"
+	case FieldDstIP:
+		return "ip.dst"
+	case FieldSrcPort:
+		return "l4.sport"
+	case FieldDstPort:
+		return "l4.dport"
+	case FieldProto:
+		return "ip.proto"
+	default:
+		return "invalid"
+	}
+}
+
+// Key is the extracted match vector for one packet.
+type Key struct {
+	VF     uint32
+	FlowID uint32
+	Tuple  headers.FiveTuple
+}
+
+// Get returns the value of one field.
+func (k Key) Get(f Field) uint64 {
+	switch f {
+	case FieldVF:
+		return uint64(k.VF)
+	case FieldFlowID:
+		return uint64(k.FlowID)
+	case FieldSrcIP:
+		return uint64(k.Tuple.SrcIP)
+	case FieldDstIP:
+		return uint64(k.Tuple.DstIP)
+	case FieldSrcPort:
+		return uint64(k.Tuple.SrcPort)
+	case FieldDstPort:
+		return uint64(k.Tuple.DstPort)
+	case FieldProto:
+		return uint64(k.Tuple.Proto)
+	default:
+		return 0
+	}
+}
+
+// Match is one ternary field condition: key&Mask == Value&Mask.
+type Match struct {
+	Field Field
+	Value uint64
+	Mask  uint64
+}
+
+// ActionKind is what a matching entry does.
+type ActionKind int
+
+const (
+	// ActSetClass labels the packet with a traffic class.
+	ActSetClass ActionKind = iota + 1
+	// ActDrop discards the packet at the table.
+	ActDrop
+)
+
+// Action is the entry's action.
+type Action struct {
+	Kind  ActionKind
+	Class string
+}
+
+// Entry is one table row. Entries are evaluated in insertion order
+// (tc filter preference semantics); the first full match wins.
+type Entry struct {
+	Matches []Match
+	Action  Action
+}
+
+func (e Entry) matches(k Key) bool {
+	for _, m := range e.Matches {
+		if k.Get(m.Field)&m.Mask != m.Value&m.Mask {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is an ordered ternary match-action table.
+type Table struct {
+	name    string
+	entries []Entry
+
+	// Lookups and Hits count table activity.
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewTable returns an empty table.
+func NewTable(name string) *Table {
+	return &Table{name: name}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Add appends an entry (lowest preference last). Entries with no matches
+// are valid: they match everything (a default action row).
+func (t *Table) Add(e Entry) error {
+	if e.Action.Kind == 0 {
+		return fmt.Errorf("p4lite: entry without action in table %s", t.name)
+	}
+	if e.Action.Kind == ActSetClass && e.Action.Class == "" {
+		return fmt.Errorf("p4lite: set-class entry without class in table %s", t.name)
+	}
+	for _, m := range e.Matches {
+		if m.Field < FieldVF || int(m.Field) > numFields {
+			return fmt.Errorf("p4lite: bad field %d in table %s", m.Field, t.name)
+		}
+	}
+	t.entries = append(t.entries, e)
+	return nil
+}
+
+// Lookup returns the first matching entry's action.
+func (t *Table) Lookup(k Key) (Action, bool) {
+	t.Lookups++
+	for _, e := range t.entries {
+		if e.matches(k) {
+			t.Hits++
+			return e.Action, true
+		}
+	}
+	return Action{}, false
+}
+
+// Dump renders the table for `fv show`-style diagnostics.
+func (t *Table) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "table %s (%d entries)\n", t.name, len(t.entries))
+	for i, e := range t.entries {
+		fmt.Fprintf(&sb, "  %3d:", i)
+		if len(e.Matches) == 0 {
+			sb.WriteString(" *")
+		}
+		for _, m := range e.Matches {
+			fmt.Fprintf(&sb, " %s=%#x/%#x", m.Field, m.Value, m.Mask)
+		}
+		switch e.Action.Kind {
+		case ActSetClass:
+			fmt.Fprintf(&sb, " -> class %s", e.Action.Class)
+		case ActDrop:
+			sb.WriteString(" -> drop")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Result is the pipeline outcome for one packet.
+type Result struct {
+	// Class is the assigned traffic class ("" if nothing matched).
+	Class string
+	// Drop is true when a table action dropped the packet.
+	Drop bool
+	// TablesVisited is the number of table lookups executed — the NIC
+	// model charges per-table cycles.
+	TablesVisited int
+}
+
+// Pipeline is an ordered list of match-action tables. Later tables can
+// override the class set by earlier ones (P4 control-flow style); a drop
+// action short-circuits.
+type Pipeline struct {
+	tables []*Table
+}
+
+// NewPipeline builds a pipeline over the given tables.
+func NewPipeline(tables ...*Table) *Pipeline {
+	return &Pipeline{tables: tables}
+}
+
+// Tables returns the pipeline's tables in order.
+func (p *Pipeline) Tables() []*Table { return p.tables }
+
+// Classify runs the key through every table.
+func (p *Pipeline) Classify(k Key) Result {
+	var res Result
+	for _, t := range p.tables {
+		res.TablesVisited++
+		act, ok := t.Lookup(k)
+		if !ok {
+			continue
+		}
+		switch act.Kind {
+		case ActDrop:
+			res.Drop = true
+			return res
+		case ActSetClass:
+			res.Class = act.Class
+		}
+	}
+	return res
+}
+
+// ParseFrame extracts the header-derived part of a key from raw frame
+// bytes — the parser stage in front of the tables.
+func ParseFrame(frame []byte, vf, flowID uint32) (Key, error) {
+	parsed, err := headers.Parse(frame)
+	if err != nil {
+		return Key{}, err
+	}
+	return Key{VF: vf, FlowID: flowID, Tuple: parsed.Tuple}, nil
+}

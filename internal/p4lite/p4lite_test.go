@@ -1,0 +1,186 @@
+package p4lite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flowvalve/internal/headers"
+)
+
+func key(vf uint32, dport uint16) Key {
+	return Key{
+		VF: vf,
+		Tuple: headers.FiveTuple{
+			SrcIP: 0x0a000001, DstIP: 0x0a000002,
+			SrcPort: 40000, DstPort: dport, Proto: headers.ProtoTCP,
+		},
+	}
+}
+
+func TestExactMatchEntry(t *testing.T) {
+	tbl := NewTable("classify")
+	err := tbl.Add(Entry{
+		Matches: []Match{{Field: FieldDstPort, Value: 5201, Mask: 0xffff}},
+		Action:  Action{Kind: ActSetClass, Class: "kvs"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act, ok := tbl.Lookup(key(0, 5201)); !ok || act.Class != "kvs" {
+		t.Fatalf("lookup = %v, %v", act, ok)
+	}
+	if _, ok := tbl.Lookup(key(0, 80)); ok {
+		t.Fatal("non-matching port matched")
+	}
+	if tbl.Lookups != 2 || tbl.Hits != 1 {
+		t.Fatalf("stats: lookups=%d hits=%d", tbl.Lookups, tbl.Hits)
+	}
+}
+
+func TestTernaryAndWildcard(t *testing.T) {
+	tbl := NewTable("t")
+	// 10.0.0.0/24 via mask.
+	if err := tbl.Add(Entry{
+		Matches: []Match{{Field: FieldSrcIP, Value: 0x0a000000, Mask: 0xffffff00}},
+		Action:  Action{Kind: ActSetClass, Class: "subnet"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Catch-all.
+	if err := tbl.Add(Entry{Action: Action{Kind: ActSetClass, Class: "default"}}); err != nil {
+		t.Fatal(err)
+	}
+	if act, _ := tbl.Lookup(key(0, 80)); act.Class != "subnet" {
+		t.Fatalf("subnet match failed: %v", act)
+	}
+	k := key(0, 80)
+	k.Tuple.SrcIP = 0x0b000001
+	if act, _ := tbl.Lookup(k); act.Class != "default" {
+		t.Fatalf("catch-all failed: %v", act)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	tbl := NewTable("t")
+	tbl.Add(Entry{
+		Matches: []Match{{Field: FieldVF, Value: 1, Mask: ^uint64(0)}},
+		Action:  Action{Kind: ActSetClass, Class: "first"},
+	})
+	tbl.Add(Entry{
+		Matches: []Match{{Field: FieldVF, Value: 1, Mask: ^uint64(0)}},
+		Action:  Action{Kind: ActSetClass, Class: "second"},
+	})
+	if act, _ := tbl.Lookup(key(1, 80)); act.Class != "first" {
+		t.Fatalf("order violated: %v", act)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	tbl := NewTable("t")
+	if err := tbl.Add(Entry{}); err == nil {
+		t.Fatal("entry without action accepted")
+	}
+	if err := tbl.Add(Entry{Action: Action{Kind: ActSetClass}}); err == nil {
+		t.Fatal("set-class without class accepted")
+	}
+	if err := tbl.Add(Entry{
+		Matches: []Match{{Field: Field(99)}},
+		Action:  Action{Kind: ActDrop},
+	}); err == nil {
+		t.Fatal("bad field accepted")
+	}
+}
+
+func TestPipelineOverrideAndDrop(t *testing.T) {
+	t1 := NewTable("coarse")
+	t1.Add(Entry{Action: Action{Kind: ActSetClass, Class: "bulk"}})
+	t2 := NewTable("fine")
+	t2.Add(Entry{
+		Matches: []Match{{Field: FieldDstPort, Value: 5201, Mask: 0xffff}},
+		Action:  Action{Kind: ActSetClass, Class: "kvs"},
+	})
+	t2.Add(Entry{
+		Matches: []Match{{Field: FieldDstPort, Value: 23, Mask: 0xffff}},
+		Action:  Action{Kind: ActDrop},
+	})
+	p := NewPipeline(t1, t2)
+
+	res := p.Classify(key(0, 5201))
+	if res.Class != "kvs" || res.Drop || res.TablesVisited != 2 {
+		t.Fatalf("override result: %+v", res)
+	}
+	res = p.Classify(key(0, 80))
+	if res.Class != "bulk" {
+		t.Fatalf("coarse class lost: %+v", res)
+	}
+	res = p.Classify(key(0, 23))
+	if !res.Drop {
+		t.Fatalf("drop action ignored: %+v", res)
+	}
+	if len(p.Tables()) != 2 {
+		t.Fatal("Tables() wrong")
+	}
+}
+
+func TestParseFrameFeedsKey(t *testing.T) {
+	tp := headers.FiveTuple{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: 40000, DstPort: 5201, Proto: headers.ProtoTCP,
+	}
+	buf := make([]byte, headers.MaxStackLen)
+	n, err := headers.Build(buf, tp, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ParseFrame(buf[:n], 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.VF != 3 || k.FlowID != 7 || k.Tuple != tp {
+		t.Fatalf("key = %+v", k)
+	}
+	if _, err := ParseFrame(buf[:8], 0, 0); err == nil {
+		t.Fatal("garbage frame parsed")
+	}
+}
+
+func TestDumpAndFieldNames(t *testing.T) {
+	tbl := NewTable("demo")
+	tbl.Add(Entry{
+		Matches: []Match{{Field: FieldSrcPort, Value: 80, Mask: 0xffff}},
+		Action:  Action{Kind: ActSetClass, Class: "web"},
+	})
+	tbl.Add(Entry{Action: Action{Kind: ActDrop}})
+	out := tbl.Dump()
+	for _, want := range []string{"table demo", "l4.sport", "class web", "drop", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+	for f := FieldVF; int(f) <= numFields; f++ {
+		if f.String() == "invalid" {
+			t.Errorf("field %d has no name", f)
+		}
+	}
+	if Field(0).String() != "invalid" {
+		t.Error("invalid field named")
+	}
+}
+
+// Property: a single-field exact entry matches exactly the keys whose
+// field equals the value.
+func TestExactEntryProperty(t *testing.T) {
+	check := func(val, probe uint16) bool {
+		tbl := NewTable("p")
+		tbl.Add(Entry{
+			Matches: []Match{{Field: FieldDstPort, Value: uint64(val), Mask: 0xffff}},
+			Action:  Action{Kind: ActSetClass, Class: "x"},
+		})
+		_, ok := tbl.Lookup(key(0, probe))
+		return ok == (val == probe)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

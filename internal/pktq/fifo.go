@@ -1,0 +1,124 @@
+// Package pktq provides the bounded FIFO queue primitives used to model
+// NIC rings (Rx/Tx), traffic-manager queues, and qdisc class queues.
+//
+// Queues are bounded either by packet count, by byte count, or both —
+// hardware rings are slot-bounded while traffic-manager buffers are
+// byte-bounded. Enqueueing past a bound fails (tail drop at the caller's
+// discretion), mirroring how the real structures behave.
+package pktq
+
+import "flowvalve/internal/packet"
+
+// FIFO is a bounded first-in first-out packet queue implemented as a
+// growable ring buffer. The zero value is unbounded; use New to set limits.
+//
+// FIFO is not safe for concurrent use: the discrete-event simulation is
+// single-threaded, and concurrency effects (lock waits on shared queues)
+// are modelled explicitly with cycle costs.
+type FIFO struct {
+	buf      []*packet.Packet
+	head     int
+	count    int
+	bytes    int64
+	maxPkts  int
+	maxBytes int64
+
+	// Drops counts packets rejected by TryPush since creation.
+	Drops uint64
+	// DroppedBytes counts bytes rejected by TryPush since creation.
+	DroppedBytes uint64
+}
+
+// New returns a FIFO bounded to maxPkts packets and maxBytes bytes.
+// A zero (or negative) bound means "unlimited" for that dimension.
+func New(maxPkts int, maxBytes int64) *FIFO {
+	return &FIFO{maxPkts: maxPkts, maxBytes: maxBytes}
+}
+
+// Len returns the number of queued packets.
+func (q *FIFO) Len() int { return q.count }
+
+// Bytes returns the number of queued bytes (frame sizes, excluding wire
+// overhead).
+func (q *FIFO) Bytes() int64 { return q.bytes }
+
+// Empty reports whether the queue holds no packets.
+func (q *FIFO) Empty() bool { return q.count == 0 }
+
+// Fits reports whether a packet of the given size could be enqueued now.
+func (q *FIFO) Fits(size int) bool {
+	if q.maxPkts > 0 && q.count >= q.maxPkts {
+		return false
+	}
+	if q.maxBytes > 0 && q.bytes+int64(size) > q.maxBytes {
+		return false
+	}
+	return true
+}
+
+// TryPush appends p if it fits and reports success. On failure the packet
+// is counted as dropped; the caller owns any further drop handling.
+func (q *FIFO) TryPush(p *packet.Packet) bool {
+	if !q.Fits(p.Size) {
+		q.Drops++
+		q.DroppedBytes += uint64(p.Size)
+		return false
+	}
+	q.push(p)
+	return true
+}
+
+// Push appends p unconditionally, growing past any byte bound. It is used
+// where the modelled structure blocks instead of dropping. Push still
+// respects nothing — bounds are advisory for Push.
+func (q *FIFO) Push(p *packet.Packet) { q.push(p) }
+
+func (q *FIFO) push(p *packet.Packet) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	tail := q.head + q.count
+	if tail >= len(q.buf) {
+		tail -= len(q.buf)
+	}
+	q.buf[tail] = p
+	q.count++
+	q.bytes += int64(p.Size)
+}
+
+func (q *FIFO) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	buf := make([]*packet.Packet, newCap)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// Pop removes and returns the oldest packet, or nil if the queue is empty.
+func (q *FIFO) Pop() *packet.Packet {
+	if q.count == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.count--
+	q.bytes -= int64(p.Size)
+	return p
+}
+
+// Peek returns the oldest packet without removing it, or nil if empty.
+func (q *FIFO) Peek() *packet.Packet {
+	if q.count == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}

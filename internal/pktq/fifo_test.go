@@ -1,0 +1,144 @@
+package pktq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowvalve/internal/packet"
+)
+
+func mk(size int) *packet.Packet {
+	var a packet.Alloc
+	return a.New(1, 1, size, 0)
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(0, 0)
+	var a packet.Alloc
+	for i := 0; i < 100; i++ {
+		q.Push(a.New(packet.FlowID(i), 0, 100, 0))
+	}
+	for i := 0; i < 100; i++ {
+		p := q.Pop()
+		if p == nil || p.Flow != packet.FlowID(i) {
+			t.Fatalf("pop %d returned wrong packet %+v", i, p)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop on empty queue returned a packet")
+	}
+}
+
+func TestFIFOPacketBound(t *testing.T) {
+	q := New(2, 0)
+	if !q.TryPush(mk(100)) || !q.TryPush(mk(100)) {
+		t.Fatal("pushes within bound failed")
+	}
+	if q.TryPush(mk(100)) {
+		t.Fatal("push beyond packet bound succeeded")
+	}
+	if q.Drops != 1 {
+		t.Fatalf("Drops = %d, want 1", q.Drops)
+	}
+	q.Pop()
+	if !q.TryPush(mk(100)) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+func TestFIFOByteBound(t *testing.T) {
+	q := New(0, 250)
+	if !q.TryPush(mk(100)) || !q.TryPush(mk(100)) {
+		t.Fatal("pushes within byte bound failed")
+	}
+	if q.TryPush(mk(100)) {
+		t.Fatal("push beyond byte bound succeeded")
+	}
+	if q.DroppedBytes != 100 {
+		t.Fatalf("DroppedBytes = %d, want 100", q.DroppedBytes)
+	}
+	if q.Bytes() != 200 {
+		t.Fatalf("Bytes() = %d, want 200", q.Bytes())
+	}
+}
+
+func TestFIFOPeekDoesNotRemove(t *testing.T) {
+	q := New(0, 0)
+	p := mk(64)
+	q.Push(p)
+	if q.Peek() != p || q.Len() != 1 {
+		t.Fatal("peek removed or missed the packet")
+	}
+	if q.Pop() != p {
+		t.Fatal("pop after peek returned wrong packet")
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	q := New(0, 0)
+	var a packet.Alloc
+	// Force multiple grow + wrap cycles.
+	next := packet.FlowID(0)
+	expect := packet.FlowID(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 37; i++ {
+			q.Push(a.New(next, 0, 64, 0))
+			next++
+		}
+		for i := 0; i < 29; i++ {
+			p := q.Pop()
+			if p == nil || p.Flow != expect {
+				t.Fatalf("round %d: wrong packet, got %v want flow %d", round, p, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		p := q.Pop()
+		if p.Flow != expect {
+			t.Fatalf("drain: wrong flow %d, want %d", p.Flow, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d packets, pushed %d", expect, next)
+	}
+}
+
+// Property: for any sequence of pushes and pops, Len and Bytes equal the
+// packets actually inside, and FIFO order is preserved.
+func TestFIFOInvariants(t *testing.T) {
+	check := func(ops []uint8) bool {
+		q := New(0, 0)
+		var a packet.Alloc
+		var model []*packet.Packet
+		for _, op := range ops {
+			if op%3 == 0 && len(model) > 0 {
+				got := q.Pop()
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			} else {
+				p := a.New(0, 0, int(op)+1, 0)
+				q.Push(p)
+				model = append(model, p)
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			var bytes int64
+			for _, p := range model {
+				bytes += int64(p.Size)
+			}
+			if q.Bytes() != bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

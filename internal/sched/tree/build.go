@@ -1,0 +1,180 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ClassSpec describes one class for Builder.Add. Names reference parents
+// and lenders, so specs can be declared in any order as long as parents
+// are added before children.
+type ClassSpec struct {
+	// Name must be unique within the tree.
+	Name string
+	// Parent is the parent class name; empty only for the root.
+	Parent string
+	// Prio, Weight, RateBps, CeilBps, GuaranteeBps mirror Class fields.
+	Prio         int
+	Weight       float64
+	RateBps      float64
+	CeilBps      float64
+	GuaranteeBps float64
+	// BorrowFrom names the classes whose shadow buckets this class's
+	// flows may borrow from, in query order.
+	BorrowFrom []string
+}
+
+// Builder accumulates class specs and assembles a validated Tree.
+type Builder struct {
+	specs []ClassSpec
+	err   error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Add appends a class spec. Errors are deferred to Build so call sites can
+// chain Adds fluently.
+func (b *Builder) Add(spec ClassSpec) *Builder {
+	b.specs = append(b.specs, spec)
+	return b
+}
+
+// Root is shorthand for adding the root class with a fixed rate ceiling.
+func (b *Builder) Root(name string, rateBps float64) *Builder {
+	return b.Add(ClassSpec{Name: name, RateBps: rateBps})
+}
+
+var (
+	// ErrNoRoot is returned by Build when no root spec was added.
+	ErrNoRoot = errors.New("tree: no root class")
+	// ErrMultipleRoots is returned when more than one spec has no parent.
+	ErrMultipleRoots = errors.New("tree: multiple root classes")
+)
+
+// Build validates the accumulated specs and returns the immutable tree.
+func (b *Builder) Build() (*Tree, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.specs) == 0 {
+		return nil, ErrNoRoot
+	}
+
+	byName := make(map[string]*Class, len(b.specs))
+	classes := make([]*Class, 0, len(b.specs))
+	var root *Class
+
+	// First pass: create classes, link parents. Specs must list parents
+	// before children (the fv front end guarantees this; programmatic
+	// callers get a clear error otherwise).
+	for _, spec := range b.specs {
+		if spec.Name == "" {
+			return nil, errors.New("tree: class with empty name")
+		}
+		if _, dup := byName[spec.Name]; dup {
+			return nil, fmt.Errorf("tree: duplicate class name %q", spec.Name)
+		}
+		if spec.Weight < 0 {
+			return nil, fmt.Errorf("tree: class %q has negative weight", spec.Name)
+		}
+		if spec.RateBps < 0 || spec.CeilBps < 0 || spec.GuaranteeBps < 0 {
+			return nil, fmt.Errorf("tree: class %q has negative rate parameter", spec.Name)
+		}
+		c := &Class{
+			Name:         spec.Name,
+			ID:           ClassID(len(classes)),
+			Prio:         spec.Prio,
+			Weight:       spec.Weight,
+			RateBps:      spec.RateBps,
+			CeilBps:      spec.CeilBps,
+			GuaranteeBps: spec.GuaranteeBps,
+		}
+		if spec.Parent == "" {
+			if root != nil {
+				return nil, ErrMultipleRoots
+			}
+			if c.RateBps <= 0 {
+				return nil, fmt.Errorf("tree: root class %q needs a positive rate", spec.Name)
+			}
+			root = c
+		} else {
+			parent, ok := byName[spec.Parent]
+			if !ok {
+				return nil, fmt.Errorf("tree: class %q references unknown parent %q (parents must be declared first)", spec.Name, spec.Parent)
+			}
+			c.Parent = parent
+			c.Depth = parent.Depth + 1
+			parent.Children = append(parent.Children, c)
+		}
+		byName[spec.Name] = c
+		classes = append(classes, c)
+	}
+	if root == nil {
+		return nil, ErrNoRoot
+	}
+
+	// Second pass: resolve borrow labels (may reference any class).
+	for i, spec := range b.specs {
+		c := classes[i]
+		for _, lender := range spec.BorrowFrom {
+			lc, ok := byName[lender]
+			if !ok {
+				return nil, fmt.Errorf("tree: class %q borrows from unknown class %q", c.Name, lender)
+			}
+			if lc == c {
+				return nil, fmt.Errorf("tree: class %q borrows from itself", c.Name)
+			}
+			c.BorrowFrom = append(c.BorrowFrom, lc)
+		}
+	}
+
+	// Validation: borrow labels only make sense on leaves; interior
+	// classes never meter so they never borrow.
+	for _, c := range classes {
+		if !c.Leaf() && len(c.BorrowFrom) > 0 {
+			return nil, fmt.Errorf("tree: interior class %q cannot have a borrow label", c.Name)
+		}
+	}
+
+	// Stable child order: priority groups ascending, then configuration
+	// order. Rate computation iterates children grouped by Prio; sorting
+	// here keeps that iteration allocation-free.
+	for _, c := range classes {
+		sortChildren(c.Children)
+	}
+
+	t := &Tree{
+		root:    root,
+		classes: classes,
+		byName:  byName,
+		labels:  make(map[ClassID]*Label),
+	}
+	for _, c := range classes {
+		if c.Leaf() {
+			t.labels[c.ID] = &Label{
+				Leaf:   c,
+				Path:   c.Path(),
+				Borrow: c.BorrowFrom,
+			}
+		}
+	}
+	return t, nil
+}
+
+func sortChildren(children []*Class) {
+	sort.SliceStable(children, func(i, j int) bool {
+		return children[i].Prio < children[j].Prio
+	})
+}
+
+// MustBuild is Build for tests and package-level examples; it panics on
+// error.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,141 @@
+package tree
+
+import (
+	"errors"
+	"testing"
+)
+
+func motivationBuilder() *Builder {
+	// The paper's motivation example (Fig 6): 10Gbps root, NC strictly
+	// prior, vm1(S2):vm2(WS) = 2:1, KVS prior to ML inside S2, ML
+	// guaranteed 2Gbps.
+	return NewBuilder().
+		Root("S0", 10e9).
+		Add(ClassSpec{Name: "NC", Parent: "S0", Prio: 0}).
+		Add(ClassSpec{Name: "S1", Parent: "S0", Prio: 1}).
+		Add(ClassSpec{Name: "WS", Parent: "S1", Weight: 1, BorrowFrom: []string{"S2"}}).
+		Add(ClassSpec{Name: "S2", Parent: "S1", Weight: 2}).
+		Add(ClassSpec{Name: "KVS", Parent: "S2", Prio: 0, Weight: 1}).
+		Add(ClassSpec{Name: "ML", Parent: "S2", Prio: 1, Weight: 1, GuaranteeBps: 2e9, BorrowFrom: []string{"S2", "KVS"}})
+}
+
+func TestBuildMotivationTree(t *testing.T) {
+	tr, err := motivationBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len() = %d, want 7", tr.Len())
+	}
+	if tr.Root().Name != "S0" {
+		t.Fatalf("root = %s, want S0", tr.Root().Name)
+	}
+	ml, ok := tr.Lookup("ML")
+	if !ok {
+		t.Fatal("ML not found")
+	}
+	if ml.Depth != 3 {
+		t.Fatalf("ML depth = %d, want 3", ml.Depth)
+	}
+	path := ml.Path()
+	want := []string{"S0", "S1", "S2", "ML"}
+	for i, c := range path {
+		if c.Name != want[i] {
+			t.Fatalf("ML path[%d] = %s, want %s", i, c.Name, want[i])
+		}
+	}
+	if len(ml.BorrowFrom) != 2 || ml.BorrowFrom[0].Name != "S2" || ml.BorrowFrom[1].Name != "KVS" {
+		t.Fatalf("ML borrow label wrong: %v", ml.BorrowFrom)
+	}
+}
+
+func TestLeavesAndLabels(t *testing.T) {
+	tr := motivationBuilder().MustBuild()
+	leaves := tr.Leaves()
+	if len(leaves) != 4 { // NC, WS, KVS, ML
+		t.Fatalf("leaves = %d, want 4", len(leaves))
+	}
+	lbl, ok := tr.LabelByName("ML")
+	if !ok || lbl.Leaf.Name != "ML" {
+		t.Fatal("ML label missing")
+	}
+	if len(lbl.Path) != 4 || lbl.Path[0].Name != "S0" {
+		t.Fatalf("label path wrong: %v", lbl.Path)
+	}
+	if lbl2 := tr.LabelFor(nil); lbl2 != nil {
+		t.Fatal("LabelFor(nil) returned non-nil")
+	}
+	// Interior classes have no label.
+	s2, _ := tr.Lookup("S2")
+	if tr.LabelFor(s2) != nil {
+		t.Fatal("interior class has a label")
+	}
+}
+
+func TestChildrenSortedByPrio(t *testing.T) {
+	tr := NewBuilder().
+		Root("root", 1e9).
+		Add(ClassSpec{Name: "c", Parent: "root", Prio: 2}).
+		Add(ClassSpec{Name: "a", Parent: "root", Prio: 0}).
+		Add(ClassSpec{Name: "b", Parent: "root", Prio: 1}).
+		MustBuild()
+	kids := tr.Root().Children
+	if kids[0].Name != "a" || kids[1].Name != "b" || kids[2].Name != "c" {
+		t.Fatalf("children not sorted by prio: %v %v %v", kids[0].Name, kids[1].Name, kids[2].Name)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"empty", NewBuilder()},
+		{"duplicate", NewBuilder().Root("r", 1e9).Add(ClassSpec{Name: "r", Parent: "r"})},
+		{"unknown parent", NewBuilder().Root("r", 1e9).Add(ClassSpec{Name: "x", Parent: "nope"})},
+		{"two roots", NewBuilder().Root("a", 1e9).Root("b", 1e9)},
+		{"root without rate", NewBuilder().Add(ClassSpec{Name: "r"})},
+		{"negative weight", NewBuilder().Root("r", 1e9).Add(ClassSpec{Name: "x", Parent: "r", Weight: -1})},
+		{"negative rate", NewBuilder().Root("r", 1e9).Add(ClassSpec{Name: "x", Parent: "r", RateBps: -5})},
+		{"unknown lender", NewBuilder().Root("r", 1e9).Add(ClassSpec{Name: "x", Parent: "r", BorrowFrom: []string{"ghost"}})},
+		{"self borrow", NewBuilder().Root("r", 1e9).Add(ClassSpec{Name: "x", Parent: "r", BorrowFrom: []string{"x"}})},
+		{"empty name", NewBuilder().Add(ClassSpec{Name: ""})},
+		{"interior borrow", NewBuilder().Root("r", 1e9).
+			Add(ClassSpec{Name: "mid", Parent: "r", BorrowFrom: []string{"r"}}).
+			Add(ClassSpec{Name: "leaf", Parent: "mid"})},
+	}
+	for _, tc := range cases {
+		if _, err := tc.b.Build(); err == nil {
+			t.Errorf("%s: Build succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestBuildErrorSentinels(t *testing.T) {
+	if _, err := NewBuilder().Build(); !errors.Is(err, ErrNoRoot) {
+		t.Fatalf("err = %v, want ErrNoRoot", err)
+	}
+	if _, err := NewBuilder().Root("a", 1e9).Root("b", 1e9).Build(); !errors.Is(err, ErrMultipleRoots) {
+		t.Fatalf("err = %v, want ErrMultipleRoots", err)
+	}
+}
+
+func TestEffectiveWeightDefault(t *testing.T) {
+	c := &Class{}
+	if c.EffectiveWeight() != 1 {
+		t.Fatal("zero weight should default to 1")
+	}
+	c.Weight = 2.5
+	if c.EffectiveWeight() != 2.5 {
+		t.Fatal("explicit weight not returned")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid tree")
+		}
+	}()
+	NewBuilder().MustBuild()
+}

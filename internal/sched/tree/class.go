@@ -1,0 +1,156 @@
+// Package tree models FlowValve scheduling trees: the class hierarchy a
+// policy compiles to, the per-packet QoS labels that direct the scheduling
+// function, and the pure token-rate distribution math (priority residual,
+// weighted split, guarantee floors, ceiling clamps) that the update
+// subprocedure evaluates at every epoch.
+//
+// The tree is immutable configuration: all mutable runtime state (token
+// buckets, shadow buckets, estimators, locks) lives in internal/core so
+// that one tree can be shared by many scheduler instances and concurrent
+// readers never need synchronization.
+package tree
+
+import "fmt"
+
+// ClassID is a dense index identifying a class within its tree. IDs are
+// assigned in construction order with the root always 0, so runtime state
+// can live in flat slices indexed by ClassID.
+type ClassID int
+
+// Class is one node of a scheduling tree: a traffic class with its
+// bandwidth-distribution parameters. Fields are read-only after Build.
+type Class struct {
+	// Name is the user-visible identifier (e.g. "1:10" or "ML").
+	Name string
+	// ID is the dense per-tree index.
+	ID ClassID
+	// Parent is nil for the root.
+	Parent *Class
+	// Children in configuration order; empty for leaves.
+	Children []*Class
+	// Depth is 0 for the root.
+	Depth int
+
+	// Prio orders siblings: lower values are strictly preferred when
+	// distributing the parent's token rate. Siblings with equal Prio
+	// share by Weight.
+	Prio int
+	// Weight is the share within the sibling priority group. Any
+	// positive scale; normalized at computation time. Zero means 1.
+	Weight float64
+	// RateBps fixes the class's token rate in bits/second. Required on
+	// the root (the policy ceiling); on other classes it overrides the
+	// computed share (rarely used — prefer Weight/Prio).
+	RateBps float64
+	// CeilBps caps the computed token rate, 0 = no cap.
+	CeilBps float64
+	// GuaranteeBps is the committed rate floor (the paper's "guaranteed
+	// bandwidth", e.g. ML's 2Gbps). The floor degrades to the class's
+	// weight-fair share when the parent cannot cover it. 0 = none.
+	GuaranteeBps float64
+	// BorrowFrom lists the classes whose shadow buckets flows of this
+	// leaf may query when their own bucket runs red, in query order.
+	// Only meaningful on leaves.
+	BorrowFrom []*Class
+}
+
+// Leaf reports whether the class has no children.
+func (c *Class) Leaf() bool { return len(c.Children) == 0 }
+
+// EffectiveWeight returns the weight with the zero-means-one default.
+func (c *Class) EffectiveWeight() float64 {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// Path returns the root→class chain, root first.
+func (c *Class) Path() []*Class {
+	n := c.Depth + 1
+	out := make([]*Class, n)
+	for node := c; node != nil; node = node.Parent {
+		n--
+		out[n] = node
+	}
+	return out
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (c *Class) String() string {
+	return fmt.Sprintf("class %s (id=%d prio=%d w=%g)", c.Name, c.ID, c.Prio, c.EffectiveWeight())
+}
+
+// Tree is an immutable scheduling tree.
+type Tree struct {
+	root    *Class
+	classes []*Class // indexed by ClassID
+	byName  map[string]*Class
+	labels  map[ClassID]*Label // precomputed per leaf
+}
+
+// Root returns the root class.
+func (t *Tree) Root() *Class { return t.root }
+
+// Len returns the number of classes (including the root).
+func (t *Tree) Len() int { return len(t.classes) }
+
+// Class returns the class with the given ID, or nil if out of range.
+func (t *Tree) Class(id ClassID) *Class {
+	if int(id) < 0 || int(id) >= len(t.classes) {
+		return nil
+	}
+	return t.classes[id]
+}
+
+// Classes returns all classes in ID order. The returned slice is shared;
+// callers must not modify it.
+func (t *Tree) Classes() []*Class { return t.classes }
+
+// Lookup returns the class with the given name.
+func (t *Tree) Lookup(name string) (*Class, bool) {
+	c, ok := t.byName[name]
+	return c, ok
+}
+
+// Leaves returns the leaf classes in ID order.
+func (t *Tree) Leaves() []*Class {
+	var out []*Class
+	for _, c := range t.classes {
+		if c.Leaf() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Label is the QoS label attached (as buffer metadata) to every packet of
+// a leaf class: the hierarchy path driving scheduling-tree updates and the
+// borrowing permissions. Labels are precomputed per leaf and shared.
+type Label struct {
+	// Leaf is the terminal class.
+	Leaf *Class
+	// Path is the root→leaf chain, root first.
+	Path []*Class
+	// Borrow lists lender classes to query on red, in order.
+	Borrow []*Class
+}
+
+// LabelFor returns the precomputed label of a leaf class. It returns nil
+// for interior classes — packets can only be classified to leaves.
+func (t *Tree) LabelFor(c *Class) *Label {
+	if c == nil {
+		return nil
+	}
+	return t.labels[c.ID]
+}
+
+// LabelByName returns the label of the named leaf class.
+func (t *Tree) LabelByName(name string) (*Label, bool) {
+	c, ok := t.byName[name]
+	if !ok {
+		return nil, false
+	}
+	l := t.labels[c.ID]
+	return l, l != nil
+}

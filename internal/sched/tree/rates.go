@@ -1,0 +1,121 @@
+package tree
+
+// This file implements the token-rate distribution math of §IV-C: given a
+// parent's current token rate θ_parent and the measured consumption rates
+// Γ of its children, compute each child's token rate for the next epoch.
+//
+// The rules, composed exactly as the paper's condition templates:
+//
+//   - Priority (Eq. 4): children are processed in ascending Prio order;
+//     each priority level sees the parent rate minus the *measured*
+//     consumption of all higher-priority levels (θ_rest = θ_parent − ΣΓ).
+//   - Weight (Eq. 5): within one priority level, the available rate is
+//     split proportionally to the children's weights.
+//   - Guarantee: a child with a committed rate g keeps at least
+//     min(g, weight-fair share of the parent) — full g while the parent
+//     can cover all guarantees, degrading to the plain weighted share
+//     when it cannot (the paper's ML example: 2Gbps guaranteed while the
+//     pool exceeds 4Gbps, 1:1 weighted split below). Guarantee floors of
+//     lower-priority children are reserved before higher-priority levels
+//     are served, so a sustained high-priority load can never starve a
+//     committed class.
+//   - Ceil: a hard cap applied last (the paper's "restrict NC's ceiling
+//     bandwidth to 3/4·B" template).
+//   - Fixed rate: a non-root class with RateBps set bypasses the computed
+//     share entirely (still ceil-clamped).
+//
+// All rates here are bytes/second (converted from the user-facing
+// bits/second by the caller); Γ values come from the estimators.
+
+// GammaFunc reports the current measured consumption rate Γ of a class in
+// bytes/second. Implementations must treat expired state as zero (the
+// expired-status-removal subprocedure); the core scheduler wraps its
+// estimators accordingly.
+type GammaFunc func(*Class) float64
+
+// ChildRates computes the next-epoch token rate (bytes/second) for each
+// child of parent, in parent.Children order (which is sorted by ascending
+// Prio). parentRate is θ_parent in bytes/second. The out slice is reused
+// when its capacity suffices.
+func ChildRates(parent *Class, parentRate float64, gamma GammaFunc, out []float64) []float64 {
+	children := parent.Children
+	if cap(out) < len(children) {
+		out = make([]float64, len(children))
+	}
+	out = out[:len(children)]
+	if len(children) == 0 {
+		return out
+	}
+
+	// Weight-fair share of the parent across *all* children — the
+	// degradation target for guarantee floors.
+	var totalW float64
+	for _, c := range children {
+		totalW += c.EffectiveWeight()
+	}
+
+	// Guarantee floors, demand-independent: min(g, fair share).
+	floors := make([]float64, len(children))
+	for i, c := range children {
+		if c.GuaranteeBps <= 0 {
+			continue
+		}
+		g := c.GuaranteeBps / 8
+		fair := parentRate * c.EffectiveWeight() / totalW
+		floors[i] = min(g, fair)
+	}
+
+	avail := parentRate
+	i := 0
+	for i < len(children) {
+		// Identify the priority group [i, j).
+		j := i + 1
+		for j < len(children) && children[j].Prio == children[i].Prio {
+			j++
+		}
+
+		// Reserve the guarantee floors of strictly lower-priority
+		// children before serving this level.
+		var reservedBelow float64
+		for k := j; k < len(children); k++ {
+			reservedBelow += floors[k]
+		}
+		availGroup := max(0, avail-reservedBelow)
+
+		var groupW float64
+		for k := i; k < j; k++ {
+			groupW += children[k].EffectiveWeight()
+		}
+
+		var consumed float64
+		for k := i; k < j; k++ {
+			c := children[k]
+			rate := availGroup * c.EffectiveWeight() / groupW
+			if c.RateBps > 0 && c.Parent != nil {
+				// Fixed-rate override (condition template).
+				rate = c.RateBps / 8
+			}
+			rate = max(rate, floors[k])
+			if c.CeilBps > 0 {
+				rate = min(rate, c.CeilBps/8)
+			}
+			out[k] = rate
+			// The *measured* usage of this level reduces what
+			// lower levels see next (Eq. 4) — raw Γ, not clamped
+			// by the grant: when a class burns banked burst tokens
+			// above its rate, lower levels must see the full
+			// subtraction or the sawtooth rectifies into sustained
+			// over-admission.
+			consumed += gamma(c)
+		}
+		avail = max(0, avail-consumed)
+		i = j
+	}
+	return out
+}
+
+// Lendable computes the shadow-bucket token rate of a class (Eq. 6):
+// the granted rate minus the measured consumption, floored at zero.
+func Lendable(rate, gamma float64) float64 {
+	return max(0, rate-gamma)
+}

@@ -1,0 +1,143 @@
+// Package sim implements the deterministic discrete-event engine that
+// drives every FlowValve experiment.
+//
+// The engine owns a virtual clock (see package clock) and a min-heap of
+// timestamped events. Events scheduled for the same instant fire in the
+// order they were scheduled, which — together with the seeded RNG in
+// rng.go — makes every simulation run byte-for-byte reproducible.
+//
+// The engine is deliberately single-threaded: multi-core behaviour (NP
+// micro-engines, host CPU cores) is *modelled* with explicit cycle costs
+// and resource availability times rather than with real goroutines, so
+// that contention and timing play out identically on every run. Real
+// goroutine parallelism is exercised separately by the wall-clock
+// benchmarks in the core package.
+package sim
+
+import (
+	"container/heap"
+
+	"flowvalve/internal/clock"
+)
+
+// Func is an event callback. It runs at its scheduled virtual time and may
+// schedule further events.
+type Func func()
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  Func
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		panic("sim: eventHeap.Push called with non-event value")
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// Engine is not safe for concurrent use; all scheduling must happen from
+// event callbacks or from the single driving goroutine.
+type Engine struct {
+	clk    *clock.Manual
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// New returns an engine whose clock starts at t=0.
+func New() *Engine {
+	return &Engine{clk: clock.NewManual(0)}
+}
+
+// Clock returns the engine's virtual clock. Components hold this as a
+// clock.Clock so the same code runs under wall time.
+func (e *Engine) Clock() *clock.Manual { return e.clk }
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.clk.Now() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (before Now) panics: it indicates a logic error that would silently
+// corrupt causality if allowed.
+func (e *Engine) At(t int64, fn Func) {
+	if t < e.clk.Now() {
+		panic("sim: Engine.At schedules event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d int64, fn Func) {
+	if d < 0 {
+		panic("sim: Engine.After with negative delay")
+	}
+	e.At(e.clk.Now()+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was fired (false means the event queue is
+// empty).
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&e.events).(event)
+	if !ok {
+		panic("sim: event heap contained non-event value")
+	}
+	e.clk.Set(ev.at)
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// RunUntil fires events until the clock would pass t (exclusive for events
+// strictly later than t) or the queue drains, then sets the clock to t.
+// Events scheduled exactly at t do fire.
+func (e *Engine) RunUntil(t int64) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.clk.Now() {
+		e.clk.Set(t)
+	}
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }

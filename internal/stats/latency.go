@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LatencyRecorder collects one-way delay samples (nanoseconds) and
+// reports summary statistics: mean, standard deviation (the paper's
+// delay-variation claim), and percentiles.
+//
+// Samples are kept exactly; experiment runs are bounded so memory is not
+// a concern, and exact percentiles make the regression assertions sharp.
+type LatencyRecorder struct {
+	samples []int64
+	sorted  bool
+	sum     float64
+	sumSq   float64
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+// Record adds one delay sample in nanoseconds. Negative samples are
+// ignored (a packet without both timestamps).
+func (r *LatencyRecorder) Record(ns int64) {
+	if ns < 0 {
+		return
+	}
+	r.samples = append(r.samples, ns)
+	r.sorted = false
+	v := float64(ns)
+	r.sum += v
+	r.sumSq += v * v
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// MeanUs returns the mean delay in microseconds.
+func (r *LatencyRecorder) MeanUs() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / float64(len(r.samples)) / 1e3
+}
+
+// StdUs returns the sample standard deviation in microseconds — the
+// jitter figure of Fig 14.
+func (r *LatencyRecorder) StdUs() float64 {
+	n := float64(len(r.samples))
+	if n < 2 {
+		return 0
+	}
+	mean := r.sum / n
+	variance := (r.sumSq - n*mean*mean) / (n - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / 1e3
+}
+
+// PercentileUs returns the p-th percentile (0 < p <= 100) in
+// microseconds.
+func (r *LatencyRecorder) PercentileUs(p float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	if p <= 0 {
+		return float64(r.samples[0]) / 1e3
+	}
+	if p >= 100 {
+		return float64(r.samples[len(r.samples)-1]) / 1e3
+	}
+	idx := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return float64(r.samples[idx]) / 1e3
+}
+
+// MinUs and MaxUs return the extreme samples in microseconds.
+func (r *LatencyRecorder) MinUs() float64 { return r.PercentileUs(0) }
+
+// MaxUs returns the largest sample in microseconds.
+func (r *LatencyRecorder) MaxUs() float64 { return r.PercentileUs(100) }

@@ -1,0 +1,133 @@
+// Package stats provides the measurement instruments shared by every
+// experiment: binned throughput time series (the Gbps-over-time curves of
+// Fig 11), latency recorders with percentile and jitter reporting
+// (Fig 14), and rate-conformance summaries (§IV-D).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ThroughputMeter accumulates delivered bytes into fixed-width time bins
+// per series (one series per application/class), producing the
+// throughput-over-time curves the paper plots.
+type ThroughputMeter struct {
+	binNs  int64
+	series map[string][]int64 // bytes per bin
+}
+
+// NewThroughputMeter returns a meter with the given bin width in
+// nanoseconds (e.g. 1e9 for one-second bins).
+func NewThroughputMeter(binNs int64) *ThroughputMeter {
+	if binNs <= 0 {
+		binNs = 1e9
+	}
+	return &ThroughputMeter{binNs: binNs, series: make(map[string][]int64)}
+}
+
+// Add records bytes delivered for a series at virtual time atNs.
+func (m *ThroughputMeter) Add(series string, bytes int, atNs int64) {
+	if atNs < 0 {
+		return
+	}
+	bin := int(atNs / m.binNs)
+	s := m.series[series]
+	for len(s) <= bin {
+		s = append(s, 0)
+	}
+	s[bin] += int64(bytes)
+	m.series[series] = s
+}
+
+// BinNs returns the configured bin width.
+func (m *ThroughputMeter) BinNs() int64 { return m.binNs }
+
+// Series returns the throughput of one series in bits/second per bin.
+func (m *ThroughputMeter) Series(series string) []float64 {
+	raw := m.series[series]
+	out := make([]float64, len(raw))
+	secs := float64(m.binNs) / 1e9
+	for i, b := range raw {
+		out[i] = float64(b) * 8 / secs
+	}
+	return out
+}
+
+// Names returns the series names in sorted order.
+func (m *ThroughputMeter) Names() []string {
+	names := make([]string, 0, len(m.series))
+	for k := range m.series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MeanBps returns the mean rate of a series between the two times in
+// bits/second. Bins partially covered by the window contribute
+// pro-rata, so windows need not align with bin boundaries. Bins outside
+// the recorded range count as zero.
+func (m *ThroughputMeter) MeanBps(series string, fromNs, toNs int64) float64 {
+	if toNs <= fromNs {
+		return 0
+	}
+	raw := m.series[series]
+	first := int(fromNs / m.binNs)
+	last := int((toNs - 1) / m.binNs)
+	var bytes float64
+	for i := first; i <= last && i < len(raw); i++ {
+		if i < 0 {
+			continue
+		}
+		binStart := int64(i) * m.binNs
+		binEnd := binStart + m.binNs
+		overlap := min(binEnd, toNs) - max(binStart, fromNs)
+		bytes += float64(raw[i]) * float64(overlap) / float64(m.binNs)
+	}
+	return bytes * 8 / (float64(toNs-fromNs) / 1e9)
+}
+
+// TotalBps returns the aggregate mean across all series over a window.
+func (m *ThroughputMeter) TotalBps(fromNs, toNs int64) float64 {
+	var total float64
+	for name := range m.series {
+		total += m.MeanBps(name, fromNs, toNs)
+	}
+	return total
+}
+
+// Gbps formats a bits/second value as Gbps with two decimals.
+func Gbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e9) }
+
+// ConformanceError returns the relative error of a measured rate against
+// its target: |measured−target|/target. A zero target with nonzero
+// measurement reports +Inf.
+func ConformanceError(measuredBps, targetBps float64) float64 {
+	if targetBps == 0 {
+		if measuredBps == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(measuredBps-targetBps) / targetBps
+}
+
+// JainIndex computes Jain's fairness index over per-entity allocations:
+// (Σx)² / (n·Σx²). 1.0 is perfectly fair; 1/n is maximally unfair.
+// Entities with zero allocation count toward n.
+func JainIndex(alloc []float64) float64 {
+	if len(alloc) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range alloc {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(alloc)) * sumSq)
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputSeriesBinning(t *testing.T) {
+	m := NewThroughputMeter(1e9)
+	m.Add("a", 125_000_000, 0)     // 1Gbit in second 0
+	m.Add("a", 125_000_000, 5e8)   // same bin
+	m.Add("a", 250_000_000, 1.5e9) // 2Gbit in second 1
+	series := m.Series("a")
+	if len(series) != 2 {
+		t.Fatalf("series length = %d, want 2", len(series))
+	}
+	if series[0] != 2e9 || series[1] != 2e9 {
+		t.Fatalf("series = %v, want [2e9 2e9]", series)
+	}
+}
+
+func TestThroughputMeanWindow(t *testing.T) {
+	m := NewThroughputMeter(1e9)
+	for s := int64(0); s < 10; s++ {
+		m.Add("a", 125_000_000, s*1e9) // 1Gbit every second
+	}
+	if got := m.MeanBps("a", 2e9, 5e9); math.Abs(got-1e9) > 1 {
+		t.Fatalf("MeanBps = %g, want 1e9", got)
+	}
+	// Window beyond the data counts zeros.
+	if got := m.MeanBps("a", 0, 20e9); math.Abs(got-0.5e9) > 1 {
+		t.Fatalf("MeanBps over 20s = %g, want 0.5e9", got)
+	}
+	if m.MeanBps("a", 5e9, 5e9) != 0 {
+		t.Fatal("empty window should be zero")
+	}
+	if m.MeanBps("missing", 0, 1e9) != 0 {
+		t.Fatal("unknown series should be zero")
+	}
+}
+
+func TestThroughputTotalAndNames(t *testing.T) {
+	m := NewThroughputMeter(1e9)
+	m.Add("b", 1000, 0)
+	m.Add("a", 1000, 0)
+	names := m.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v", names)
+	}
+	if got := m.TotalBps(0, 1e9); math.Abs(got-16000) > 1e-9 {
+		t.Fatalf("TotalBps = %g, want 16000", got)
+	}
+}
+
+func TestThroughputNegativeTimeIgnored(t *testing.T) {
+	m := NewThroughputMeter(1e9)
+	m.Add("a", 1000, -5)
+	if len(m.Series("a")) != 0 {
+		t.Fatal("negative-time sample was recorded")
+	}
+}
+
+func TestConformanceError(t *testing.T) {
+	if ConformanceError(9e9, 10e9) != 0.1 {
+		t.Fatal("10% error expected")
+	}
+	if ConformanceError(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if !math.IsInf(ConformanceError(1, 0), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+}
+
+func TestLatencyBasicStats(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, v := range []int64{1000, 2000, 3000, 4000, 5000} {
+		r.Record(v)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if got := r.MeanUs(); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("MeanUs = %g, want 3", got)
+	}
+	// Sample stddev of 1..5 µs = sqrt(2.5) ≈ 1.581.
+	if got := r.StdUs(); math.Abs(got-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("StdUs = %g, want %g", got, math.Sqrt(2.5))
+	}
+	if r.MinUs() != 1 || r.MaxUs() != 5 {
+		t.Fatalf("min/max = %g/%g", r.MinUs(), r.MaxUs())
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := int64(1); i <= 100; i++ {
+		r.Record(i * 1000)
+	}
+	if got := r.PercentileUs(50); got != 50 {
+		t.Fatalf("p50 = %g, want 50", got)
+	}
+	if got := r.PercentileUs(99); got != 99 {
+		t.Fatalf("p99 = %g, want 99", got)
+	}
+	if got := r.PercentileUs(100); got != 100 {
+		t.Fatalf("p100 = %g, want 100", got)
+	}
+}
+
+func TestLatencyRecordAfterPercentile(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(5000)
+	_ = r.PercentileUs(50)
+	r.Record(1000) // must re-sort
+	if got := r.PercentileUs(0); got != 1 {
+		t.Fatalf("min after re-record = %g, want 1", got)
+	}
+}
+
+func TestLatencyEmptyAndNegative(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(-5)
+	if r.Count() != 0 || r.MeanUs() != 0 || r.StdUs() != 0 || r.PercentileUs(99) != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+}
+
+// Property: percentiles are monotonically non-decreasing in p.
+func TestLatencyPercentileMonotone(t *testing.T) {
+	check := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		r := NewLatencyRecorder()
+		for _, s := range samples {
+			r.Record(int64(s % 1_000_000))
+		}
+		prev := -1.0
+		for p := 0.0; p <= 100; p += 5 {
+			v := r.PercentileUs(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGbpsFormat(t *testing.T) {
+	if Gbps(12.345e9) != "12.35" {
+		t.Fatalf("Gbps = %q", Gbps(12.345e9))
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal allocations = %g, want 1", got)
+	}
+	// One user hogging everything among n: index = 1/n.
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single hog = %g, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+	// 2:1 split of two: (3)²/(2·5) = 0.9.
+	if got := JainIndex([]float64{2, 1}); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("2:1 = %g, want 0.9", got)
+	}
+}
+
+func TestMeanBpsProRatesPartialBins(t *testing.T) {
+	m := NewThroughputMeter(1e9)
+	m.Add("a", 125_000_000, 0)   // 1Gbit in second 0
+	m.Add("a", 125_000_000, 1e9) // 1Gbit in second 1
+	// Window [0.5s, 1.5s): half of each bin → 1Gbit over 1s.
+	if got := m.MeanBps("a", 5e8, 15e8); math.Abs(got-1e9) > 1 {
+		t.Fatalf("pro-rated mean = %g, want 1e9", got)
+	}
+	// Window [0, 0.25s): quarter of bin 0 → 0.25Gbit over 0.25s = 1Gbps.
+	if got := m.MeanBps("a", 0, 25e7); math.Abs(got-1e9) > 1 {
+		t.Fatalf("quarter-bin mean = %g, want 1e9", got)
+	}
+}

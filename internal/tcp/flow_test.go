@@ -1,0 +1,229 @@
+package tcp
+
+import (
+	"testing"
+
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sim"
+)
+
+// pipe is a perfect fixed-rate link: it delivers packets after a
+// serialization + propagation delay, at most rateBps.
+type pipe struct {
+	eng     *sim.Engine
+	flows   *Set
+	rateBps float64
+	freeAt  int64
+
+	delivered int
+	bytes     int64
+}
+
+func newPipe(eng *sim.Engine, flows *Set, rateBps float64) *pipe {
+	return &pipe{eng: eng, flows: flows, rateBps: rateBps}
+}
+
+func (l *pipe) send(p *packet.Packet) {
+	now := l.eng.Now()
+	if l.freeAt < now {
+		l.freeAt = now
+	}
+	l.freeAt += int64(float64(p.Size*8) / l.rateBps * 1e9)
+	done := l.freeAt
+	l.eng.At(done, func() {
+		p.EgressAt = done
+		l.delivered++
+		l.bytes += int64(p.Size)
+		l.flows.OnDeliver(p)
+	})
+}
+
+func TestFlowValidation(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	if _, err := NewFlow(nil, alloc, 0, 0, Config{}, func(*packet.Packet) {}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewFlow(eng, nil, 0, 0, Config{}, func(*packet.Packet) {}); err == nil {
+		t.Fatal("nil allocator accepted")
+	}
+	if _, err := NewFlow(eng, alloc, 0, 0, Config{}, nil); err == nil {
+		t.Fatal("nil send accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.Defaults()
+	if cfg.SegBytes != 1518 || cfg.BaseRTTNs <= 0 || cfg.InitCwnd <= 0 {
+		t.Fatalf("implausible defaults: %+v", cfg)
+	}
+}
+
+// A single flow on an uncongested link ramps up and fills it.
+func TestFlowFillsLink(t *testing.T) {
+	eng := sim.New()
+	flows := NewSet()
+	link := newPipe(eng, flows, 1e9)
+	alloc := &packet.Alloc{}
+	f, err := NewFlow(eng, alloc, 1, 0, Config{}, link.send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows.Add(f)
+	f.StartAt(0)
+	f.StopAt(500e6)
+	eng.RunUntil(600e6)
+
+	rate := float64(link.bytes) * 8 / 0.5
+	if rate < 0.85e9 {
+		t.Fatalf("flow achieved %.2fGbps on a 1Gbps link, want ≥0.85", rate/1e9)
+	}
+	sent, acked, lost := f.Counters()
+	if lost != 0 {
+		t.Fatalf("lossless link reported %d losses", lost)
+	}
+	if acked == 0 || sent < acked {
+		t.Fatalf("counters implausible: sent=%d acked=%d", sent, acked)
+	}
+}
+
+// Slow start doubles the window every RTT until loss.
+func TestSlowStartGrowth(t *testing.T) {
+	eng := sim.New()
+	flows := NewSet()
+	link := newPipe(eng, flows, 100e9) // effectively infinite
+	alloc := &packet.Alloc{}
+	f, _ := NewFlow(eng, alloc, 1, 0, Config{BaseRTTNs: 1e6}, link.send)
+	flows.Add(f)
+	f.StartAt(0)
+	start := f.Cwnd()
+	eng.RunUntil(5e6) // 5 RTTs
+	if f.Cwnd() < start*4 {
+		t.Fatalf("cwnd grew %g → %g in 5 RTTs; slow start broken", start, f.Cwnd())
+	}
+}
+
+// A loss halves the window exactly once per flight even when many
+// packets of the same flight are lost.
+func TestSingleDecreasePerFlight(t *testing.T) {
+	eng := sim.New()
+	flows := NewSet()
+	alloc := &packet.Alloc{}
+	var f *Flow
+	var drop []*packet.Packet
+	send := func(p *packet.Packet) { drop = append(drop, p) }
+	f, _ = NewFlow(eng, alloc, 1, 0, Config{InitCwnd: 16}, send)
+	flows.Add(f)
+	f.StartAt(0)
+	eng.RunUntil(1) // pump fires: 16 packets sent, all captured
+	if len(drop) != 16 {
+		t.Fatalf("sent %d packets, want initial window 16", len(drop))
+	}
+	before := f.Cwnd()
+	for _, p := range drop {
+		f.OnDropped(p)
+	}
+	eng.RunUntil(10e6)
+	// One halving: 16 → 8 (plus the retransmit pump may re-lose; allow
+	// one more halving but not collapse to 1).
+	if f.Cwnd() > before/2+1 {
+		t.Fatalf("cwnd = %g after flight loss, want ≤ %g", f.Cwnd(), before/2+1)
+	}
+	if f.Cwnd() < before/4 {
+		t.Fatalf("cwnd = %g — more than one decrease charged to one flight", f.Cwnd())
+	}
+}
+
+// Two flows sharing a bottleneck converge to a fair split.
+func TestTwoFlowFairness(t *testing.T) {
+	eng := sim.New()
+	flows := NewSet()
+	alloc := &packet.Alloc{}
+
+	// Bottleneck: 1Gbps with a 50-packet queue, tail drop.
+	var freeAt int64
+	queue := 0
+	const qCap = 50
+	var send func(p *packet.Packet)
+	send = func(p *packet.Packet) {
+		now := eng.Now()
+		if freeAt < now {
+			freeAt = now
+			queue = 0
+		}
+		if queue >= qCap {
+			flows.OnDrop(p)
+			return
+		}
+		queue++
+		freeAt += int64(float64(p.Size*8) / 1e9 * 1e9)
+		done := freeAt
+		eng.At(done, func() {
+			queue--
+			p.EgressAt = done
+			flows.OnDeliver(p)
+		})
+	}
+
+	perFlow := make(map[packet.FlowID]int64)
+	wrapped := func(p *packet.Packet) { send(p) }
+	for id := packet.FlowID(1); id <= 2; id++ {
+		f, _ := NewFlow(eng, alloc, id, 0, Config{}, wrapped)
+		flows.Add(f)
+		f.StartAt(0)
+	}
+	// Count deliveries per flow via a decorating set callback: re-wrap.
+	orig := flows
+	_ = orig
+	// Simpler: tally in the deliver path by replacing OnDeliver — we
+	// instead recount from counters afterwards.
+	eng.RunUntil(2e9)
+	f1, _ := flows.Get(1)
+	f2, _ := flows.Get(2)
+	_, a1, _ := f1.Counters()
+	_, a2, _ := f2.Counters()
+	perFlow[1] = int64(a1)
+	perFlow[2] = int64(a2)
+	ratio := float64(perFlow[1]) / float64(perFlow[2])
+	if ratio < 0.6 || ratio > 1.67 {
+		t.Fatalf("unfair split: %d vs %d acked segments", perFlow[1], perFlow[2])
+	}
+}
+
+func TestStopHaltsSending(t *testing.T) {
+	eng := sim.New()
+	flows := NewSet()
+	link := newPipe(eng, flows, 1e9)
+	alloc := &packet.Alloc{}
+	f, _ := NewFlow(eng, alloc, 1, 0, Config{}, link.send)
+	flows.Add(f)
+	f.StartAt(0)
+	f.StopAt(100e6)
+	eng.RunUntil(100e6)
+	sentAtStop, _, _ := f.Counters()
+	eng.RunUntil(500e6)
+	sentAfter, _, _ := f.Counters()
+	if sentAfter != sentAtStop {
+		t.Fatalf("flow sent %d segments after StopAt", sentAfter-sentAtStop)
+	}
+}
+
+func TestSetDispatch(t *testing.T) {
+	eng := sim.New()
+	s := NewSet()
+	alloc := &packet.Alloc{}
+	f, _ := NewFlow(eng, alloc, 7, 0, Config{}, func(*packet.Packet) {})
+	s.Add(f)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, ok := s.Get(7); !ok {
+		t.Fatal("Get(7) missed")
+	}
+	if _, ok := s.Get(8); ok {
+		t.Fatal("Get(8) found a ghost")
+	}
+	// Unknown flows are ignored without panic.
+	s.OnDeliver(&packet.Packet{Flow: 99})
+	s.OnDrop(&packet.Packet{Flow: 99})
+}

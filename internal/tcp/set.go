@@ -1,0 +1,42 @@
+package tcp
+
+import "flowvalve/internal/packet"
+
+// Set routes NIC/qdisc delivery and drop callbacks back to the owning
+// flows. Scenario builders register every flow once and wire the Set's
+// methods into the transport callbacks.
+type Set struct {
+	flows map[packet.FlowID]*Flow
+}
+
+// NewSet returns an empty flow set.
+func NewSet() *Set {
+	return &Set{flows: make(map[packet.FlowID]*Flow)}
+}
+
+// Add registers a flow. Re-registering the same ID replaces the entry.
+func (s *Set) Add(f *Flow) { s.flows[f.ID()] = f }
+
+// Get returns the flow with the given ID.
+func (s *Set) Get(id packet.FlowID) (*Flow, bool) {
+	f, ok := s.flows[id]
+	return f, ok
+}
+
+// Len returns the number of registered flows.
+func (s *Set) Len() int { return len(s.flows) }
+
+// OnDeliver dispatches a delivered packet to its flow. Packets of
+// unregistered flows (open-loop generator traffic) are ignored.
+func (s *Set) OnDeliver(p *packet.Packet) {
+	if f, ok := s.flows[p.Flow]; ok {
+		f.OnDelivered(p)
+	}
+}
+
+// OnDrop dispatches a dropped packet to its flow.
+func (s *Set) OnDrop(p *packet.Packet) {
+	if f, ok := s.flows[p.Flow]; ok {
+		f.OnDropped(p)
+	}
+}

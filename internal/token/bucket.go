@@ -1,0 +1,147 @@
+// Package token implements the token-bucket machinery FlowValve builds on:
+// two-color meters backed by atomically updated buckets, shadow buckets
+// that publish lendable bandwidth, and dataplane rate estimators.
+//
+// On the Netronome NP the meter is a single hardware instruction executing
+// on transactional memory; here it is a lock-free conditional subtract on
+// an atomic counter, which preserves the property the paper relies on —
+// many cores can meter concurrently without locks and without losing
+// tokens to races.
+//
+// Tokens are denominated in bytes: forwarding a packet of L bytes consumes
+// L tokens (the paper's L_P). Token rates are bytes per second; the
+// paper's bits-per-cycle formulation (θ = b/f) is the same quantity
+// re-expressed in NP clock units.
+package token
+
+import "sync/atomic"
+
+// Color is the two-color meter result.
+type Color int
+
+const (
+	// Green means the bucket held enough tokens and they were consumed.
+	Green Color = iota + 1
+	// Red means the bucket lacked tokens; none were consumed.
+	Red
+)
+
+// String returns the color name for logs and test failures.
+func (c Color) String() string {
+	switch c {
+	case Green:
+		return "green"
+	case Red:
+		return "red"
+	default:
+		return "invalid"
+	}
+}
+
+// Bucket is a token bucket safe for concurrent metering. Refill and
+// configuration are expected to happen under the owning class's update
+// lock (one writer), while TryConsume may run from any number of cores.
+//
+// The zero value is an empty bucket with no burst allowance; use Reset to
+// configure it.
+type Bucket struct {
+	tokens atomic.Int64
+	burst  atomic.Int64
+}
+
+// Reset sets the burst capacity and fills the bucket to exactly that
+// capacity, discarding current content. Used at (re)configuration and by
+// the expired-status removal subprocedure.
+func (b *Bucket) Reset(burst int64) {
+	if burst < 0 {
+		burst = 0
+	}
+	b.burst.Store(burst)
+	b.tokens.Store(burst)
+}
+
+// SetBurst changes the capacity without refilling. Existing tokens above
+// the new capacity are clipped.
+func (b *Bucket) SetBurst(burst int64) {
+	if burst < 0 {
+		burst = 0
+	}
+	b.burst.Store(burst)
+	for {
+		cur := b.tokens.Load()
+		if cur <= burst {
+			return
+		}
+		if b.tokens.CompareAndSwap(cur, burst) {
+			return
+		}
+	}
+}
+
+// Burst returns the configured capacity.
+func (b *Bucket) Burst() int64 { return b.burst.Load() }
+
+// Tokens returns the current token count. The value may be stale by the
+// time the caller uses it; it is for monitoring and tests.
+func (b *Bucket) Tokens() int64 { return b.tokens.Load() }
+
+// TryConsume atomically takes n tokens if at least n are present and
+// reports whether it did. This is the meter primitive: Green on success,
+// Red on failure, with no partial consumption.
+func (b *Bucket) TryConsume(n int64) bool {
+	for {
+		cur := b.tokens.Load()
+		if cur < n {
+			return false
+		}
+		if b.tokens.CompareAndSwap(cur, cur-n) {
+			return true
+		}
+	}
+}
+
+// Refill adds n tokens, clamped to the burst capacity, and returns how
+// many tokens the bucket actually absorbed (the rest "overflow" the
+// bucket — FlowValve routes a leaf's overflow to its shadow bucket so
+// each epoch mints exactly θ·ΔT tokens in total). Negative n is ignored.
+// Refill is called from the update subprocedure under the class lock, so
+// a simple load-add-clamp CAS loop suffices.
+func (b *Bucket) Refill(n int64) (absorbed int64) {
+	if n <= 0 {
+		return 0
+	}
+	burst := b.burst.Load()
+	for {
+		cur := b.tokens.Load()
+		next := cur + n
+		if next > burst {
+			next = burst
+		}
+		if next == cur {
+			return 0
+		}
+		if b.tokens.CompareAndSwap(cur, next) {
+			return next - cur
+		}
+	}
+}
+
+// Drain removes all tokens and returns how many were removed.
+func (b *Bucket) Drain() int64 {
+	for {
+		cur := b.tokens.Load()
+		if b.tokens.CompareAndSwap(cur, 0) {
+			return cur
+		}
+	}
+}
+
+// Meter classifies a packet of size bytes against the bucket: Green if
+// tokens were available (and consumes them), Red otherwise. It mirrors the
+// NP's atomic meter instruction wrapped by the paper's meter function.
+func (b *Bucket) Meter(size int64) Color {
+	if b.TryConsume(size) {
+		return Green
+	}
+	return Red
+}

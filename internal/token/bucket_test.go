@@ -1,0 +1,149 @@
+package token
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketResetFills(t *testing.T) {
+	var b Bucket
+	b.Reset(1000)
+	if b.Tokens() != 1000 || b.Burst() != 1000 {
+		t.Fatalf("after Reset: tokens=%d burst=%d, want 1000/1000", b.Tokens(), b.Burst())
+	}
+}
+
+func TestTryConsumeExact(t *testing.T) {
+	var b Bucket
+	b.Reset(100)
+	if !b.TryConsume(100) {
+		t.Fatal("consume of exactly available tokens failed")
+	}
+	if b.TryConsume(1) {
+		t.Fatal("consume from empty bucket succeeded")
+	}
+}
+
+func TestMeterColors(t *testing.T) {
+	var b Bucket
+	b.Reset(150)
+	if c := b.Meter(100); c != Green {
+		t.Fatalf("first meter = %v, want green", c)
+	}
+	if c := b.Meter(100); c != Red {
+		t.Fatalf("second meter = %v, want red (only 50 left)", c)
+	}
+	if b.Tokens() != 50 {
+		t.Fatalf("red meter consumed tokens: %d left, want 50", b.Tokens())
+	}
+}
+
+func TestRefillClampsToBurst(t *testing.T) {
+	var b Bucket
+	b.Reset(100)
+	b.TryConsume(60)
+	b.Refill(1000)
+	if b.Tokens() != 100 {
+		t.Fatalf("tokens = %d, want clamped to burst 100", b.Tokens())
+	}
+	b.Refill(-5) // ignored
+	if b.Tokens() != 100 {
+		t.Fatal("negative refill changed tokens")
+	}
+}
+
+func TestSetBurstClips(t *testing.T) {
+	var b Bucket
+	b.Reset(100)
+	b.SetBurst(40)
+	if b.Tokens() != 40 {
+		t.Fatalf("tokens = %d, want clipped to 40", b.Tokens())
+	}
+	b.SetBurst(80) // raising burst does not mint tokens
+	if b.Tokens() != 40 {
+		t.Fatalf("tokens = %d, want still 40", b.Tokens())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var b Bucket
+	b.Reset(77)
+	if got := b.Drain(); got != 77 {
+		t.Fatalf("Drain() = %d, want 77", got)
+	}
+	if b.Tokens() != 0 {
+		t.Fatal("bucket not empty after drain")
+	}
+}
+
+// The core concurrency property the NP meter instruction provides: under
+// concurrent metering, consumed tokens never exceed what was supplied.
+func TestConcurrentMeterNeverOverConsumes(t *testing.T) {
+	var b Bucket
+	const supply = 100000
+	b.Reset(supply)
+	const workers = 8
+	var wg sync.WaitGroup
+	consumed := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b.TryConsume(7) {
+				consumed[w] += 7
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range consumed {
+		total += c
+	}
+	if total > supply {
+		t.Fatalf("consumed %d > supplied %d", total, supply)
+	}
+	if left := b.Tokens(); left+total != supply {
+		t.Fatalf("accounting mismatch: left %d + consumed %d != %d", left, total, supply)
+	}
+}
+
+// Property: any interleaving of refills and consumes keeps
+// 0 <= tokens <= burst and conserves the token ledger.
+func TestBucketLedgerProperty(t *testing.T) {
+	check := func(burst uint16, ops []int16) bool {
+		var b Bucket
+		cap64 := int64(burst) + 1
+		b.Reset(cap64)
+		var consumed, supplied int64
+		supplied = cap64
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				before := b.Tokens()
+				b.Refill(n)
+				supplied += b.Tokens() - before // effective refill after clamp
+			} else if b.TryConsume(-n) {
+				consumed += -n
+			}
+			tok := b.Tokens()
+			if tok < 0 || tok > cap64 {
+				return false
+			}
+			if tok != supplied-consumed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorString(t *testing.T) {
+	if Green.String() != "green" || Red.String() != "red" || Color(0).String() != "invalid" {
+		t.Fatal("Color.String mismatch")
+	}
+}

@@ -1,0 +1,75 @@
+package token
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicFloat64 is a float64 readable and writable without locks, used to
+// publish token rates (θ) and consumption-rate estimates (Γ) from a
+// class's update subprocedure to every other core. Writers are serialized
+// by the class update lock; readers may race freely.
+type AtomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+// Store publishes v.
+func (f *AtomicFloat64) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// Load returns the most recently published value.
+func (f *AtomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Estimator measures a class's token consumption rate Γ from the bytes
+// counted between update epochs, smoothing with an EWMA so that one short
+// epoch does not whip the rate calculations of sibling classes around.
+//
+// The counter is incremented atomically by every core that forwards a
+// packet of the class (the paper's count() on the Consume_Counter); the
+// epoch roll happens under the class update lock.
+type Estimator struct {
+	counted atomic.Int64  // bytes since last epoch roll
+	rate    AtomicFloat64 // smoothed Γ, bytes/second
+	alpha   float64       // EWMA weight of the newest sample
+}
+
+// NewEstimator returns an estimator with the given EWMA alpha in (0, 1].
+// Alpha 1 disables smoothing (instantaneous rate).
+func NewEstimator(alpha float64) *Estimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	return &Estimator{alpha: alpha}
+}
+
+// Count records that n bytes of the class were forwarded. Safe from any
+// core.
+func (e *Estimator) Count(n int64) { e.counted.Add(n) }
+
+// Roll closes the current epoch of dt nanoseconds: it converts the counted
+// bytes to an instantaneous rate, folds it into the EWMA, publishes the
+// result, and returns (consumedBytes, smoothedRate). Roll must be called
+// under the class update lock. dt <= 0 leaves the estimate unchanged.
+func (e *Estimator) Roll(dt int64) (consumed int64, rate float64) {
+	consumed = e.counted.Swap(0)
+	if dt <= 0 {
+		return consumed, e.rate.Load()
+	}
+	inst := float64(consumed) / (float64(dt) / 1e9)
+	prev := e.rate.Load()
+	next := e.alpha*inst + (1-e.alpha)*prev
+	e.rate.Store(next)
+	return consumed, next
+}
+
+// Rate returns the current smoothed estimate in bytes per second.
+func (e *Estimator) Rate() float64 { return e.rate.Load() }
+
+// Reset zeroes the counter and the estimate (expired-status removal).
+func (e *Estimator) Reset() {
+	e.counted.Store(0)
+	e.rate.Store(0)
+}
+
+// Pending returns bytes counted since the last Roll, for tests and
+// monitoring.
+func (e *Estimator) Pending() int64 { return e.counted.Load() }

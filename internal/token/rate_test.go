@@ -1,0 +1,107 @@
+package token
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEstimatorInstantaneous(t *testing.T) {
+	e := NewEstimator(1) // no smoothing
+	e.Count(1000)
+	consumed, rate := e.Roll(1e9) // one second
+	if consumed != 1000 {
+		t.Fatalf("consumed = %d, want 1000", consumed)
+	}
+	if rate != 1000 {
+		t.Fatalf("rate = %g B/s, want 1000", rate)
+	}
+}
+
+func TestEstimatorEWMAConverges(t *testing.T) {
+	e := NewEstimator(0.25)
+	for i := 0; i < 100; i++ {
+		e.Count(500)
+		e.Roll(1e9)
+	}
+	if r := e.Rate(); math.Abs(r-500) > 1 {
+		t.Fatalf("rate = %g, want ≈500 after convergence", r)
+	}
+}
+
+func TestEstimatorEWMASmooths(t *testing.T) {
+	e := NewEstimator(0.25)
+	e.Count(1000)
+	e.Roll(1e9)
+	if r := e.Rate(); r != 250 {
+		t.Fatalf("first sample rate = %g, want 0.25×1000 = 250", r)
+	}
+}
+
+func TestEstimatorZeroDtKeepsRate(t *testing.T) {
+	e := NewEstimator(1)
+	e.Count(100)
+	e.Roll(1e9)
+	before := e.Rate()
+	e.Count(50)
+	consumed, rate := e.Roll(0)
+	if consumed != 50 {
+		t.Fatalf("consumed = %d, want 50", consumed)
+	}
+	if rate != before {
+		t.Fatalf("rate changed on zero dt: %g → %g", before, rate)
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e := NewEstimator(1)
+	e.Count(100)
+	e.Roll(1e9)
+	e.Count(10)
+	e.Reset()
+	if e.Rate() != 0 || e.Pending() != 0 {
+		t.Fatal("reset did not clear estimator")
+	}
+}
+
+func TestEstimatorInvalidAlphaDefaults(t *testing.T) {
+	e := NewEstimator(0) // invalid → alpha 1
+	e.Count(100)
+	_, rate := e.Roll(1e9)
+	if rate != 100 {
+		t.Fatalf("rate = %g, want instantaneous 100", rate)
+	}
+}
+
+func TestEstimatorConcurrentCount(t *testing.T) {
+	e := NewEstimator(1)
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Count(3)
+			}
+		}()
+	}
+	wg.Wait()
+	consumed, _ := e.Roll(1e9)
+	if consumed != workers*per*3 {
+		t.Fatalf("consumed = %d, want %d", consumed, workers*per*3)
+	}
+}
+
+func TestAtomicFloat64RoundTrip(t *testing.T) {
+	var f AtomicFloat64
+	if f.Load() != 0 {
+		t.Fatal("zero value not 0")
+	}
+	for _, v := range []float64{1.5, -3.25, 1e9, 0} {
+		f.Store(v)
+		if got := f.Load(); got != v {
+			t.Fatalf("round trip %g → %g", v, got)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package trafficgen provides open-loop packet sources for the stress
+// experiments: constant-bit-rate streams, fixed-size full-speed injectors
+// (the Fig 13 packet-size sweep), and on/off staged sources. Unlike the
+// TCP model these sources do not react to drops — they emulate the
+// paper's "inject fixed-length packets at full speed" methodology.
+package trafficgen
+
+import (
+	"fmt"
+
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sim"
+)
+
+// CBR emits fixed-size packets at a constant bit rate between start and
+// stop times.
+type CBR struct {
+	eng  *sim.Engine
+	pkts *packet.Alloc
+	send func(*packet.Packet)
+
+	flow packet.FlowID
+	app  packet.AppID
+	size int
+
+	intervalNs int64
+	stopNs     int64
+	running    bool
+
+	// Sent counts emitted packets.
+	Sent uint64
+}
+
+// NewCBR builds a source sending `size`-byte packets at rateBps
+// (wire-frame bits, including the frame itself but not preamble/IFG) from
+// startNs to stopNs. A stopNs of 0 means "never stop".
+func NewCBR(eng *sim.Engine, pkts *packet.Alloc, flow packet.FlowID, app packet.AppID, size int, rateBps float64, startNs, stopNs int64, send func(*packet.Packet)) (*CBR, error) {
+	if eng == nil || pkts == nil || send == nil {
+		return nil, fmt.Errorf("trafficgen: nil engine, allocator, or send function")
+	}
+	if size <= 0 || rateBps <= 0 {
+		return nil, fmt.Errorf("trafficgen: non-positive size or rate")
+	}
+	g := &CBR{
+		eng:        eng,
+		pkts:       pkts,
+		send:       send,
+		flow:       flow,
+		app:        app,
+		size:       size,
+		intervalNs: int64(float64(size*8) / rateBps * 1e9),
+		stopNs:     stopNs,
+	}
+	if g.intervalNs < 1 {
+		g.intervalNs = 1
+	}
+	eng.At(startNs, func() {
+		g.running = true
+		g.emit()
+	})
+	return g, nil
+}
+
+func (g *CBR) emit() {
+	if !g.running {
+		return
+	}
+	now := g.eng.Now()
+	if g.stopNs > 0 && now >= g.stopNs {
+		g.running = false
+		return
+	}
+	p := g.pkts.New(g.flow, g.app, g.size, now)
+	g.Sent++
+	g.send(p)
+	g.eng.After(g.intervalNs, g.emit)
+}
+
+// Stop halts the source at the given virtual time.
+func (g *CBR) Stop(atNs int64) {
+	g.eng.At(atNs, func() { g.running = false })
+}
+
+// Saturator emits fixed-size packets as fast as the target accepts them,
+// gated by a credit callback so injection tracks the device's drain rate
+// instead of flooding the event queue. It models a DPDK pktgen pushing
+// line rate into the NIC.
+type Saturator struct {
+	eng  *sim.Engine
+	pkts *packet.Alloc
+	send func(*packet.Packet)
+
+	flows []packet.FlowID
+	app   packet.AppID
+	size  int
+	next  int
+
+	intervalNs int64
+	stopNs     int64
+
+	// Sent counts emitted packets.
+	Sent uint64
+}
+
+// NewSaturator builds a full-speed source spraying `size`-byte packets
+// round-robin over the given flow IDs at offeredBps (set slightly above
+// the device capacity under test), from startNs to stopNs.
+func NewSaturator(eng *sim.Engine, pkts *packet.Alloc, flows []packet.FlowID, app packet.AppID, size int, offeredBps float64, startNs, stopNs int64, send func(*packet.Packet)) (*Saturator, error) {
+	if eng == nil || pkts == nil || send == nil {
+		return nil, fmt.Errorf("trafficgen: nil engine, allocator, or send function")
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("trafficgen: saturator needs at least one flow")
+	}
+	if size <= 0 || offeredBps <= 0 {
+		return nil, fmt.Errorf("trafficgen: non-positive size or rate")
+	}
+	s := &Saturator{
+		eng:        eng,
+		pkts:       pkts,
+		send:       send,
+		flows:      flows,
+		app:        app,
+		size:       size,
+		intervalNs: int64(float64(size*8) / offeredBps * 1e9),
+		stopNs:     stopNs,
+	}
+	if s.intervalNs < 1 {
+		s.intervalNs = 1
+	}
+	eng.At(startNs, s.emit)
+	return s, nil
+}
+
+func (s *Saturator) emit() {
+	now := s.eng.Now()
+	if s.stopNs > 0 && now >= s.stopNs {
+		return
+	}
+	p := s.pkts.New(s.flows[s.next], s.app, s.size, now)
+	s.next = (s.next + 1) % len(s.flows)
+	s.Sent++
+	s.send(p)
+	s.eng.After(s.intervalNs, s.emit)
+}
+
+// OnOff emits fixed-size packets at peakBps during exponentially
+// distributed ON periods separated by exponentially distributed OFF
+// periods — the classic bursty source. The long-run average rate is
+// peakBps · meanOn/(meanOn+meanOff).
+type OnOff struct {
+	eng  *sim.Engine
+	pkts *packet.Alloc
+	send func(*packet.Packet)
+	rng  *sim.RNG
+
+	flow packet.FlowID
+	app  packet.AppID
+	size int
+
+	intervalNs float64
+	meanOnNs   float64
+	meanOffNs  float64
+	stopNs     int64
+
+	on      bool
+	phaseNs int64 // current phase ends at this instant
+
+	// Sent counts emitted packets.
+	Sent uint64
+}
+
+// NewOnOff builds a bursty source. seed drives the phase lengths
+// deterministically.
+func NewOnOff(eng *sim.Engine, pkts *packet.Alloc, flow packet.FlowID, app packet.AppID,
+	size int, peakBps float64, meanOnNs, meanOffNs float64,
+	startNs, stopNs int64, seed uint64, send func(*packet.Packet)) (*OnOff, error) {
+	if eng == nil || pkts == nil || send == nil {
+		return nil, fmt.Errorf("trafficgen: nil engine, allocator, or send function")
+	}
+	if size <= 0 || peakBps <= 0 || meanOnNs <= 0 || meanOffNs < 0 {
+		return nil, fmt.Errorf("trafficgen: non-positive on/off parameters")
+	}
+	g := &OnOff{
+		eng:        eng,
+		pkts:       pkts,
+		send:       send,
+		rng:        sim.NewRNG(seed),
+		flow:       flow,
+		app:        app,
+		size:       size,
+		intervalNs: float64(size*8) / peakBps * 1e9,
+		meanOnNs:   meanOnNs,
+		meanOffNs:  meanOffNs,
+		stopNs:     stopNs,
+	}
+	eng.At(startNs, g.togglePhase)
+	return g, nil
+}
+
+func (g *OnOff) togglePhase() {
+	now := g.eng.Now()
+	if g.stopNs > 0 && now >= g.stopNs {
+		return
+	}
+	g.on = !g.on
+	var phase float64
+	if g.on {
+		phase = g.rng.Exp(g.meanOnNs)
+	} else {
+		phase = g.rng.Exp(g.meanOffNs)
+	}
+	if phase < 1 {
+		phase = 1
+	}
+	g.phaseNs = now + int64(phase)
+	if g.on {
+		g.emit()
+	}
+	g.eng.At(g.phaseNs, g.togglePhase)
+}
+
+func (g *OnOff) emit() {
+	now := g.eng.Now()
+	if !g.on || now >= g.phaseNs || (g.stopNs > 0 && now >= g.stopNs) {
+		return
+	}
+	g.Sent++
+	g.send(g.pkts.New(g.flow, g.app, g.size, now))
+	gap := int64(g.intervalNs)
+	if gap < 1 {
+		gap = 1
+	}
+	g.eng.After(gap, g.emit)
+}

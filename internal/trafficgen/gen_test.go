@@ -1,0 +1,178 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sim"
+)
+
+func TestCBRRateAndWindow(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	var count int
+	var bytes int64
+	g, err := NewCBR(eng, alloc, 1, 2, 1000, 80e6, 100e6, 600e6, func(p *packet.Packet) {
+		count++
+		bytes += int64(p.Size)
+		if p.Flow != 1 || p.App != 2 || p.Size != 1000 {
+			t.Fatal("packet fields wrong")
+		}
+		if now := eng.Now(); now < 100e6 || now >= 600e6 {
+			t.Fatalf("packet outside window at %dns", now)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// 80Mbit/s of 1000B packets over 0.5s = 10kpps × 0.5 = 5000 pkts.
+	if count < 4900 || count > 5100 {
+		t.Fatalf("sent %d packets, want ≈5000", count)
+	}
+	if g.Sent != uint64(count) {
+		t.Fatalf("Sent counter %d != callback count %d", g.Sent, count)
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	var count int
+	g, err := NewCBR(eng, alloc, 1, 1, 100, 8e6, 0, 0, func(*packet.Packet) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Stop(10e6)
+	eng.RunUntil(50e6)
+	// 10kpps × 10ms = 100 packets.
+	if count < 95 || count > 105 {
+		t.Fatalf("sent %d packets before Stop, want ≈100", count)
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	sink := func(*packet.Packet) {}
+	if _, err := NewCBR(nil, alloc, 0, 0, 100, 1e6, 0, 0, sink); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewCBR(eng, alloc, 0, 0, 0, 1e6, 0, 0, sink); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewCBR(eng, alloc, 0, 0, 100, 0, 0, 0, sink); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewCBR(eng, alloc, 0, 0, 100, 1e6, 0, 0, nil); err == nil {
+		t.Fatal("nil send accepted")
+	}
+}
+
+func TestSaturatorRoundRobinFlows(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	flows := []packet.FlowID{10, 11, 12}
+	perFlow := make(map[packet.FlowID]int)
+	s, err := NewSaturator(eng, alloc, flows, 4, 64, 512e6, 0, 1e6, func(p *packet.Packet) {
+		perFlow[p.Flow]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if s.Sent == 0 {
+		t.Fatal("saturator sent nothing")
+	}
+	// Round robin: flow counts within one of each other.
+	var minC, maxC int
+	first := true
+	for _, f := range flows {
+		c := perFlow[f]
+		if first {
+			minC, maxC = c, c
+			first = false
+		}
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC-minC > 1 {
+		t.Fatalf("flow spread uneven: %v", perFlow)
+	}
+}
+
+func TestSaturatorValidation(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	sink := func(*packet.Packet) {}
+	if _, err := NewSaturator(eng, alloc, nil, 0, 64, 1e6, 0, 0, sink); err == nil {
+		t.Fatal("empty flow list accepted")
+	}
+	if _, err := NewSaturator(eng, alloc, []packet.FlowID{1}, 0, -1, 1e6, 0, 0, sink); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestOnOffAverageRate(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	var bytes int64
+	// Peak 800Mbit, 50% duty cycle (2ms on / 2ms off) → ≈400Mbit mean.
+	g, err := NewOnOff(eng, alloc, 1, 0, 1000, 800e6, 2e6, 2e6, 0, 400e6, 7, func(p *packet.Packet) {
+		bytes += int64(p.Size)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(400e6)
+	rate := float64(bytes) * 8 / 0.4
+	if rate < 300e6 || rate > 500e6 {
+		t.Fatalf("mean rate = %.0fMbit, want ≈400M (50%% duty of 800M)", rate/1e6)
+	}
+	if g.Sent == 0 {
+		t.Fatal("no packets sent")
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	// Track per-ms bins to confirm there ARE silent gaps and full-rate
+	// bursts (a CBR would fill every bin evenly).
+	bins := make(map[int64]int)
+	_, err := NewOnOff(eng, alloc, 1, 0, 1000, 1e9, 1e6, 3e6, 0, 200e6, 42, func(p *packet.Packet) {
+		bins[eng.Now()/1e6]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(200e6)
+	var silent, busy int
+	for i := int64(0); i < 200; i++ {
+		switch n := bins[i]; {
+		case n == 0:
+			silent++
+		case n > 100: // ≥80% of the 125 pkts/ms peak
+			busy++
+		}
+	}
+	if silent < 50 || busy < 10 {
+		t.Fatalf("burst structure missing: %d silent, %d busy bins of 200", silent, busy)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	eng := sim.New()
+	alloc := &packet.Alloc{}
+	sink := func(*packet.Packet) {}
+	if _, err := NewOnOff(nil, alloc, 0, 0, 100, 1e6, 1e6, 1e6, 0, 0, 1, sink); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewOnOff(eng, alloc, 0, 0, 100, 1e6, 0, 1e6, 0, 0, 1, sink); err == nil {
+		t.Fatal("zero on-period accepted")
+	}
+}

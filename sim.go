@@ -1,0 +1,139 @@
+package flowvalve
+
+import (
+	"flowvalve/internal/core"
+	"flowvalve/internal/experiments"
+	"flowvalve/internal/nic"
+)
+
+// This file exposes the discrete-event SmartNIC simulation through the
+// public API: build a Scenario (policy + staged TCP applications), run it
+// against FlowValve on the NP model, and read back per-app throughput
+// series and latency statistics — the same machinery that regenerates
+// the paper's figures (see internal/experiments and cmd/fvsim).
+
+// AppTraffic stages one application's TCP traffic in a Scenario.
+type AppTraffic struct {
+	// App is the application / virtual-function index the filter rules
+	// match on.
+	App int
+	// Conns is the number of parallel TCP connections (≥1).
+	Conns int
+	// StartSec / StopSec bound the sending period in simulated seconds
+	// (StopSec 0 = until the end).
+	StartSec float64
+	StopSec  float64
+}
+
+// Scenario is a closed-loop simulation: staged TCP applications driving
+// a FlowValve-offloaded SmartNIC enforcing the given policy.
+type Scenario struct {
+	// Policy is the compiled QoS policy (required).
+	Policy *Policy
+	// DurationSec is the simulated time (default 10s).
+	DurationSec float64
+	// WireGbps is the NIC wire rate (default 40).
+	WireGbps float64
+	// WirePorts is the number of egress ports (default 4 — the paper's
+	// four 10GbE receivers).
+	WirePorts int
+	// Apps stages the traffic.
+	Apps []AppTraffic
+	// MeasureLatency records per-packet one-way delay.
+	MeasureLatency bool
+	// SegBytes is the TCP segment size handed to the NIC (default 16KB
+	// TSO super-segments; use 1518 for per-frame latency realism).
+	SegBytes int
+	// ECN enables the mark-on-red extension: red packets are forwarded
+	// with a congestion mark (which the TCP model obeys) instead of
+	// being dropped.
+	ECN bool
+}
+
+// SimResult is the outcome of a Scenario run.
+type SimResult struct {
+	res *experiments.Result
+	sec float64
+}
+
+// Run executes the scenario deterministically and returns its
+// measurements.
+func (sc Scenario) Run() (*SimResult, error) {
+	duration := sc.DurationSec
+	if duration <= 0 {
+		duration = 10
+	}
+	wire := sc.WireGbps
+	if wire <= 0 {
+		wire = 40
+	}
+	inner := experiments.TCPScenario{
+		DurationNs:     int64(duration * 1e9),
+		BinNs:          int64(duration * 1e9 / 100),
+		SegBytes:       sc.SegBytes,
+		Tree:           sc.Policy.tree,
+		Rules:          sc.Policy.rules,
+		DefaultClass:   sc.Policy.script.DefaultClass,
+		NIC:            nic.Config{WireRateBps: wire * 1e9, WirePorts: sc.WirePorts},
+		Sched:          core.Config{ECNMarkFrac: ecnFrac(sc.ECN)},
+		MeasureLatency: sc.MeasureLatency,
+	}
+	for _, a := range sc.Apps {
+		inner.Apps = append(inner.Apps, experiments.AppSpec{
+			App:     a.App,
+			Conns:   a.Conns,
+			StartNs: int64(a.StartSec * 1e9),
+			StopNs:  int64(a.StopSec * 1e9),
+		})
+	}
+	res, err := experiments.RunFlowValveTCP(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{res: res, sec: duration}, nil
+}
+
+// ecnFrac maps the boolean facade switch to the default mark threshold.
+func ecnFrac(on bool) float64 {
+	if on {
+		return 0.5
+	}
+	return 0
+}
+
+// AppGbps returns an app's mean rate in Gbps over [fromSec, toSec).
+func (r *SimResult) AppGbps(app int, fromSec, toSec float64) float64 {
+	return r.res.MeanWindowBps(app, int64(fromSec*1e9), int64(toSec*1e9)) / 1e9
+}
+
+// TotalGbps returns the aggregate mean rate over [fromSec, toSec).
+func (r *SimResult) TotalGbps(fromSec, toSec float64) float64 {
+	return r.res.Meter.TotalBps(int64(fromSec*1e9), int64(toSec*1e9)) / 1e9
+}
+
+// Series returns an app's throughput curve in Gbps per bin (100 bins per
+// run).
+func (r *SimResult) Series(app int) []float64 {
+	raw := r.res.Meter.Series(experiments.AppSeries(app))
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = v / 1e9
+	}
+	return out
+}
+
+// Latency returns (mean, stddev, p99) one-way delay in microseconds.
+// Zeros unless MeasureLatency was set.
+func (r *SimResult) Latency() (meanUs, stdUs, p99Us float64) {
+	if r.res.Latency == nil {
+		return 0, 0, 0
+	}
+	return r.res.Latency.MeanUs(), r.res.Latency.StdUs(), r.res.Latency.PercentileUs(99)
+}
+
+// SchedDrops returns packets dropped by the scheduling function (the
+// intended control action) and by uncontrolled buffer overflows.
+func (r *SimResult) SchedDrops() (sched, overflow uint64) {
+	st := r.res.NICStats
+	return st.SchedDrops, st.RxRingDrops + st.TMDrops
+}
