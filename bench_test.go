@@ -18,6 +18,7 @@ import (
 	"flowvalve/internal/experiments"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/telemetry"
 )
 
 const benchScale = 0.1 // 4.5 simulated seconds per figure iteration
@@ -54,6 +55,28 @@ func newBenchScheduler(b *testing.B, depth int, lock core.LockMode) (*core.Sched
 // tree — the work each NP micro-engine does per packet.
 func BenchmarkSchedule(b *testing.B) {
 	s, lbl := newBenchScheduler(b, 1, core.PerClassTryLock)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(lbl, 1500)
+	}
+}
+
+// BenchmarkScheduleTelemetryOff / BenchmarkScheduleTelemetryOn guard the
+// observability budget: an attached registry plus a 1-in-256 decision
+// tracer must stay within 5% of the bare hot path (the unsampled trace
+// check is one atomic-pointer load and a mask test; the per-class metric
+// families are Func collectors read only at scrape time).
+func BenchmarkScheduleTelemetryOff(b *testing.B) {
+	s, lbl := newBenchScheduler(b, 1, core.PerClassTryLock)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(lbl, 1500)
+	}
+}
+
+func BenchmarkScheduleTelemetryOn(b *testing.B) {
+	s, lbl := newBenchScheduler(b, 1, core.PerClassTryLock)
+	s.AttachTelemetry(telemetry.NewRegistry(), telemetry.NewTracer(256, 4096))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Schedule(lbl, 1500)

@@ -23,6 +23,7 @@ import (
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
 	"flowvalve/internal/sim"
+	"flowvalve/internal/telemetry"
 	"flowvalve/internal/trafficgen"
 )
 
@@ -41,8 +42,13 @@ func run(args []string, out io.Writer) error {
 	wire := fs.Float64("wire", 40e9, "wire rate (bits/s)")
 	depth := fs.Int("depth", 1, "scheduling-tree depth below the root")
 	duration := fs.Duration("duration", 100*time.Millisecond, "measurement window (simulated)")
+	metricsJSON := fs.String("metrics-json", "", "write a JSON metrics snapshot to this file after the run (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *telemetry.Registry
+	if *metricsJSON != "" {
+		reg = telemetry.NewRegistry()
 	}
 
 	t, rules, err := chainPolicy(*wire, *depth)
@@ -57,6 +63,9 @@ func run(args []string, out io.Writer) error {
 	sched, err := core.New(t, eng.Clock(), core.Config{})
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		sched.AttachTelemetry(reg, nil)
 	}
 
 	warm := duration.Nanoseconds()
@@ -75,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		dev.AttachTelemetry(reg)
 	}
 
 	cfg := dev.Config()
@@ -99,6 +111,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "delivered: %.2f Mpps  (%.2f Gbps wire)\n", pps/1e6, pps*float64(*size+packet.WireOverhead)*8/1e9)
 	fmt.Fprintf(out, "bottleneck: line=%.2f Mpps  processing=%.2f Mpps\n", linePps/1e6, procPps/1e6)
 	fmt.Fprintf(out, "drops: sched=%d rx-ring=%d tm=%d\n", st.SchedDrops, st.RxRingDrops, st.TMDrops)
+	if reg != nil {
+		w := out
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

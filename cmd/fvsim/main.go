@@ -7,6 +7,8 @@
 //	fvsim -experiment fig11a            # one experiment at full scale
 //	fvsim -experiment all -scale 0.2    # everything, scaled down 5×
 //	fvsim -experiment fig11b -csv       # emit the raw series as CSV
+//	fvsim -experiment fig11a -metrics-addr :9100   # scrape live /metrics
+//	fvsim -experiment fig11a -metrics-json -       # JSON dump afterwards
 //
 // Experiments: fig3 fig11a fig11b fig11c fig13 fig14 cpu prop
 // scale100g all.
@@ -16,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 
 	"flowvalve/internal/experiments"
 	"flowvalve/internal/stats"
+	"flowvalve/internal/telemetry"
 )
 
 func main() {
@@ -36,8 +41,32 @@ func run(args []string, out io.Writer) error {
 	exp := fs.String("experiment", "all", "fig3|fig11a|fig11b|fig11c|fig13|fig14|cpu|prop|scale100g|conns|priocmp|all")
 	scale := fs.Float64("scale", 1.0, "time-scale factor (1.0 = paper durations)")
 	csv := fs.Bool("csv", false, "emit raw per-second series as CSV where applicable")
+	metricsAddr := fs.String("metrics-addr", "", "serve live telemetry on this address (/metrics, /metrics.json)")
+	metricsJSON := fs.String("metrics-json", "", "write a JSON metrics snapshot to this file after the run (- for stdout)")
+	traceSample := fs.Int("trace-sample", 256, "trace one scheduling decision per N packets")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The figure experiments share one registry: the scheduler label on
+	// common families keeps FlowValve and baseline runs apart.
+	var telOpts []experiments.ScenarioOption
+	var reg *telemetry.Registry
+	if *metricsAddr != "" || *metricsJSON != "" {
+		reg = telemetry.NewRegistry()
+		tr := telemetry.NewTracer(*traceSample, 4096)
+		telOpts = append(telOpts, experiments.WithTelemetry(reg, tr))
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: reg.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(out, "telemetry: http://%s/metrics\n\n", ln.Addr())
 	}
 
 	names := []string{*exp}
@@ -45,20 +74,35 @@ func run(args []string, out io.Writer) error {
 		names = []string{"fig3", "fig11a", "fig11b", "fig11c", "fig13", "fig14", "cpu", "prop", "scale100g", "conns", "priocmp"}
 	}
 	for _, name := range names {
-		if err := runOne(name, *scale, *csv, out); err != nil {
+		if err := runOne(name, *scale, *csv, out, telOpts...); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintln(out)
+	}
+
+	if *metricsJSON != "" {
+		w := out
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 var motivationWindows = [][2]int64{{2, 15}, {17, 30}, {32, 45}}
 
-func runOne(name string, scale float64, csv bool, out io.Writer) error {
+func runOne(name string, scale float64, csv bool, out io.Writer, telOpts ...experiments.ScenarioOption) error {
 	switch name {
 	case "fig3":
-		res, err := experiments.Fig3(scale)
+		res, err := experiments.Fig3(scale, telOpts...)
 		if err != nil {
 			return err
 		}
@@ -72,7 +116,7 @@ func runOne(name string, scale float64, csv bool, out io.Writer) error {
 			writeSeries(out, res, 4, []string{"NC", "KVS", "ML", "WS"})
 		}
 	case "fig11a":
-		res, err := experiments.Fig11a(scale)
+		res, err := experiments.Fig11a(scale, telOpts...)
 		if err != nil {
 			return err
 		}
@@ -86,7 +130,7 @@ func runOne(name string, scale float64, csv bool, out io.Writer) error {
 			writeRates(out, res)
 		}
 	case "fig11b":
-		res, err := experiments.Fig11b(scale)
+		res, err := experiments.Fig11b(scale, telOpts...)
 		if err != nil {
 			return err
 		}
@@ -99,7 +143,7 @@ func runOne(name string, scale float64, csv bool, out io.Writer) error {
 			writeSeries(out, res, 4, appNames(4))
 		}
 	case "fig11c":
-		res, err := experiments.Fig11c(scale)
+		res, err := experiments.Fig11c(scale, telOpts...)
 		if err != nil {
 			return err
 		}

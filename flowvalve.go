@@ -115,6 +115,11 @@ type Options struct {
 	ExpireAfterNs int64
 	// BurstNs sizes class buckets to θ·BurstNs (default 4ms).
 	BurstNs int64
+	// Telemetry, when non-nil, attaches the scheduler to an observability
+	// sink: per-class metric families registered at construction (and
+	// re-registered on Swap, so collectors follow the live policy) plus
+	// sampled decision tracing. Nil keeps the hot path telemetry-free.
+	Telemetry *Telemetry
 }
 
 // Scheduler is a FlowValve instance: the labeling function (filter rules
@@ -147,6 +152,9 @@ func buildInner(p *Policy, clk Clock, opts Options) (*schedulerInner, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Telemetry != nil {
+		sched.AttachTelemetry(opts.Telemetry.reg, opts.Telemetry.tracer)
 	}
 	return &schedulerInner{pol: p, cls: cls, sched: sched}, nil
 }
@@ -295,12 +303,24 @@ type ClassStats struct {
 	ThetaBps    float64
 	GammaBps    float64
 	LendableBps float64
-	// Leaf counters.
+	// BucketTokens is the class token-bucket level in bytes — the
+	// emulated per-class queue headroom. ShadowTokens is the level of the
+	// shadow bucket other classes borrow from.
+	BucketTokens int64
+	ShadowTokens int64
+	// Leaf counters. FwdPkts/FwdBytes and DropPkts/DropBytes count
+	// admitted and tail-dropped traffic; BorrowPkts counts packets
+	// admitted on a lender's shadow bucket; MarkPkts counts packets that
+	// passed inside the early-drop warning window (bucket below the mark
+	// threshold); LentBytes counts bytes this class's shadow bucket lent
+	// to borrowers (non-zero on interior classes too).
 	FwdPkts    int64
 	FwdBytes   int64
 	DropPkts   int64
 	DropBytes  int64
 	BorrowPkts int64
+	MarkPkts   int64
+	LentBytes  int64
 }
 
 // Stats snapshots every class in the active policy.
@@ -309,15 +329,19 @@ func (s *Scheduler) Stats() []ClassStats {
 	out := make([]ClassStats, len(raw))
 	for i, st := range raw {
 		out[i] = ClassStats{
-			Class:       st.Class.Name,
-			ThetaBps:    st.ThetaBps,
-			GammaBps:    st.GammaBps,
-			LendableBps: st.LendableBps,
-			FwdPkts:     st.FwdPkts,
-			FwdBytes:    st.FwdBytes,
-			DropPkts:    st.DropPkts,
-			DropBytes:   st.DropBytes,
-			BorrowPkts:  st.BorrowPkts,
+			Class:        st.Class.Name,
+			ThetaBps:     st.ThetaBps,
+			GammaBps:     st.GammaBps,
+			LendableBps:  st.LendableBps,
+			BucketTokens: st.BucketTokens,
+			ShadowTokens: st.ShadowTokens,
+			FwdPkts:      st.FwdPkts,
+			FwdBytes:     st.FwdBytes,
+			DropPkts:     st.DropPkts,
+			DropBytes:    st.DropBytes,
+			BorrowPkts:   st.BorrowPkts,
+			MarkPkts:     st.MarkPkts,
+			LentBytes:    st.LentBytes,
 		}
 	}
 	return out

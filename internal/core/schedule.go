@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"flowvalve/internal/sched/tree"
 )
 
@@ -72,7 +74,7 @@ func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 
 	// Lines 6–8: meter at the leaf.
 	if lst.bucket.TryConsume(sz) {
-		s.recordForward(lbl, sz)
+		seq := s.recordForward(lbl, sz)
 		d.Verdict = Forward
 		// Virtual-queue ECN extension: signal congestion early while
 		// the packet is still green.
@@ -80,6 +82,9 @@ func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 			lst.bucket.Tokens() < int64(f*float64(lst.bucket.Burst())) {
 			lst.markPkts.Add(1)
 			d.Marked = true
+		}
+		if h := s.tel.Load(); h != nil {
+			h.trace(seq, now, lbl, lst, sz, &d)
 		}
 		return d
 	}
@@ -116,18 +121,24 @@ func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 				ls.est.Count(sz)
 			}
 			lst.borrowPkts.Add(1)
-			s.recordForward(lbl, sz)
+			seq := s.recordForward(lbl, sz)
 			d.Verdict = Forward
 			d.Borrowed = true
 			d.Lender = lender
+			if h := s.tel.Load(); h != nil {
+				h.trace(seq, now, lbl, lst, sz, &d)
+			}
 			return d
 		}
 	}
 
 	// Line 16: drop.
-	lst.dropPkts.Add(1)
+	seq := lst.dropPkts.Add(1)
 	lst.dropBytes.Add(sz)
 	d.Verdict = Drop
+	if h := s.tel.Load(); h != nil {
+		h.trace(seq, now, lbl, lst, sz, &d)
+	}
 	return d
 }
 
@@ -171,14 +182,17 @@ func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Dec
 }
 
 // recordForward counts a forwarded packet against every class on the path
-// (estimators feeding Γ) and the leaf's forward statistics.
-func (s *Scheduler) recordForward(lbl *tree.Label, sz int64) {
+// (estimators feeding Γ) and the leaf's forward statistics. It returns the
+// leaf's new forward-packet ordinal, which the telemetry hook reuses as
+// its sampling sequence — tracing costs the unsampled path nothing.
+func (s *Scheduler) recordForward(lbl *tree.Label, sz int64) int64 {
 	for _, c := range lbl.Path {
 		s.states[c.ID].est.Count(sz)
 	}
 	lst := &s.states[lbl.Leaf.ID]
-	lst.fwdPkts.Add(1)
+	n := lst.fwdPkts.Add(1)
 	lst.fwdBytes.Add(sz)
+	return n
 }
 
 // updateLocked runs the update subprocedure for class c if its epoch has
@@ -191,6 +205,16 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 		return false
 	}
 	st.lastUpdate.Store(now)
+
+	// Telemetry: time the executed epoch roll in wall-clock ns. The
+	// sim clock is virtual, so this measures the real compute cost of
+	// the update subprocedure — the quantity the NP cycle budget cares
+	// about. Only paid when a histogram is attached.
+	var t0 time.Time
+	h := s.tel.Load()
+	if h != nil && h.updateDur != nil {
+		t0 = time.Now()
+	}
 
 	// Subprocedure 3: expired-status removal. A long-idle class
 	// restarts from its initial state rather than replaying the idle
@@ -250,6 +274,9 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 		}
 	}
 	st.updates.Add(1)
+	if h != nil && h.updateDur != nil {
+		h.updateDur.Observe(float64(time.Since(t0)))
+	}
 	return true
 }
 

@@ -154,6 +154,11 @@ type Scheduler struct {
 	states []classState
 
 	globalMu sync.Mutex // used only in GlobalLock mode
+
+	// tel is the attached observability state (nil when telemetry is
+	// off). Swapped atomically so AttachTelemetry is safe against
+	// in-flight Schedule calls.
+	tel atomic.Pointer[telHooks]
 }
 
 // New builds a scheduler over t, reading time from clk. It validates that

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/telemetry"
+)
+
+// telHooks is the scheduler's attached observability state, swapped in
+// atomically so attachment is safe against in-flight Schedule calls.
+type telHooks struct {
+	tracer    *telemetry.Tracer
+	updateDur *telemetry.Histogram
+}
+
+// AttachTelemetry wires the scheduler into an observability registry and
+// (optionally) a decision tracer. It may be called at any time, including
+// after a policy swap built a fresh scheduler over the same registry.
+//
+// Per-class counters, token levels, and rate estimates are exported as
+// Func collectors reading the scheduler's existing atomics — continuous
+// metrics at zero added cost on the packet path. The only hot-path
+// additions are one atomic pointer load per Schedule call plus, 1-in-N
+// packets, a trace ring write; the update subprocedure gains a wall-clock
+// duration histogram sample per executed epoch roll.
+//
+// Metric families (all labelled {class="<name>"}):
+//
+//	fv_class_theta_bps            gauge     granted token rate θ
+//	fv_class_gamma_bps            gauge     measured consumption rate Γ
+//	fv_class_lendable_bps         gauge     published shadow (lendable) rate
+//	fv_class_bucket_tokens_bytes  gauge     leaf/interior bucket level
+//	fv_class_shadow_tokens_bytes  gauge     shadow bucket level
+//	fv_class_fwd_packets_total    counter   forwarded packets
+//	fv_class_fwd_bytes_total      counter   forwarded bytes
+//	fv_class_drop_packets_total   counter   specialized tail drops
+//	fv_class_drop_bytes_total     counter   dropped bytes
+//	fv_class_borrow_packets_total counter   packets admitted via a shadow
+//	fv_class_mark_packets_total   counter   ECN-marked packets
+//	fv_class_lent_bytes_total     counter   bytes granted to borrowers
+//	fv_class_updates_total        counter   epoch rolls executed
+//	fv_update_duration_ns         histogram wall time of one epoch roll
+//
+// Passing nil for both arguments detaches telemetry.
+func (s *Scheduler) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil && tr == nil {
+		s.tel.Store(nil)
+		return
+	}
+	h := &telHooks{tracer: tr}
+	if reg != nil {
+		h.updateDur = reg.Histogram("fv_update_duration_ns",
+			"Wall-clock duration of one class update subprocedure (epoch roll).",
+			telemetry.DurationBucketsNs)
+		for _, c := range s.tree.Classes() {
+			st := &s.states[c.ID]
+			lb := telemetry.Label{Key: "class", Value: c.Name}
+			reg.GaugeFunc("fv_class_theta_bps",
+				"Granted token rate θ in bits/second.",
+				func() float64 { return st.theta.Load() * 8 }, lb)
+			reg.GaugeFunc("fv_class_gamma_bps",
+				"Measured consumption rate Γ in bits/second.",
+				func() float64 { return st.est.Rate() * 8 }, lb)
+			reg.GaugeFunc("fv_class_lendable_bps",
+				"Published lendable (shadow) rate in bits/second.",
+				func() float64 { return st.lendRate.Load() * 8 }, lb)
+			reg.GaugeFunc("fv_class_bucket_tokens_bytes",
+				"Current class bucket token level in bytes.",
+				func() float64 { return float64(st.bucket.Tokens()) }, lb)
+			reg.GaugeFunc("fv_class_shadow_tokens_bytes",
+				"Current shadow bucket token level in bytes.",
+				func() float64 { return float64(st.shadow.Tokens()) }, lb)
+			reg.CounterFunc("fv_class_fwd_packets_total",
+				"Packets forwarded by the scheduling function.",
+				func() float64 { return float64(st.fwdPkts.Load()) }, lb)
+			reg.CounterFunc("fv_class_fwd_bytes_total",
+				"Bytes forwarded by the scheduling function.",
+				func() float64 { return float64(st.fwdBytes.Load()) }, lb)
+			reg.CounterFunc("fv_class_drop_packets_total",
+				"Packets discarded by the specialized tail drop.",
+				func() float64 { return float64(st.dropPkts.Load()) }, lb)
+			reg.CounterFunc("fv_class_drop_bytes_total",
+				"Bytes discarded by the specialized tail drop.",
+				func() float64 { return float64(st.dropBytes.Load()) }, lb)
+			reg.CounterFunc("fv_class_borrow_packets_total",
+				"Packets admitted via a lender's shadow bucket.",
+				func() float64 { return float64(st.borrowPkts.Load()) }, lb)
+			reg.CounterFunc("fv_class_mark_packets_total",
+				"Packets forwarded carrying a congestion mark.",
+				func() float64 { return float64(st.markPkts.Load()) }, lb)
+			reg.CounterFunc("fv_class_lent_bytes_total",
+				"Bytes granted to borrowers from this class's shadow bucket.",
+				func() float64 { return float64(st.lentBytes.Load()) }, lb)
+			reg.CounterFunc("fv_class_updates_total",
+				"Update-subprocedure executions (epoch rolls).",
+				func() float64 { return float64(st.updates.Load()) }, lb)
+		}
+	}
+	s.tel.Store(h)
+}
+
+// trace records one sampled scheduling decision. seq is the packet's
+// ordinal within its leaf's forward (or drop) stream — the per-class
+// statistics counters double as the sampling lattice, so the unsampled
+// path costs no extra atomic.
+func (h *telHooks) trace(seq int64, now int64, lbl *tree.Label, lst *classState, sz int64, d *Decision) {
+	if h.tracer == nil || !h.tracer.ShouldSample(uint64(seq)) {
+		return
+	}
+	ev := telemetry.Event{
+		AtNs:       now,
+		Class:      lbl.Leaf.Name,
+		QueueDepth: lst.bucket.Tokens(),
+		Size:       int32(sz),
+		Borrowed:   d.Borrowed,
+		Marked:     d.Marked,
+	}
+	if d.Verdict == Forward {
+		ev.Verdict = telemetry.TraceForward
+	} else {
+		ev.Verdict = telemetry.TraceDrop
+	}
+	if d.Lender != nil {
+		ev.Lender = d.Lender.Name
+	}
+	h.tracer.Write(ev)
+}

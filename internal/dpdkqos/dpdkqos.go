@@ -130,6 +130,7 @@ type Scheduler struct {
 	Stalls uint64
 
 	stats Stats
+	tel   *schedTel // attached telemetry (nil when off)
 }
 
 // New builds a scheduler with the given pipes.
@@ -188,11 +189,18 @@ func (s *Scheduler) Enqueue(p *packet.Packet) {
 	}
 	if s.cpuFreeNs-now > s.cfg.CPUBacklogNs {
 		s.stats.CPUDrops++
-		s.drop(p)
+		if s.tel != nil {
+			s.tel.droppedCPU.Add(1)
+		}
+		s.dropSilent(p)
 		return
 	}
+	cycles := float64(s.cfg.CyclesPerPkt) * (1 + s.cfg.ContentionBeta*float64(s.cfg.Cores-1))
 	s.cpuFreeNs += s.perPktNs()
-	s.cpu.Charge(float64(s.cfg.CyclesPerPkt) * (1 + s.cfg.ContentionBeta*float64(s.cfg.Cores-1)))
+	s.cpu.Charge(cycles)
+	if s.tel != nil {
+		s.tel.hostCycles.Add(int64(cycles))
+	}
 
 	pipeIdx := s.classify(p)
 	if pipeIdx < 0 || pipeIdx >= len(s.pipes) {
@@ -209,6 +217,10 @@ func (s *Scheduler) Enqueue(p *packet.Packet) {
 			return
 		}
 		s.stats.Enqueued++
+		if s.tel != nil {
+			s.tel.enqueued.Add(1)
+			s.tel.backlog.Add(1)
+		}
 		if !s.draining {
 			s.draining = true
 			s.eng.After(0, s.drain)
@@ -237,6 +249,9 @@ func (s *Scheduler) drain() {
 		return
 	}
 	p := pipe.queue.Pop()
+	if s.tel != nil {
+		s.tel.backlog.Add(-1)
+	}
 	size := float64(p.Size)
 	pipe.credits -= size
 	s.subCredits -= size
@@ -247,6 +262,10 @@ func (s *Scheduler) drain() {
 	s.eng.At(done, func() {
 		p.EgressAt = done
 		s.stats.Delivered++
+		if s.tel != nil {
+			s.tel.delivered.Add(1)
+			s.tel.deliveredBytes.Add(int64(p.Size))
+		}
 		if s.cb.OnDeliver != nil {
 			s.cb.OnDeliver(p)
 		}
@@ -339,7 +358,16 @@ func (s *Scheduler) selectPipe() *pipeState {
 	return nil
 }
 
+// drop records a queue-stage drop (overflow or classification failure).
 func (s *Scheduler) drop(p *packet.Packet) {
+	if s.tel != nil {
+		s.tel.droppedQueue.Add(1)
+	}
+	s.dropSilent(p)
+}
+
+// dropSilent accounts a drop whose reason the caller already recorded.
+func (s *Scheduler) dropSilent(p *packet.Packet) {
 	s.stats.Dropped++
 	if s.cb.OnDrop != nil {
 		s.cb.OnDrop(p)

@@ -1,0 +1,46 @@
+package dpdkqos
+
+import "flowvalve/internal/telemetry"
+
+// schedTel holds the scheduler's attached metric handles.
+type schedTel struct {
+	enqueued       *telemetry.Counter
+	delivered      *telemetry.Counter
+	deliveredBytes *telemetry.Counter
+	droppedQueue   *telemetry.Counter
+	droppedCPU     *telemetry.Counter
+	hostCycles     *telemetry.Counter
+	backlog        *telemetry.Gauge
+}
+
+// AttachTelemetry wires the DPDK QoS baseline into a metrics registry
+// using the same family names as the NIC model and the HTB baseline,
+// labelled {scheduler="dpdk"}. Drops split by reason: "queue" for pipe
+// queue overflow or classification failure, "cpu" for poll-loop backlog
+// exceeding the software-ring budget.
+func (s *Scheduler) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tel = nil
+		return
+	}
+	sched := telemetry.Label{Key: "scheduler", Value: "dpdk"}
+	drop := func(reason string) *telemetry.Counter {
+		return reg.Counter("fv_dropped_packets_total",
+			"Packets dropped, by scheduler and reason.",
+			sched, telemetry.Label{Key: "reason", Value: reason})
+	}
+	s.tel = &schedTel{
+		enqueued: reg.Counter("fv_enqueued_packets_total",
+			"Packets accepted into a class queue.", sched),
+		delivered: reg.Counter("fv_delivered_packets_total",
+			"Packets that finished transmitting on the wire.", sched),
+		deliveredBytes: reg.Counter("fv_delivered_bytes_total",
+			"Frame bytes that finished transmitting on the wire.", sched),
+		droppedQueue: drop("queue"),
+		droppedCPU:   drop("cpu"),
+		hostCycles: reg.Counter("fv_host_cycles_total",
+			"Host CPU cycles burned in the poll-mode scheduler stage.", sched),
+		backlog: reg.Gauge("fv_backlog_packets",
+			"Packets waiting in scheduler queues.", sched),
+	}
+}

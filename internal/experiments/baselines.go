@@ -50,6 +50,9 @@ func RunHTBTCP(sc TCPScenario, cfg htb.Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sc.Telemetry != nil {
+		qdisc.AttachTelemetry(sc.Telemetry)
+	}
 
 	if err := buildFlows(eng, sc, flows, qdisc.Enqueue); err != nil {
 		return nil, err
@@ -128,6 +131,9 @@ func RunDPDKTCP(sc TCPScenario, cfg dpdkqos.Config) (*Result, error) {
 		})
 	if err != nil {
 		return nil, err
+	}
+	if sc.Telemetry != nil {
+		sched.AttachTelemetry(sc.Telemetry)
 	}
 
 	if err := buildFlows(eng, sc, flows, sched.Enqueue); err != nil {

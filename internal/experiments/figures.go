@@ -7,6 +7,7 @@ import (
 	"flowvalve/internal/htb"
 	"flowvalve/internal/nic"
 	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/telemetry"
 )
 
 // Durations below reproduce the paper's timelines at scale 1.0; tests run
@@ -17,6 +18,25 @@ import (
 const (
 	second = int64(1e9)
 )
+
+// ScenarioOption adjusts a figure's scenario before it runs.
+type ScenarioOption func(*TCPScenario)
+
+// WithTelemetry attaches a metrics registry (and, for FlowValve runs, an
+// optional decision tracer) to a figure's scenario, so the run can be
+// scraped live or dumped afterwards.
+func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) ScenarioOption {
+	return func(sc *TCPScenario) {
+		sc.Telemetry = reg
+		sc.Tracer = tr
+	}
+}
+
+func applyOpts(sc *TCPScenario, opts []ScenarioOption) {
+	for _, o := range opts {
+		o(sc)
+	}
+}
 
 func scaled(scale float64, seconds int64) int64 {
 	if scale <= 0 {
@@ -66,12 +86,13 @@ func motivationScenario(scale float64) (TCPScenario, error) {
 // Fig11a runs FlowValve on the motivation policy (paper Fig 11(a)),
 // sampling the per-class token-rate dynamics (Fig 6-style curves) at
 // 100ms resolution.
-func Fig11a(scale float64) (*Result, error) {
+func Fig11a(scale float64, opts ...ScenarioOption) (*Result, error) {
 	sc, err := motivationScenario(scale)
 	if err != nil {
 		return nil, err
 	}
 	sc.SampleRatesNs = scaled(scale, 1) / 10
+	applyOpts(&sc, opts)
 	return RunFlowValveTCP(sc)
 }
 
@@ -94,12 +115,13 @@ func htbMotivationTree() *tree.Tree {
 
 // Fig3 runs the kernel HTB baseline on the motivation policy (paper
 // Fig 3), exhibiting the three kernel inaccuracies.
-func Fig3(scale float64) (*Result, error) {
+func Fig3(scale float64, opts ...ScenarioOption) (*Result, error) {
 	sc, err := motivationScenario(scale)
 	if err != nil {
 		return nil, err
 	}
 	sc.Tree = htbMotivationTree()
+	applyOpts(&sc, opts)
 	// The testbed wire is the 40GbE NIC; HTB's 10G ceiling is pure
 	// software, which is exactly why it can overshoot to ≈12G.
 	return RunHTBTCP(sc, htb.Config{LinkRateBps: 40e9})
@@ -107,17 +129,17 @@ func Fig3(scale float64) (*Result, error) {
 
 // Fig11b runs 40Gbps fair queueing with four apps of four TCP connections
 // joining at 0/10/20/30s (paper Fig 11(b)).
-func Fig11b(scale float64) (*Result, error) {
-	return fairQueueRun(scale, 4)
+func Fig11b(scale float64, opts ...ScenarioOption) (*Result, error) {
+	return fairQueueRun(scale, 4, opts...)
 }
 
 // FairQueueConns is Fig11b with a custom connection count per app — the
 // paper's 4..256-connection robustness sweep.
-func FairQueueConns(scale float64, conns int) (*Result, error) {
-	return fairQueueRun(scale, conns)
+func FairQueueConns(scale float64, conns int, opts ...ScenarioOption) (*Result, error) {
+	return fairQueueRun(scale, conns, opts...)
 }
 
-func fairQueueRun(scale float64, conns int) (*Result, error) {
+func fairQueueRun(scale float64, conns int, opts ...ScenarioOption) (*Result, error) {
 	script, err := fvconf.Parse(fvconf.FairQueueScript("40gbit", 4))
 	if err != nil {
 		return nil, err
@@ -140,13 +162,14 @@ func fairQueueRun(scale float64, conns int) (*Result, error) {
 		DefaultClass: script.DefaultClass,
 		NIC:          nic.Config{WireRateBps: 40e9, WirePorts: 4},
 	}
+	applyOpts(&sc, opts)
 	return RunFlowValveTCP(sc)
 }
 
 // Fig11c runs 40Gbps weighted fair queueing under the Fig 12 policy:
 // App2 appears at 20s (must not disturb App0), App0 stops at 30s (the
 // rest share equally — borrowing is unweighted).
-func Fig11c(scale float64) (*Result, error) {
+func Fig11c(scale float64, opts ...ScenarioOption) (*Result, error) {
 	script, err := fvconf.Parse(fvconf.WeightedFQScript("40gbit"))
 	if err != nil {
 		return nil, err
@@ -169,6 +192,7 @@ func Fig11c(scale float64) (*Result, error) {
 		DefaultClass: script.DefaultClass,
 		NIC:          nic.Config{WireRateBps: 40e9, WirePorts: 4},
 	}
+	applyOpts(&sc, opts)
 	return RunFlowValveTCP(sc)
 }
 

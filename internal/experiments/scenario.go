@@ -17,6 +17,7 @@ import (
 	"flowvalve/internal/sim"
 	"flowvalve/internal/stats"
 	"flowvalve/internal/tcp"
+	"flowvalve/internal/telemetry"
 )
 
 // AppSpec describes one application's traffic in a TCP scenario.
@@ -60,6 +61,13 @@ type TCPScenario struct {
 	Sched core.Config
 	// MeasureLatency records per-packet one-way delay when true.
 	MeasureLatency bool
+	// Telemetry, when non-nil, receives the scheduler's and NIC model's
+	// metric families (the baselines register theirs under the same
+	// family names with a distinguishing scheduler label).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil alongside Telemetry, samples FlowValve
+	// scheduling decisions into its ring buffer.
+	Tracer *telemetry.Tracer
 	// SampleRatesNs, when positive, samples every class's granted rate
 	// θ and measured rate Γ on this period — the token-rate dynamics
 	// behind the figures (Fig 6/10 style curves).
@@ -126,6 +134,9 @@ func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sc.Telemetry != nil {
+		sched.AttachTelemetry(sc.Telemetry, sc.Tracer)
+	}
 
 	res := &Result{
 		Meter:      stats.NewThroughputMeter(sc.BinNs),
@@ -152,6 +163,9 @@ func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
 	dev, err := nic.New(eng, sc.NIC, cls, sched, cb)
 	if err != nil {
 		return nil, err
+	}
+	if sc.Telemetry != nil {
+		dev.AttachTelemetry(sc.Telemetry)
 	}
 
 	if err := buildFlows(eng, sc, flows, dev.Inject); err != nil {

@@ -124,6 +124,7 @@ type Qdisc struct {
 	nextLeaf   int // DRR cursor
 
 	stats Stats
+	tel   *qdiscTel // attached telemetry (nil when off)
 }
 
 // New builds an HTB qdisc over the class tree t.
@@ -179,6 +180,9 @@ func (q *Qdisc) CPU() *host.CPU { return q.cpu }
 // Enqueue accepts a packet from an application at the current time.
 func (q *Qdisc) Enqueue(p *packet.Packet) {
 	q.cpu.Charge(float64(q.cfg.EnqueueCycles))
+	if q.tel != nil {
+		q.tel.hostCycles.Add(q.cfg.EnqueueCycles)
+	}
 	leaf := q.classify(p)
 	if leaf == nil || !leaf.Leaf() {
 		q.drop(p)
@@ -190,6 +194,10 @@ func (q *Qdisc) Enqueue(p *packet.Packet) {
 		return
 	}
 	q.stats.Enqueued++
+	if q.tel != nil {
+		q.tel.enqueued.Add(1)
+		q.tel.backlog.Add(1)
+	}
 	if !q.draining {
 		q.draining = true
 		q.eng.After(0, q.drain)
@@ -217,6 +225,10 @@ func (q *Qdisc) drain() {
 	st := &q.states[leaf.ID]
 	p := st.queue.Pop()
 	q.cpu.Charge(float64(q.cfg.DequeueCycles))
+	if q.tel != nil {
+		q.tel.hostCycles.Add(q.cfg.DequeueCycles)
+		q.tel.backlog.Add(-1)
+	}
 	q.chargeTokens(leaf, float64(p.Size))
 
 	txNs := int64(float64(p.WireBytes()*8) / q.cfg.LinkRateBps * 1e9)
@@ -225,6 +237,10 @@ func (q *Qdisc) drain() {
 	q.eng.At(done, func() {
 		p.EgressAt = done
 		q.stats.Delivered++
+		if q.tel != nil {
+			q.tel.delivered.Add(1)
+			q.tel.deliveredBytes.Add(int64(p.Size))
+		}
 		if q.cb.OnDeliver != nil {
 			q.cb.OnDeliver(p)
 		}
@@ -360,6 +376,9 @@ func (q *Qdisc) chargeTokens(leaf *tree.Class, size float64) {
 
 func (q *Qdisc) drop(p *packet.Packet) {
 	q.stats.Dropped++
+	if q.tel != nil {
+		q.tel.dropped.Add(1)
+	}
 	if q.cb.OnDrop != nil {
 		q.cb.OnDrop(p)
 	}

@@ -1,0 +1,40 @@
+package htb
+
+import "flowvalve/internal/telemetry"
+
+// qdiscTel holds the qdisc's attached metric handles.
+type qdiscTel struct {
+	enqueued       *telemetry.Counter
+	delivered      *telemetry.Counter
+	deliveredBytes *telemetry.Counter
+	dropped        *telemetry.Counter
+	hostCycles     *telemetry.Counter
+	backlog        *telemetry.Gauge
+}
+
+// AttachTelemetry wires the HTB baseline into a metrics registry using
+// the same family names as the NIC model and the DPDK baseline, labelled
+// {scheduler="htb"}, so figure-style comparisons read one metric family
+// across all three schedulers.
+func (q *Qdisc) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		q.tel = nil
+		return
+	}
+	sched := telemetry.Label{Key: "scheduler", Value: "htb"}
+	q.tel = &qdiscTel{
+		enqueued: reg.Counter("fv_enqueued_packets_total",
+			"Packets accepted into a class queue.", sched),
+		delivered: reg.Counter("fv_delivered_packets_total",
+			"Packets that finished transmitting on the wire.", sched),
+		deliveredBytes: reg.Counter("fv_delivered_bytes_total",
+			"Frame bytes that finished transmitting on the wire.", sched),
+		dropped: reg.Counter("fv_dropped_packets_total",
+			"Packets dropped, by scheduler and reason.",
+			sched, telemetry.Label{Key: "reason", Value: "queue"}),
+		hostCycles: reg.Counter("fv_host_cycles_total",
+			"Host CPU cycles burned at the qdisc lock stage.", sched),
+		backlog: reg.Gauge("fv_backlog_packets",
+			"Packets waiting in scheduler queues.", sched),
+	}
+}

@@ -203,6 +203,9 @@ type NIC struct {
 	ports []*wirePort
 
 	stats Stats
+
+	// tel holds the attached telemetry instruments (nil when off).
+	tel *nicTel
 }
 
 // completion is one finished worker routine waiting in the reorder
@@ -284,6 +287,9 @@ func (n *NIC) takeBuffer() bool {
 		return false
 	}
 	n.freeBuffers--
+	if n.tel != nil {
+		n.tel.freeBuffers.Add(-1)
+	}
 	return true
 }
 
@@ -299,6 +305,9 @@ func (n *NIC) freeBuffer() {
 
 func (n *NIC) recyclePass() {
 	n.freeBuffers += n.recycleBin
+	if n.tel != nil {
+		n.tel.freeBuffers.Add(float64(n.recycleBin))
+	}
 	n.recycleBin = 0
 	n.recycleArmed = false
 }
@@ -328,8 +337,14 @@ func (n *NIC) QueuedBytes() int64 {
 // cluster with a free context; otherwise it waits in its VF's Rx ring.
 func (n *NIC) Inject(p *packet.Packet) {
 	n.stats.Injected++
+	if n.tel != nil {
+		n.tel.injected.Add(1)
+	}
 	if !n.takeBuffer() {
 		n.stats.BufferDrops++
+		if n.tel != nil {
+			n.tel.dropBuffer.Add(1)
+		}
 		n.drop(p, DropRxRing)
 		return
 	}
@@ -340,8 +355,15 @@ func (n *NIC) Inject(p *packet.Packet) {
 	ring := n.ringFor(p.App)
 	if !ring.TryPush(p) {
 		n.stats.RxRingDrops++
+		if n.tel != nil {
+			n.tel.dropRxRing.Add(1)
+		}
 		n.freeBuffer()
 		n.drop(p, DropRxRing)
+		return
+	}
+	if n.tel != nil {
+		n.tel.ringPkts.Add(1)
 	}
 }
 
@@ -402,6 +424,9 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 	}
 
 	n.stats.BusyCycles += float64(cycles)
+	if n.tel != nil {
+		n.tel.busyCycles.Add(cycles)
+	}
 	for i, c := range n.clusters {
 		if c == cl {
 			n.stats.ClusterBusyCycles[i] += float64(cycles)
@@ -446,8 +471,14 @@ func (n *NIC) completeService(p *packet.Packet, seq uint64, forward bool, reason
 		switch reason {
 		case DropSched:
 			n.stats.SchedDrops++
+			if n.tel != nil {
+				n.tel.dropSched.Add(1)
+			}
 		case DropUnclassified:
 			n.stats.Unclassified++
+			if n.tel != nil {
+				n.tel.dropUncl.Add(1)
+			}
 		}
 		n.drop(p, reason)
 		n.freeBuffer()
@@ -477,6 +508,9 @@ func (n *NIC) pullNext() *packet.Packet {
 		idx := (n.nextRing + i) % len(n.ringOrder)
 		if p := n.rings[n.ringOrder[idx]].Pop(); p != nil {
 			n.nextRing = (idx + 1) % len(n.ringOrder)
+			if n.tel != nil {
+				n.tel.ringPkts.Add(-1)
+			}
 			return p
 		}
 	}
@@ -490,9 +524,16 @@ func (n *NIC) txEnqueue(p *packet.Packet) {
 	port := n.ports[int(p.Flow)%len(n.ports)]
 	if !port.queue.TryPush(p) {
 		n.stats.TMDrops++
+		if n.tel != nil {
+			n.tel.dropTM.Add(1)
+		}
 		n.freeBuffer()
 		n.drop(p, DropTM)
 		return
+	}
+	if n.tel != nil {
+		n.tel.tmBytes.Add(float64(p.Size))
+		n.tel.tmPkts.Add(1)
 	}
 	if !port.active {
 		port.active = true
@@ -508,6 +549,10 @@ func (n *NIC) drainPort(port *wirePort) {
 		port.active = false
 		return
 	}
+	if n.tel != nil {
+		n.tel.tmBytes.Add(-float64(p.Size))
+		n.tel.tmPkts.Add(-1)
+	}
 	portRate := n.cfg.WireRateBps / float64(len(n.ports))
 	txNs := int64(float64(p.WireBytes()*8) / portRate * 1e9)
 	now := n.eng.Now()
@@ -519,6 +564,10 @@ func (n *NIC) drainPort(port *wirePort) {
 	n.eng.At(done, func() {
 		p.EgressAt = done + n.cfg.FixedLatencyNs
 		n.stats.Delivered++
+		if n.tel != nil {
+			n.tel.delivered.Add(1)
+			n.tel.deliveredBytes.Add(int64(p.Size))
+		}
 		n.freeBuffer()
 		if n.cb.OnDeliver != nil {
 			n.cb.OnDeliver(p)

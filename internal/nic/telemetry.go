@@ -1,0 +1,74 @@
+package nic
+
+import "flowvalve/internal/telemetry"
+
+// nicTel holds the NIC's attached metric handles. The DES drives the NIC
+// single-threaded, so these atomic instruments are updated without
+// contention while remaining safe to scrape from a live HTTP exporter on
+// another goroutine.
+type nicTel struct {
+	injected       *telemetry.Counter
+	delivered      *telemetry.Counter
+	deliveredBytes *telemetry.Counter
+	dropSched      *telemetry.Counter
+	dropRxRing     *telemetry.Counter
+	dropTM         *telemetry.Counter
+	dropUncl       *telemetry.Counter
+	dropBuffer     *telemetry.Counter
+	busyCycles     *telemetry.Counter
+	tmBytes        *telemetry.Gauge
+	tmPkts         *telemetry.Gauge
+	ringPkts       *telemetry.Gauge
+	freeBuffers    *telemetry.Gauge
+}
+
+// AttachTelemetry wires the NIC model into a metrics registry. Families
+// shared with the software baselines carry {scheduler="flowvalve"} so
+// figure-style comparisons can select on one label.
+//
+//	fv_injected_packets_total{scheduler}        host→NIC injections
+//	fv_delivered_packets_total{scheduler}       wire deliveries
+//	fv_delivered_bytes_total{scheduler}         wire delivered bytes
+//	fv_dropped_packets_total{scheduler,reason}  reason ∈ sched, rx-ring,
+//	                                            tm, unclassified, buffer
+//	fv_nic_busy_cycles_total                    worker micro-engine cycles
+//	fv_nic_tm_queued_bytes / _packets           traffic-manager occupancy
+//	fv_nic_rx_ring_packets                      per-VF Rx ring backlog
+//	fv_nic_free_buffers                         buffer-pool headroom
+func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		n.tel = nil
+		return
+	}
+	sched := telemetry.Label{Key: "scheduler", Value: "flowvalve"}
+	drop := func(reason string) *telemetry.Counter {
+		return reg.Counter("fv_dropped_packets_total",
+			"Packets dropped, by scheduler and reason.",
+			sched, telemetry.Label{Key: "reason", Value: reason})
+	}
+	t := &nicTel{
+		injected: reg.Counter("fv_injected_packets_total",
+			"Packets handed from the host to the NIC.", sched),
+		delivered: reg.Counter("fv_delivered_packets_total",
+			"Packets that finished transmitting on the wire.", sched),
+		deliveredBytes: reg.Counter("fv_delivered_bytes_total",
+			"Frame bytes that finished transmitting on the wire.", sched),
+		dropSched:  drop(DropSched.String()),
+		dropRxRing: drop(DropRxRing.String()),
+		dropTM:     drop(DropTM.String()),
+		dropUncl:   drop(DropUnclassified.String()),
+		dropBuffer: drop("buffer"),
+		busyCycles: reg.Counter("fv_nic_busy_cycles_total",
+			"Busy cycles accumulated by the worker micro-engine contexts."),
+		tmBytes: reg.Gauge("fv_nic_tm_queued_bytes",
+			"Frame bytes waiting in the traffic-manager port queues."),
+		tmPkts: reg.Gauge("fv_nic_tm_queued_packets",
+			"Packets waiting in the traffic-manager port queues."),
+		ringPkts: reg.Gauge("fv_nic_rx_ring_packets",
+			"Packets waiting in the per-VF receive rings."),
+		freeBuffers: reg.Gauge("fv_nic_free_buffers",
+			"Immediately allocatable packet buffers."),
+	}
+	t.freeBuffers.Set(float64(n.freeBuffers))
+	n.tel = t
+}

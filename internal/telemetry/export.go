@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4). Metric families are grouped with one
+// HELP/TYPE header each; output order is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, e := range r.collect() {
+		if e.name != lastFamily {
+			lastFamily = e.name
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch e.kind {
+		case KindHistogram:
+			writePromHistogram(bw, e)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", e.name, promLabels(e.labels, "", 0), promFloat(e.value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, e snapshotEntry) {
+	for i, b := range e.bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, promLabels(e.labels, "le", b), e.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, promLabels(e.labels, "le", math.Inf(1)), e.counts[len(e.counts)-1])
+	fmt.Fprintf(w, "%s_sum%s %s\n", e.name, promLabels(e.labels, "", 0), promFloat(e.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels, "", 0), e.count)
+}
+
+// promLabels renders a label set, optionally appending an `le` bound.
+func promLabels(labels []Label, le string, bound float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(le)
+		sb.WriteString(`="`)
+		sb.WriteString(promFloat(bound))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// jsonMetric is the JSON snapshot shape of one metric instance.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Count   *int64       `json:"count,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"` // upper bound ("+Inf" for the tail)
+	Count int64  `json:"count"`
+}
+
+// WriteJSON writes the registry as one JSON document:
+// {"metrics": [...]}. Counters and gauges carry "value"; histograms carry
+// cumulative "buckets", "sum", and "count".
+func (r *Registry) WriteJSON(w io.Writer) error {
+	entries := r.collect()
+	metrics := make([]jsonMetric, 0, len(entries))
+	for _, e := range entries {
+		jm := jsonMetric{Name: e.name, Kind: e.kind.String()}
+		if len(e.labels) > 0 {
+			jm.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				jm.Labels[l.Key] = l.Value
+			}
+		}
+		if e.kind == KindHistogram {
+			for i, b := range e.bounds {
+				jm.Buckets = append(jm.Buckets, jsonBucket{LE: promFloat(b), Count: e.counts[i]})
+			}
+			jm.Buckets = append(jm.Buckets, jsonBucket{LE: "+Inf", Count: e.counts[len(e.counts)-1]})
+			sum, count := e.sum, e.count
+			jm.Sum, jm.Count = &sum, &count
+		} else {
+			v := e.value
+			jm.Value = &v
+		}
+		metrics = append(metrics, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}{metrics})
+}
+
+// Dump renders the Prometheus exposition as a string, for headless runs
+// and logs.
+func (r *Registry) Dump() string {
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	return sb.String()
+}
+
+// Handler returns an http.Handler serving the registry:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot
+//	/healthz       liveness probe
+//
+// The handler is safe to serve while the datapath runs: collection reads
+// only atomics and Func callbacks.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

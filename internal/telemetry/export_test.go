@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("fv_fwd_packets_total", "Forwarded packets.", Label{"class", "1:40"}).Add(42)
+	r.Gauge("fv_theta_bps", "Granted rate.", Label{"class", `va"l\ue`}).Set(2e9)
+	h := r.Histogram("fv_update_duration_ns", "Update latency.", []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+	r.GaugeFunc("fv_backlog_packets", "Backlog.", func() float64 { return 7 })
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	out := populated().Dump()
+	for _, want := range []string{
+		"# HELP fv_fwd_packets_total Forwarded packets.",
+		"# TYPE fv_fwd_packets_total counter",
+		`fv_fwd_packets_total{class="1:40"} 42`,
+		"# TYPE fv_theta_bps gauge",
+		`fv_theta_bps{class="va\"l\\ue"} 2e+09`,
+		"# TYPE fv_update_duration_ns histogram",
+		`fv_update_duration_ns_bucket{le="100"} 1`,
+		`fv_update_duration_ns_bucket{le="1000"} 2`,
+		`fv_update_duration_ns_bucket{le="+Inf"} 3`,
+		"fv_update_duration_ns_sum 5550",
+		"fv_update_duration_ns_count 3",
+		"fv_backlog_packets 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family even with multiple children.
+	r := populated()
+	r.Counter("fv_fwd_packets_total", "Forwarded packets.", Label{"class", "1:50"}).Add(1)
+	out = r.Dump()
+	if strings.Count(out, "# TYPE fv_fwd_packets_total counter") != 1 {
+		t.Errorf("duplicate TYPE headers:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := populated().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	byName := map[string]jsonMetric{}
+	for _, m := range doc.Metrics {
+		byName[m.Name] = m
+	}
+	c := byName["fv_fwd_packets_total"]
+	if c.Kind != "counter" || c.Value == nil || *c.Value != 42 || c.Labels["class"] != "1:40" {
+		t.Fatalf("counter snapshot wrong: %+v", c)
+	}
+	h := byName["fv_update_duration_ns"]
+	if h.Kind != "histogram" || h.Count == nil || *h.Count != 3 || len(h.Buckets) != 3 {
+		t.Fatalf("histogram snapshot wrong: %+v", h)
+	}
+	if h.Buckets[2].LE != "+Inf" || h.Buckets[2].Count != 3 {
+		t.Fatalf("histogram +Inf bucket wrong: %+v", h.Buckets)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(populated().Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "fv_fwd_packets_total") || !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics: ct=%q body=%q", ct, body[:min(120, len(body))])
+	}
+	body, ct = get("/metrics.json")
+	if !strings.Contains(body, `"metrics"`) || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/metrics.json: ct=%q", ct)
+	}
+	body, _ = get("/healthz")
+	if !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz body = %q", body)
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	if promFloat(math.Inf(1)) != "+Inf" || promFloat(math.Inf(-1)) != "-Inf" {
+		t.Fatal("infinity rendering wrong")
+	}
+	if promFloat(1.5) != "1.5" {
+		t.Fatalf("promFloat(1.5) = %q", promFloat(1.5))
+	}
+}

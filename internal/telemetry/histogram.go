@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free Observe. Bucket
+// bounds are set at construction (no dynamic resizing — the hot path
+// never allocates); an implicit +Inf bucket catches the tail. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; non-cumulative per bucket
+	sum    atomic.Uint64  // float64 bits, CAS-added
+	count  atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample. Lock-free, allocation-free, nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are small (≤ ~20) and the scan is
+	// branch-predictable, beating binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns bounds, cumulative counts (per bound, then +Inf), sum
+// and total count, in Prometheus exposition shape.
+func (h *Histogram) snapshot() (bounds []float64, cumulative []int64, sum float64, count int64) {
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return bounds, cumulative, h.Sum(), h.count.Load()
+}
+
+// DurationBucketsNs is the default bucket layout for nanosecond-denominated
+// latency histograms (update-subprocedure durations): 250ns to ~1ms in
+// powers of two — the range between "one cache miss" and "someone
+// descheduled the goroutine".
+var DurationBucketsNs = []float64{
+	250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000,
+	64_000, 128_000, 256_000, 512_000, 1_024_000,
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flowvalve/internal/stats"
+)
+
+// Trace verdicts, mirroring the scheduler's decision in one byte.
+const (
+	TraceForward uint8 = iota + 1
+	TraceDrop
+)
+
+// Event is one sampled scheduling decision. Strings are class names that
+// live for the scheduler's lifetime — recording copies only the string
+// header, never the bytes, so Record/Write stay allocation-free.
+type Event struct {
+	// AtNs is the scheduler clock at decision time (virtual ns under
+	// the DES, wall ns in a live datapath).
+	AtNs int64
+	// Class is the leaf class the packet matched.
+	Class string
+	// Lender names the shadow bucket that admitted a borrowed packet
+	// ("" otherwise).
+	Lender string
+	// QueueDepth is the leaf bucket's token level (bytes) just after
+	// the decision — the emulated per-class queue headroom.
+	QueueDepth int64
+	// Size is the packet's charged size in bytes.
+	Size int32
+	// Verdict is TraceForward or TraceDrop.
+	Verdict uint8
+	// Borrowed / Marked mirror the decision flags.
+	Borrowed bool
+	Marked   bool
+}
+
+// traceShard is one writer lane: a power-of-two ring plus the lane's
+// sampling counter. The shard is sized and padded so that lanes do not
+// false-share. Writers are expected to map predominantly one-to-one onto
+// shards (the stack-address hint); mu makes the occasional overlap — and
+// the drainer — safe without slowing the unsampled path, which touches
+// only `seen`.
+type traceShard struct {
+	seen atomic.Uint64
+	_    [cacheLine - 8]byte
+
+	mu   sync.Mutex
+	ring []Event
+	pos  uint64 // total writes ever; ring index is pos & mask
+}
+
+// Tracer samples 1-in-N scheduling decisions into per-shard power-of-two
+// ring buffers. A nil *Tracer is a no-op.
+type Tracer struct {
+	mask   uint64 // sample when seq & mask == 0
+	rmask  uint64 // ring index mask
+	shards []traceShard
+}
+
+const tracerShards = 8
+
+// nextPow2 rounds n up to a power of two (min 1).
+func nextPow2(n int) uint64 {
+	p := uint64(1)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	return p
+}
+
+// NewTracer returns a tracer sampling one event in sampleEvery (rounded
+// up to a power of two; ≤1 records everything) with bufferSize total ring
+// slots (rounded up; split across shards).
+func NewTracer(sampleEvery, bufferSize int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	if bufferSize < tracerShards {
+		bufferSize = 4096
+	}
+	perShard := nextPow2((bufferSize + tracerShards - 1) / tracerShards)
+	t := &Tracer{
+		mask:   nextPow2(sampleEvery) - 1,
+		rmask:  perShard - 1,
+		shards: make([]traceShard, tracerShards),
+	}
+	for i := range t.shards {
+		t.shards[i].ring = make([]Event, perShard)
+	}
+	return t
+}
+
+// SampleEvery returns the effective sampling period (a power of two).
+func (t *Tracer) SampleEvery() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.mask + 1
+}
+
+// ShouldSample reports whether the seq-th event of an externally counted
+// stream falls on the sampling lattice. Callers that already maintain a
+// per-stream packet counter (the scheduler's per-class forward/drop
+// counters) use this to make the unsampled path a single mask test with
+// no additional atomic.
+func (t *Tracer) ShouldSample(seq uint64) bool {
+	return t != nil && seq&t.mask == 0
+}
+
+// Record offers one event to the tracer, applying 1-in-N sampling with
+// the tracer's own sharded counters. Unsampled events cost one sharded
+// atomic increment.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	sh := &t.shards[shardIndex()&(tracerShards-1)]
+	if (sh.seen.Add(1)-1)&t.mask != 0 {
+		return
+	}
+	t.writeShard(sh, ev)
+}
+
+// Write stores one pre-sampled event (pair with ShouldSample).
+func (t *Tracer) Write(ev Event) {
+	if t == nil {
+		return
+	}
+	t.writeShard(&t.shards[shardIndex()&(tracerShards-1)], ev)
+}
+
+func (t *Tracer) writeShard(sh *traceShard, ev Event) {
+	sh.mu.Lock()
+	sh.ring[sh.pos&t.rmask] = ev
+	sh.pos++
+	sh.mu.Unlock()
+}
+
+// Seen returns how many events were offered via Record.
+func (t *Tracer) Seen() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for i := range t.shards {
+		n += t.shards[i].seen.Load()
+	}
+	return n
+}
+
+// Drain removes and returns all buffered events, oldest first (merged
+// across shards by timestamp). Events overwritten by ring wrap-around are
+// gone — the tracer favors recency, like the NP's capture rings.
+func (t *Tracer) Drain() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n := sh.pos
+		if n > t.rmask+1 {
+			n = t.rmask + 1
+		}
+		start := sh.pos - n
+		for j := uint64(0); j < n; j++ {
+			out = append(out, sh.ring[(start+j)&t.rmask])
+		}
+		sh.pos = 0
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtNs < out[j].AtNs })
+	return out
+}
+
+// DrainToMeter drains the tracer into a throughput meter, one series per
+// "trace.<verdict>.<class>" (e.g. "trace.forward.1:40"). Each sampled
+// event is weighted by the sampling period so the series approximate the
+// true byte rates, making the trace directly comparable with the
+// delivered-throughput series the experiment harness records. Returns the
+// number of events drained.
+func DrainToMeter(t *Tracer, m *stats.ThroughputMeter) int {
+	events := t.Drain()
+	if m == nil {
+		return len(events)
+	}
+	weight := int(t.SampleEvery())
+	if weight < 1 {
+		weight = 1
+	}
+	for _, ev := range events {
+		verdict := "forward"
+		if ev.Verdict == TraceDrop {
+			verdict = "drop"
+		}
+		m.Add("trace."+verdict+"."+ev.Class, int(ev.Size)*weight, ev.AtNs)
+	}
+	return len(events)
+}

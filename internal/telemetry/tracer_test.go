@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"flowvalve/internal/stats"
+)
+
+func TestTracerSampling(t *testing.T) {
+	// One goroutine writes to one shard: size the buffer so a single
+	// shard's ring (bufferSize/8 slots) holds all sampled events.
+	tr := NewTracer(4, 8*1024)
+	if got := tr.SampleEvery(); got != 4 {
+		t.Fatalf("SampleEvery = %d, want 4", got)
+	}
+	for i := 0; i < 4000; i++ {
+		tr.Record(Event{AtNs: int64(i), Class: "a", Verdict: TraceForward})
+	}
+	if got := tr.Seen(); got != 4000 {
+		t.Fatalf("Seen = %d, want 4000", got)
+	}
+	events := tr.Drain()
+	if len(events) != 1000 {
+		t.Fatalf("drained %d events, want 1000 (1-in-4 of 4000)", len(events))
+	}
+	// Drain empties the rings.
+	if again := tr.Drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d events", len(again))
+	}
+}
+
+func TestTracerSampleEveryRoundsUp(t *testing.T) {
+	if got := NewTracer(100, 1024).SampleEvery(); got != 128 {
+		t.Fatalf("SampleEvery(100) = %d, want 128", got)
+	}
+	if got := NewTracer(0, 1024).SampleEvery(); got != 1 {
+		t.Fatalf("SampleEvery(0) = %d, want 1", got)
+	}
+}
+
+func TestTracerShouldSampleWrite(t *testing.T) {
+	tr := NewTracer(8, 1024)
+	var written int
+	for seq := uint64(0); seq < 64; seq++ {
+		if tr.ShouldSample(seq) {
+			tr.Write(Event{AtNs: int64(seq), Class: "x", Verdict: TraceDrop})
+			written++
+		}
+	}
+	if written != 8 {
+		t.Fatalf("sampled %d of 64 at 1-in-8", written)
+	}
+	events := tr.Drain()
+	if len(events) != 8 {
+		t.Fatalf("drained %d, want 8", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].AtNs < events[i-1].AtNs {
+			t.Fatal("drain not sorted by timestamp")
+		}
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(1, tracerShards*4) // 4 slots per shard
+	for i := 0; i < 10000; i++ {
+		tr.Record(Event{AtNs: int64(i)})
+	}
+	events := tr.Drain()
+	if len(events) == 0 || len(events) > tracerShards*4 {
+		t.Fatalf("drained %d events from a %d-slot tracer", len(events), tracerShards*4)
+	}
+	// Recency: the newest event must have survived the wrap.
+	newest := events[len(events)-1].AtNs
+	if newest != 9999 {
+		t.Fatalf("newest surviving event AtNs = %d, want 9999", newest)
+	}
+}
+
+func TestTracerNilIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{})
+	tr.Write(Event{})
+	if tr.ShouldSample(0) {
+		t.Fatal("nil tracer sampled")
+	}
+	if tr.Drain() != nil || tr.Seen() != 0 || tr.SampleEvery() != 0 {
+		t.Fatal("nil tracer reported state")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(2, 1<<14)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				tr.Record(Event{AtNs: int64(w*5000 + i), Class: "c"})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Drain()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Seen() != 40000 {
+		t.Fatalf("Seen = %d, want 40000", tr.Seen())
+	}
+}
+
+func TestDrainToMeter(t *testing.T) {
+	tr := NewTracer(2, 1024)
+	// Pre-sampled writes: every event lands in the ring.
+	tr.Write(Event{AtNs: 0, Class: "a", Size: 100, Verdict: TraceForward})
+	tr.Write(Event{AtNs: 1e9, Class: "a", Size: 100, Verdict: TraceDrop})
+	m := stats.NewThroughputMeter(1e9)
+	if n := DrainToMeter(tr, m); n != 2 {
+		t.Fatalf("drained %d, want 2", n)
+	}
+	// 100 bytes weighted by the sampling period (2) in a 1s bin → 1600 bps.
+	fwd := m.Series("trace.forward.a")
+	if len(fwd) == 0 || fwd[0] != 1600 {
+		t.Fatalf("forward series = %v, want [1600 ...]", fwd)
+	}
+	drop := m.Series("trace.drop.a")
+	if len(drop) < 2 || drop[1] != 1600 {
+		t.Fatalf("drop series = %v, want bin1 = 1600", drop)
+	}
+	// Nil meter still drains.
+	tr.Write(Event{AtNs: 2, Class: "b", Size: 1})
+	if n := DrainToMeter(tr, nil); n != 1 {
+		t.Fatalf("nil-meter drain = %d, want 1", n)
+	}
+}
+
+func BenchmarkTracerRecordUnsampled(b *testing.B) {
+	tr := NewTracer(256, 4096)
+	ev := Event{AtNs: 1, Class: "leaf", Size: 64, Verdict: TraceForward}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(ev)
+	}
+}
