@@ -1,0 +1,36 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# commands.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-figures reproduce
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race detector on the surfaces that run under real goroutine
+# concurrency: the scheduling function, the NIC model, and the facade.
+race:
+	$(GO) test -race ./internal/core/ ./internal/nic/ .
+
+# Scheduling hot-path microbenchmarks (per-packet, batched, telemetry,
+# depth, parallel lock modes), benchstat-friendly: 5 repetitions each.
+#   make bench > new.txt   # then: benchstat old.txt new.txt
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkSchedule' -benchmem -count=5 .
+
+# Scaled figure/table regeneration benches + ablations.
+bench-figures:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Full-scale reproduction of the paper's evaluation.
+reproduce:
+	$(GO) run ./cmd/fvsim -experiment all

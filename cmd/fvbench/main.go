@@ -1,13 +1,19 @@
 // Command fvbench is a packet-rate microbenchmark for the SmartNIC model
-// and the scheduling function: it saturates FlowValve with fixed-size
+// and the scheduling function: it saturates a backend with fixed-size
 // packets and reports delivered Mpps/Gbps — the tool behind the Fig 13
 // sweep, exposed for ad-hoc what-if runs (different core counts, clock
-// frequencies, packet sizes, tree depths).
+// frequencies, packet sizes, tree depths, service batch sizes).
+//
+// Every backend is driven through the dataplane.Qdisc interface and
+// measured with the same delivered-packet counter, so the numbers are
+// comparable by construction.
 //
 // Usage:
 //
 //	fvbench -size 64 -cores 50 -freq 800e6 -duration 100ms
 //	fvbench -size 1518 -depth 4           # deeper scheduling trees
+//	fvbench -size 64 -batch 8             # batched Rx service
+//	fvbench -backend dpdk -cores 4        # DPDK QoS baseline
 package main
 
 import (
@@ -19,6 +25,9 @@ import (
 
 	"flowvalve/internal/classifier"
 	"flowvalve/internal/core"
+	"flowvalve/internal/dataplane"
+	"flowvalve/internal/dpdkqos"
+	"flowvalve/internal/experiments"
 	"flowvalve/internal/nic"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
@@ -36,11 +45,13 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fvbench", flag.ContinueOnError)
+	backend := fs.String("backend", "flowvalve", "backend to drive: flowvalve | dpdk")
 	size := fs.Int("size", 64, "frame size in bytes (incl. FCS)")
-	cores := fs.Int("cores", 50, "NP worker contexts")
+	cores := fs.Int("cores", 0, "worker cores (default: 50 NP contexts for flowvalve, 4 poll-mode cores for dpdk)")
 	freq := fs.Float64("freq", 800e6, "NP core frequency (Hz)")
 	wire := fs.Float64("wire", 40e9, "wire rate (bits/s)")
-	depth := fs.Int("depth", 1, "scheduling-tree depth below the root")
+	depth := fs.Int("depth", 1, "scheduling-tree depth below the root (flowvalve)")
+	batch := fs.Int("batch", 1, "NIC Rx service batch size (flowvalve; 1 = per-packet pipeline)")
 	duration := fs.Duration("duration", 100*time.Millisecond, "measurement window (simulated)")
 	metricsJSON := fs.String("metrics-json", "", "write a JSON metrics snapshot to this file after the run (- for stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -51,46 +62,28 @@ func run(args []string, out io.Writer) error {
 		reg = telemetry.NewRegistry()
 	}
 
-	t, rules, err := chainPolicy(*wire, *depth)
-	if err != nil {
-		return err
-	}
-	eng := sim.New()
-	cls, err := classifier.New(t, rules, "")
-	if err != nil {
-		return err
-	}
-	sched, err := core.New(t, eng.Clock(), core.Config{})
-	if err != nil {
-		return err
-	}
-	if reg != nil {
-		sched.AttachTelemetry(reg, nil)
-	}
-
 	warm := duration.Nanoseconds()
-	var delivered uint64
-	dev, err := nic.New(eng, nic.Config{
-		Cores:       *cores,
-		CoreFreqHz:  *freq,
-		WireRateBps: *wire,
-		WirePorts:   4,
-	}, cls, sched, nic.Callbacks{
-		OnDeliver: func(p *packet.Packet) {
-			if p.EgressAt >= warm {
-				delivered++
-			}
-		},
-	})
+	eng := sim.New()
+	counter := &experiments.DeliveredCounter{WarmNs: warm}
+
+	var (
+		q       dataplane.Qdisc
+		procPps float64
+		header  string
+		err     error
+	)
+	switch *backend {
+	case "flowvalve":
+		q, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch)
+	case "dpdk":
+		q, procPps, header, err = buildDPDK(eng, counter, reg, *cores, *wire)
+	default:
+		return fmt.Errorf("unknown backend %q (flowvalve | dpdk)", *backend)
+	}
 	if err != nil {
 		return err
 	}
-	if reg != nil {
-		dev.AttachTelemetry(reg)
-	}
 
-	cfg := dev.Config()
-	procPps := float64(cfg.Cores) * cfg.CoreFreqHz / float64(cfg.Costs.PerPacket(*depth+1))
 	linePps := *wire / float64((*size+packet.WireOverhead)*8)
 	offeredPps := 1.3 * min(linePps, procPps)
 
@@ -100,17 +93,24 @@ func run(args []string, out io.Writer) error {
 		flows[i] = packet.FlowID(i)
 	}
 	if _, err := trafficgen.NewSaturator(eng, alloc, flows, 0, *size,
-		offeredPps*float64(*size)*8, 0, 2*warm, dev.Inject); err != nil {
+		offeredPps*float64(*size)*8, 0, 2*warm, q.Enqueue); err != nil {
 		return err
 	}
 	eng.RunUntil(2 * warm)
 
-	pps := float64(delivered) / duration.Seconds()
-	st := dev.Stats()
-	fmt.Fprintf(out, "size=%dB cores=%d freq=%.0fMHz depth=%d\n", *size, *cores, *freq/1e6, *depth)
+	pps := counter.Pps(warm)
+	st := q.QdiscStats()
+	fmt.Fprintf(out, "%s\n", header)
 	fmt.Fprintf(out, "delivered: %.2f Mpps  (%.2f Gbps wire)\n", pps/1e6, pps*float64(*size+packet.WireOverhead)*8/1e9)
 	fmt.Fprintf(out, "bottleneck: line=%.2f Mpps  processing=%.2f Mpps\n", linePps/1e6, procPps/1e6)
-	fmt.Fprintf(out, "drops: sched=%d rx-ring=%d tm=%d\n", st.SchedDrops, st.RxRingDrops, st.TMDrops)
+	fmt.Fprintf(out, "enqueued=%d delivered=%d dropped=%d\n", st.Enqueued, st.Delivered, st.Dropped)
+	if dev, ok := q.(*nic.NIC); ok {
+		ns := dev.Stats()
+		fmt.Fprintf(out, "drops: sched=%d rx-ring=%d tm=%d\n", ns.SchedDrops, ns.RxRingDrops, ns.TMDrops)
+	}
+	if acct, ok := q.(dataplane.HostAccountant); ok {
+		fmt.Fprintf(out, "host cores: %.2f\n", acct.HostCores(2*warm))
+	}
 	if reg != nil {
 		w := out
 		if *metricsJSON != "-" {
@@ -126,6 +126,75 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// buildFlowValve assembles the offloaded backend on the NIC model.
+func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg *telemetry.Registry,
+	size, cores int, freq, wire float64, depth, batch int) (dataplane.Qdisc, float64, string, error) {
+	if cores <= 0 {
+		cores = 50
+	}
+	t, rules, err := chainPolicy(wire, depth)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	cls, err := classifier.New(t, rules, "")
+	if err != nil {
+		return nil, 0, "", err
+	}
+	sched, err := core.New(t, eng.Clock(), core.Config{})
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if reg != nil {
+		sched.AttachTelemetry(reg, nil)
+	}
+	cb := counter.Callbacks()
+	dev, err := nic.New(eng, nic.Config{
+		Cores:       cores,
+		CoreFreqHz:  freq,
+		WireRateBps: wire,
+		WirePorts:   4,
+		BatchSize:   batch,
+	}, cls, sched, nic.Callbacks{OnDeliver: cb.OnDeliver})
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if reg != nil {
+		dev.AttachTelemetry(reg)
+	}
+	cfg := dev.Config()
+	procPps := float64(cfg.Cores) * cfg.CoreFreqHz / float64(cfg.Costs.PerPacket(depth+1))
+	header := fmt.Sprintf("backend=flowvalve size=%dB cores=%d freq=%.0fMHz depth=%d batch=%d",
+		size, cores, freq/1e6, depth, cfg.BatchSize)
+	return dev, procPps, header, nil
+}
+
+// buildDPDK assembles the DPDK QoS Scheduler baseline: four fair pipes
+// on dedicated poll-mode cores.
+func buildDPDK(eng *sim.Engine, counter *experiments.DeliveredCounter, reg *telemetry.Registry,
+	cores int, wire float64) (dataplane.Qdisc, float64, string, error) {
+	if cores <= 0 {
+		cores = 4
+	}
+	pipe := dpdkqos.PipeConfig{RateBps: wire / 4}
+	cfg := dpdkqos.Config{
+		LinkRateBps: wire,
+		Cores:       cores,
+		Pipes:       []dpdkqos.PipeConfig{pipe, pipe, pipe, pipe},
+	}.Defaults()
+	sched, err := dpdkqos.New(eng, cfg,
+		func(p *packet.Packet) int { return int(p.Flow) % len(cfg.Pipes) },
+		counter.Callbacks())
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if reg != nil {
+		sched.AttachTelemetry(reg)
+	}
+	procPps := float64(cores) * cfg.Host.FreqHz / float64(cfg.CyclesPerPkt)
+	header := fmt.Sprintf("backend=dpdk cores=%d", cores)
+	return sched, procPps, header, nil
 }
 
 // chainPolicy builds a policy whose leaf sits `depth` levels below the

@@ -28,6 +28,40 @@ func TestRunDeepTree(t *testing.T) {
 	}
 }
 
+func TestRunBatched(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-size", "64", "-batch", "8", "-duration", "5ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "batch=8") {
+		t.Fatalf("batch size not reflected:\n%s", out)
+	}
+	if !strings.Contains(out, "delivered:") {
+		t.Fatalf("output missing delivered line:\n%s", out)
+	}
+}
+
+func TestRunDPDKBackend(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-backend", "dpdk", "-size", "64", "-duration", "5ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"backend=dpdk", "delivered:", "host cores:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownBackend(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-backend", "nonesuch"}, &sb); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-size", "notanumber"}, &sb); err == nil {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"flowvalve/internal/experiments"
 )
 
 // The discrete-event substrate is deterministic: two runs of the same
@@ -48,6 +50,39 @@ func TestScenarioDeterministic(t *testing.T) {
 	d2s, d2o := r2.SchedDrops()
 	if d1s != d2s || d1o != d2o {
 		t.Fatalf("drop counts differ: (%d,%d) vs (%d,%d)", d1s, d1o, d2s, d2o)
+	}
+}
+
+// The batched Rx service path must be just as deterministic as the
+// per-packet one: two runs of the Fig 11(b) fair-queueing scenario with
+// an 8-packet NIC service batch produce identical per-app series and
+// qdisc counters.
+func TestBatchedScenarioDeterministic(t *testing.T) {
+	run := func() (*experiments.Result, error) {
+		return experiments.Fig11b(0.05, experiments.WithNICBatch(8))
+	}
+	r1, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app := 0; app < 4; app++ {
+		s1 := r1.Meter.Series(experiments.AppSeries(app))
+		s2 := r2.Meter.Series(experiments.AppSeries(app))
+		if len(s1) != len(s2) {
+			t.Fatalf("app %d series lengths differ: %d vs %d", app, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("app %d bin %d differs: %v vs %v", app, i, s1[i], s2[i])
+			}
+		}
+	}
+	if r1.Qdisc != r2.Qdisc {
+		t.Fatalf("qdisc stats differ: %+v vs %+v", r1.Qdisc, r2.Qdisc)
 	}
 }
 

@@ -21,11 +21,13 @@ package flowvalve
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"flowvalve/internal/classifier"
 	"flowvalve/internal/clock"
 	"flowvalve/internal/core"
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/fvconf"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
@@ -274,6 +276,54 @@ func (h *FlowHandle) Class() string { return h.lbl.Leaf.Name }
 // flow. Safe for concurrent use.
 func (h *FlowHandle) Schedule(size int) Decision {
 	return h.in.scheduleLabel(h.lbl, size)
+}
+
+// facadeBatch holds the pooled request/decision buffers behind
+// FlowHandle.ScheduleBatch, so batched callers allocate nothing in
+// steady state.
+type facadeBatch struct {
+	reqs []dataplane.Request
+	decs []dataplane.Decision
+}
+
+var facadeBatchPool = sync.Pool{New: func() any { return new(facadeBatch) }}
+
+// ScheduleBatch runs the scheduling function for a burst of packets of
+// the pinned flow in one amortized pass (one clock read and at most one
+// epoch update per class for the whole burst), writing out[i] for
+// sizes[i]. len(out) must be at least len(sizes). Safe for concurrent
+// use; a burst of one is exactly Schedule.
+func (h *FlowHandle) ScheduleBatch(sizes []int, out []Decision) {
+	n := len(sizes)
+	if n == 0 {
+		return
+	}
+	out = out[:n]
+	b := facadeBatchPool.Get().(*facadeBatch)
+	if cap(b.reqs) < n {
+		b.reqs = make([]dataplane.Request, n)
+		b.decs = make([]dataplane.Decision, n)
+	}
+	reqs, decs := b.reqs[:n], b.decs[:n]
+	for i, sz := range sizes {
+		reqs[i] = dataplane.Request{Label: h.lbl, Size: sz}
+	}
+	h.in.sched.ScheduleBatch(reqs, decs)
+	class := h.lbl.Leaf.Name
+	for i := range decs {
+		o := Decision{Class: class}
+		if decs[i].Verdict == core.Forward {
+			o.Verdict = Forward
+		} else {
+			o.Verdict = Drop
+		}
+		if decs[i].Borrowed {
+			o.Borrowed = true
+			o.Lender = decs[i].Lender.Name
+		}
+		out[i] = o
+	}
+	facadeBatchPool.Put(b)
 }
 
 func (in *schedulerInner) scheduleLabel(lbl *tree.Label, size int) Decision {

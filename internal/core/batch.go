@@ -1,0 +1,215 @@
+package core
+
+import (
+	"flowvalve/internal/dataplane"
+	"flowvalve/internal/sched/tree"
+)
+
+// batchScratch is the working set of one ScheduleBatch call, pooled on
+// the scheduler so steady-state batching allocates nothing. Slices are
+// indexed by tree.ClassID.
+type batchScratch struct {
+	// fwd accumulates forwarded bytes per class (path consumption plus
+	// lent bytes counted against off-path lenders), flushed into the Γ
+	// estimators as one Count per class at the end of the batch.
+	fwd []int64
+	// touched lists the classes with pending fwd bytes.
+	touched []*tree.Class
+	// seen marks (by generation) classes whose epoch-elapse check
+	// already ran this batch.
+	seen []uint32
+	gen  uint32
+	// traces queues sampled decisions for batched emission.
+	traces []pendingTrace
+}
+
+// pendingTrace is one sampled decision awaiting trace emission.
+type pendingTrace struct {
+	seq int64
+	idx int32
+}
+
+func newBatchScratch(classes int) *batchScratch {
+	return &batchScratch{
+		fwd:     make([]int64, classes),
+		touched: make([]*tree.Class, 0, classes),
+		seen:    make([]uint32, classes),
+	}
+}
+
+// nextGen advances the batch generation, clearing the seen markers only
+// on the (once per 4G batches) wrap-around.
+func (bs *batchScratch) nextGen() uint32 {
+	bs.gen++
+	if bs.gen == 0 {
+		clear(bs.seen)
+		bs.gen = 1
+	}
+	return bs.gen
+}
+
+// count defers the Γ consumption count of sz bytes for every class on
+// the path until the batch flush.
+func (bs *batchScratch) count(path []*tree.Class, sz int64) {
+	if sz == 0 {
+		return
+	}
+	for _, c := range path {
+		bs.countOne(c, sz)
+	}
+}
+
+func (bs *batchScratch) countOne(c *tree.Class, sz int64) {
+	if bs.fwd[c.ID] == 0 {
+		bs.touched = append(bs.touched, c)
+	}
+	bs.fwd[c.ID] += sz
+}
+
+// ScheduleBatch runs the scheduling function for a burst of packets in
+// one pass, writing out[i] for reqs[i] (len(out) must be ≥ len(reqs)).
+//
+// The batch path is Algorithm 1 with its per-packet overheads amortized
+// across the burst, the way the NP's packet contexts share one pipeline
+// pass:
+//
+//   - one clock read for the whole batch (every packet is stamped with
+//     the same arrival instant — exactly what a single DES event or one
+//     Rx-ring doorbell delivers);
+//   - one epoch-elapse check, and at most one locked update, per class
+//     per batch instead of per packet (idempotent within a batch: after
+//     the first check the class's epoch cannot elapse again at the same
+//     timestamp);
+//   - one estimator Count per touched class, accumulated in non-atomic
+//     scratch while the batch runs;
+//   - trace emission batched after the verdict loop, so the sampled
+//     packets cost the unsampled ones nothing.
+//
+// At batch size 1 the decision sequence is identical to calling
+// Schedule per packet. At larger sizes verdicts can differ transiently
+// around an epoch boundary (the update lands on the batch's first
+// toucher instead of between packets), but admitted byte totals stay
+// within one epoch's refill of the per-packet path — the token supply
+// is epoch-driven, not call-driven, so batch size does not change
+// enforced rates.
+//
+// Safe for concurrent use like Schedule; scratch state is pooled per
+// call, never shared between concurrent batches.
+func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Decision) {
+	n := len(reqs)
+	if n == 0 {
+		return
+	}
+	out = out[:n]
+	now := s.clk.Now()
+	bs := s.batchPool.Get().(*batchScratch)
+	gen := bs.nextGen()
+	h := s.tel.Load()
+
+	for i := range reqs {
+		lbl := reqs[i].Label
+		sz := int64(reqs[i].Size)
+		d := &out[i]
+		*d = Decision{Batched: n}
+
+		// Lines 1–5 amortized: lastSeen is stamped per packet (it is
+		// what keeps an active class from expiring), but the epoch
+		// check runs once per class per batch.
+		for _, c := range lbl.Path {
+			st := &s.states[c.ID]
+			st.lastSeen.Store(now)
+			if bs.seen[c.ID] != gen {
+				bs.seen[c.ID] = gen
+				s.maybeUpdate(c, st, now, d)
+			}
+		}
+
+		leaf := lbl.Leaf
+		lst := &s.states[leaf.ID]
+
+		// Lines 6–8: meter at the leaf.
+		if lst.bucket.TryConsume(sz) {
+			bs.count(lbl.Path, sz)
+			seq := lst.fwdPkts.Add(1)
+			lst.fwdBytes.Add(sz)
+			d.Verdict = Forward
+			if f := s.cfg.ECNMarkFrac; f > 0 &&
+				lst.bucket.Tokens() < int64(f*float64(lst.bucket.Burst())) {
+				lst.markPkts.Add(1)
+				d.Marked = true
+			}
+			if h != nil {
+				bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+			}
+			continue
+		}
+
+		// Lines 9–15: borrowing, with each lender's opportunistic
+		// update also amortized to once per batch.
+		borrowed := false
+		for _, lender := range lbl.Borrow {
+			ls := &s.states[lender.ID]
+			if bs.seen[lender.ID] != gen {
+				bs.seen[lender.ID] = gen
+				s.maybeUpdate(lender, ls, now, d)
+			}
+			if ls.shadow.TryConsume(sz) {
+				if s.cfg.ECNMarkFrac > 0 {
+					lst.markPkts.Add(1)
+					d.Marked = true
+				}
+				ls.lentBytes.Add(sz)
+				ls.lentEpoch.Add(sz)
+				ls.lastSeen.Store(now)
+				if !labelPathContains(lbl, lender) {
+					bs.countOne(lender, sz)
+				}
+				lst.borrowPkts.Add(1)
+				bs.count(lbl.Path, sz)
+				seq := lst.fwdPkts.Add(1)
+				lst.fwdBytes.Add(sz)
+				d.Verdict = Forward
+				d.Borrowed = true
+				d.Lender = lender
+				if h != nil {
+					bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+				}
+				borrowed = true
+				break
+			}
+		}
+		if borrowed {
+			continue
+		}
+
+		// Line 16: drop.
+		seq := lst.dropPkts.Add(1)
+		lst.dropBytes.Add(sz)
+		d.Verdict = Drop
+		if h != nil {
+			bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+		}
+	}
+
+	// Flush: one estimator Count per touched class. No epoch can have
+	// rolled since a class's bytes began accumulating (its single check
+	// ran before its first consume), so deferral is invisible to Γ.
+	for _, c := range bs.touched {
+		s.states[c.ID].est.Count(bs.fwd[c.ID])
+		bs.fwd[c.ID] = 0
+	}
+	bs.touched = bs.touched[:0]
+
+	// Batched trace emission. QueueDepth on sampled events reads the
+	// post-batch bucket level — the price of keeping sampling off the
+	// verdict loop.
+	if h != nil {
+		for _, pt := range bs.traces {
+			lbl := reqs[pt.idx].Label
+			h.trace(pt.seq, now, lbl, &s.states[lbl.Leaf.ID],
+				int64(reqs[pt.idx].Size), &out[pt.idx])
+		}
+		bs.traces = bs.traces[:0]
+	}
+	s.batchPool.Put(bs)
+}

@@ -3,52 +3,33 @@ package core
 import (
 	"time"
 
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/sched/tree"
 )
 
-// Verdict is the forwarding decision of the scheduling function.
-type Verdict int
+// Verdict, Decision and the verdict constants are the dataplane types:
+// core is one implementation of dataplane.Scheduler, and every consumer
+// (NIC model, facade, harnesses) speaks the interface vocabulary. The
+// aliases keep the historical core.Forward / core.Decision spellings
+// valid at zero cost.
+type (
+	// Verdict is the forwarding decision of the scheduling function.
+	Verdict = dataplane.Verdict
+	// Decision reports the outcome of scheduling one packet.
+	Decision = dataplane.Decision
+	// Request is one packet's input to ScheduleBatch.
+	Request = dataplane.Request
+)
 
 const (
 	// Forward admits the packet to the transmit buffer.
-	Forward Verdict = iota + 1
+	Forward = dataplane.Forward
 	// Drop discards the packet — the specialized tail drop.
-	Drop
+	Drop = dataplane.Drop
 )
 
-// String returns the verdict name.
-func (v Verdict) String() string {
-	switch v {
-	case Forward:
-		return "forward"
-	case Drop:
-		return "drop"
-	default:
-		return "invalid"
-	}
-}
-
-// Decision reports the outcome of scheduling one packet, with enough
-// detail for the NIC model to charge cycle costs and for tests to assert
-// on the borrowing path.
-type Decision struct {
-	Verdict Verdict
-	// Marked is true when the packet was forwarded carrying a
-	// congestion mark instead of being dropped (Config.MarkOnRed).
-	Marked bool
-	// Borrowed is true when the packet passed on a lender's shadow
-	// bucket rather than its own class bucket.
-	Borrowed bool
-	// Lender is the class whose shadow bucket admitted the packet
-	// (nil unless Borrowed).
-	Lender *tree.Class
-	// Updates is the number of epoch updates this call executed; the
-	// NIC model charges the update cycle cost per entry.
-	Updates int
-	// LockMisses counts try-lock failures (another core held the class
-	// lock) — only meaningful under real concurrency.
-	LockMisses int
-}
+// Scheduler implements the unified backend-scheduler interface.
+var _ dataplane.Scheduler = (*Scheduler)(nil)
 
 // Schedule runs the scheduling function (Algorithm 1) for one packet of
 // `size` bytes carrying QoS label lbl, and returns the forwarding
@@ -56,7 +37,7 @@ type Decision struct {
 func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 	now := s.clk.Now()
 	sz := int64(size)
-	var d Decision
+	d := Decision{Batched: 1}
 
 	// Lines 1–5: walk the hierarchy label root→leaf; refresh token
 	// buckets opportunistically and record the packet against every
@@ -281,8 +262,13 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 }
 
 // updateRacy is the NoLock ablation: identical logic but callable
-// concurrently; the scratch slice is allocated per call to stay
-// memory-safe while epoch arithmetic is deliberately allowed to race.
+// concurrently — epoch arithmetic is deliberately allowed to race. The
+// ChildRates scratch is reused from st.rateScratch whenever the class
+// lock is free (one uncontended CAS — it always is in the
+// single-threaded DES, where this used to allocate every epoch); only
+// a genuinely contended update falls back to a fresh allocation, so
+// the ablation's numbers measure racing epochs, not the allocator,
+// while the scratch itself never becomes a data race.
 func (s *Scheduler) updateRacy(c *tree.Class, st *classState, now int64) bool {
 	last := st.lastUpdate.Load()
 	dt := now - last
@@ -310,9 +296,18 @@ func (s *Scheduler) updateRacy(c *tree.Class, st *classState, now int64) bool {
 		st.shadow.Refill(unused)
 	}
 	if len(c.Children) > 0 {
-		rates := tree.ChildRates(c, theta, s.gammaFuncAt(now), nil)
-		for i, ch := range c.Children {
-			s.states[ch.ID].theta.Store(rates[i])
+		if st.mu.TryLock() {
+			rates := tree.ChildRates(c, theta, s.gammaFuncAt(now), st.rateScratch)
+			st.rateScratch = rates
+			for i, ch := range c.Children {
+				s.states[ch.ID].theta.Store(rates[i])
+			}
+			st.mu.Unlock()
+		} else {
+			rates := tree.ChildRates(c, theta, s.gammaFuncAt(now), nil)
+			for i, ch := range c.Children {
+				s.states[ch.ID].theta.Store(rates[i])
+			}
 		}
 	}
 	st.updates.Add(1)

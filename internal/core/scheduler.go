@@ -155,6 +155,11 @@ type Scheduler struct {
 
 	globalMu sync.Mutex // used only in GlobalLock mode
 
+	// batchPool recycles ScheduleBatch working sets; concurrent batches
+	// each draw their own, so batching stays allocation-free without
+	// sharing scratch across goroutines.
+	batchPool sync.Pool
+
 	// tel is the attached observability state (nil when telemetry is
 	// off). Swapped atomically so AttachTelemetry is safe against
 	// in-flight Schedule calls.
@@ -181,6 +186,8 @@ func New(t *tree.Tree, clk clock.Clock, cfg Config) (*Scheduler, error) {
 	for i := range s.states {
 		s.states[i].est = token.NewEstimator(cfg.EWMAAlpha)
 	}
+	classes := t.Len()
+	s.batchPool.New = func() any { return newBatchScratch(classes) }
 	s.prime()
 	return s, nil
 }

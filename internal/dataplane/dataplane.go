@@ -1,0 +1,169 @@
+// Package dataplane defines the one interface every FlowValve scheduling
+// backend speaks — the offloaded scheduling function on the NIC model and
+// the software baselines (kernel HTB, kernel PRIO, DPDK QoS) alike — so
+// the experiment harnesses, the benchmark tools, and the public facade
+// drive all of them through the same calls instead of per-backend glue.
+//
+// Two planes are covered:
+//
+//   - Scheduler is the label-level hot path (Algorithm 1): a synchronous
+//     forwarding decision per packet, with a batched variant that
+//     amortizes clock reads, epoch checks, and estimator updates across a
+//     burst — the software analogue of the NP running many packet
+//     contexts through one pipeline pass.
+//
+//   - Qdisc is the discrete-event backend: packets go in via Enqueue,
+//     deliveries and drops come back via Callbacks, and cumulative
+//     counters come out of QdiscStats. Optional capabilities (host-CPU
+//     accounting, backlog, telemetry, live policy swap) are discovered by
+//     interface probes, never by concrete types.
+package dataplane
+
+import (
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/telemetry"
+)
+
+// Verdict is the forwarding decision of the scheduling function.
+type Verdict int
+
+const (
+	// Forward admits the packet to the transmit buffer.
+	Forward Verdict = iota + 1
+	// Drop discards the packet — the specialized tail drop.
+	Drop
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Forward:
+		return "forward"
+	case Drop:
+		return "drop"
+	default:
+		return "invalid"
+	}
+}
+
+// Decision reports the outcome of scheduling one packet, with enough
+// detail for the NIC model to charge cycle costs and for tests to assert
+// on the borrowing path.
+type Decision struct {
+	Verdict Verdict
+	// Marked is true when the packet was forwarded carrying a
+	// congestion mark instead of being dropped (Config.MarkOnRed).
+	Marked bool
+	// Borrowed is true when the packet passed on a lender's shadow
+	// bucket rather than its own class bucket.
+	Borrowed bool
+	// Lender is the class whose shadow bucket admitted the packet
+	// (nil unless Borrowed).
+	Lender *tree.Class
+	// Updates is the number of epoch updates executed while producing
+	// this decision. Within a ScheduleBatch call each class is updated
+	// at most once, and the cost lands on the first decision in the
+	// batch that touched the class — summing Updates over a batch gives
+	// the batch's total, so per-decision cycle charging stays correct.
+	Updates int
+	// LockMisses counts try-lock failures (another core held the class
+	// lock) while producing this decision — only meaningful under real
+	// concurrency. Attributed like Updates: at most once per class per
+	// batch, on the decision that attempted the update.
+	LockMisses int
+	// Batched is the number of packets scheduled by the call that
+	// produced this decision: 1 for Schedule, the batch length for
+	// every decision of a ScheduleBatch call. Cycle models use it to
+	// charge per-call fixed costs once per batch instead of once per
+	// packet.
+	Batched int
+}
+
+// Request is one packet's scheduling input in a batch.
+type Request struct {
+	// Label is the packet's QoS label (hierarchy path + borrow list).
+	Label *tree.Label
+	// Size is the packet size in bytes to charge against the buckets
+	// (wire bytes when enforcing link rates).
+	Size int
+}
+
+// Scheduler is the label-level scheduling function: Algorithm 1 as a
+// synchronous call. Implementations must be safe for concurrent use.
+type Scheduler interface {
+	// Schedule decides the fate of one packet of `size` bytes carrying
+	// QoS label lbl.
+	Schedule(lbl *tree.Label, size int) Decision
+	// ScheduleBatch decides a burst of packets in one pass, writing
+	// out[i] for reqs[i]. len(out) must be at least len(reqs). The
+	// verdict sequence is identical to calling Schedule per request at
+	// batch size 1; at larger sizes per-packet work (clock reads, epoch
+	// checks, estimator updates, trace emission) is amortized across
+	// the batch while admitted byte totals stay conformant to the same
+	// policy (the token supply is epoch-driven, not call-driven).
+	ScheduleBatch(reqs []Request, out []Decision)
+}
+
+// Callbacks connects a Qdisc to the rest of the simulation. Either field
+// may be nil.
+type Callbacks struct {
+	// OnDeliver fires when a packet finishes transmitting on the wire;
+	// p.EgressAt is set.
+	OnDeliver func(p *packet.Packet)
+	// OnDrop fires when the backend discards a packet.
+	OnDrop func(p *packet.Packet)
+}
+
+// Stats are the cumulative counters every backend can report.
+type Stats struct {
+	// Enqueued counts packets accepted by the backend (injections on
+	// the NIC model, queue admissions on the baselines).
+	Enqueued uint64
+	// Delivered counts packets that finished transmitting on the wire.
+	Delivered uint64
+	// Dropped counts packets the backend discarded, for any reason.
+	Dropped uint64
+}
+
+// Qdisc is a discrete-event scheduling backend. All four backends
+// (FlowValve-on-NIC, HTB, PRIO, DPDK QoS) implement it; harnesses drive
+// them exclusively through this interface plus the capability probes
+// below.
+type Qdisc interface {
+	// Enqueue hands one packet to the backend at the current simulation
+	// time.
+	Enqueue(p *packet.Packet)
+	// QdiscStats returns the cumulative counters.
+	QdiscStats() Stats
+}
+
+// HostAccountant is implemented by backends that burn host CPU on
+// scheduling (the software baselines). Offloaded backends simply do not
+// implement it — their host share is zero.
+type HostAccountant interface {
+	// HostCores reports the mean host cores consumed over a run of the
+	// given duration.
+	HostCores(durationNs int64) float64
+}
+
+// Backlogger is implemented by backends whose queue occupancy is
+// observable as a packet count.
+type Backlogger interface {
+	Backlog() int
+}
+
+// TelemetrySink is implemented by backends that can register their
+// metric families with an observability registry.
+type TelemetrySink interface {
+	AttachTelemetry(reg *telemetry.Registry)
+}
+
+// Swapper is implemented by backends whose scheduling function can be
+// replaced live (the facade's policy-swap path, mirrored on the NIC
+// model). Drivers probe for it before attempting a mid-run swap.
+type Swapper interface {
+	// Swap replaces the backend's scheduling function; a nil scheduler
+	// turns the backend into a pass-through forwarder.
+	Swap(s Scheduler)
+}

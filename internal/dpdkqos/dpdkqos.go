@@ -19,6 +19,7 @@ package dpdkqos
 import (
 	"fmt"
 
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/host"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/pktq"
@@ -28,11 +29,9 @@ import (
 // Classify maps a packet to a pipe index; negative means drop.
 type Classify func(*packet.Packet) int
 
-// Callbacks deliver results to the harness.
-type Callbacks struct {
-	OnDeliver func(p *packet.Packet)
-	OnDrop    func(p *packet.Packet)
-}
+// Callbacks deliver results to the harness; the scheduler shares the
+// dataplane's callback shape so harnesses build one set for any backend.
+type Callbacks = dataplane.Callbacks
 
 // PipeConfig is one pipe's shaping parameters.
 type PipeConfig struct {
@@ -381,4 +380,29 @@ func (s *Scheduler) Backlog() int {
 		n += pipe.queue.Len()
 	}
 	return n
+}
+
+// Compile-time capability checks: the DPDK baseline is driven through
+// the same dataplane.Qdisc interface as the other backends.
+var (
+	_ dataplane.Qdisc          = (*Scheduler)(nil)
+	_ dataplane.Backlogger     = (*Scheduler)(nil)
+	_ dataplane.HostAccountant = (*Scheduler)(nil)
+	_ dataplane.TelemetrySink  = (*Scheduler)(nil)
+)
+
+// QdiscStats implements dataplane.Qdisc. Dropped already folds in the
+// poll-loop CPU drops (Stats.CPUDrops breaks them out).
+func (s *Scheduler) QdiscStats() dataplane.Stats {
+	return dataplane.Stats{
+		Enqueued:  s.stats.Enqueued,
+		Delivered: s.stats.Delivered,
+		Dropped:   s.stats.Dropped,
+	}
+}
+
+// HostCores implements dataplane.HostAccountant: poll-mode cores burned
+// by the scheduler over the run.
+func (s *Scheduler) HostCores(durationNs int64) float64 {
+	return s.cpu.CoresUsed(durationNs)
 }

@@ -3,63 +3,39 @@ package experiments
 import (
 	"fmt"
 
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/dpdkqos"
 	"flowvalve/internal/htb"
 	"flowvalve/internal/packet"
+	"flowvalve/internal/prio"
 	"flowvalve/internal/sched/tree"
 	"flowvalve/internal/sim"
-	"flowvalve/internal/stats"
-	"flowvalve/internal/tcp"
 )
 
 // RunHTBTCP executes a TCP scenario against the kernel-HTB baseline on
 // the host model. The scenario's Rules are interpreted as app→class
 // mappings (Flow wildcards only).
 func RunHTBTCP(sc TCPScenario, cfg htb.Config) (*Result, error) {
-	sc.defaults()
-	if sc.Tree == nil {
-		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
-	}
-	eng := sim.New()
+	return runQdiscTCP(sc, func(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result) (dataplane.Qdisc, error) {
+		classOf, err := appClassMap(*sc)
+		if err != nil {
+			return nil, err
+		}
+		return htb.New(eng, cfg, sc.Tree,
+			func(p *packet.Packet) *tree.Class { return classOf[int(p.App)] }, cb)
+	})
+}
 
-	classOf, err := appClassMap(sc)
-	if err != nil {
-		return nil, err
+// RunPrioTCP executes a TCP scenario against the kernel-PRIO baseline.
+// bandOf maps packets to priority bands; nil maps each app index to its
+// own band (app 0 = highest priority).
+func RunPrioTCP(sc TCPScenario, cfg prio.Config, bandOf func(*packet.Packet) int) (*Result, error) {
+	if bandOf == nil {
+		bandOf = func(p *packet.Packet) int { return int(p.App) }
 	}
-	res := &Result{
-		Meter:      stats.NewThroughputMeter(sc.BinNs),
-		DurationNs: sc.DurationNs,
-	}
-	if sc.MeasureLatency {
-		res.Latency = stats.NewLatencyRecorder()
-	}
-	flows := tcp.NewSet()
-
-	qdisc, err := htb.New(eng, cfg, sc.Tree,
-		func(p *packet.Packet) *tree.Class { return classOf[int(p.App)] },
-		htb.Callbacks{
-			OnDeliver: func(p *packet.Packet) {
-				res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
-				if res.Latency != nil {
-					res.Latency.Record(p.EgressAt - p.SentAt)
-				}
-				flows.OnDeliver(p)
-			},
-			OnDrop: func(p *packet.Packet) { flows.OnDrop(p) },
-		})
-	if err != nil {
-		return nil, err
-	}
-	if sc.Telemetry != nil {
-		qdisc.AttachTelemetry(sc.Telemetry)
-	}
-
-	if err := buildFlows(eng, sc, flows, qdisc.Enqueue); err != nil {
-		return nil, err
-	}
-	eng.RunUntil(sc.DurationNs)
-	res.CoresUsed = qdisc.CPU().CoresUsed(sc.DurationNs)
-	return res, nil
+	return runQdiscTCP(sc, func(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result) (dataplane.Qdisc, error) {
+		return prio.New(eng, cfg, bandOf, cb)
+	})
 }
 
 // RunDPDKTCP executes a TCP scenario against the DPDK QoS Scheduler
@@ -67,81 +43,43 @@ func RunHTBTCP(sc TCPScenario, cfg htb.Config) (*Result, error) {
 // scenario's tree leaves (θ primed top-down with everything idle), which
 // matches how an operator would configure rte_sched for the same policy.
 func RunDPDKTCP(sc TCPScenario, cfg dpdkqos.Config) (*Result, error) {
-	sc.defaults()
-	if sc.Tree == nil {
-		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
-	}
-	eng := sim.New()
-
-	classOf, err := appClassMap(sc)
-	if err != nil {
-		return nil, err
-	}
-	// Build one pipe per app in app order.
-	apps := make([]int, 0, len(sc.Apps))
-	for _, a := range sc.Apps {
-		apps = append(apps, a.App)
-	}
-	pipeOf := make(map[int]int, len(apps))
-	if len(cfg.Pipes) == 0 {
-		shares := leafShares(sc.Tree)
-		for i, app := range apps {
-			leaf := classOf[app]
-			if leaf == nil {
-				return nil, fmt.Errorf("experiments: app %d has no class mapping", app)
+	return runQdiscTCP(sc, func(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result) (dataplane.Qdisc, error) {
+		classOf, err := appClassMap(*sc)
+		if err != nil {
+			return nil, err
+		}
+		// Build one pipe per app in app order.
+		apps := make([]int, 0, len(sc.Apps))
+		for _, a := range sc.Apps {
+			apps = append(apps, a.App)
+		}
+		pipeOf := make(map[int]int, len(apps))
+		if len(cfg.Pipes) == 0 {
+			shares := leafShares(sc.Tree)
+			for i, app := range apps {
+				leaf := classOf[app]
+				if leaf == nil {
+					return nil, fmt.Errorf("experiments: app %d has no class mapping", app)
+				}
+				cfg.Pipes = append(cfg.Pipes, dpdkqos.PipeConfig{
+					RateBps: shares[leaf.ID],
+					Weight:  leaf.EffectiveWeight(),
+				})
+				pipeOf[app] = i
 			}
-			cfg.Pipes = append(cfg.Pipes, dpdkqos.PipeConfig{
-				RateBps: shares[leaf.ID],
-				Weight:  leaf.EffectiveWeight(),
-			})
-			pipeOf[app] = i
+		} else {
+			for i, app := range apps {
+				pipeOf[app] = i % len(cfg.Pipes)
+			}
 		}
-	} else {
-		for i, app := range apps {
-			pipeOf[app] = i % len(cfg.Pipes)
-		}
-	}
-
-	res := &Result{
-		Meter:      stats.NewThroughputMeter(sc.BinNs),
-		DurationNs: sc.DurationNs,
-	}
-	if sc.MeasureLatency {
-		res.Latency = stats.NewLatencyRecorder()
-	}
-	flows := tcp.NewSet()
-
-	sched, err := dpdkqos.New(eng, cfg,
-		func(p *packet.Packet) int {
+		return dpdkqos.New(eng, cfg, func(p *packet.Packet) int {
 			pipe, ok := pipeOf[int(p.App)]
 			if !ok {
 				return -1
 			}
 			return pipe
-		},
-		dpdkqos.Callbacks{
-			OnDeliver: func(p *packet.Packet) {
-				res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
-				if res.Latency != nil {
-					res.Latency.Record(p.EgressAt - p.SentAt)
-				}
-				flows.OnDeliver(p)
-			},
-			OnDrop: func(p *packet.Packet) { flows.OnDrop(p) },
-		})
-	if err != nil {
-		return nil, err
-	}
-	if sc.Telemetry != nil {
-		sched.AttachTelemetry(sc.Telemetry)
-	}
-
-	if err := buildFlows(eng, sc, flows, sched.Enqueue); err != nil {
-		return nil, err
-	}
-	eng.RunUntil(sc.DurationNs)
-	res.CoresUsed = sched.CPU().CoresUsed(sc.DurationNs)
-	return res, nil
+		}, cb)
+	})
 }
 
 // appClassMap resolves each app's leaf class from the scenario rules.

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"flowvalve/internal/dataplane"
+	"flowvalve/internal/packet"
+)
+
+// DeliveredCounter counts wire deliveries after a warm-up window. It is
+// the shared measurement instrument of the throughput harnesses (Fig 13)
+// and cmd/fvbench: every backend's Mpps figure comes from the same
+// counter fed by the same callback, never from backend-private stats.
+type DeliveredCounter struct {
+	// WarmNs is the warm-up horizon; deliveries before it are ignored.
+	WarmNs    int64
+	delivered uint64
+}
+
+// Callbacks returns the dataplane callbacks that feed the counter (drops
+// are not counted — a dropped packet is the absence of throughput).
+func (d *DeliveredCounter) Callbacks() dataplane.Callbacks {
+	return dataplane.Callbacks{
+		OnDeliver: func(p *packet.Packet) {
+			if p.EgressAt >= d.WarmNs {
+				d.delivered++
+			}
+		},
+	}
+}
+
+// Delivered returns the packets counted since the warm-up horizon.
+func (d *DeliveredCounter) Delivered() uint64 { return d.delivered }
+
+// Pps converts the count to packets/second over the measurement window.
+func (d *DeliveredCounter) Pps(windowNs int64) float64 {
+	if windowNs <= 0 {
+		return 0
+	}
+	return float64(d.delivered) / (float64(windowNs) / 1e9)
+}

@@ -6,6 +6,7 @@ import (
 
 	"flowvalve/internal/classifier"
 	"flowvalve/internal/core"
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/dpdkqos"
 	"flowvalve/internal/fvconf"
 	"flowvalve/internal/host"
@@ -80,8 +81,16 @@ func linePps(size int) float64 {
 }
 
 // fig13FlowValve saturates the NIC model with fixed-size packets under
-// the fair-queueing policy and returns delivered packets/second.
+// the fair-queueing policy and returns delivered packets/second. The
+// NIC is driven and measured purely through the dataplane interface —
+// the same path and counter as every other backend.
 func fig13FlowValve(size int, durationNs int64) (float64, error) {
+	return fig13FlowValveBatched(size, durationNs, 0)
+}
+
+// fig13FlowValveBatched is fig13FlowValve with an explicit NIC service
+// batch size (0 = model default of 1).
+func fig13FlowValveBatched(size int, durationNs int64, batch int) (float64, error) {
 	script, err := fvconf.Parse(fvconf.FairQueueScript("40gbit", 4))
 	if err != nil {
 		return 0, err
@@ -100,18 +109,15 @@ func fig13FlowValve(size int, durationNs int64) (float64, error) {
 		return 0, err
 	}
 
-	var delivered uint64
 	warm := durationNs
-	dev, err := nic.New(eng, nic.Config{WireRateBps: 40e9, WirePorts: 4}, cls, sched, nic.Callbacks{
-		OnDeliver: func(p *packet.Packet) {
-			if p.EgressAt >= warm {
-				delivered++
-			}
-		},
-	})
+	counter := &DeliveredCounter{WarmNs: warm}
+	cb := counter.Callbacks()
+	dev, err := nic.New(eng, nic.Config{WireRateBps: 40e9, WirePorts: 4, BatchSize: batch},
+		cls, sched, nic.Callbacks{OnDeliver: cb.OnDeliver})
 	if err != nil {
 		return 0, err
 	}
+	var q dataplane.Qdisc = dev
 
 	// Offered load: 30% above both possible bottlenecks.
 	cfg := dev.Config()
@@ -120,11 +126,11 @@ func fig13FlowValve(size int, durationNs int64) (float64, error) {
 	offeredBps := offeredPps * float64(size) * 8
 
 	alloc := &packet.Alloc{}
-	if err := saturate4(eng, alloc, size, offeredBps, warm+durationNs, dev.Inject); err != nil {
+	if err := saturate4(eng, alloc, size, offeredBps, warm+durationNs, q.Enqueue); err != nil {
 		return 0, err
 	}
 	eng.RunUntil(warm + durationNs)
-	return float64(delivered) / (float64(durationNs) / 1e9), nil
+	return counter.Pps(durationNs), nil
 }
 
 // saturate4 sprays fixed-size packets from four apps at offeredBps total,
@@ -147,7 +153,9 @@ func saturate4(eng *sim.Engine, alloc *packet.Alloc, size int, offeredBps float6
 	return nil
 }
 
-// fig13DPDK saturates the DPDK QoS model on the given core count.
+// fig13DPDK saturates the DPDK QoS model on the given core count,
+// driven and measured through the same dataplane interface and counter
+// as the offloaded run.
 func fig13DPDK(size, cores int, durationNs int64) (float64, error) {
 	eng := sim.New()
 	cfg := dpdkqos.Config{
@@ -157,20 +165,15 @@ func fig13DPDK(size, cores int, durationNs int64) (float64, error) {
 			{RateBps: 10e9}, {RateBps: 10e9}, {RateBps: 10e9}, {RateBps: 10e9},
 		},
 	}.Defaults()
-	var delivered uint64
 	warm := durationNs
+	counter := &DeliveredCounter{WarmNs: warm}
 	sched, err := dpdkqos.New(eng, cfg,
 		func(p *packet.Packet) int { return int(p.App) },
-		dpdkqos.Callbacks{
-			OnDeliver: func(p *packet.Packet) {
-				if p.EgressAt >= warm {
-					delivered++
-				}
-			},
-		})
+		counter.Callbacks())
 	if err != nil {
 		return 0, err
 	}
+	var q dataplane.Qdisc = sched
 
 	cpu := host.New(cfg.Host)
 	procPps := cpu.Capacity(float64(cfg.CyclesPerPkt), cores)
@@ -178,11 +181,11 @@ func fig13DPDK(size, cores int, durationNs int64) (float64, error) {
 	offeredBps := offeredPps * float64(size) * 8
 
 	alloc := &packet.Alloc{}
-	if err := saturate4(eng, alloc, size, offeredBps, warm+durationNs, sched.Enqueue); err != nil {
+	if err := saturate4(eng, alloc, size, offeredBps, warm+durationNs, q.Enqueue); err != nil {
 		return 0, err
 	}
 	eng.RunUntil(warm + durationNs)
-	return float64(delivered) / (float64(durationNs) / 1e9), nil
+	return counter.Pps(durationNs), nil
 }
 
 // FormatFig13 renders the table next to the paper's reference points.

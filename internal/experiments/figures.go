@@ -32,6 +32,16 @@ func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) ScenarioOption
 	}
 }
 
+// WithNICBatch sets the SmartNIC model's Rx service burst for FlowValve
+// runs: workers pull up to n ring packets per service routine and push
+// them through the batched classify/schedule path (n ≤ 1 keeps the
+// per-packet pipeline).
+func WithNICBatch(n int) ScenarioOption {
+	return func(sc *TCPScenario) {
+		sc.NIC.BatchSize = n
+	}
+}
+
 func applyOpts(sc *TCPScenario, opts []ScenarioOption) {
 	for _, o := range opts {
 		o(sc)

@@ -6,12 +6,8 @@ import (
 
 	"flowvalve/internal/classifier"
 	"flowvalve/internal/nic"
-	"flowvalve/internal/packet"
 	"flowvalve/internal/prio"
 	"flowvalve/internal/sched/tree"
-	"flowvalve/internal/sim"
-	"flowvalve/internal/stats"
-	"flowvalve/internal/tcp"
 )
 
 // PrioCmpRow compares strict-priority enforcement between the kernel
@@ -95,37 +91,27 @@ func prioCmpRules() []classifier.Rule {
 	}
 }
 
-// prioCmpKernel drives the same workload through the PRIO qdisc model.
+// prioCmpKernel drives the same workload through the PRIO qdisc model
+// via the unified runner (the tree only names the bands; PRIO is
+// classless and ignores it).
 func prioCmpKernel(duration int64) (PrioCmpRow, error) {
-	eng := sim.New()
-	meter := stats.NewThroughputMeter(duration / 8)
-	lat := stats.NewLatencyRecorder()
-	flows := tcp.NewSet()
-	q, err := prio.New(eng, prio.Config{Bands: 2, LinkRateBps: 10e9},
-		func(p *packet.Packet) int { return int(p.App) },
-		prio.Callbacks{
-			OnDeliver: func(p *packet.Packet) {
-				meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
-				lat.Record(p.EgressAt - p.SentAt)
-				flows.OnDeliver(p)
-			},
-			OnDrop: func(p *packet.Packet) { flows.OnDrop(p) },
-		})
+	res, err := RunPrioTCP(TCPScenario{
+		DurationNs:     duration,
+		BinNs:          duration / 8,
+		SegBytes:       1518,
+		Apps:           prioCmpApps(),
+		Tree:           prioCmpTree(),
+		MeasureLatency: true,
+	}, prio.Config{Bands: 2, LinkRateBps: 10e9}, nil)
 	if err != nil {
 		return PrioCmpRow{}, err
 	}
-	sc := TCPScenario{DurationNs: duration, SegBytes: 1518, Apps: prioCmpApps()}
-	sc.defaults()
-	if err := buildFlows(eng, sc, flows, q.Enqueue); err != nil {
-		return PrioCmpRow{}, err
-	}
-	eng.RunUntil(duration)
 	return PrioCmpRow{
 		Scheduler:   "kernel PRIO",
-		HighGbps:    meter.MeanBps(AppSeries(0), duration/4, duration) / 1e9,
-		LowGbps:     meter.MeanBps(AppSeries(1), duration/4, duration) / 1e9,
-		HostCores:   q.CPU().CoresUsed(duration),
-		MeanDelayUs: lat.MeanUs(),
+		HighGbps:    res.MeanWindowBps(0, duration/4, duration) / 1e9,
+		LowGbps:     res.MeanWindowBps(1, duration/4, duration) / 1e9,
+		HostCores:   res.CoresUsed,
+		MeanDelayUs: res.Latency.MeanUs(),
 	}, nil
 }
 

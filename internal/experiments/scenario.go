@@ -4,6 +4,14 @@
 // scheduler (FlowValve on the NIC model, or a software baseline on the
 // host model), and the measurement instruments, runs the discrete-event
 // simulation, and returns printable results.
+//
+// Every backend — FlowValve on the SmartNIC model, kernel HTB, kernel
+// PRIO, the DPDK QoS Scheduler — is driven through the same
+// dataplane.Qdisc interface by one shared runner (runQdiscTCP); a run
+// differs from another only in its qdiscBuilder. Backend capabilities
+// beyond enqueueing (host CPU accounting, telemetry) are discovered via
+// the dataplane capability probes, so adding a backend never touches the
+// harness.
 package experiments
 
 import (
@@ -11,6 +19,7 @@ import (
 
 	"flowvalve/internal/classifier"
 	"flowvalve/internal/core"
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/nic"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
@@ -92,6 +101,8 @@ type Result struct {
 	Meter *stats.ThroughputMeter
 	// Latency holds one-way delay samples (nil unless requested).
 	Latency *stats.LatencyRecorder
+	// Qdisc holds the backend-independent enqueue/deliver/drop counters.
+	Qdisc dataplane.Stats
 	// NICStats is set for FlowValve runs.
 	NICStats nic.Stats
 	// Sched is the FlowValve scheduler (for snapshots); nil for
@@ -105,6 +116,10 @@ type Result struct {
 	// Rates holds sampled per-class token-rate dynamics, keyed by class
 	// name (only when TCPScenario.SampleRatesNs was set).
 	Rates map[string][]RateSample
+
+	// finish runs after the simulation ends, in registration order —
+	// builders use it to harvest backend-specific stats.
+	finish []func()
 }
 
 // RateSample is one telemetry point of a class's rate state.
@@ -117,38 +132,31 @@ type RateSample struct {
 // AppSeries returns the throughput series name of app n.
 func AppSeries(n int) string { return fmt.Sprintf("app%d", n) }
 
-// RunFlowValveTCP executes a TCP scenario against FlowValve on the
-// SmartNIC model.
-func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
+// qdiscBuilder assembles one backend as a dataplane.Qdisc wired to the
+// harness callbacks. Builders record backend-specific handles on res
+// (res.Sched, res.finish).
+type qdiscBuilder func(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result) (dataplane.Qdisc, error)
+
+// runQdiscTCP is the single TCP-scenario runner: it builds the traffic,
+// instruments, and backend, runs the DES, and harvests results. All
+// backend variation lives in the builder; everything the runner needs
+// beyond Enqueue it discovers through the dataplane capability probes.
+func runQdiscTCP(sc TCPScenario, build qdiscBuilder) (*Result, error) {
 	sc.defaults()
 	if sc.Tree == nil {
 		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
 	}
 	eng := sim.New()
 
-	cls, err := classifier.New(sc.Tree, sc.Rules, sc.DefaultClass)
-	if err != nil {
-		return nil, err
-	}
-	sched, err := core.New(sc.Tree, eng.Clock(), sc.Sched)
-	if err != nil {
-		return nil, err
-	}
-	if sc.Telemetry != nil {
-		sched.AttachTelemetry(sc.Telemetry, sc.Tracer)
-	}
-
 	res := &Result{
 		Meter:      stats.NewThroughputMeter(sc.BinNs),
-		Sched:      sched,
 		DurationNs: sc.DurationNs,
 	}
 	if sc.MeasureLatency {
 		res.Latency = stats.NewLatencyRecorder()
 	}
 	flows := tcp.NewSet()
-
-	cb := nic.Callbacks{
+	cb := dataplane.Callbacks{
 		OnDeliver: func(p *packet.Packet) {
 			res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
 			if res.Latency != nil {
@@ -156,22 +164,24 @@ func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
 			}
 			flows.OnDeliver(p)
 		},
-		OnDrop: func(p *packet.Packet, _ nic.DropReason) {
-			flows.OnDrop(p)
-		},
+		OnDrop: func(p *packet.Packet) { flows.OnDrop(p) },
 	}
-	dev, err := nic.New(eng, sc.NIC, cls, sched, cb)
+
+	q, err := build(eng, &sc, cb, res)
 	if err != nil {
 		return nil, err
 	}
 	if sc.Telemetry != nil {
-		dev.AttachTelemetry(sc.Telemetry)
+		if sink, ok := q.(dataplane.TelemetrySink); ok {
+			sink.AttachTelemetry(sc.Telemetry)
+		}
 	}
 
-	if err := buildFlows(eng, sc, flows, dev.Inject); err != nil {
+	if err := buildFlows(eng, sc, flows, q.Enqueue); err != nil {
 		return nil, err
 	}
-	if sc.SampleRatesNs > 0 {
+	if res.Sched != nil && sc.SampleRatesNs > 0 {
+		sched := res.Sched
 		res.Rates = make(map[string][]RateSample)
 		var sample func()
 		sample = func() {
@@ -189,9 +199,67 @@ func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
 		}
 		eng.After(sc.SampleRatesNs, sample)
 	}
+
 	eng.RunUntil(sc.DurationNs)
-	res.NICStats = dev.Stats()
+
+	res.Qdisc = q.QdiscStats()
+	if acct, ok := q.(dataplane.HostAccountant); ok {
+		res.CoresUsed = acct.HostCores(sc.DurationNs)
+	}
+	for _, f := range res.finish {
+		f()
+	}
 	return res, nil
+}
+
+// buildFlowValve assembles the offloaded path: classifier + FlowValve
+// core on the SmartNIC model. sched may be nil for the forward-only
+// baseline.
+func buildFlowValve(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result, withSched bool) (dataplane.Qdisc, error) {
+	cls, err := classifier.New(sc.Tree, sc.Rules, sc.DefaultClass)
+	if err != nil {
+		return nil, err
+	}
+	var sched *core.Scheduler
+	if withSched {
+		sched, err = core.New(sc.Tree, eng.Clock(), sc.Sched)
+		if err != nil {
+			return nil, err
+		}
+		// The scheduler is a separate telemetry source from the NIC
+		// (the runner's probe attaches the NIC's); it also takes the
+		// decision tracer, which is scheduler-specific.
+		if sc.Telemetry != nil {
+			sched.AttachTelemetry(sc.Telemetry, sc.Tracer)
+		}
+		res.Sched = sched
+	}
+	dev, err := nic.New(eng, sc.NIC, cls, schedOrNil(sched), nic.Callbacks{
+		OnDeliver: cb.OnDeliver,
+		OnDrop:    func(p *packet.Packet, _ nic.DropReason) { cb.OnDrop(p) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.finish = append(res.finish, func() { res.NICStats = dev.Stats() })
+	return dev, nil
+}
+
+// schedOrNil converts a possibly-nil *core.Scheduler to the interface
+// without producing a non-nil interface holding a nil pointer.
+func schedOrNil(s *core.Scheduler) dataplane.Scheduler {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+// RunFlowValveTCP executes a TCP scenario against FlowValve on the
+// SmartNIC model.
+func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
+	return runQdiscTCP(sc, func(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result) (dataplane.Qdisc, error) {
+		return buildFlowValve(eng, sc, cb, res, true)
+	})
 }
 
 // runForwardOnlyTCP executes a TCP scenario against the NIC model with
@@ -199,42 +267,9 @@ func RunFlowValveTCP(sc TCPScenario) (*Result, error) {
 // forward packets" baseline. Congestion control is then provided solely
 // by the traffic manager's tail drop.
 func runForwardOnlyTCP(sc TCPScenario) (*Result, error) {
-	sc.defaults()
-	if sc.Tree == nil {
-		return nil, fmt.Errorf("experiments: scenario has no scheduling tree")
-	}
-	eng := sim.New()
-	cls, err := classifier.New(sc.Tree, sc.Rules, sc.DefaultClass)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Meter:      stats.NewThroughputMeter(sc.BinNs),
-		DurationNs: sc.DurationNs,
-	}
-	if sc.MeasureLatency {
-		res.Latency = stats.NewLatencyRecorder()
-	}
-	flows := tcp.NewSet()
-	dev, err := nic.New(eng, sc.NIC, cls, nil, nic.Callbacks{
-		OnDeliver: func(p *packet.Packet) {
-			res.Meter.Add(AppSeries(int(p.App)), p.Size, p.EgressAt)
-			if res.Latency != nil {
-				res.Latency.Record(p.EgressAt - p.SentAt)
-			}
-			flows.OnDeliver(p)
-		},
-		OnDrop: func(p *packet.Packet, _ nic.DropReason) { flows.OnDrop(p) },
+	return runQdiscTCP(sc, func(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result) (dataplane.Qdisc, error) {
+		return buildFlowValve(eng, sc, cb, res, false)
 	})
-	if err != nil {
-		return nil, err
-	}
-	if err := buildFlows(eng, sc, flows, dev.Inject); err != nil {
-		return nil, err
-	}
-	eng.RunUntil(sc.DurationNs)
-	res.NICStats = dev.Stats()
-	return res, nil
 }
 
 // buildFlows creates the per-app TCP connections and their start/stop

@@ -26,6 +26,7 @@ package htb
 import (
 	"fmt"
 
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/host"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/pktq"
@@ -37,11 +38,9 @@ import (
 // (dropped).
 type Classify func(*packet.Packet) *tree.Class
 
-// Callbacks deliver results to the harness.
-type Callbacks struct {
-	OnDeliver func(p *packet.Packet)
-	OnDrop    func(p *packet.Packet)
-}
+// Callbacks deliver results to the harness; the qdisc shares the
+// dataplane's callback shape so harnesses build one set for any backend.
+type Callbacks = dataplane.Callbacks
 
 // Config tunes the qdisc model.
 type Config struct {
@@ -391,4 +390,28 @@ func (q *Qdisc) Backlog() int {
 		n += q.states[leaf.ID].queue.Len()
 	}
 	return n
+}
+
+// Compile-time capability checks: the HTB baseline is driven through the
+// same dataplane.Qdisc interface as the offloaded path.
+var (
+	_ dataplane.Qdisc          = (*Qdisc)(nil)
+	_ dataplane.Backlogger     = (*Qdisc)(nil)
+	_ dataplane.HostAccountant = (*Qdisc)(nil)
+	_ dataplane.TelemetrySink  = (*Qdisc)(nil)
+)
+
+// QdiscStats implements dataplane.Qdisc.
+func (q *Qdisc) QdiscStats() dataplane.Stats {
+	return dataplane.Stats{
+		Enqueued:  q.stats.Enqueued,
+		Delivered: q.stats.Delivered,
+		Dropped:   q.stats.Dropped,
+	}
+}
+
+// HostCores implements dataplane.HostAccountant: host CPU cores consumed
+// by the qdisc over the run (the non-offloaded baseline's defining cost).
+func (q *Qdisc) HostCores(durationNs int64) float64 {
+	return q.cpu.CoresUsed(durationNs)
 }

@@ -19,6 +19,13 @@ type CostModel struct {
 	// scheduling: Rx DMA pull, buffer allocation, header rewrite, Tx
 	// DMA descriptor setup, reorder bookkeeping.
 	Pipeline int64
+	// PipelineBatch is the share of Pipeline that is fixed per service
+	// batch rather than per packet (ring doorbell read, buffer credit
+	// pull, reorder-slot allocation). A batched service routine charges
+	// PipelineBatch once plus Pipeline−PipelineBatch per packet, so at
+	// BatchSize 1 the charge is exactly Pipeline and the unbatched
+	// model is unchanged.
+	PipelineBatch int64
 	// Parse is header parsing up to the classification key.
 	Parse int64
 	// CacheHit / CacheMiss are the exact-match flow cache outcomes;
@@ -50,6 +57,12 @@ type CostModel struct {
 func (c CostModel) Defaults() CostModel {
 	if c.Pipeline <= 0 {
 		c.Pipeline = 1290
+	}
+	if c.PipelineBatch <= 0 {
+		c.PipelineBatch = 400
+	}
+	if c.PipelineBatch > c.Pipeline {
+		c.PipelineBatch = c.Pipeline
 	}
 	if c.Parse <= 0 {
 		c.Parse = 120

@@ -14,11 +14,13 @@ package nic
 
 import (
 	"fmt"
+	"reflect"
 
 	"flowvalve/internal/classifier"
-	"flowvalve/internal/core"
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/pktq"
+	"flowvalve/internal/sched/tree"
 	"flowvalve/internal/sim"
 )
 
@@ -99,6 +101,15 @@ type Config struct {
 	// buffers are collected and re-linked to the free lists on this
 	// cadence, not instantly (§III-B's manager core).
 	BufferRecycleNs int64
+	// BatchSize is the Rx service burst: a worker context pulls up to
+	// this many ring packets per service routine, classifying and
+	// scheduling them in one pass so per-batch fixed costs (ring
+	// doorbell, buffer credit pull, reorder-slot allocation — the
+	// CostModel.PipelineBatch share) are charged once, mirroring the
+	// NP's context pipelining. Bursts form under backpressure; an
+	// unloaded NIC still services packets as they arrive. The default
+	// of 1 preserves the unbatched per-packet pipeline exactly.
+	BatchSize int
 	// FixedLatencyNs is the constant pipeline latency outside the
 	// modelled stages (PCIe DMA, MAC, SerDes).
 	FixedLatencyNs int64
@@ -138,6 +149,9 @@ func (c Config) Defaults() Config {
 	if c.BufferRecycleNs <= 0 {
 		c.BufferRecycleNs = 10_000
 	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
 	if c.FixedLatencyNs <= 0 {
 		// PCIe DMA, MAC and SerDes stages plus receiver turnaround:
 		// the constant part of the paper's one-way-delay floor (the
@@ -176,8 +190,20 @@ type NIC struct {
 	eng   *sim.Engine
 	cfg   Config
 	cls   *classifier.Classifier
-	sched *core.Scheduler
+	sched dataplane.Scheduler
 	cb    Callbacks
+
+	// Batch-mode scratch (allocated once when BatchSize > 1): the
+	// in-flight service burst and its per-packet classification,
+	// scheduling, and outcome state. A service routine runs to
+	// completion within one event, so one set suffices.
+	batchBuf    []*packet.Packet
+	batchLbls   []*tree.Label
+	batchHits   []bool
+	batchReqs   []dataplane.Request
+	batchDecs   []dataplane.Decision
+	batchFwd    []bool
+	batchReason []DropReason
 
 	clusters    []*cluster
 	nextCluster int
@@ -227,13 +253,19 @@ type wirePort struct {
 }
 
 // New assembles a NIC bound to the simulation engine. cls is required;
-// sched may be nil for pass-through forwarding.
-func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched *core.Scheduler, cb Callbacks) (*NIC, error) {
+// sched is any dataplane scheduling function (the FlowValve core in
+// every real configuration) and may be nil for pass-through forwarding.
+func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched dataplane.Scheduler, cb Callbacks) (*NIC, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("nic: nil engine")
 	}
 	if cls == nil {
 		return nil, fmt.Errorf("nic: nil classifier")
+	}
+	// Normalize a typed-nil scheduler (a nil *core.Scheduler passed as
+	// the interface) to a plain nil, so the pass-through checks work.
+	if v := reflect.ValueOf(sched); sched != nil && v.Kind() == reflect.Pointer && v.IsNil() {
+		sched = nil
 	}
 	cfg = cfg.Defaults()
 	n := &NIC{
@@ -263,6 +295,15 @@ func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched *core.Sc
 	n.ports = make([]*wirePort, cfg.WirePorts)
 	for i := range n.ports {
 		n.ports[i] = &wirePort{queue: pktq.New(0, cfg.TMQueueBytes)}
+	}
+	if b := cfg.BatchSize; b > 1 {
+		n.batchBuf = make([]*packet.Packet, 0, b)
+		n.batchLbls = make([]*tree.Label, b)
+		n.batchHits = make([]bool, b)
+		n.batchReqs = make([]dataplane.Request, 0, b)
+		n.batchDecs = make([]dataplane.Decision, b)
+		n.batchFwd = make([]bool, b)
+		n.batchReason = make([]DropReason, b)
 	}
 	return n, nil
 }
@@ -348,6 +389,10 @@ func (n *NIC) Inject(p *packet.Packet) {
 		n.drop(p, DropRxRing)
 		return
 	}
+	if n.cfg.BatchSize > 1 {
+		n.injectBatched(p)
+		return
+	}
 	if c := n.grabCluster(); c != nil {
 		n.beginService(p, c)
 		return
@@ -365,6 +410,48 @@ func (n *NIC) Inject(p *packet.Packet) {
 	if n.tel != nil {
 		n.tel.ringPkts.Add(1)
 	}
+}
+
+// injectBatched routes an arriving packet through its Rx ring and, when
+// a context is free, immediately services a burst of up to BatchSize
+// ring packets. Bursts materialize under backpressure (contexts busy,
+// rings backlogged); an idle NIC still services singly.
+func (n *NIC) injectBatched(p *packet.Packet) {
+	ring := n.ringFor(p.App)
+	if !ring.TryPush(p) {
+		n.stats.RxRingDrops++
+		if n.tel != nil {
+			n.tel.dropRxRing.Add(1)
+		}
+		n.freeBuffer()
+		n.drop(p, DropRxRing)
+		return
+	}
+	if n.tel != nil {
+		n.tel.ringPkts.Add(1)
+	}
+	if c := n.grabCluster(); c != nil {
+		n.serviceBatch(c)
+	}
+}
+
+// serviceBatch pulls up to BatchSize waiting packets and runs them as
+// one service routine, or parks the context when the rings are empty.
+func (n *NIC) serviceBatch(cl *cluster) {
+	batch := n.batchBuf[:0]
+	for len(batch) < n.cfg.BatchSize {
+		p := n.pullNext()
+		if p == nil {
+			break
+		}
+		batch = append(batch, p)
+	}
+	n.batchBuf = batch[:0]
+	if len(batch) == 0 {
+		cl.idle++
+		return
+	}
+	n.beginServiceBatch(batch, cl)
 }
 
 func (n *NIC) ringFor(app packet.AppID) *pktq.FIFO {
@@ -408,12 +495,12 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 		d := n.sched.Schedule(lbl, p.WireBytes())
 		cycles += n.cfg.Costs.SchedPerClass*int64(len(lbl.Path)) + n.cfg.Costs.Meter
 		cycles += n.cfg.Costs.Update * int64(d.Updates)
-		if d.Verdict == core.Drop || d.Borrowed {
+		if d.Verdict == dataplane.Drop || d.Borrowed {
 			// Red leaf meter ⇒ the borrow chain was walked (fully
 			// on drop, partially on a successful borrow).
 			cycles += n.cfg.Costs.Borrow * int64(len(lbl.Borrow))
 		}
-		if d.Verdict == core.Drop {
+		if d.Verdict == dataplane.Drop {
 			forward = false
 			reason = DropSched
 		}
@@ -453,12 +540,116 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 }
 
 // releaseContext returns a micro-engine context to service: it pulls the
-// next waiting packet or goes idle.
+// next waiting packet (or burst) or goes idle.
 func (n *NIC) releaseContext(cl *cluster) {
+	if n.cfg.BatchSize > 1 {
+		n.serviceBatch(cl)
+		return
+	}
 	if next := n.pullNext(); next != nil {
 		n.beginService(next, cl)
 	} else {
 		cl.idle++
+	}
+}
+
+// beginServiceBatch runs the run-to-completion pipeline for a burst of
+// packets on one worker context: classify the burst, schedule it in one
+// ScheduleBatch pass, charge the per-batch fixed cycles once and the
+// per-packet stages per packet, then hand every completion to the
+// reorder system at the batch's service latency.
+func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
+	k := len(batch)
+	lbls := n.batchLbls[:k]
+	hits := n.batchHits[:k]
+	n.cls.ClassifyBatch(batch, lbls, hits)
+
+	// One scheduling pass over the classified packets.
+	var decs []dataplane.Decision
+	if n.sched != nil {
+		reqs := n.batchReqs[:0]
+		for i := 0; i < k; i++ {
+			if lbls[i] != nil {
+				reqs = append(reqs, dataplane.Request{Label: lbls[i], Size: batch[i].WireBytes()})
+			}
+		}
+		n.batchReqs = reqs[:0]
+		if len(reqs) > 0 {
+			decs = n.batchDecs[:len(reqs)]
+			n.sched.ScheduleBatch(reqs, decs)
+		}
+	}
+
+	// Cycle charging: the fixed share of the pipeline stage is paid
+	// once per burst (out[0].Batched tells the model how many packets
+	// that charge covers); the remainder of every stage is per packet.
+	cycles := n.cfg.Costs.PipelineBatch
+	perPkt := n.cfg.Costs.Pipeline - n.cfg.Costs.PipelineBatch
+	di := 0
+	for i := 0; i < k; i++ {
+		p := batch[i]
+		pc := perPkt + n.cfg.Costs.Parse
+		if hits[i] {
+			pc += n.cfg.Costs.CacheHit
+		} else {
+			pc += n.cfg.Costs.CacheMiss
+		}
+		forward := true
+		var reason DropReason
+		switch {
+		case lbls[i] == nil:
+			forward = false
+			reason = DropUnclassified
+		case n.sched != nil:
+			d := &decs[di]
+			di++
+			pc += n.cfg.Costs.SchedPerClass*int64(len(lbls[i].Path)) + n.cfg.Costs.Meter
+			pc += n.cfg.Costs.Update * int64(d.Updates)
+			if d.Verdict == dataplane.Drop || d.Borrowed {
+				pc += n.cfg.Costs.Borrow * int64(len(lbls[i].Borrow))
+			}
+			if d.Verdict == dataplane.Drop {
+				forward = false
+				reason = DropSched
+			}
+			p.Marked = d.Marked
+		}
+		if forward {
+			pc += n.cfg.Costs.TxEnqueue
+		}
+		cycles += pc
+		n.batchFwd[i] = forward
+		n.batchReason[i] = reason
+	}
+
+	n.stats.BusyCycles += float64(cycles)
+	if n.tel != nil {
+		n.tel.busyCycles.Add(cycles)
+	}
+	for i, c := range n.clusters {
+		if c == cl {
+			n.stats.ClusterBusyCycles[i] += float64(cycles)
+			break
+		}
+	}
+
+	// One memory-stall window per burst: the batch's contexts overlap
+	// their stalls exactly as the ME's thread contexts do (§III-B), so
+	// the stall shows up once in latency and is hidden from occupancy
+	// by the thread contexts as in the per-packet path.
+	total := cycles + n.cfg.Costs.MemStall
+	occupancy := (total + int64(n.cfg.ThreadsPerME) - 1) / int64(n.cfg.ThreadsPerME)
+	if occupancy < cycles {
+		occupancy = cycles
+	}
+	occupancyNs := int64(float64(occupancy) / n.cfg.CoreFreqHz * 1e9)
+	latencyNs := int64(float64(total) / n.cfg.CoreFreqHz * 1e9)
+	n.eng.After(occupancyNs, func() { n.releaseContext(cl) })
+	for i := 0; i < k; i++ {
+		p, fwd, reason := batch[i], n.batchFwd[i], n.batchReason[i]
+		seq := n.seqIssue
+		n.seqIssue++
+		n.eng.After(latencyNs, func() { n.completeService(p, seq, fwd, reason) })
 	}
 }
 
@@ -581,3 +772,46 @@ func (n *NIC) drop(p *packet.Packet, reason DropReason) {
 		n.cb.OnDrop(p, reason)
 	}
 }
+
+// Compile-time capability checks: the NIC is the reference
+// dataplane.Qdisc and advertises every optional probe.
+var (
+	_ dataplane.Qdisc         = (*NIC)(nil)
+	_ dataplane.Backlogger    = (*NIC)(nil)
+	_ dataplane.Swapper       = (*NIC)(nil)
+	_ dataplane.TelemetrySink = (*NIC)(nil)
+)
+
+// Enqueue implements dataplane.Qdisc; it is Inject under the interface's
+// name.
+func (n *NIC) Enqueue(p *packet.Packet) { n.Inject(p) }
+
+// QdiscStats implements dataplane.Qdisc, folding every NIC drop reason
+// into the interface's single Dropped counter. Use Stats for the
+// per-reason breakdown.
+func (n *NIC) QdiscStats() dataplane.Stats {
+	return dataplane.Stats{
+		Enqueued:  n.stats.Injected,
+		Delivered: n.stats.Delivered,
+		Dropped: n.stats.SchedDrops + n.stats.RxRingDrops + n.stats.TMDrops +
+			n.stats.Unclassified + n.stats.BufferDrops,
+	}
+}
+
+// Backlog implements dataplane.Backlogger: packets waiting in the Rx
+// rings plus the traffic-manager port queues.
+func (n *NIC) Backlog() int {
+	total := 0
+	for _, r := range n.rings {
+		total += r.Len()
+	}
+	for _, p := range n.ports {
+		total += p.queue.Len()
+	}
+	return total
+}
+
+// Swap implements dataplane.Swapper, replacing the scheduling function
+// in place (policy hot-swap; in-flight completions keep their original
+// verdicts). A nil scheduler turns the NIC into a pass-through.
+func (n *NIC) Swap(s dataplane.Scheduler) { n.sched = s }

@@ -7,6 +7,7 @@ package prio
 import (
 	"fmt"
 
+	"flowvalve/internal/dataplane"
 	"flowvalve/internal/host"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/pktq"
@@ -17,11 +18,9 @@ import (
 // range means drop.
 type Classify func(*packet.Packet) int
 
-// Callbacks deliver results to the harness.
-type Callbacks struct {
-	OnDeliver func(p *packet.Packet)
-	OnDrop    func(p *packet.Packet)
-}
+// Callbacks deliver results to the harness; the qdisc shares the
+// dataplane's callback shape so harnesses build one set for any backend.
+type Callbacks = dataplane.Callbacks
 
 // Config tunes the qdisc.
 type Config struct {
@@ -162,4 +161,27 @@ func (q *Qdisc) Backlog() int {
 		n += band.Len()
 	}
 	return n
+}
+
+// Compile-time capability checks: PRIO is driven through the same
+// dataplane.Qdisc interface as the other backends. (It deliberately has
+// no TelemetrySink — the probe's absence exercises optional discovery.)
+var (
+	_ dataplane.Qdisc          = (*Qdisc)(nil)
+	_ dataplane.Backlogger     = (*Qdisc)(nil)
+	_ dataplane.HostAccountant = (*Qdisc)(nil)
+)
+
+// QdiscStats implements dataplane.Qdisc.
+func (q *Qdisc) QdiscStats() dataplane.Stats {
+	return dataplane.Stats{
+		Enqueued:  q.stats.Enqueued,
+		Delivered: q.stats.Delivered,
+		Dropped:   q.stats.Dropped,
+	}
+}
+
+// HostCores implements dataplane.HostAccountant.
+func (q *Qdisc) HostCores(durationNs int64) float64 {
+	return q.cpu.CoresUsed(durationNs)
 }
