@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-figures reproduce
+.PHONY: all build vet test race chaos bench bench-figures reproduce
 
 all: build vet test
 
@@ -20,6 +20,11 @@ test:
 # concurrency: the scheduling function, the NIC model, and the facade.
 race:
 	$(GO) test -race ./internal/core/ ./internal/nic/ .
+
+# Chaos soak: randomized fault plans (fixed seed matrix) through the full
+# FlowValve stack under -race, asserting conformance/recovery/liveness.
+chaos:
+	$(GO) test -race -run Chaos -v ./internal/experiments/
 
 # Scheduling hot-path microbenchmarks (per-packet, batched, telemetry,
 # depth, parallel lock modes), benchstat-friendly: 5 repetitions each.

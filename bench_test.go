@@ -82,6 +82,35 @@ func BenchmarkScheduleBatch1(b *testing.B)  { benchmarkScheduleBatch(b, 1) }
 func BenchmarkScheduleBatch8(b *testing.B)  { benchmarkScheduleBatch(b, 8) }
 func BenchmarkScheduleBatch32(b *testing.B) { benchmarkScheduleBatch(b, 32) }
 
+// BenchmarkScheduleBatch32NoFaults guards the fault-free fast path: a
+// scheduler that never saw ApplyFaults pays exactly one atomic
+// nil-pointer load over BenchmarkScheduleBatch32 (acceptance: within 5%,
+// zero allocations).
+func BenchmarkScheduleBatch32NoFaults(b *testing.B) { benchmarkScheduleBatch(b, 32) }
+
+// BenchmarkScheduleBatch32FaultsArmed measures the armed-but-idle cost: a
+// plan is installed but its windows sit in the far future, so every epoch
+// check walks the compiled window list and misses.
+func BenchmarkScheduleBatch32FaultsArmed(b *testing.B) {
+	s, lbl := newBenchScheduler(b, 1, core.PerClassTryLock)
+	plan := &flowvalve.FaultPlan{Seed: 1, Events: []flowvalve.FaultEvent{
+		{Kind: flowvalve.FaultEpochDrop, AtNs: 1 << 60, DurationNs: 1e9, Prob: 1},
+		{Kind: flowvalve.FaultLockContention, AtNs: 1 << 60, DurationNs: 1e9, Prob: 1},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]core.Request, 32)
+	for i := range reqs {
+		reqs[i] = core.Request{Label: lbl, Size: 1500}
+	}
+	out := make([]core.Decision, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += 32 {
+		s.ScheduleBatch(reqs, out)
+	}
+}
+
 // BenchmarkScheduleTelemetryOff / BenchmarkScheduleTelemetryOn guard the
 // observability budget: an attached registry plus a 1-in-256 decision
 // tracer must stay within 5% of the bare hot path (the unsampled trace

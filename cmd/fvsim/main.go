@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"flowvalve/internal/experiments"
+	"flowvalve/internal/faults"
 	"flowvalve/internal/stats"
 	"flowvalve/internal/telemetry"
 )
@@ -44,6 +45,7 @@ func run(args []string, out io.Writer) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve live telemetry on this address (/metrics, /metrics.json)")
 	metricsJSON := fs.String("metrics-json", "", "write a JSON metrics snapshot to this file after the run (- for stdout)")
 	traceSample := fs.Int("trace-sample", 256, "trace one scheduling decision per N packets")
+	faultsFile := fs.String("faults", "", "inject a JSON fault plan into the figure scenarios (FlowValve runs only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +58,13 @@ func run(args []string, out io.Writer) error {
 		reg = telemetry.NewRegistry()
 		tr := telemetry.NewTracer(*traceSample, 4096)
 		telOpts = append(telOpts, experiments.WithTelemetry(reg, tr))
+	}
+	if *faultsFile != "" {
+		plan, err := faults.LoadPlan(*faultsFile)
+		if err != nil {
+			return err
+		}
+		telOpts = append(telOpts, experiments.WithFaults(plan))
 	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -125,6 +134,7 @@ func runOne(name string, scale float64, csv bool, out io.Writer, telOpts ...expe
 			"Fig 11(a) — FlowValve on the motivation policy (10Gbps)",
 			[]string{"NC", "KVS", "ML", "WS"}, wins))
 		fmt.Fprintln(out, "paper: NC first; then KVS 4.67 / ML 2 / WS 3.33; then KVS 8 / ML 2; total ≤ 10G")
+		fmt.Fprint(out, experiments.FormatFaults(res))
 		if csv {
 			writeSeries(out, res, 4, []string{"NC", "KVS", "ML", "WS"})
 			writeRates(out, res)
@@ -139,6 +149,7 @@ func runOne(name string, scale float64, csv bool, out io.Writer, telOpts ...expe
 			"Fig 11(b) — FlowValve 40G fair queueing, staged joins at 0/10/20/30s",
 			appNames(4), wins))
 		fmt.Fprintln(out, "paper: 40 → 20/20 → 13.3×3 → 10×4, line rate throughout")
+		fmt.Fprint(out, experiments.FormatFaults(res))
 		if csv {
 			writeSeries(out, res, 4, appNames(4))
 		}
@@ -152,6 +163,7 @@ func runOne(name string, scale float64, csv bool, out io.Writer, telOpts ...expe
 			"Fig 11(c) — FlowValve 40G weighted fair queueing (Fig 12 policy)",
 			appNames(4), wins))
 		fmt.Fprintln(out, "paper: App0 holds 20G when App2 joins at 20s; after App0 stops at 30s the rest share the link")
+		fmt.Fprint(out, experiments.FormatFaults(res))
 		if csv {
 			writeSeries(out, res, 4, appNames(4))
 		}

@@ -15,6 +15,27 @@ func TestRunFig11aScaled(t *testing.T) {
 	}
 }
 
+func TestRunFig11aFaults(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig11a", "-scale", "0.1", "-faults", "testdata/plan.json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "faults injected") {
+		t.Fatalf("missing fault summary:\n%s", out)
+	}
+	if !strings.Contains(out, "watchdog:") {
+		t.Fatalf("missing watchdog summary:\n%s", out)
+	}
+}
+
+func TestRunFaultsBadPlan(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig11a", "-faults", "testdata/nope.json"}, &sb); err == nil {
+		t.Fatal("missing plan file accepted")
+	}
+}
+
 func TestRunFig3CSV(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-experiment", "fig3", "-scale", "0.1", "-csv"}, &sb); err != nil {

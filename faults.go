@@ -1,0 +1,58 @@
+package flowvalve
+
+import (
+	"flowvalve/internal/faults"
+)
+
+// This file exposes the fault-injection subsystem (internal/faults)
+// through the public API: parse or generate a deterministic fault plan,
+// then hand it to Options.Faults (embedded scheduler) or Scenario.Faults
+// (discrete-event simulation). All fault draws are seeded, so a plan
+// replays identically run after run.
+
+// FaultKind names one injectable fault family.
+type FaultKind = faults.Kind
+
+// The injectable fault kinds. NIC-scoped kinds (core stalls, cache
+// flushes, ring overflow) only take effect in the simulation — an
+// embedded Scheduler has no NIC model to wound; scheduler-scoped kinds
+// (lock contention, epoch drop/delay) and clock jitter apply to both.
+const (
+	FaultCoreStall      = faults.KindCoreStall
+	FaultCacheFlush     = faults.KindCacheFlush
+	FaultRxOverflow     = faults.KindRxOverflow
+	FaultClockJitter    = faults.KindClockJitter
+	FaultLockContention = faults.KindLockContention
+	FaultEpochDrop      = faults.KindEpochDrop
+	FaultEpochDelay     = faults.KindEpochDelay
+)
+
+// FaultEvent is one timed fault in a plan.
+type FaultEvent = faults.Event
+
+// FaultPlan is a deterministic, seeded schedule of fault events.
+type FaultPlan = faults.Plan
+
+// ParseFaultPlan decodes a JSON fault plan and validates it. The format:
+//
+//	{
+//	  "seed": 7,
+//	  "events": [
+//	    {"kind": "core-stall", "at_ns": 1000000000, "duration_ns": 300000000, "cores": 16},
+//	    {"kind": "epoch-drop", "at_ns": 1200000000, "duration_ns": 400000000, "prob": 1}
+//	  ]
+//	}
+func ParseFaultPlan(data []byte) (*FaultPlan, error) {
+	return faults.ParsePlan(data)
+}
+
+// LoadFaultPlan reads and validates a JSON fault plan file.
+func LoadFaultPlan(path string) (*FaultPlan, error) {
+	return faults.LoadPlan(path)
+}
+
+// RandomFaultPlan generates a seeded plan with one event of every fault
+// family inside [fromNs, toNs) — the chaos-soak generator.
+func RandomFaultPlan(seed uint64, fromNs, toNs int64) *FaultPlan {
+	return faults.RandomPlan(seed, fromNs, toNs)
+}

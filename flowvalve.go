@@ -28,9 +28,11 @@ import (
 	"flowvalve/internal/clock"
 	"flowvalve/internal/core"
 	"flowvalve/internal/dataplane"
+	"flowvalve/internal/faults"
 	"flowvalve/internal/fvconf"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/token"
 )
 
 // Policy is a compiled QoS policy: the scheduling tree (class hierarchy
@@ -122,6 +124,13 @@ type Options struct {
 	// re-registered on Swap, so collectors follow the live policy) plus
 	// sampled decision tracing. Nil keeps the hot path telemetry-free.
 	Telemetry *Telemetry
+	// Faults, when non-nil, installs the plan's scheduler-scoped fault
+	// windows (lock contention, epoch drop/delay) and clock jitter on the
+	// scheduler — deterministic chaos for resilience testing. NIC-scoped
+	// kinds in the plan are ignored here (there is no NIC model to
+	// wound); use Scenario.Faults for those. Nil keeps the fault-free
+	// hot path at one atomic load.
+	Faults *FaultPlan
 }
 
 // Scheduler is a FlowValve instance: the labeling function (filter rules
@@ -147,6 +156,16 @@ func buildInner(p *Policy, clk Clock, opts Options) (*schedulerInner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if fp := opts.Faults; fp != nil {
+		if err := fp.Validate(); err != nil {
+			return nil, err
+		}
+		if fp.Has(faults.KindClockJitter) {
+			jc := token.NewJitteredClock(clk)
+			jc.SetJitter(fp.Seed, fp.JitterWindows())
+			clk = jc
+		}
+	}
 	sched, err := core.New(p.tree, clk, core.Config{
 		UpdateIntervalNs: opts.UpdateIntervalNs,
 		ExpireAfterNs:    opts.ExpireAfterNs,
@@ -154,6 +173,11 @@ func buildInner(p *Policy, clk Clock, opts Options) (*schedulerInner, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Faults != nil {
+		if err := sched.ApplyFaults(opts.Faults); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Telemetry != nil {
 		sched.AttachTelemetry(opts.Telemetry.reg, opts.Telemetry.tracer)

@@ -105,6 +105,7 @@ func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Deci
 	bs := s.batchPool.Get().(*batchScratch)
 	gen := bs.nextGen()
 	h := s.tel.Load()
+	flt := s.flt.Load()
 
 	for i := range reqs {
 		lbl := reqs[i].Label
@@ -120,7 +121,7 @@ func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Deci
 			st.lastSeen.Store(now)
 			if bs.seen[c.ID] != gen {
 				bs.seen[c.ID] = gen
-				s.maybeUpdate(c, st, now, d)
+				s.maybeUpdate(c, st, now, d, flt)
 			}
 		}
 
@@ -151,7 +152,7 @@ func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Deci
 			ls := &s.states[lender.ID]
 			if bs.seen[lender.ID] != gen {
 				bs.seen[lender.ID] = gen
-				s.maybeUpdate(lender, ls, now, d)
+				s.maybeUpdate(lender, ls, now, d, flt)
 			}
 			if ls.shadow.TryConsume(sz) {
 				if s.cfg.ECNMarkFrac > 0 {

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flowvalve/internal/faults"
+	"flowvalve/internal/sched/tree"
+)
+
+// The scheduler implements the injector's pull-model sink: fault windows
+// are compiled once at ApplyFaults time and evaluated against the
+// scheduler's own clock on the update path, so the same plan works under
+// the DES and under wall time (the facade's live datapath), with no
+// goroutines and no engine dependency.
+var _ faults.SchedulerSink = (*Scheduler)(nil)
+
+// faultWindow is one compiled scheduler-scoped fault interval.
+type faultWindow struct {
+	from, to int64
+	prob     float64
+	delayNs  int64
+	// mask restricts the window to specific classes (bitset by ClassID);
+	// nil applies to every class.
+	mask []uint64
+}
+
+func (w *faultWindow) active(now int64) bool { return now >= w.from && now < w.to }
+
+func (w *faultWindow) applies(id tree.ClassID) bool {
+	if w.mask == nil {
+		return true
+	}
+	word := int(id) >> 6
+	return word < len(w.mask) && w.mask[word]&(1<<(uint(id)&63)) != 0
+}
+
+// schedFaults is the installed fault state, swapped atomically on the
+// scheduler so the fault-free fast path pays exactly one pointer load
+// per Schedule/ScheduleBatch call.
+type schedFaults struct {
+	lockMiss   []faultWindow
+	epochDrop  []faultWindow
+	epochDelay []faultWindow
+
+	// rngState drives the probability rolls: a splitmix64 stream over
+	// the plan seed, advanced atomically so concurrent cores draw
+	// distinct, deterministic values.
+	rngState atomic.Uint64
+
+	nLockMiss   atomic.Int64
+	nEpochDrop  atomic.Int64
+	nEpochDelay atomic.Int64
+}
+
+// roll returns the next deterministic uniform draw in [0,1).
+func (f *schedFaults) roll() float64 {
+	return float64(faults.Splitmix64(f.rngState.Add(1))>>11) / float64(1<<53)
+}
+
+// gate evaluates the epoch-update fault windows for a class whose epoch
+// is due (dt ≥ interval), reporting whether the update attempt must be
+// suppressed. Suppression leaves lastUpdate untouched: an epoch-drop
+// window therefore starves the class's token refills outright — exactly
+// the stalled-epoch condition the Watchdog exists to detect.
+func (f *schedFaults) gate(id tree.ClassID, now, dt, intervalNs int64) bool {
+	for i := range f.epochDelay {
+		w := &f.epochDelay[i]
+		if w.active(now) && w.applies(id) && dt < intervalNs+w.delayNs {
+			f.nEpochDelay.Add(1)
+			return true
+		}
+	}
+	for i := range f.epochDrop {
+		w := &f.epochDrop[i]
+		if w.active(now) && w.applies(id) {
+			if w.prob >= 1 || f.roll() < w.prob {
+				f.nEpochDrop.Add(1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// missLock reports whether a try-lock update attempt must be failed
+// artificially — contention amplification without real lock holders.
+func (f *schedFaults) missLock(id tree.ClassID, now int64) bool {
+	for i := range f.lockMiss {
+		w := &f.lockMiss[i]
+		if w.active(now) && w.applies(id) {
+			if w.prob >= 1 || f.roll() < w.prob {
+				f.nLockMiss.Add(1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ApplyFaults compiles and installs the plan's scheduler-scoped windows
+// (lock-contention, epoch-drop, epoch-delay), replacing any previous
+// plan. NIC- and clock-scoped events in the plan are ignored here — the
+// injector routes those to their own hooks. A plan with no
+// scheduler-scoped events uninstalls the fault state entirely, restoring
+// the zero-overhead path.
+func (s *Scheduler) ApplyFaults(p *faults.Plan) error {
+	if p == nil {
+		s.flt.Store(nil)
+		return nil
+	}
+	f := &schedFaults{}
+	f.rngState.Store(p.Seed)
+	for i := range p.Events {
+		e := &p.Events[i]
+		if !e.Kind.SchedulerScoped() {
+			continue
+		}
+		w := faultWindow{
+			from:    e.AtNs,
+			to:      e.AtNs + e.DurationNs,
+			prob:    e.EffectiveProb(),
+			delayNs: e.DelayNs,
+		}
+		if len(e.Classes) > 0 {
+			w.mask = make([]uint64, (s.tree.Len()+63)/64)
+			for _, name := range e.Classes {
+				c, ok := s.tree.Lookup(name)
+				if !ok {
+					return fmt.Errorf("core: fault plan names unknown class %q", name)
+				}
+				w.mask[int(c.ID)>>6] |= 1 << (uint(c.ID) & 63)
+			}
+		}
+		switch e.Kind {
+		case faults.KindLockContention:
+			f.lockMiss = append(f.lockMiss, w)
+		case faults.KindEpochDrop:
+			f.epochDrop = append(f.epochDrop, w)
+		case faults.KindEpochDelay:
+			f.epochDelay = append(f.epochDelay, w)
+		}
+	}
+	if len(f.lockMiss)+len(f.epochDrop)+len(f.epochDelay) == 0 {
+		s.flt.Store(nil)
+		return nil
+	}
+	s.flt.Store(f)
+	return nil
+}
+
+// ClearFaults uninstalls every fault window.
+func (s *Scheduler) ClearFaults() { s.flt.Store(nil) }
+
+// InjectedFaults reports the cumulative scheduler-scoped injected-fault
+// counters (counts are per suppressed/failed update attempt). Counters
+// belong to the installed plan; re-applying a plan restarts them.
+func (s *Scheduler) InjectedFaults() faults.SchedulerCounts {
+	f := s.flt.Load()
+	if f == nil {
+		return faults.SchedulerCounts{}
+	}
+	return faults.SchedulerCounts{
+		LockMisses:    f.nLockMiss.Load(),
+		DroppedEpochs: f.nEpochDrop.Load(),
+		DelayedEpochs: f.nEpochDelay.Load(),
+	}
+}

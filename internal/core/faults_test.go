@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"flowvalve/internal/dataplane"
+	"flowvalve/internal/faults"
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/sim"
+)
+
+func twoClassTree(t *testing.T) *tree.Tree {
+	t.Helper()
+	return tree.NewBuilder().
+		Root("root", 1e9).
+		Add(tree.ClassSpec{Name: "A", Parent: "root"}).
+		Add(tree.ClassSpec{Name: "B", Parent: "root"}).
+		MustBuild()
+}
+
+// An epoch-drop window with prob 1 suppresses every update inside it:
+// the class keeps its primed bucket but receives no refills, so the
+// admitted volume during the window collapses to roughly the primed
+// burst, then recovers after the window clears.
+func TestEpochDropStarvesRefills(t *testing.T) {
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lbl, _ := tr.LabelByName("A")
+
+	plan := &faults.Plan{Seed: 1, Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e9, Prob: 1},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	const horizon = int64(2e9)
+	d := offer(eng, s, lbl, 1500, 2e9, 0, horizon)
+	eng.RunUntil(horizon)
+
+	// The fault window [0,1s) admits only the primed burst (θ·4ms —
+	// noise next to a second of refills), so nearly all forwarded bytes
+	// come from the healthy second half: ≈1×θ·1s, against ≈2×θ·1s had
+	// both halves refilled.
+	c, _ := tr.Lookup("A")
+	thetaBytes := s.states[c.ID].theta.Load() // granted rate after the run, bytes/s
+	if lo := int64(0.5 * thetaBytes); d.fwdBytes < lo {
+		t.Fatalf("forwarded %d bytes, want ≥ %d (healthy half must flow)", d.fwdBytes, lo)
+	}
+	if hi := int64(1.5 * thetaBytes); d.fwdBytes > hi {
+		t.Fatalf("forwarded %d bytes > %d — epoch-drop did not starve the window", d.fwdBytes, hi)
+	}
+	counts := s.InjectedFaults()
+	if counts.DroppedEpochs == 0 {
+		t.Fatal("no dropped epochs counted")
+	}
+}
+
+// Lock-contention windows fail try-lock updates with the configured
+// probability and surface as LockMisses on the decision.
+func TestLockContentionCountsMisses(t *testing.T) {
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lbl, _ := tr.LabelByName("A")
+
+	plan := &faults.Plan{Seed: 9, Events: []faults.Event{
+		{Kind: faults.KindLockContention, AtNs: 0, DurationNs: 1e9, Prob: 1},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	var misses int
+	for i := 0; i < 200; i++ {
+		eng.Clock().Advance(100_000) // two epochs per step: updates always due
+		d := s.Schedule(lbl, 1500)
+		misses += d.LockMisses
+	}
+	if misses == 0 {
+		t.Fatal("no lock misses injected")
+	}
+	if got := s.InjectedFaults().LockMisses; got == 0 {
+		t.Fatal("no lock misses counted")
+	}
+}
+
+// Epoch-delay stretches the effective interval: updates run only once
+// interval+delay has elapsed, and the deferrals are counted.
+func TestEpochDelayDefersUpdates(t *testing.T) {
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lbl, _ := tr.LabelByName("A")
+	interval := s.Config().UpdateIntervalNs
+
+	plan := &faults.Plan{Seed: 2, Events: []faults.Event{
+		{Kind: faults.KindEpochDelay, AtNs: 0, DurationNs: 1e12, DelayNs: 10 * interval},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	// One epoch past due: delayed.
+	eng.Clock().Advance(2 * interval)
+	d := s.Schedule(lbl, 1500)
+	if d.Updates != 0 {
+		t.Fatalf("update ran %d epochs in, want deferral", d.Updates)
+	}
+	if got := s.InjectedFaults().DelayedEpochs; got == 0 {
+		t.Fatal("no delayed epochs counted")
+	}
+	// Past interval+delay: the update must go through.
+	eng.Clock().Advance(12 * interval)
+	d = s.Schedule(lbl, 1500)
+	if d.Updates == 0 {
+		t.Fatal("update still deferred past interval+delay")
+	}
+}
+
+// Class-restricted windows only bite the named classes.
+func TestFaultClassMask(t *testing.T) {
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lblA, _ := tr.LabelByName("A")
+	lblB, _ := tr.LabelByName("B")
+
+	plan := &faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e12, Prob: 1, Classes: []string{"A"}},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	eng.Clock().Advance(2 * s.Config().UpdateIntervalNs)
+	s.Schedule(lblA, 1500)
+	s.Schedule(lblB, 1500)
+	// Only "A" is masked; B (and the shared root) still update.
+	cA, _ := tr.Lookup("A")
+	cB, _ := tr.Lookup("B")
+	root := tr.Root()
+	if got := s.states[cA.ID].updates.Load(); got != 0 {
+		t.Fatalf("masked class A rolled %d epochs inside drop window", got)
+	}
+	if s.states[cB.ID].updates.Load() == 0 {
+		t.Fatal("unmasked class B failed to update")
+	}
+	if s.states[root.ID].updates.Load() == 0 {
+		t.Fatal("unmasked root failed to update")
+	}
+}
+
+func TestApplyFaultsUnknownClass(t *testing.T) {
+	eng := sim.New()
+	s := newSched(t, eng, twoClassTree(t))
+	plan := &faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1, Prob: 1, Classes: []string{"nope"}},
+	}}
+	if err := s.ApplyFaults(plan); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// ClearFaults (and a plan with no scheduler-scoped events) uninstalls
+// the fault state entirely, restoring the nil fast path.
+func TestClearFaultsRestoresFastPath(t *testing.T) {
+	eng := sim.New()
+	s := newSched(t, eng, twoClassTree(t))
+	plan := &faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1, Prob: 1},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	if s.flt.Load() == nil {
+		t.Fatal("fault state not installed")
+	}
+	s.ClearFaults()
+	if s.flt.Load() != nil {
+		t.Fatal("fault state survived ClearFaults")
+	}
+	// NIC-only plans install nothing.
+	nicOnly := &faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindCoreStall, AtNs: 0, DurationNs: 1, Cores: 1},
+	}}
+	if err := s.ApplyFaults(nicOnly); err != nil {
+		t.Fatal(err)
+	}
+	if s.flt.Load() != nil {
+		t.Fatal("NIC-only plan installed scheduler fault state")
+	}
+	if c := s.InjectedFaults(); c != (faults.SchedulerCounts{}) {
+		t.Fatalf("cleared counters = %+v", c)
+	}
+}
+
+// The armed fault path must stay allocation-free: windows are compiled
+// once, rolls are atomic arithmetic.
+func TestScheduleWithFaultsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; covered by the plain run")
+	}
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lbl, _ := tr.LabelByName("A")
+	plan := &faults.Plan{Seed: 3, Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e12, Prob: 0.5},
+		{Kind: faults.KindLockContention, AtNs: 0, DurationNs: 1e12, Prob: 0.5},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []dataplane.Request{{Label: lbl, Size: 1500}}
+	out := make([]dataplane.Decision, 1)
+	allocs := testing.AllocsPerRun(200, func() {
+		eng.Clock().Advance(100_000)
+		s.Schedule(lbl, 1500)
+		s.ScheduleBatch(reqs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("faulted hot path allocates %.1f/op", allocs)
+	}
+}

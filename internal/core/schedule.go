@@ -38,6 +38,7 @@ func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 	now := s.clk.Now()
 	sz := int64(size)
 	d := Decision{Batched: 1}
+	flt := s.flt.Load()
 
 	// Lines 1–5: walk the hierarchy label root→leaf; refresh token
 	// buckets opportunistically and record the packet against every
@@ -47,7 +48,7 @@ func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 	for _, c := range lbl.Path {
 		st := &s.states[c.ID]
 		st.lastSeen.Store(now)
-		s.maybeUpdate(c, st, now, &d)
+		s.maybeUpdate(c, st, now, &d, flt)
 	}
 
 	leaf := lbl.Leaf
@@ -78,7 +79,7 @@ func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 	// itself sees no packet arrivals.
 	for _, lender := range lbl.Borrow {
 		ls := &s.states[lender.ID]
-		s.maybeUpdate(lender, ls, now, &d)
+		s.maybeUpdate(lender, ls, now, &d, flt)
 		if ls.shadow.TryConsume(sz) {
 			// Borrowed bandwidth is inherently contended; mark it
 			// under the ECN extension so borrowers yield first.
@@ -136,8 +137,23 @@ func labelPathContains(lbl *tree.Label, c *tree.Class) bool {
 }
 
 // maybeUpdate runs the update subprocedure for one class under the
-// configured locking strategy, accumulating decision telemetry.
-func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Decision) {
+// configured locking strategy, accumulating decision telemetry. flt is
+// the caller's one fault-state load for the whole call (nil when
+// fault-free); injected faults act only on due epochs, so an inactive
+// or class-filtered window costs the hot path nothing but the check.
+func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Decision, flt *schedFaults) {
+	if flt != nil {
+		dt := now - st.lastUpdate.Load()
+		if dt >= s.cfg.UpdateIntervalNs {
+			if flt.gate(c.ID, now, dt, s.cfg.UpdateIntervalNs) {
+				return
+			}
+			if s.cfg.Lock == PerClassTryLock && flt.missLock(c.ID, now) {
+				d.LockMisses++
+				return
+			}
+		}
+	}
 	switch s.cfg.Lock {
 	case PerClassTryLock:
 		if st.mu.TryLock() {

@@ -164,6 +164,11 @@ type Scheduler struct {
 	// off). Swapped atomically so AttachTelemetry is safe against
 	// in-flight Schedule calls.
 	tel atomic.Pointer[telHooks]
+
+	// flt is the installed fault-injection state (nil when fault-free).
+	// Swapped atomically like tel, so ApplyFaults is safe against
+	// in-flight Schedule calls and the no-fault path costs one load.
+	flt atomic.Pointer[schedFaults]
 }
 
 // New builds a scheduler over t, reading time from clk. It validates that

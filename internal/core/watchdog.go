@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/telemetry"
+)
+
+// WatchdogConfig tunes the graceful-degradation watchdog. The zero value
+// derives its thresholds from the scheduler's epoch length.
+type WatchdogConfig struct {
+	// PollIntervalNs is the watchdog's sampling period (default 2×
+	// the scheduler's update interval).
+	PollIntervalNs int64
+	// StaleAfterNs is how long a class may go without an epoch roll —
+	// while packets keep arriving — before it is declared degraded
+	// (default 4× the update interval).
+	StaleAfterNs int64
+}
+
+// Watchdog detects stalled epochs and degrades the affected classes
+// gracefully: a class whose packets keep flowing (lastSeen fresh) while
+// its epoch updates have stopped rolling (lastUpdate stale — a fault,
+// a wedged update path, pathological lock contention) falls back to its
+// last-known-safe token rate. The fallback follows the paper's borrowing
+// semantics: the degraded class's shadow bucket is drained and its
+// lendable rate zeroed (stale measurements must not be lent out), while
+// the watchdog itself mints θ_safe·Δt into the class bucket each poll so
+// the class keeps forwarding at the last rate the update subprocedure
+// vouched for — never more, so token conformance survives the fault.
+//
+// Recovery is organic: the watchdog never fabricates epoch state, it
+// only bridges refills. When the update subprocedure executes again (the
+// class's updates counter advances), the class is healthy; the time from
+// degradation to that roll is the recovery latency.
+//
+// Poll must be driven from a single goroutine (the DES harness schedules
+// it as a periodic event; a live datapath would use one ticker
+// goroutine). The class state it touches is protected by the same locks
+// and atomics the scheduler uses, so polling concurrently with Schedule
+// calls is safe.
+type Watchdog struct {
+	s   *Scheduler
+	cfg WatchdogConfig
+
+	// Per-class watchdog state, indexed by ClassID and owned by the
+	// polling goroutine.
+	safeTheta []float64 // last θ observed on a healthy class, bytes/s
+	degraded  []bool
+	since     []int64 // degradation onset, ns
+	updatesAt []int64 // class updates counter at onset
+
+	nDegraded   atomic.Int64 // currently degraded classes
+	nRecovered  atomic.Int64
+	nForced     atomic.Int64 // forced safe-rate refills
+	recoveryTot atomic.Int64 // summed recovery latency, ns
+	recHist     atomic.Pointer[telemetry.Histogram]
+}
+
+// NewWatchdog builds a watchdog over s. It snapshots the current granted
+// rates as the initial safe rates, so a scheduler degraded from its very
+// first epoch still falls back to its primed distribution.
+func NewWatchdog(s *Scheduler, cfg WatchdogConfig) *Watchdog {
+	if cfg.PollIntervalNs <= 0 {
+		cfg.PollIntervalNs = 2 * s.cfg.UpdateIntervalNs
+	}
+	if cfg.StaleAfterNs <= 0 {
+		cfg.StaleAfterNs = 4 * s.cfg.UpdateIntervalNs
+	}
+	n := s.tree.Len()
+	w := &Watchdog{
+		s:         s,
+		cfg:       cfg,
+		safeTheta: make([]float64, n),
+		degraded:  make([]bool, n),
+		since:     make([]int64, n),
+		updatesAt: make([]int64, n),
+	}
+	for _, c := range s.tree.Classes() {
+		w.safeTheta[c.ID] = s.states[c.ID].theta.Load()
+	}
+	return w
+}
+
+// PollIntervalNs returns the effective polling period, for schedulers of
+// the poll loop.
+func (w *Watchdog) PollIntervalNs() int64 { return w.cfg.PollIntervalNs }
+
+// Poll samples every class once: healthy classes refresh their safe
+// rate, stalled classes degrade, degraded classes get their safe-rate
+// refill or are promoted back to healthy.
+func (w *Watchdog) Poll() {
+	now := w.s.clk.Now()
+	for _, c := range w.s.tree.Classes() {
+		id := c.ID
+		st := &w.s.states[id]
+		if w.degraded[id] {
+			if st.updates.Load() > w.updatesAt[id] {
+				// The update subprocedure rolled organically — the
+				// class has recovered.
+				w.degraded[id] = false
+				w.nDegraded.Add(-1)
+				w.nRecovered.Add(1)
+				lat := now - w.since[id]
+				w.recoveryTot.Add(lat)
+				if h := w.recHist.Load(); h != nil {
+					h.Observe(float64(lat))
+				}
+				w.safeTheta[id] = st.theta.Load()
+				continue
+			}
+			if now-st.lastSeen.Load() > w.s.cfg.ExpireAfterNs {
+				// The class went idle while degraded: stand down
+				// without a recovery — expired-status removal will
+				// reset it when traffic returns.
+				w.degraded[id] = false
+				w.nDegraded.Add(-1)
+				continue
+			}
+			w.forceRoll(c, st, now)
+			continue
+		}
+		stale := now-st.lastUpdate.Load() > w.cfg.StaleAfterNs
+		active := now-st.lastSeen.Load() <= w.cfg.StaleAfterNs
+		switch {
+		case stale && active:
+			// Packets are flowing but epochs are not rolling: degrade.
+			w.degraded[id] = true
+			w.since[id] = now
+			w.updatesAt[id] = st.updates.Load()
+			w.nDegraded.Add(1)
+			w.forceRoll(c, st, now)
+		case !stale:
+			w.safeTheta[id] = st.theta.Load()
+		}
+	}
+}
+
+// forceRoll bridges one refill for a degraded class at its last-known-
+// safe rate: mint θ_safe·Δt (capped at the expiry horizon) into the
+// class bucket, advance lastUpdate so the organic update path cannot
+// re-mint the same gap when it resumes, and keep the shadow drained —
+// a degraded class must not lend (its Γ measurement is stale).
+func (w *Watchdog) forceRoll(c *tree.Class, st *classState, now int64) {
+	st.mu.Lock()
+	dt := now - st.lastUpdate.Load()
+	if dt > 0 {
+		if dt > w.s.cfg.ExpireAfterNs {
+			dt = w.s.cfg.ExpireAfterNs
+		}
+		safe := w.safeTheta[c.ID]
+		st.theta.Store(safe)
+		st.bucket.SetBurst(w.s.burstFor(safe, w.s.cfg.BurstNs))
+		st.bucket.Refill(int64(safe * float64(dt) / 1e9))
+		st.lastUpdate.Store(now)
+	}
+	st.shadow.Drain()
+	st.lendRate.Store(0)
+	st.mu.Unlock()
+	w.nForced.Add(1)
+}
+
+// DegradedNow returns the number of currently degraded classes.
+func (w *Watchdog) DegradedNow() int { return int(w.nDegraded.Load()) }
+
+// Recoveries returns how many degraded classes recovered organically.
+func (w *Watchdog) Recoveries() int64 { return w.nRecovered.Load() }
+
+// ForcedRefills returns how many safe-rate bridge refills ran.
+func (w *Watchdog) ForcedRefills() int64 { return w.nForced.Load() }
+
+// MeanRecoveryNs returns the mean degradation→recovery latency, or 0
+// when nothing has recovered yet.
+func (w *Watchdog) MeanRecoveryNs() float64 {
+	n := w.nRecovered.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(w.recoveryTot.Load()) / float64(n)
+}
+
+// AttachTelemetry registers the watchdog's metric families: the
+// degraded-classes gauge, recovery/forced-refill counters, and the
+// recovery-latency histogram.
+func (w *Watchdog) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("fv_watchdog_degraded_classes",
+		"Classes currently running on last-known-safe rates.",
+		func() float64 { return float64(w.nDegraded.Load()) })
+	reg.CounterFunc("fv_watchdog_recoveries_total",
+		"Degraded classes whose epoch updates resumed organically.",
+		func() float64 { return float64(w.nRecovered.Load()) })
+	reg.CounterFunc("fv_watchdog_forced_refills_total",
+		"Safe-rate bridge refills minted for degraded classes.",
+		func() float64 { return float64(w.nForced.Load()) })
+	w.recHist.Store(reg.Histogram("fv_watchdog_recovery_duration_ns",
+		"Latency from degradation onset to organic epoch resume.",
+		telemetry.DurationBucketsNs))
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"flowvalve/internal/faults"
+	"flowvalve/internal/sim"
+	"flowvalve/internal/telemetry"
+)
+
+// pollLoop drives a watchdog as the DES harness does: one Poll per
+// interval until the horizon.
+func pollLoop(eng *sim.Engine, w *Watchdog, horizon int64) {
+	interval := w.PollIntervalNs()
+	var poll func()
+	poll = func() {
+		w.Poll()
+		if eng.Now()+interval <= horizon {
+			eng.After(interval, poll)
+		}
+	}
+	eng.After(interval, poll)
+}
+
+// A class starved by an epoch-drop window degrades, keeps forwarding at
+// its last-known-safe rate on watchdog bridge refills, and recovers
+// organically once the window clears.
+func TestWatchdogDegradeAndRecover(t *testing.T) {
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lbl, _ := tr.LabelByName("A")
+
+	const faultFrom, faultTo = int64(5e8), int64(1e9)
+	const horizon = int64(15e8)
+	plan := &faults.Plan{Seed: 4, Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: faultFrom, DurationNs: faultTo - faultFrom, Prob: 1},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	w := NewWatchdog(s, WatchdogConfig{})
+	reg := telemetry.NewRegistry()
+	w.AttachTelemetry(reg)
+	pollLoop(eng, w, horizon)
+
+	var degradedSeen bool
+	probe := func() {}
+	probe = func() {
+		if w.DegradedNow() > 0 {
+			degradedSeen = true
+		}
+		if eng.Now() < horizon {
+			eng.After(1e7, probe)
+		}
+	}
+	eng.After(1e7, probe)
+
+	d := offer(eng, s, lbl, 1500, 2e9, 0, horizon)
+	eng.RunUntil(horizon)
+
+	if !degradedSeen {
+		t.Fatal("class never degraded during the epoch-drop window")
+	}
+	if w.ForcedRefills() == 0 {
+		t.Fatal("watchdog minted no bridge refills")
+	}
+	if w.Recoveries() == 0 {
+		t.Fatal("class never recovered after the window cleared")
+	}
+	if w.DegradedNow() != 0 {
+		t.Fatalf("%d classes still degraded at end", w.DegradedNow())
+	}
+	if w.MeanRecoveryNs() <= 0 {
+		t.Fatal("no recovery latency recorded")
+	}
+
+	// Graceful degradation means the faulted middle third still flowed
+	// near the safe rate: over the whole run the admitted volume must be
+	// well above the no-watchdog case (≈2/3 of the run) and below the
+	// grant plus bursts.
+	c, _ := tr.Lookup("A")
+	thetaBytes := s.states[c.ID].theta.Load()
+	want := thetaBytes * float64(horizon) / 1e9
+	if float64(d.fwdBytes) < 0.80*want {
+		t.Fatalf("forwarded %d bytes, want ≥ %.0f — degraded class starved", d.fwdBytes, 0.80*want)
+	}
+	if float64(d.fwdBytes) > 1.35*want {
+		t.Fatalf("forwarded %d bytes, want ≤ %.0f — watchdog over-minted", d.fwdBytes, 1.35*want)
+	}
+}
+
+// A degraded class that goes idle stands down without a recovery (the
+// expiry path owns its reset) instead of haunting the degraded gauge.
+func TestWatchdogIdleStandDown(t *testing.T) {
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lbl, _ := tr.LabelByName("A")
+
+	plan := &faults.Plan{Seed: 5, Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e12, Prob: 1},
+	}}
+	if err := s.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatchdog(s, WatchdogConfig{})
+	const trafficStop = int64(5e8)
+	horizon := trafficStop + s.Config().ExpireAfterNs + 4*w.PollIntervalNs()
+	pollLoop(eng, w, horizon)
+	offer(eng, s, lbl, 1500, 2e9, 0, trafficStop)
+	eng.RunUntil(horizon)
+
+	if w.DegradedNow() != 0 {
+		t.Fatalf("%d classes degraded after traffic went idle", w.DegradedNow())
+	}
+	if w.Recoveries() != 0 {
+		t.Fatalf("idle stand-down counted as %d recoveries", w.Recoveries())
+	}
+}
+
+// A healthy scheduler never trips the watchdog.
+func TestWatchdogQuietWhenHealthy(t *testing.T) {
+	eng := sim.New()
+	tr := twoClassTree(t)
+	s := newSched(t, eng, tr)
+	lbl, _ := tr.LabelByName("A")
+	w := NewWatchdog(s, WatchdogConfig{})
+	const horizon = int64(1e9)
+	pollLoop(eng, w, horizon)
+	offer(eng, s, lbl, 1500, 2e9, 0, horizon)
+	eng.RunUntil(horizon)
+	if w.ForcedRefills() != 0 || w.Recoveries() != 0 || w.DegradedNow() != 0 {
+		t.Fatalf("healthy run tripped watchdog: forced=%d recovered=%d degraded=%d",
+			w.ForcedRefills(), w.Recoveries(), w.DegradedNow())
+	}
+}

@@ -20,6 +20,7 @@
 package dataplane
 
 import (
+	"flowvalve/internal/faults"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
 	"flowvalve/internal/telemetry"
@@ -166,4 +167,14 @@ type Swapper interface {
 	// Swap replaces the backend's scheduling function; a nil scheduler
 	// turns the backend into a pass-through forwarder.
 	Swap(s Scheduler)
+}
+
+// FaultInjectable is implemented by backends that expose fault-injection
+// hook points (the NIC model; the software baselines do not — harnesses
+// probe and skip them when a fault plan is configured).
+type FaultInjectable interface {
+	// ApplyFaults registers the backend's hook points (and those of any
+	// attached scheduling function) with the injector. The injector's
+	// Arm reports an error if a planned fault kind found no target.
+	ApplyFaults(inj *faults.Injector) error
 }

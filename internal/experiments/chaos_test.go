@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"flowvalve/internal/faults"
+	"flowvalve/internal/fvconf"
+	"flowvalve/internal/nic"
+)
+
+// chaosScenario is the soak fixture: the Fig 11(b) fair-queue policy at
+// 40G with every app live from t=0, short bins so conformance can be
+// checked window by window.
+func chaosScenario(t *testing.T, plan *faults.Plan) TCPScenario {
+	t.Helper()
+	script, err := fvconf.Parse(fvconf.FairQueueScript("40gbit", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, rules, err := script.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TCPScenario{
+		DurationNs: 3e9,
+		BinNs:      1e8,
+		Apps: []AppSpec{
+			{App: 0, Conns: 2, StartNs: 0},
+			{App: 1, Conns: 2, StartNs: 0},
+			{App: 2, Conns: 2, StartNs: 0},
+			{App: 3, Conns: 2, StartNs: 0},
+		},
+		Tree:         tr,
+		Rules:        rules,
+		DefaultClass: script.DefaultClass,
+		NIC:          nic.Config{WireRateBps: 40e9, WirePorts: 4},
+		Faults:       plan,
+	}
+}
+
+// TestChaosSoak drives randomized fault plans (fixed seed matrix) through
+// the full FlowValve stack under the fair-queue policy and asserts the
+// graceful-degradation invariants:
+//
+//  1. conformance — delivered throughput never exceeds the root rate
+//     beyond burst slack in any bin, faults or not;
+//  2. recovery — each app's post-fault throughput returns to within 10%
+//     of its pre-fault share;
+//  3. liveness — the run completes (no deadlock), faults really were
+//     injected, and no class is left degraded at the end.
+func TestChaosSoak(t *testing.T) {
+	const (
+		faultFrom = int64(1.2e9)
+		faultTo   = int64(2.0e9)
+	)
+	for _, seed := range []uint64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan := faults.RandomPlan(seed, faultFrom, faultTo)
+			sc := chaosScenario(t, plan)
+			res, err := RunFlowValveTCP(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (3) liveness & accounting.
+			if res.Faults == nil || res.Faults.Total() == 0 {
+				t.Fatal("randomized plan injected no faults")
+			}
+			if res.Watchdog == nil {
+				t.Fatal("watchdog not armed on a faulted run")
+			}
+			if res.Watchdog.DegradedNow() != 0 {
+				t.Fatalf("%d classes still degraded at end of run", res.Watchdog.DegradedNow())
+			}
+
+			// (1) conformance: per-bin delivered rate stays under the root
+			// rate plus burst slack. Leaf+shadow bursts (4ms+2ms of θ) can
+			// land inside one 100ms bin → ≤ ~6% over; allow 10%.
+			const rootBps, slack = 40e9, 1.10
+			for from := int64(0); from+sc.BinNs <= sc.DurationNs; from += sc.BinNs {
+				got := res.Meter.TotalBps(from, from+sc.BinNs)
+				if got > rootBps*slack {
+					t.Fatalf("bin [%dms,%dms): delivered %.2fGbps > %.0fG×%.2f — token conformance violated",
+						from/1e6, (from+sc.BinNs)/1e6, got/1e9, rootBps/1e9, slack)
+				}
+			}
+
+			// (2) recovery: post-fault share within 10% of pre-fault share
+			// for every app. Pre [0.7,1.2)s is steady state; post [2.5,3.0)s
+			// gives the watchdog + TCP a second to re-converge.
+			for app := 0; app < 4; app++ {
+				pre := res.MeanWindowBps(app, 7e8, faultFrom)
+				post := res.MeanWindowBps(app, 25e8, 30e8)
+				if pre <= 0 {
+					t.Fatalf("app %d idle before the fault window", app)
+				}
+				if diff := (post - pre) / pre; diff < -0.10 || diff > 0.10 {
+					t.Fatalf("app %d did not recover: pre %.2fGbps post %.2fGbps (%+.1f%%)",
+						app, pre/1e9, post/1e9, diff*100)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosStopInsideStall pins the nastiest scheduling edge: an app
+// whose StopNs lands inside a core-stall window. Its in-flight segments
+// are parked in the stalled NIC; the run must still drain and terminate,
+// and the survivors must absorb the freed share.
+func TestChaosStopInsideStall(t *testing.T) {
+	plan := faults.Plan{Seed: 11, Events: []faults.Event{
+		// Stall most of the worker contexts across the stop boundary.
+		{Kind: faults.KindCoreStall, AtNs: 1.4e9, DurationNs: 4e8, Cores: 40},
+	}}
+	sc := chaosScenario(t, &plan)
+	sc.Apps[3].StopNs = 15e8 // inside the stall window [1.4s, 1.8s)
+	res, err := RunFlowValveTCP(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil || res.Faults.Total() == 0 {
+		t.Fatal("stall never fired")
+	}
+	// The stopped app is quiet at the end; the survivors re-converged and
+	// took over its share (≥ their pre-fault rate).
+	if got := res.MeanWindowBps(3, 25e8, 30e8); got > 1e9 {
+		t.Fatalf("stopped app still pushing %.2fGbps after StopNs", got/1e9)
+	}
+	for app := 0; app < 3; app++ {
+		pre := res.MeanWindowBps(app, 7e8, 12e8)
+		post := res.MeanWindowBps(app, 25e8, 30e8)
+		if post < pre*0.95 {
+			t.Fatalf("app %d lost share after peer stopped in stall: pre %.2fG post %.2fG",
+				app, pre/1e9, post/1e9)
+		}
+	}
+}
+
+// TestChaosStartAfterFaultWindow pins the late joiner: a connection set
+// that starts only after the fault window has cleared must still ramp to
+// its fair share — degraded-state residue must not tax newcomers.
+func TestChaosStartAfterFaultWindow(t *testing.T) {
+	plan := faults.RandomPlan(7, 5e8, 1.2e9)
+	sc := chaosScenario(t, plan)
+	sc.Apps[3].StartNs = 16e8 // well past the last fault effect
+	res, err := RunFlowValveTCP(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Watchdog != nil && res.Watchdog.DegradedNow() != 0 {
+		t.Fatalf("%d classes degraded at end", res.Watchdog.DegradedNow())
+	}
+	late := res.MeanWindowBps(3, 25e8, 30e8)
+	peer := res.MeanWindowBps(0, 25e8, 30e8)
+	if late < peer*0.85 {
+		t.Fatalf("late joiner stuck at %.2fGbps vs peer %.2fGbps", late/1e9, peer/1e9)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"flowvalve/internal/faults"
 	"flowvalve/internal/fvconf"
 	"flowvalve/internal/htb"
 	"flowvalve/internal/nic"
@@ -39,6 +40,14 @@ func WithTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) ScenarioOption
 func WithNICBatch(n int) ScenarioOption {
 	return func(sc *TCPScenario) {
 		sc.NIC.BatchSize = n
+	}
+}
+
+// WithFaults injects a fault plan into a figure's scenario. Backends
+// without fault hooks (the software baselines) run fault-free.
+func WithFaults(p *faults.Plan) ScenarioOption {
+	return func(sc *TCPScenario) {
+		sc.Faults = p
 	}
 }
 
@@ -230,6 +239,29 @@ func Windows(res *Result, scale float64, apps int, bounds [][2]int64) []WindowMe
 		out = append(out, wm)
 	}
 	return out
+}
+
+// FormatFaults renders a faulted run's injection and degradation summary
+// (empty string when the run was fault-free).
+func FormatFaults(res *Result) string {
+	if res.Faults == nil {
+		return ""
+	}
+	s := "faults injected:"
+	for _, k := range faults.Kinds() {
+		if n := res.Faults.Injected[k]; n > 0 {
+			s += fmt.Sprintf(" %s=%d", k, n)
+		}
+	}
+	if res.Faults.Total() == 0 {
+		s += " none"
+	}
+	s += "\n"
+	if wd := res.Watchdog; wd != nil {
+		s += fmt.Sprintf("watchdog: %d recoveries (mean %.1fms), %d forced refills, %d degraded at end\n",
+			wd.Recoveries(), wd.MeanRecoveryNs()/1e6, wd.ForcedRefills(), wd.DegradedNow())
+	}
+	return s
 }
 
 // FormatWindows renders window means as an aligned table.

@@ -18,8 +18,10 @@ import (
 	"fmt"
 
 	"flowvalve/internal/classifier"
+	"flowvalve/internal/clock"
 	"flowvalve/internal/core"
 	"flowvalve/internal/dataplane"
+	"flowvalve/internal/faults"
 	"flowvalve/internal/nic"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
@@ -27,6 +29,7 @@ import (
 	"flowvalve/internal/stats"
 	"flowvalve/internal/tcp"
 	"flowvalve/internal/telemetry"
+	"flowvalve/internal/token"
 )
 
 // AppSpec describes one application's traffic in a TCP scenario.
@@ -81,6 +84,22 @@ type TCPScenario struct {
 	// θ and measured rate Γ on this period — the token-rate dynamics
 	// behind the figures (Fig 6/10 style curves).
 	SampleRatesNs int64
+
+	// Faults, when non-nil, injects the plan's timed faults into the
+	// backend. Backends that do not implement dataplane.FaultInjectable
+	// (the software baselines) run the scenario fault-free — the probe
+	// skips them so comparative sweeps keep working with a plan set.
+	Faults *faults.Plan
+	// Watchdog overrides the graceful-degradation watchdog's thresholds
+	// (nil takes defaults derived from the scheduler's epoch length).
+	Watchdog *core.WatchdogConfig
+	// WatchdogOff disables the watchdog even when faults are injected —
+	// the ablation that shows what degradation looks like without it.
+	WatchdogOff bool
+
+	// inj carries the armed injector from the runner to the builder so
+	// the builder can register the jitter clock and size the watchdog.
+	inj *faults.Injector
 }
 
 func (sc *TCPScenario) defaults() {
@@ -116,6 +135,12 @@ type Result struct {
 	// Rates holds sampled per-class token-rate dynamics, keyed by class
 	// name (only when TCPScenario.SampleRatesNs was set).
 	Rates map[string][]RateSample
+	// Faults reports the injected-fault counters (nil when the scenario
+	// ran fault-free or the backend is not fault-injectable).
+	Faults *faults.Stats
+	// Watchdog is the graceful-degradation watchdog (nil unless faults
+	// were injected into a FlowValve run with the watchdog enabled).
+	Watchdog *core.Watchdog
 
 	// finish runs after the simulation ends, in registration order —
 	// builders use it to harvest backend-specific stats.
@@ -167,6 +192,14 @@ func runQdiscTCP(sc TCPScenario, build qdiscBuilder) (*Result, error) {
 		OnDrop: func(p *packet.Packet) { flows.OnDrop(p) },
 	}
 
+	if sc.Faults != nil {
+		inj, err := faults.NewInjector(eng, *sc.Faults)
+		if err != nil {
+			return nil, err
+		}
+		sc.inj = inj
+	}
+
 	q, err := build(eng, &sc, cb, res)
 	if err != nil {
 		return nil, err
@@ -175,6 +208,24 @@ func runQdiscTCP(sc TCPScenario, build qdiscBuilder) (*Result, error) {
 		if sink, ok := q.(dataplane.TelemetrySink); ok {
 			sink.AttachTelemetry(sc.Telemetry)
 		}
+	}
+	if sc.inj != nil {
+		if fi, ok := q.(dataplane.FaultInjectable); ok {
+			if err := fi.ApplyFaults(sc.inj); err != nil {
+				return nil, err
+			}
+			if err := sc.inj.Arm(); err != nil {
+				return nil, err
+			}
+			sc.inj.AttachTelemetry(sc.Telemetry)
+			inj := sc.inj
+			res.finish = append(res.finish, func() {
+				st := inj.Stats()
+				res.Faults = &st
+			})
+		}
+		// Backends without the probe (software baselines) run the
+		// scenario fault-free; res.Faults stays nil to signal it.
 	}
 
 	if err := buildFlows(eng, sc, flows, q.Enqueue); err != nil {
@@ -222,7 +273,19 @@ func buildFlowValve(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, re
 	}
 	var sched *core.Scheduler
 	if withSched {
-		sched, err = core.New(sc.Tree, eng.Clock(), sc.Sched)
+		// The scheduler reads the engine clock — unless the fault plan
+		// jitters it, in which case the scheduler sees the perturbed
+		// time while the DES keeps its own causally-ordered clock.
+		var clk clock.Clock = eng.Clock()
+		if sc.inj != nil {
+			p := sc.inj.Plan()
+			if p.Has(faults.KindClockJitter) {
+				jc := token.NewJitteredClock(clk)
+				sc.inj.Register(jc)
+				clk = jc
+			}
+		}
+		sched, err = core.New(sc.Tree, clk, sc.Sched)
 		if err != nil {
 			return nil, err
 		}
@@ -233,6 +296,29 @@ func buildFlowValve(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, re
 			sched.AttachTelemetry(sc.Telemetry, sc.Tracer)
 		}
 		res.Sched = sched
+
+		// Faulted runs get the graceful-degradation watchdog unless the
+		// ablation turns it off; its poll loop is a periodic DES event.
+		if sc.inj != nil && !sc.WatchdogOff {
+			var wcfg core.WatchdogConfig
+			if sc.Watchdog != nil {
+				wcfg = *sc.Watchdog
+			}
+			wd := core.NewWatchdog(sched, wcfg)
+			if sc.Telemetry != nil {
+				wd.AttachTelemetry(sc.Telemetry)
+			}
+			res.Watchdog = wd
+			interval := wd.PollIntervalNs()
+			var poll func()
+			poll = func() {
+				wd.Poll()
+				if eng.Now()+interval <= sc.DurationNs {
+					eng.After(interval, poll)
+				}
+			}
+			eng.After(interval, poll)
+		}
 	}
 	dev, err := nic.New(eng, sc.NIC, cls, schedOrNil(sched), nic.Callbacks{
 		OnDeliver: cb.OnDeliver,

@@ -1,0 +1,339 @@
+// Package faults implements deterministic fault injection for the NP
+// dataplane model: seeded, timed fault plans (worker-core stalls,
+// flow-cache flushes, Rx-ring overflow bursts, token-clock jitter,
+// lock-contention amplification, dropped/delayed epoch updates) and the
+// injector that applies them to the components exposing fault hooks.
+//
+// The subsystem exists to test FlowValve's headline property —
+// correctness under parallelism. The paper's scheduling function must
+// converge even when micro-engines stall and epoch updates are delayed
+// (§IV, Fig 14); a production NP deployment additionally survives cache
+// eviction storms and ring overflow. A Plan turns each of those
+// misbehaviours into a reproducible experiment: every draw the subsystem
+// makes comes from a splitmix64 stream over Plan.Seed, so a chaos run is
+// byte-for-byte repeatable and a failure seed is a complete bug report.
+//
+// Two injection models cover the two execution modes:
+//
+//   - NIC-scoped faults (core-stall, cache-flush, rx-overflow) are
+//     discrete events: the Injector schedules them on the sim engine and
+//     calls the hooks the NIC exposes.
+//   - Scheduler- and clock-scoped faults (lock-contention, epoch-drop,
+//     epoch-delay, clock-jitter) are pull-model windows evaluated against
+//     the component's own clock, so they work identically under the DES
+//     and under wall time (the facade's live datapath).
+//
+// The fault-free fast path stays at zero overhead: with no plan applied
+// the scheduler performs one nil-check per Schedule/ScheduleBatch call
+// and the NIC hooks are empty-slice checks (pinned by
+// BenchmarkScheduleBatch32NoFaults).
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Kind names one fault family.
+type Kind string
+
+const (
+	// KindCoreStall parks worker micro-engine contexts for the window:
+	// idle contexts are stolen immediately, busy ones as they complete.
+	KindCoreStall Kind = "core-stall"
+	// KindCacheFlush empties the exact-match flow cache (an eviction
+	// storm when repeated with Repeat/PeriodNs).
+	KindCacheFlush Kind = "cache-flush"
+	// KindRxOverflow clamps the per-VF Rx rings to RingCap packets for
+	// the window, forcing overflow drops under load.
+	KindRxOverflow Kind = "rx-overflow"
+	// KindClockJitter perturbs the token clock source by up to ±JitterNs
+	// inside the window (monotonicity preserved).
+	KindClockJitter Kind = "clock-jitter"
+	// KindLockContention makes per-class try-lock epoch updates fail
+	// with probability Prob inside the window — contention amplification
+	// without real lock holders.
+	KindLockContention Kind = "lock-contention"
+	// KindEpochDrop suppresses due epoch updates with probability Prob
+	// inside the window; lastUpdate does not advance, so affected
+	// classes starve until the window clears (the watchdog's case).
+	KindEpochDrop Kind = "epoch-drop"
+	// KindEpochDelay stretches the effective epoch by DelayNs inside the
+	// window: updates run only once interval+DelayNs has elapsed.
+	KindEpochDelay Kind = "epoch-delay"
+)
+
+// Kinds lists every fault family in a stable order.
+func Kinds() []Kind {
+	return []Kind{
+		KindCoreStall, KindCacheFlush, KindRxOverflow, KindClockJitter,
+		KindLockContention, KindEpochDrop, KindEpochDelay,
+	}
+}
+
+// Valid reports whether k names a known fault family.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindCoreStall, KindCacheFlush, KindRxOverflow, KindClockJitter,
+		KindLockContention, KindEpochDrop, KindEpochDelay:
+		return true
+	}
+	return false
+}
+
+// SchedulerScoped reports whether the fault is applied inside the
+// scheduling function (pull-model window) rather than on the NIC model.
+func (k Kind) SchedulerScoped() bool {
+	switch k {
+	case KindLockContention, KindEpochDrop, KindEpochDelay:
+		return true
+	}
+	return false
+}
+
+// Event is one timed fault. Which parameter fields matter depends on
+// Kind; Validate enforces the per-kind requirements.
+type Event struct {
+	// Kind selects the fault family.
+	Kind Kind `json:"kind"`
+	// AtNs is the (virtual) time the fault begins.
+	AtNs int64 `json:"at_ns"`
+	// DurationNs is the window length. Required for every kind except
+	// cache-flush (instantaneous).
+	DurationNs int64 `json:"duration_ns,omitempty"`
+	// Cores is the number of worker contexts a core-stall parks.
+	Cores int `json:"cores,omitempty"`
+	// Repeat re-fires an instantaneous fault (cache-flush) this many
+	// times in total, PeriodNs apart — an eviction storm.
+	Repeat int `json:"repeat,omitempty"`
+	// PeriodNs is the spacing of the Repeat re-fires.
+	PeriodNs int64 `json:"period_ns,omitempty"`
+	// RingCap is the clamped Rx-ring capacity (packets) of rx-overflow.
+	RingCap int `json:"ring_cap,omitempty"`
+	// JitterNs is the clock-jitter amplitude (±).
+	JitterNs int64 `json:"jitter_ns,omitempty"`
+	// Prob is the per-attempt injection probability of lock-contention
+	// and epoch-drop, in [0,1]; 0 means 1 (always).
+	Prob float64 `json:"prob,omitempty"`
+	// DelayNs is the epoch stretch of epoch-delay.
+	DelayNs int64 `json:"delay_ns,omitempty"`
+	// Classes restricts a scheduler-scoped fault to the named classes
+	// (empty = every class).
+	Classes []string `json:"classes,omitempty"`
+}
+
+// EndNs returns the instant the event's effect ends.
+func (e *Event) EndNs() int64 {
+	end := e.AtNs + e.DurationNs
+	if e.Kind == KindCacheFlush && e.Repeat > 1 {
+		if t := e.AtNs + int64(e.Repeat-1)*e.PeriodNs; t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// EffectiveProb returns the event's injection probability with the
+// zero-means-always default applied.
+func (e *Event) EffectiveProb() float64 {
+	if e.Prob <= 0 {
+		return 1
+	}
+	return e.Prob
+}
+
+// Plan is a deterministic, seeded schedule of fault events. The zero
+// value (no events) is a valid no-op plan.
+type Plan struct {
+	// Seed drives every probabilistic draw and the clock-jitter stream.
+	Seed uint64 `json:"seed"`
+	// Events are the timed faults, in any order.
+	Events []Event `json:"events"`
+}
+
+// Validate checks the plan's events for per-kind parameter errors.
+func (p *Plan) Validate() error {
+	for i := range p.Events {
+		e := &p.Events[i]
+		if !e.Kind.Valid() {
+			return fmt.Errorf("faults: event %d: unknown kind %q", i, e.Kind)
+		}
+		if e.AtNs < 0 {
+			return fmt.Errorf("faults: event %d (%s): negative at_ns", i, e.Kind)
+		}
+		if e.Prob < 0 || e.Prob > 1 {
+			return fmt.Errorf("faults: event %d (%s): prob %g outside [0,1]", i, e.Kind, e.Prob)
+		}
+		needDuration := e.Kind != KindCacheFlush
+		if needDuration && e.DurationNs <= 0 {
+			return fmt.Errorf("faults: event %d (%s): duration_ns required", i, e.Kind)
+		}
+		switch e.Kind {
+		case KindCoreStall:
+			if e.Cores <= 0 {
+				return fmt.Errorf("faults: event %d (core-stall): cores required", i)
+			}
+		case KindCacheFlush:
+			if e.Repeat > 1 && e.PeriodNs <= 0 {
+				return fmt.Errorf("faults: event %d (cache-flush): period_ns required with repeat", i)
+			}
+		case KindRxOverflow:
+			if e.RingCap <= 0 {
+				return fmt.Errorf("faults: event %d (rx-overflow): ring_cap required", i)
+			}
+		case KindClockJitter:
+			if e.JitterNs <= 0 {
+				return fmt.Errorf("faults: event %d (clock-jitter): jitter_ns required", i)
+			}
+		case KindEpochDelay:
+			if e.DelayNs <= 0 {
+				return fmt.Errorf("faults: event %d (epoch-delay): delay_ns required", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Has reports whether the plan contains at least one event of the kind.
+func (p *Plan) Has(k Kind) bool {
+	for i := range p.Events {
+		if p.Events[i].Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// EventsOf returns the plan's events of the given kind, in AtNs order.
+func (p *Plan) EventsOf(k Kind) []Event {
+	var out []Event
+	for i := range p.Events {
+		if p.Events[i].Kind == k {
+			out = append(out, p.Events[i])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtNs < out[j].AtNs })
+	return out
+}
+
+// EndNs returns the instant the last fault effect ends (the fault
+// horizon) — recovery assertions measure from here.
+func (p *Plan) EndNs() int64 {
+	var end int64
+	for i := range p.Events {
+		if t := p.Events[i].EndNs(); t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// ParsePlan decodes a JSON plan and validates it.
+func ParsePlan(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadPlan reads and parses a JSON plan file.
+func LoadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: load plan: %w", err)
+	}
+	return ParsePlan(data)
+}
+
+// Splitmix64 advances and hashes a splitmix64 state — the deterministic
+// generator behind every fault draw. Exported so hook implementations
+// (core's probability rolls) share one definition.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a tiny deterministic stream over Splitmix64 for plan synthesis.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return Splitmix64(r.s)
+}
+
+// in returns a deterministic value in [lo, hi].
+func (r *rng) in(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int64(r.next()%uint64(hi-lo+1))
+}
+
+// RandomPlan synthesizes a seeded chaos plan whose fault effects all land
+// inside [fromNs, toNs): one event of every fault family with
+// deterministic, seed-dependent parameters. The chaos soak test drives
+// randomized plans through this constructor, so any failing combination
+// is reproducible from its seed alone.
+func RandomPlan(seed uint64, fromNs, toNs int64) *Plan {
+	if toNs <= fromNs {
+		toNs = fromNs + 1
+	}
+	r := &rng{s: seed}
+	span := toNs - fromNs
+	// Windows are at most a third of the span so every family fits
+	// inside [fromNs, toNs) with room for distinct onsets.
+	win := func() int64 { return r.in(span/6, span/3) }
+	at := func(d int64) int64 { return fromNs + r.in(0, span-d) }
+
+	p := &Plan{Seed: seed}
+	d := win()
+	p.Events = append(p.Events, Event{
+		Kind: KindCoreStall, AtNs: at(d), DurationNs: d,
+		Cores: int(r.in(4, 24)),
+	})
+	repeat := int(r.in(3, 10))
+	period := span / int64(3*repeat)
+	if period < 1 {
+		period = 1
+	}
+	p.Events = append(p.Events, Event{
+		Kind: KindCacheFlush, AtNs: at(int64(repeat) * period),
+		Repeat: repeat, PeriodNs: period,
+	})
+	d = win()
+	p.Events = append(p.Events, Event{
+		Kind: KindRxOverflow, AtNs: at(d), DurationNs: d,
+		RingCap: int(r.in(4, 32)),
+	})
+	d = win()
+	p.Events = append(p.Events, Event{
+		Kind: KindClockJitter, AtNs: at(d), DurationNs: d,
+		JitterNs: r.in(5_000, 40_000),
+	})
+	d = win()
+	p.Events = append(p.Events, Event{
+		Kind: KindLockContention, AtNs: at(d), DurationNs: d,
+		Prob: 0.5 + float64(r.in(0, 45))/100,
+	})
+	// The epoch-drop window always suppresses every update (prob 1) for
+	// long enough that the watchdog must engage — the degradation path
+	// is the point of the soak.
+	d = win()
+	p.Events = append(p.Events, Event{
+		Kind: KindEpochDrop, AtNs: at(d), DurationNs: d, Prob: 1,
+	})
+	d = win()
+	p.Events = append(p.Events, Event{
+		Kind: KindEpochDelay, AtNs: at(d), DurationNs: d,
+		DelayNs: r.in(100_000, 500_000),
+	})
+	return p
+}

@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"flowvalve/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"valid core-stall", Event{Kind: KindCoreStall, AtNs: 0, DurationNs: 1e6, Cores: 4}, true},
+		{"core-stall no cores", Event{Kind: KindCoreStall, DurationNs: 1e6}, false},
+		{"core-stall no duration", Event{Kind: KindCoreStall, Cores: 4}, false},
+		{"valid cache-flush", Event{Kind: KindCacheFlush, AtNs: 5}, true},
+		{"cache-flush repeat no period", Event{Kind: KindCacheFlush, Repeat: 3}, false},
+		{"valid rx-overflow", Event{Kind: KindRxOverflow, DurationNs: 1e6, RingCap: 8}, true},
+		{"rx-overflow no cap", Event{Kind: KindRxOverflow, DurationNs: 1e6}, false},
+		{"valid clock-jitter", Event{Kind: KindClockJitter, DurationNs: 1e6, JitterNs: 1000}, true},
+		{"clock-jitter no amp", Event{Kind: KindClockJitter, DurationNs: 1e6}, false},
+		{"valid epoch-delay", Event{Kind: KindEpochDelay, DurationNs: 1e6, DelayNs: 100}, true},
+		{"epoch-delay no delay", Event{Kind: KindEpochDelay, DurationNs: 1e6}, false},
+		{"prob out of range", Event{Kind: KindEpochDrop, DurationNs: 1e6, Prob: 1.5}, false},
+		{"negative at", Event{Kind: KindEpochDrop, AtNs: -1, DurationNs: 1e6}, false},
+		{"unknown kind", Event{Kind: "meteor-strike", DurationNs: 1e6}, false},
+	}
+	for _, c := range cases {
+		p := Plan{Events: []Event{c.ev}}
+		err := p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestParsePlanJSON(t *testing.T) {
+	data := []byte(`{
+	  "seed": 7,
+	  "events": [
+	    {"kind": "core-stall", "at_ns": 1000, "duration_ns": 500, "cores": 16},
+	    {"kind": "epoch-drop", "at_ns": 1200, "duration_ns": 400, "prob": 1, "classes": ["A"]}
+	  ]
+	}`)
+	p, err := ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Events) != 2 {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	if !p.Has(KindCoreStall) || !p.Has(KindEpochDrop) || p.Has(KindCacheFlush) {
+		t.Fatal("Has misreports kinds")
+	}
+	if got := p.EndNs(); got != 1600 {
+		t.Fatalf("EndNs = %d, want 1600", got)
+	}
+	if _, err := ParsePlan([]byte(`{"events":[{"kind":"nope"}]}`)); err == nil {
+		t.Fatal("invalid plan parsed")
+	}
+}
+
+func TestEventEndNs(t *testing.T) {
+	e := Event{Kind: KindCacheFlush, AtNs: 100, Repeat: 4, PeriodNs: 50}
+	if got := e.EndNs(); got != 250 {
+		t.Fatalf("cache-flush EndNs = %d, want 250", got)
+	}
+	w := Event{Kind: KindCoreStall, AtNs: 100, DurationNs: 300, Cores: 2}
+	if got := w.EndNs(); got != 400 {
+		t.Fatalf("core-stall EndNs = %d, want 400", got)
+	}
+}
+
+// RandomPlan must be a pure function of its seed: two generations from
+// the same seed are identical, distinct seeds differ, every family is
+// present, and every effect lands inside the requested span.
+func TestRandomPlanDeterministic(t *testing.T) {
+	const from, to = int64(1e9), int64(2e9)
+	a := RandomPlan(42, from, to)
+	b := RandomPlan(42, from, to)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := RandomPlan(43, from, to)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("random plan invalid: %v", err)
+	}
+	for _, k := range Kinds() {
+		if !a.Has(k) {
+			t.Fatalf("random plan missing kind %s", k)
+		}
+	}
+	for i := range a.Events {
+		e := &a.Events[i]
+		if e.AtNs < from || e.EndNs() > to {
+			t.Fatalf("event %s [%d,%d] escapes span [%d,%d]", e.Kind, e.AtNs, e.EndNs(), from, to)
+		}
+	}
+}
+
+// fakeNIC implements every NIC-scoped hook and records the calls.
+type fakeNIC struct {
+	stalls  []int
+	flushes int
+	clamped int
+	clamps  int
+	unclamp int
+}
+
+func (f *fakeNIC) StallCores(n int, durNs int64) { f.stalls = append(f.stalls, n) }
+func (f *fakeNIC) FlushFlowCache()               { f.flushes++ }
+func (f *fakeNIC) ClampRxRings(maxPkts int)      { f.clamped = maxPkts; f.clamps++ }
+func (f *fakeNIC) UnclampRxRings()               { f.unclamp++ }
+
+func TestInjectorArmSchedulesEvents(t *testing.T) {
+	eng := sim.New()
+	plan := Plan{Seed: 1, Events: []Event{
+		{Kind: KindCoreStall, AtNs: 100, DurationNs: 50, Cores: 8},
+		{Kind: KindCacheFlush, AtNs: 200, Repeat: 3, PeriodNs: 10},
+		{Kind: KindRxOverflow, AtNs: 300, DurationNs: 50, RingCap: 4},
+	}}
+	inj, err := NewInjector(eng, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := &fakeNIC{}
+	inj.Register(nic)
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err == nil {
+		t.Fatal("double Arm succeeded")
+	}
+	eng.RunUntil(1000)
+	if len(nic.stalls) != 1 || nic.stalls[0] != 8 {
+		t.Fatalf("stalls = %v", nic.stalls)
+	}
+	if nic.flushes != 3 {
+		t.Fatalf("flushes = %d, want 3", nic.flushes)
+	}
+	if nic.clamps != 1 || nic.clamped != 4 || nic.unclamp != 1 {
+		t.Fatalf("clamp calls = %d/%d/%d", nic.clamps, nic.clamped, nic.unclamp)
+	}
+	st := inj.Stats()
+	if st.Injected[KindCoreStall] != 1 || st.Injected[KindCacheFlush] != 3 || st.Injected[KindRxOverflow] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Total() != 5 {
+		t.Fatalf("total = %d, want 5", st.Total())
+	}
+}
+
+func TestInjectorArmRequiresTargets(t *testing.T) {
+	eng := sim.New()
+	plan := Plan{Events: []Event{
+		{Kind: KindCoreStall, AtNs: 0, DurationNs: 10, Cores: 1},
+	}}
+	inj, err := NewInjector(eng, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err == nil {
+		t.Fatal("Arm with no registered targets succeeded")
+	}
+}
+
+func TestNewInjectorValidates(t *testing.T) {
+	eng := sim.New()
+	if _, err := NewInjector(eng, Plan{Events: []Event{{Kind: "bad"}}}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if _, err := NewInjector(nil, Plan{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}

@@ -1,0 +1,269 @@
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flowvalve/internal/sim"
+	"flowvalve/internal/telemetry"
+	"flowvalve/internal/token"
+)
+
+// The hook interfaces below are the injector's capability probes: a
+// component handed to Register is asked, by type assertion, which fault
+// surfaces it exposes. The NIC model implements the first three, the
+// core scheduler implements SchedulerSink, and token.JitteredClock is
+// probed as a concrete type (the clock hook lives below the interface
+// layer on purpose — the scheduler must not know its clock is faulty).
+
+// CoreStaller exposes worker-context stalls (the NIC's service loop).
+type CoreStaller interface {
+	// StallCores parks up to n worker contexts for durNs: idle contexts
+	// immediately, busy ones as their current routine completes.
+	StallCores(n int, durNs int64)
+}
+
+// CacheFlusher exposes flow-cache invalidation (the NIC's classifier).
+type CacheFlusher interface {
+	// FlushFlowCache empties the exact-match flow cache, forcing the
+	// slow-path lookup (and its cycle cost) for every active flow.
+	FlushFlowCache()
+}
+
+// RingClamper exposes Rx-ring capacity clamping (overflow bursts).
+type RingClamper interface {
+	// ClampRxRings caps every per-VF ring at maxPkts packets.
+	ClampRxRings(maxPkts int)
+	// UnclampRxRings restores the configured ring capacity.
+	UnclampRxRings()
+}
+
+// SchedulerCounts are the scheduler-scoped injected-fault counters.
+type SchedulerCounts struct {
+	// LockMisses counts try-lock failures injected by lock-contention
+	// windows.
+	LockMisses int64
+	// DroppedEpochs counts update attempts suppressed by epoch-drop
+	// windows.
+	DroppedEpochs int64
+	// DelayedEpochs counts update attempts deferred by epoch-delay
+	// windows.
+	DelayedEpochs int64
+}
+
+// SchedulerSink is implemented by scheduling functions that evaluate
+// pull-model fault windows on their own clock (core.Scheduler).
+type SchedulerSink interface {
+	// ApplyFaults installs the plan's scheduler-scoped windows. It
+	// replaces any previously applied plan.
+	ApplyFaults(p *Plan) error
+	// ClearFaults removes every installed window.
+	ClearFaults()
+	// InjectedFaults reports the cumulative injected-fault counters.
+	InjectedFaults() SchedulerCounts
+}
+
+// Stats reports how many faults the injector (and its registered
+// scheduler sink) actually injected, per kind.
+type Stats struct {
+	Injected map[Kind]int64
+}
+
+// Total sums the injected-fault counters across kinds.
+func (s Stats) Total() int64 {
+	var n int64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// Injector applies one Plan to the components registered with it: it
+// schedules the NIC-scoped events on the sim engine and installs the
+// pull-model windows on the scheduler sink and jitter clock at Arm time.
+type Injector struct {
+	eng  *sim.Engine
+	plan Plan
+
+	stall CoreStaller
+	flush CacheFlusher
+	clamp RingClamper
+	sched SchedulerSink
+	clock *token.JitteredClock
+
+	armed bool
+	// Event counters for the push-model kinds (atomic: telemetry scrapes
+	// from outside the DES goroutine).
+	nStalls  atomic.Int64
+	nFlushes atomic.Int64
+	nClamps  atomic.Int64
+	nJitter  atomic.Int64
+}
+
+// NewInjector validates the plan and binds it to the engine that will
+// carry its timed events.
+func NewInjector(eng *sim.Engine, plan Plan) (*Injector, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("faults: nil engine")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{eng: eng, plan: plan}, nil
+}
+
+// Plan returns a copy of the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Register probes target for every fault surface it exposes and binds
+// the matching hooks. Call it with the NIC, the scheduler, and the
+// jitter clock (in any order) before Arm; a later registration of the
+// same capability replaces the earlier one (policy hot-swap).
+func (in *Injector) Register(target any) {
+	if t, ok := target.(CoreStaller); ok {
+		in.stall = t
+	}
+	if t, ok := target.(CacheFlusher); ok {
+		in.flush = t
+	}
+	if t, ok := target.(RingClamper); ok {
+		in.clamp = t
+	}
+	if t, ok := target.(SchedulerSink); ok {
+		in.sched = t
+	}
+	if t, ok := target.(*token.JitteredClock); ok {
+		in.clock = t
+	}
+}
+
+// JitterWindows converts the plan's clock-jitter events to the jitter
+// clock's window format.
+func (p *Plan) JitterWindows() []token.JitterWindow {
+	var out []token.JitterWindow
+	for _, e := range p.EventsOf(KindClockJitter) {
+		out = append(out, token.JitterWindow{
+			FromNs: e.AtNs,
+			ToNs:   e.AtNs + e.DurationNs,
+			AmpNs:  e.JitterNs,
+		})
+	}
+	return out
+}
+
+// MaxJitterNs returns the largest clock-jitter amplitude in the plan —
+// the slack conformance assertions must grant the token supply.
+func (p *Plan) MaxJitterNs() int64 {
+	var amp int64
+	for i := range p.Events {
+		if p.Events[i].Kind == KindClockJitter && p.Events[i].JitterNs > amp {
+			amp = p.Events[i].JitterNs
+		}
+	}
+	return amp
+}
+
+// Arm schedules every NIC-scoped event on the engine and installs the
+// pull-model windows. It fails if a planned fault kind found no
+// registered target, so a plan can never silently half-apply.
+func (in *Injector) Arm() error {
+	if in.armed {
+		return fmt.Errorf("faults: injector already armed")
+	}
+	var missing []Kind
+	need := func(k Kind, ok bool) {
+		if in.plan.Has(k) && !ok {
+			missing = append(missing, k)
+		}
+	}
+	need(KindCoreStall, in.stall != nil)
+	need(KindCacheFlush, in.flush != nil)
+	need(KindRxOverflow, in.clamp != nil)
+	need(KindClockJitter, in.clock != nil)
+	need(KindLockContention, in.sched != nil)
+	need(KindEpochDrop, in.sched != nil)
+	need(KindEpochDelay, in.sched != nil)
+	if len(missing) > 0 {
+		return fmt.Errorf("faults: no registered target for fault kinds %v", missing)
+	}
+
+	now := in.eng.Now()
+	at := func(t int64, fn func()) {
+		if t < now {
+			t = now
+		}
+		in.eng.At(t, fn)
+	}
+	for _, e := range in.plan.Events {
+		e := e
+		switch e.Kind {
+		case KindCoreStall:
+			at(e.AtNs, func() {
+				in.nStalls.Add(1)
+				in.stall.StallCores(e.Cores, e.DurationNs)
+			})
+		case KindCacheFlush:
+			n := e.Repeat
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				at(e.AtNs+int64(i)*e.PeriodNs, func() {
+					in.nFlushes.Add(1)
+					in.flush.FlushFlowCache()
+				})
+			}
+		case KindRxOverflow:
+			at(e.AtNs, func() {
+				in.nClamps.Add(1)
+				in.clamp.ClampRxRings(e.RingCap)
+			})
+			at(e.AtNs+e.DurationNs, func() { in.clamp.UnclampRxRings() })
+		case KindClockJitter:
+			in.nJitter.Add(1)
+		}
+	}
+	if in.clock != nil {
+		in.clock.SetJitter(in.plan.Seed, in.plan.JitterWindows())
+	}
+	if in.sched != nil {
+		if err := in.sched.ApplyFaults(&in.plan); err != nil {
+			return err
+		}
+	}
+	in.armed = true
+	return nil
+}
+
+// Stats reports the injected-fault counters, merging the scheduler
+// sink's pull-model counts with the injector's own event counts.
+func (in *Injector) Stats() Stats {
+	s := Stats{Injected: map[Kind]int64{
+		KindCoreStall:   in.nStalls.Load(),
+		KindCacheFlush:  in.nFlushes.Load(),
+		KindRxOverflow:  in.nClamps.Load(),
+		KindClockJitter: in.nJitter.Load(),
+	}}
+	if in.sched != nil {
+		c := in.sched.InjectedFaults()
+		s.Injected[KindLockContention] = c.LockMisses
+		s.Injected[KindEpochDrop] = c.DroppedEpochs
+		s.Injected[KindEpochDelay] = c.DelayedEpochs
+	}
+	return s
+}
+
+// AttachTelemetry registers the fv_faults_injected_total counter family,
+// one instance per fault kind, reading the live counters at scrape time.
+func (in *Injector) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, k := range Kinds() {
+		k := k
+		reg.CounterFunc("fv_faults_injected_total",
+			"Faults injected by the chaos subsystem.",
+			func() float64 { return float64(in.Stats().Injected[k]) },
+			telemetry.Label{Key: "kind", Value: string(k)})
+	}
+}

@@ -1,0 +1,131 @@
+package nic
+
+import (
+	"flowvalve/internal/dataplane"
+	"flowvalve/internal/faults"
+)
+
+// This file is the NIC model's fault-injection surface (see
+// internal/faults). All hooks run on the DES goroutine — the injector
+// schedules them as simulation events — so they mutate NIC state with
+// the same single-threaded discipline as the service loop itself.
+
+// stallWindow is one in-progress worker-core stall: a fault that wedges
+// k micro-engine contexts (a firmware hang, an ICC deadlock, a DMA
+// engine stall) for a fixed window. Idle contexts are captured
+// immediately; busy ones are captured as they release (debt), modelling
+// a fault that bites a context at its next service boundary.
+type stallWindow struct {
+	parked []*cluster // one entry per captured context, by home cluster
+	debt   int        // contexts still to capture as they release
+}
+
+// StallCores implements faults.CoreStaller: wedge k worker contexts for
+// durNs. Contexts captured here neither pull ring packets nor service
+// batches until the window ends; packets back up in the Rx rings and,
+// under enough pressure, overflow them — exactly the degradation a
+// stalled island produces on the NP.
+func (n *NIC) StallCores(k int, durNs int64) {
+	if k <= 0 || durNs <= 0 {
+		return
+	}
+	w := &stallWindow{}
+	// Capture idle contexts first, round-robin across clusters so the
+	// stall spreads like the load balancer's own distribution.
+	remaining := k
+	for remaining > 0 {
+		grabbed := false
+		for _, cl := range n.clusters {
+			if remaining == 0 {
+				break
+			}
+			if cl.idle > 0 {
+				cl.idle--
+				w.parked = append(w.parked, cl)
+				remaining--
+				grabbed = true
+			}
+		}
+		if !grabbed {
+			break
+		}
+	}
+	// The rest are busy right now: collect them as they release.
+	w.debt = remaining
+	n.stalls = append(n.stalls, w)
+	n.eng.After(durNs, func() { n.endStall(w) })
+}
+
+// parkIfStalled gives a releasing context to the oldest stall window
+// still owed contexts. Returns true when the context was captured.
+func (n *NIC) parkIfStalled(cl *cluster) bool {
+	for _, w := range n.stalls {
+		if w.debt > 0 {
+			w.debt--
+			w.parked = append(w.parked, cl)
+			return true
+		}
+	}
+	return false
+}
+
+// endStall releases every context a window captured, re-entering each
+// through the normal release path so they immediately drain whatever
+// backed up in the rings during the stall.
+func (n *NIC) endStall(w *stallWindow) {
+	for i, sw := range n.stalls {
+		if sw == w {
+			n.stalls = append(n.stalls[:i], n.stalls[i+1:]...)
+			break
+		}
+	}
+	w.debt = 0
+	parked := w.parked
+	w.parked = nil
+	for _, cl := range parked {
+		n.releaseContext(cl)
+	}
+}
+
+// FlushFlowCache implements faults.CacheFlusher: drop the exact-match
+// flow cache, forcing every live flow back through the slow classify
+// path (CacheMiss cycles) — an eviction storm.
+func (n *NIC) FlushFlowCache() {
+	n.cls.Flush()
+}
+
+// ClampRxRings implements faults.RingClamper: artificially cap the
+// usable depth of every Rx ring at maxPkts, turning host bursts into
+// rx-ring overflow drops.
+func (n *NIC) ClampRxRings(maxPkts int) {
+	if maxPkts < 1 {
+		maxPkts = 1
+	}
+	n.ringClamp = maxPkts
+}
+
+// UnclampRxRings restores the configured ring depth.
+func (n *NIC) UnclampRxRings() {
+	n.ringClamp = 0
+}
+
+// ApplyFaults implements dataplane.FaultInjectable: register the NIC's
+// hook points — and, when a scheduler is attached, its fault sink — with
+// the injector. The injector validates at Arm time that every planned
+// fault kind found a target.
+func (n *NIC) ApplyFaults(inj *faults.Injector) error {
+	inj.Register(n)
+	if s := n.scheduler(); s != nil {
+		inj.Register(s)
+	}
+	return nil
+}
+
+// Compile-time checks: the NIC advertises the fault-injection probe and
+// implements every NIC-scoped hook interface.
+var (
+	_ dataplane.FaultInjectable = (*NIC)(nil)
+	_ faults.CoreStaller        = (*NIC)(nil)
+	_ faults.CacheFlusher       = (*NIC)(nil)
+	_ faults.RingClamper        = (*NIC)(nil)
+)

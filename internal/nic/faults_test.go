@@ -1,0 +1,157 @@
+package nic
+
+import (
+	"testing"
+
+	"flowvalve/internal/faults"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/trafficgen"
+)
+
+// Stalling every worker context parks the NIC: packets injected inside
+// the window wait in the Rx rings and are serviced — and delivered —
+// only after the stall ends.
+func TestStallCoresParksService(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	cores := r.nic.Config().Cores
+	const stallEnd = int64(1e6)
+	r.nic.StallCores(cores, stallEnd)
+
+	var a packet.Alloc
+	r.eng.At(1000, func() { r.nic.Inject(a.New(0, 0, 1500, 1000)) })
+	r.eng.Run()
+
+	if len(r.delivered) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(r.delivered))
+	}
+	if got := r.delivered[0].EgressAt; got < stallEnd {
+		t.Fatalf("packet egressed at %d, inside the stall window (ends %d)", got, stallEnd)
+	}
+	if len(r.nic.stalls) != 0 {
+		t.Fatalf("%d stall windows leaked", len(r.nic.stalls))
+	}
+}
+
+// A stall that outnumbers the idle contexts collects the busy ones as
+// they release (debt), and every context comes back when the window
+// ends — no permanent capacity loss.
+func TestStallCoresCollectsBusyContextsAsDebt(t *testing.T) {
+	r := newRig(t, Config{Cores: 4, Clusters: 2}, 40e9, false)
+	var a packet.Alloc
+	// Four packets seize all four contexts at t=0.
+	for i := 0; i < 4; i++ {
+		r.nic.Inject(a.New(packet.FlowID(i), 0, 1500, 0))
+	}
+	// The stall lands while all contexts are busy: all of it is debt.
+	r.nic.StallCores(4, 2e6)
+	if r.nic.stalls[0].debt != 4 {
+		t.Fatalf("debt = %d, want 4", r.nic.stalls[0].debt)
+	}
+	// Traffic injected meanwhile queues behind the stall.
+	r.eng.At(1e5, func() { r.nic.Inject(a.New(9, 0, 1500, 1e5)) })
+	r.eng.Run()
+	if len(r.delivered) != 5 {
+		t.Fatalf("delivered %d packets, want 5", len(r.delivered))
+	}
+	idle := 0
+	for _, cl := range r.nic.clusters {
+		idle += cl.idle
+	}
+	if idle != 4 {
+		t.Fatalf("%d contexts idle after stall, want 4", idle)
+	}
+}
+
+// Clamping the Rx rings converts queue pressure into rx-ring drops and
+// unclamping restores the configured depth.
+func TestRingClampForcesOverflow(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	cores := r.nic.Config().Cores
+	r.nic.StallCores(cores, 1e6) // force ring usage
+	r.nic.ClampRxRings(1)
+
+	var a packet.Alloc
+	for i := 0; i < 5; i++ {
+		r.nic.Inject(a.New(0, 0, 1500, 0))
+	}
+	if got := r.nic.Stats().RxRingDrops; got != 4 {
+		t.Fatalf("RxRingDrops = %d, want 4 (ring clamped to 1)", got)
+	}
+	r.nic.UnclampRxRings()
+	for i := 0; i < 5; i++ {
+		r.nic.Inject(a.New(0, 0, 1500, 0))
+	}
+	if got := r.nic.Stats().RxRingDrops; got != 4 {
+		t.Fatalf("RxRingDrops = %d after unclamp, want still 4", got)
+	}
+	r.eng.Run()
+	if len(r.delivered) != 6 {
+		t.Fatalf("delivered %d, want 6", len(r.delivered))
+	}
+}
+
+// FlushFlowCache empties the classifier's exact-match cache, forcing
+// the slow path (and its higher cycle cost) for every live flow.
+func TestFlushFlowCache(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	var a packet.Alloc
+	alloc := &a
+	if _, err := trafficgen.NewCBR(r.eng, alloc, 1, 0, 1518, 1e9, 0, 1e6, r.nic.Inject); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if r.nic.cls.CacheLen() == 0 {
+		t.Fatal("no cache entries built")
+	}
+	r.nic.FlushFlowCache()
+	if got := r.nic.cls.CacheLen(); got != 0 {
+		t.Fatalf("cache holds %d entries after flush", got)
+	}
+}
+
+// ApplyFaults registers the NIC (and its attached scheduler) with the
+// injector, so a full-surface plan arms without missing targets.
+func TestApplyFaultsRegistersAllSurfaces(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, true)
+	plan := faults.Plan{Seed: 1, Events: []faults.Event{
+		{Kind: faults.KindCoreStall, AtNs: 0, DurationNs: 1e6, Cores: 2},
+		{Kind: faults.KindCacheFlush, AtNs: 0},
+		{Kind: faults.KindRxOverflow, AtNs: 0, DurationNs: 1e6, RingCap: 8},
+		{Kind: faults.KindLockContention, AtNs: 0, DurationNs: 1e6, Prob: 0.5},
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e6, Prob: 1},
+		{Kind: faults.KindEpochDelay, AtNs: 0, DurationNs: 1e6, DelayNs: 1e5},
+	}}
+	inj, err := faults.NewInjector(r.eng, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.ApplyFaults(inj); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if inj.Stats().Total() == 0 {
+		t.Fatal("armed plan injected nothing")
+	}
+}
+
+// A pass-through NIC (no scheduler) must refuse to arm scheduler-scoped
+// kinds rather than silently skip them.
+func TestApplyFaultsPassThroughMissesSchedulerKinds(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	plan := faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e6, Prob: 1},
+	}}
+	inj, err := faults.NewInjector(r.eng, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.ApplyFaults(inj); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err == nil {
+		t.Fatal("scheduler-scoped plan armed against a pass-through NIC")
+	}
+}

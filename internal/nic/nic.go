@@ -15,6 +15,7 @@ package nic
 import (
 	"fmt"
 	"reflect"
+	"sync/atomic"
 
 	"flowvalve/internal/classifier"
 	"flowvalve/internal/dataplane"
@@ -187,10 +188,16 @@ type Stats struct {
 // everything (the paper's "disable FlowValve to simply forward packets"
 // baseline used to locate the 40G delay floor).
 type NIC struct {
-	eng   *sim.Engine
-	cfg   Config
-	cls   *classifier.Classifier
-	sched dataplane.Scheduler
+	eng *sim.Engine
+	cfg Config
+	cls *classifier.Classifier
+	// sched holds the scheduling function behind an atomic pointer:
+	// Swap is called from outside the DES goroutine (live policy
+	// hot-swap), so a plain field write would race with the service
+	// loop's reads. The ref wrapper exists because atomic.Pointer cannot
+	// hold an interface directly; the stored pointer is never nil (a
+	// pass-through NIC stores a ref to a nil interface).
+	sched atomic.Pointer[schedRef]
 	cb    Callbacks
 
 	// Batch-mode scratch (allocated once when BatchSize > 1): the
@@ -232,7 +239,19 @@ type NIC struct {
 
 	// tel holds the attached telemetry instruments (nil when off).
 	tel *nicTel
+
+	// Fault-injection state (see ApplyFaults / internal/faults). Both
+	// fields are mutated only on the DES goroutine; the fault-free path
+	// pays one empty-slice and one zero check.
+	stalls    []*stallWindow
+	ringClamp int
 }
+
+// schedRef boxes the scheduler interface for atomic storage.
+type schedRef struct{ s dataplane.Scheduler }
+
+// scheduler returns the active scheduling function (nil = pass-through).
+func (n *NIC) scheduler() dataplane.Scheduler { return n.sched.Load().s }
 
 // completion is one finished worker routine waiting in the reorder
 // system. A nil packet marks a released (dropped) sequence slot.
@@ -272,12 +291,12 @@ func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched dataplan
 		eng:         eng,
 		cfg:         cfg,
 		cls:         cls,
-		sched:       sched,
 		cb:          cb,
 		rings:       make(map[packet.AppID]*pktq.FIFO),
 		pending:     make(map[uint64]completion),
 		freeBuffers: cfg.BufferPool,
 	}
+	n.sched.Store(&schedRef{s: sched})
 	if cfg.Clusters > cfg.Cores {
 		cfg.Clusters = cfg.Cores
 		n.cfg.Clusters = cfg.Clusters
@@ -398,7 +417,7 @@ func (n *NIC) Inject(p *packet.Packet) {
 		return
 	}
 	ring := n.ringFor(p.App)
-	if !ring.TryPush(p) {
+	if (n.ringClamp > 0 && ring.Len() >= n.ringClamp) || !ring.TryPush(p) {
 		n.stats.RxRingDrops++
 		if n.tel != nil {
 			n.tel.dropRxRing.Add(1)
@@ -418,7 +437,7 @@ func (n *NIC) Inject(p *packet.Packet) {
 // rings backlogged); an idle NIC still services singly.
 func (n *NIC) injectBatched(p *packet.Packet) {
 	ring := n.ringFor(p.App)
-	if !ring.TryPush(p) {
+	if (n.ringClamp > 0 && ring.Len() >= n.ringClamp) || !ring.TryPush(p) {
 		n.stats.RxRingDrops++
 		if n.tel != nil {
 			n.tel.dropRxRing.Add(1)
@@ -480,19 +499,20 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 		cycles += n.cfg.Costs.CacheMiss
 	}
 
+	sched := n.scheduler()
 	forward := true
 	var reason DropReason
 	switch {
 	case lbl == nil:
 		forward = false
 		reason = DropUnclassified
-	case n.sched != nil:
+	case sched != nil:
 		// Tokens are charged in wire bytes (frame + preamble/IFG):
 		// the policy rates are link rates, and charging frame bytes
 		// only would over-subscribe the wire by the per-frame
 		// overhead (the linklayer overhead accounting of real
 		// shapers).
-		d := n.sched.Schedule(lbl, p.WireBytes())
+		d := sched.Schedule(lbl, p.WireBytes())
 		cycles += n.cfg.Costs.SchedPerClass*int64(len(lbl.Path)) + n.cfg.Costs.Meter
 		cycles += n.cfg.Costs.Update * int64(d.Updates)
 		if d.Verdict == dataplane.Drop || d.Borrowed {
@@ -540,8 +560,12 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 }
 
 // releaseContext returns a micro-engine context to service: it pulls the
-// next waiting packet (or burst) or goes idle.
+// next waiting packet (or burst) or goes idle. A pending stall window
+// with outstanding debt captures the context instead (see StallCores).
 func (n *NIC) releaseContext(cl *cluster) {
+	if len(n.stalls) > 0 && n.parkIfStalled(cl) {
+		return
+	}
 	if n.cfg.BatchSize > 1 {
 		n.serviceBatch(cl)
 		return
@@ -565,8 +589,9 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	n.cls.ClassifyBatch(batch, lbls, hits)
 
 	// One scheduling pass over the classified packets.
+	sched := n.scheduler()
 	var decs []dataplane.Decision
-	if n.sched != nil {
+	if sched != nil {
 		reqs := n.batchReqs[:0]
 		for i := 0; i < k; i++ {
 			if lbls[i] != nil {
@@ -576,7 +601,7 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 		n.batchReqs = reqs[:0]
 		if len(reqs) > 0 {
 			decs = n.batchDecs[:len(reqs)]
-			n.sched.ScheduleBatch(reqs, decs)
+			sched.ScheduleBatch(reqs, decs)
 		}
 	}
 
@@ -600,7 +625,7 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 		case lbls[i] == nil:
 			forward = false
 			reason = DropUnclassified
-		case n.sched != nil:
+		case sched != nil:
 			d := &decs[di]
 			di++
 			pc += n.cfg.Costs.SchedPerClass*int64(len(lbls[i].Path)) + n.cfg.Costs.Meter
@@ -813,5 +838,12 @@ func (n *NIC) Backlog() int {
 
 // Swap implements dataplane.Swapper, replacing the scheduling function
 // in place (policy hot-swap; in-flight completions keep their original
-// verdicts). A nil scheduler turns the NIC into a pass-through.
-func (n *NIC) Swap(s dataplane.Scheduler) { n.sched = s }
+// verdicts). A nil scheduler turns the NIC into a pass-through. The
+// store is atomic, so Swap may be called from outside the DES goroutine
+// while the service loop is scheduling packets.
+func (n *NIC) Swap(s dataplane.Scheduler) {
+	if v := reflect.ValueOf(s); s != nil && v.Kind() == reflect.Pointer && v.IsNil() {
+		s = nil
+	}
+	n.sched.Store(&schedRef{s: s})
+}

@@ -1,0 +1,108 @@
+package token
+
+import (
+	"sync/atomic"
+
+	"flowvalve/internal/clock"
+)
+
+// JitterWindow is one interval during which a JitteredClock perturbs its
+// base time source by up to ±AmpNs.
+type JitterWindow struct {
+	FromNs int64
+	ToNs   int64
+	AmpNs  int64
+}
+
+// jitterState is the installed jitter configuration, swapped atomically
+// so SetJitter is safe against concurrent Now readers.
+type jitterState struct {
+	seed    uint64
+	windows []JitterWindow
+}
+
+// JitteredClock wraps a clock.Clock and injects deterministic, seeded
+// jitter inside configured windows — the token-clock fault surface. The
+// scheduler's refill arithmetic (θ·ΔT) reads this clock, so jitter
+// stretches and squeezes epochs exactly as an unstable NP timestamp
+// counter would, while the DES engine keeps its own unperturbed clock
+// (causality is never affected, only the token math's view of time).
+//
+// Jitter is a pure function of (seed, quantized time), so runs are
+// reproducible, and reads are clamped monotonic: a negative jitter step
+// can plateau time but never rewind it. With no jitter installed the
+// clock is one atomic load and a nil check over the base source.
+type JitteredClock struct {
+	base  clock.Clock
+	state atomic.Pointer[jitterState]
+	last  atomic.Int64 // monotonic floor over the jittered stream
+}
+
+var _ clock.Clock = (*JitteredClock)(nil)
+
+// NewJitteredClock wraps base with no jitter installed.
+func NewJitteredClock(base clock.Clock) *JitteredClock {
+	return &JitteredClock{base: base}
+}
+
+// Base returns the wrapped time source.
+func (c *JitteredClock) Base() clock.Clock { return c.base }
+
+// SetJitter installs the jitter windows (replacing any previous set).
+// An empty set restores the base clock exactly; time continues from the
+// monotonic floor, so a perturbed-ahead reading never steps back.
+func (c *JitteredClock) SetJitter(seed uint64, windows []JitterWindow) {
+	if len(windows) == 0 {
+		c.state.Store(nil)
+		return
+	}
+	ws := make([]JitterWindow, len(windows))
+	copy(ws, windows)
+	c.state.Store(&jitterState{seed: seed, windows: ws})
+}
+
+// splitmix64 matches faults.Splitmix64; duplicated so the token package
+// stays dependency-free below the fault layer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Now returns the (possibly jittered) current time. Never decreasing.
+func (c *JitteredClock) Now() int64 {
+	now := c.base.Now()
+	st := c.state.Load()
+	if st == nil {
+		// Fault-free fast path; clamp only if a previous jitter window
+		// pushed the observed stream ahead of base time.
+		if last := c.last.Load(); last > now {
+			return last
+		}
+		return now
+	}
+	t := now
+	for i := range st.windows {
+		w := &st.windows[i]
+		if now >= w.FromNs && now < w.ToNs && w.AmpNs > 0 {
+			// Quantize time at the jitter amplitude so the offset holds
+			// still long enough to visibly stretch/squeeze epochs,
+			// then hash to a deterministic offset in [-Amp, +Amp].
+			q := uint64(now / w.AmpNs)
+			off := int64(splitmix64(q^st.seed)%uint64(2*w.AmpNs+1)) - w.AmpNs
+			t = now + off
+			break
+		}
+	}
+	// Monotonic clamp: publish max(t, last).
+	for {
+		last := c.last.Load()
+		if t <= last {
+			return last
+		}
+		if c.last.CompareAndSwap(last, t) {
+			return t
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package token
+
+import (
+	"testing"
+
+	"flowvalve/internal/clock"
+)
+
+// Outside every window (and with none installed) the jittered clock is
+// the base clock exactly.
+func TestJitteredClockTransparent(t *testing.T) {
+	base := clock.NewManual(100)
+	jc := NewJitteredClock(base)
+	if got := jc.Now(); got != 100 {
+		t.Fatalf("no-jitter Now = %d, want 100", got)
+	}
+	jc.SetJitter(7, []JitterWindow{{FromNs: 1000, ToNs: 2000, AmpNs: 50}})
+	base.Set(500)
+	if got := jc.Now(); got != 500 {
+		t.Fatalf("pre-window Now = %d, want 500", got)
+	}
+	base.Set(5000)
+	if got := jc.Now(); got != 5000 {
+		t.Fatalf("post-window Now = %d, want 5000", got)
+	}
+}
+
+// Inside a window the perturbation is bounded by ±AmpNs, deterministic
+// in (seed, time), and the stream never steps backward.
+func TestJitteredClockBoundedDeterministicMonotonic(t *testing.T) {
+	const amp = int64(50)
+	run := func(seed uint64) []int64 {
+		base := clock.NewManual(0)
+		jc := NewJitteredClock(base)
+		jc.SetJitter(seed, []JitterWindow{{FromNs: 1000, ToNs: 10000, AmpNs: amp}})
+		var out []int64
+		for ts := int64(1000); ts < 10000; ts += 13 {
+			base.Set(ts)
+			now := jc.Now()
+			// The raw offset is bounded by ±amp and the monotonic clamp
+			// only raises readings toward earlier (also bounded) values,
+			// so every sample stays within ±amp of base time.
+			if d := now - ts; d > amp || d < -amp {
+				t.Fatalf("jitter at %d escaped bound: now=%d", ts, now)
+			}
+			if len(out) > 0 && now < out[len(out)-1] {
+				t.Fatalf("clock stepped back: %d after %d", now, out[len(out)-1])
+			}
+			out = append(out, now)
+		}
+		return out
+	}
+	a := run(7)
+	b := run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at sample %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+// Clearing the windows restores the base clock but never rewinds the
+// observed stream below a perturbed-ahead reading.
+func TestJitteredClockClearKeepsFloor(t *testing.T) {
+	base := clock.NewManual(0)
+	jc := NewJitteredClock(base)
+	jc.SetJitter(3, []JitterWindow{{FromNs: 0, ToNs: 1000, AmpNs: 100}})
+	var peak, lastBase int64
+	for ts := int64(0); ts < 1000; ts += 7 {
+		base.Set(ts)
+		lastBase = ts
+		if now := jc.Now(); now > peak {
+			peak = now
+		}
+	}
+	jc.SetJitter(0, nil)
+	if peak > lastBase+2 {
+		// Base still trails the perturbed-ahead floor: the floor wins.
+		base.Set(lastBase + 1)
+		if got := jc.Now(); got < peak {
+			t.Fatalf("cleared clock rewound: %d < floor %d", got, peak)
+		}
+	}
+	base.Set(peak + 1000)
+	if got := jc.Now(); got != peak+1000 {
+		t.Fatalf("cleared clock = %d, want base %d", got, peak+1000)
+	}
+}

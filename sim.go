@@ -48,6 +48,14 @@ type Scenario struct {
 	// with a congestion mark (which the TCP model obeys) instead of
 	// being dropped.
 	ECN bool
+	// Faults, when non-nil, injects the plan's timed faults (core
+	// stalls, cache flushes, ring overflow, clock jitter, epoch
+	// drop/delay, lock contention) into the simulated NIC and scheduler.
+	// A graceful-degradation watchdog runs alongside unless WatchdogOff.
+	Faults *FaultPlan
+	// WatchdogOff disables the degradation watchdog in a faulted run —
+	// the ablation that shows raw fault impact.
+	WatchdogOff bool
 }
 
 // SimResult is the outcome of a Scenario run.
@@ -77,6 +85,8 @@ func (sc Scenario) Run() (*SimResult, error) {
 		NIC:            nic.Config{WireRateBps: wire * 1e9, WirePorts: sc.WirePorts},
 		Sched:          core.Config{ECNMarkFrac: ecnFrac(sc.ECN)},
 		MeasureLatency: sc.MeasureLatency,
+		Faults:         sc.Faults,
+		WatchdogOff:    sc.WatchdogOff,
 	}
 	for _, a := range sc.Apps {
 		inner.Apps = append(inner.Apps, experiments.AppSpec{
@@ -136,4 +146,25 @@ func (r *SimResult) Latency() (meanUs, stdUs, p99Us float64) {
 func (r *SimResult) SchedDrops() (sched, overflow uint64) {
 	st := r.res.NICStats
 	return st.SchedDrops, st.RxRingDrops + st.TMDrops
+}
+
+// FaultsInjected returns the per-kind injected-fault counters (nil when
+// the scenario ran fault-free).
+func (r *SimResult) FaultsInjected() map[FaultKind]int64 {
+	if r.res.Faults == nil {
+		return nil
+	}
+	return r.res.Faults.Injected
+}
+
+// WatchdogStats reports the degradation watchdog's activity: organic
+// recoveries, safe-rate bridge refills, classes still degraded at the
+// end of the run, and the mean degradation→recovery latency. All zeros
+// when no watchdog ran.
+func (r *SimResult) WatchdogStats() (recoveries, forcedRefills int64, degradedAtEnd int, meanRecoveryNs float64) {
+	wd := r.res.Watchdog
+	if wd == nil {
+		return 0, 0, 0, 0
+	}
+	return wd.Recoveries(), wd.ForcedRefills(), wd.DegradedNow(), wd.MeanRecoveryNs()
 }
