@@ -17,9 +17,10 @@ test:
 	$(GO) test ./...
 
 # Race detector on the surfaces that run under real goroutine
-# concurrency: the scheduling function, the NIC model, and the facade.
+# concurrency: the scheduling function, the NIC model, the concurrent
+# flow cache, the tracer, and the facade.
 race:
-	$(GO) test -race ./internal/core/ ./internal/nic/ .
+	$(GO) test -race ./internal/core/ ./internal/nic/ ./internal/classifier/ ./internal/telemetry/ .
 
 # Chaos soak: randomized fault plans (fixed seed matrix) through the full
 # FlowValve stack under -race, asserting conformance/recovery/liveness.
@@ -27,10 +28,13 @@ chaos:
 	$(GO) test -race -run Chaos -v ./internal/experiments/
 
 # Scheduling hot-path microbenchmarks (per-packet, batched, telemetry,
-# depth, parallel lock modes), benchstat-friendly: 5 repetitions each.
+# depth, parallel lock modes) plus the classification hot path
+# (BenchmarkClassifyHit guards the lock-free, zero-alloc flow-cache hit),
+# benchstat-friendly: 5 repetitions each.
 #   make bench > new.txt   # then: benchstat old.txt new.txt
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkSchedule' -benchmem -count=5 .
+	$(GO) test -run '^$$' -bench '^BenchmarkClassify' -benchmem -count=5 ./internal/classifier/
 
 # Scaled figure/table regeneration benches + ablations.
 bench-figures:

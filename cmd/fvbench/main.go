@@ -52,6 +52,9 @@ func run(args []string, out io.Writer) error {
 	wire := fs.Float64("wire", 40e9, "wire rate (bits/s)")
 	depth := fs.Int("depth", 1, "scheduling-tree depth below the root (flowvalve)")
 	batch := fs.Int("batch", 1, "NIC Rx service batch size (flowvalve; 1 = per-packet pipeline)")
+	nflows := fs.Int("flows", 16, "distinct transport flows offered (drive past -cache-size to exercise eviction)")
+	cacheSize := fs.Int("cache-size", 0, "flow-cache entry bound (flowvalve; 0 = default 65536)")
+	cacheShards := fs.Int("cache-shards", 0, "flow-cache shard count (flowvalve; 0 = default 8)")
 	duration := fs.Duration("duration", 100*time.Millisecond, "measurement window (simulated)")
 	metricsJSON := fs.String("metrics-json", "", "write a JSON metrics snapshot to this file after the run (- for stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -74,7 +77,8 @@ func run(args []string, out io.Writer) error {
 	)
 	switch *backend {
 	case "flowvalve":
-		q, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch)
+		cacheCfg := classifier.CacheConfig{Size: *cacheSize, Shards: *cacheShards}
+		q, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch, cacheCfg)
 	case "dpdk":
 		q, procPps, header, err = buildDPDK(eng, counter, reg, *cores, *wire)
 	default:
@@ -88,7 +92,10 @@ func run(args []string, out io.Writer) error {
 	offeredPps := 1.3 * min(linePps, procPps)
 
 	alloc := &packet.Alloc{}
-	flows := make([]packet.FlowID, 16)
+	if *nflows < 1 {
+		*nflows = 1
+	}
+	flows := make([]packet.FlowID, *nflows)
 	for i := range flows {
 		flows[i] = packet.FlowID(i)
 	}
@@ -107,6 +114,11 @@ func run(args []string, out io.Writer) error {
 	if dev, ok := q.(*nic.NIC); ok {
 		ns := dev.Stats()
 		fmt.Fprintf(out, "drops: sched=%d rx-ring=%d tm=%d\n", ns.SchedDrops, ns.RxRingDrops, ns.TMDrops)
+	}
+	if fc, ok := q.(dataplane.FlowCacher); ok {
+		cs := fc.FlowCacheStats()
+		fmt.Fprintf(out, "flowcache: hits=%d misses=%d evictions=%d size=%d/%d (shards=%d)\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Size, cs.Capacity, cs.Shards)
 	}
 	if acct, ok := q.(dataplane.HostAccountant); ok {
 		fmt.Fprintf(out, "host cores: %.2f\n", acct.HostCores(2*warm))
@@ -130,7 +142,7 @@ func run(args []string, out io.Writer) error {
 
 // buildFlowValve assembles the offloaded backend on the NIC model.
 func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg *telemetry.Registry,
-	size, cores int, freq, wire float64, depth, batch int) (dataplane.Qdisc, float64, string, error) {
+	size, cores int, freq, wire float64, depth, batch int, cache classifier.CacheConfig) (dataplane.Qdisc, float64, string, error) {
 	if cores <= 0 {
 		cores = 50
 	}
@@ -138,7 +150,7 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 	if err != nil {
 		return nil, 0, "", err
 	}
-	cls, err := classifier.New(t, rules, "")
+	cls, err := classifier.NewSized(t, rules, "", cache)
 	if err != nil {
 		return nil, 0, "", err
 	}

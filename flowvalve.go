@@ -119,6 +119,14 @@ type Options struct {
 	ExpireAfterNs int64
 	// BurstNs sizes class buckets to θ·BurstNs (default 4ms).
 	BurstNs int64
+	// FlowCacheSize bounds the exact-match flow cache of the labeling
+	// function in entries (default 65536). The cache never grows past
+	// it: new flows beyond capacity displace cold entries (CLOCK).
+	FlowCacheSize int
+	// FlowCacheShards is the cache's concurrency sharding (default 8,
+	// rounded up to a power of two). Lookup hits are lock-free; misses
+	// serialize per shard.
+	FlowCacheShards int
 	// Telemetry, when non-nil, attaches the scheduler to an observability
 	// sink: per-class metric families registered at construction (and
 	// re-registered on Swap, so collectors follow the live policy) plus
@@ -152,7 +160,8 @@ type schedulerInner struct {
 }
 
 func buildInner(p *Policy, clk Clock, opts Options) (*schedulerInner, error) {
-	cls, err := classifier.New(p.tree, p.rules, p.script.DefaultClass)
+	cls, err := classifier.NewSized(p.tree, p.rules, p.script.DefaultClass,
+		classifier.CacheConfig{Size: opts.FlowCacheSize, Shards: opts.FlowCacheShards})
 	if err != nil {
 		return nil, err
 	}
@@ -395,6 +404,17 @@ type ClassStats struct {
 	BorrowPkts int64
 	MarkPkts   int64
 	LentBytes  int64
+}
+
+// CacheStats is a snapshot of the labeling function's exact-match flow
+// cache. See classifier.CacheStats for field semantics.
+type CacheStats = classifier.CacheStats
+
+// FlowCacheStats snapshots the active policy's flow cache: hit/miss/
+// eviction counters plus the current size against the configured bound.
+// A Swap installs a fresh (empty) cache with the new policy.
+func (s *Scheduler) FlowCacheStats() CacheStats {
+	return s.inner.Load().cls.Stats()
 }
 
 // Stats snapshots every class in the active policy.

@@ -1,0 +1,308 @@
+package classifier
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+)
+
+// makeLabels allocates a batch label scratch.
+func makeLabels(n int) []*tree.Label { return make([]*tree.Label, n) }
+
+// Churn far past capacity must never grow the cache beyond its bound —
+// the million-flow working set the ROADMAP's north star implies.
+func TestCacheCapacityBoundUnderChurn(t *testing.T) {
+	tr := testTree(t)
+	c, err := NewSized(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "",
+		CacheConfig{Size: 1 << 10, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := c.CacheCap()
+	if cap < 1<<10 {
+		t.Fatalf("CacheCap = %d, want >= %d", cap, 1<<10)
+	}
+	const flows = 1 << 20 // 1M distinct flows through a 1k-entry cache
+	for f := 0; f < flows; f++ {
+		lbl, _ := c.Lookup(pkt(packet.AppID(f>>16), packet.FlowID(f&0xffff)))
+		if lbl == nil || lbl.Leaf.Name != "a" {
+			t.Fatalf("flow %d misclassified: %v", f, lbl)
+		}
+		if f%(1<<16) == 0 {
+			if n := c.CacheLen(); n > cap {
+				t.Fatalf("cache size %d exceeds capacity %d after %d flows", n, cap, f)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Size > cap {
+		t.Fatalf("final cache size %d exceeds capacity %d", st.Size, cap)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("1M-flow churn through a 1k cache evicted nothing")
+	}
+	if st.Hits+st.Misses != flows {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, flows)
+	}
+}
+
+// The cache is deterministic: identical lookup sequences produce
+// identical statistics — the property that keeps DES runs reproducible.
+func TestCacheEvictionDeterminism(t *testing.T) {
+	run := func() CacheStats {
+		tr := testTree(t)
+		c, err := NewSized(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "",
+			CacheConfig{Size: 256, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 100_000; i++ {
+			c.Lookup(pkt(packet.AppID(rng.Intn(4)), packet.FlowID(rng.Intn(4096))))
+		}
+		return c.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Evictions == 0 {
+		t.Fatal("run evicted nothing — the determinism check is vacuous")
+	}
+}
+
+// ClassifyBatchEv must agree with per-packet Lookup on labels and
+// hit/miss accounting, on both sides of the sort-algorithm threshold.
+func TestClassifyBatchLookupEquivalence(t *testing.T) {
+	for _, n := range []int{1, 3, batchSortThreshold, batchSortThreshold + 1, 4 * batchSortThreshold} {
+		// Adversarial mix: all-distinct flows plus duplicate runs.
+		rng := rand.New(rand.NewSource(int64(n)))
+		ps := make([]*packet.Packet, n)
+		for i := range ps {
+			ps[i] = pkt(packet.AppID(rng.Intn(3)), packet.FlowID(rng.Intn(n)))
+		}
+
+		tr := testTree(t)
+		rules := []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}
+		cb, _ := New(tr, rules, "")
+		batchLbls := makeLabels(n)
+		hits := make([]bool, n)
+		evs := make([]bool, n)
+		cb.ClassifyBatchEv(ps, batchLbls, hits, evs)
+
+		cl, _ := New(tr, rules, "")
+		for i, p := range ps {
+			lbl, hit := cl.Lookup(p)
+			if lbl != batchLbls[i] {
+				t.Fatalf("n=%d pkt %d: batch label %v != lookup label %v", n, i, batchLbls[i], lbl)
+			}
+			if hit != hits[i] {
+				t.Fatalf("n=%d pkt %d: batch hit=%v, lookup hit=%v", n, i, hits[i], hit)
+			}
+		}
+		bs, ls := cb.Stats(), cl.Stats()
+		if bs.Hits != ls.Hits || bs.Misses != ls.Misses {
+			t.Fatalf("n=%d: batch stats %d/%d != lookup stats %d/%d",
+				n, bs.Hits, bs.Misses, ls.Hits, ls.Misses)
+		}
+	}
+}
+
+// Flush resets every statistic together; Invalidate keeps the negative
+// count and size consistent (the satellite-3 consistency sweep).
+func TestCacheStatsConsistency(t *testing.T) {
+	tr := testTree(t)
+	// No default class: unmatched packets cache negative entries.
+	c, _ := New(tr, []Rule{{App: 1, Flow: AnyFlow, Class: "a"}}, "")
+	c.Lookup(pkt(1, 1)) // positive
+	c.Lookup(pkt(9, 9)) // negative (matches nothing)
+	st := c.Stats()
+	if st.Size != 2 || st.Negative != 1 {
+		t.Fatalf("size=%d negative=%d, want 2/1", st.Size, st.Negative)
+	}
+	c.Invalidate(9, 9)
+	st = c.Stats()
+	if st.Size != 1 || st.Negative != 0 || st.Invalidations != 1 {
+		t.Fatalf("after invalidating negative entry: %+v", st)
+	}
+	// Force a parse error: a tuple with a protocol the header builder
+	// cannot synthesize.
+	var alloc packet.Alloc
+	bad := alloc.New(77, 1, 1500, 0)
+	bad.Tuple.Proto = 0xfe
+	c.Lookup(bad)
+	if pe := c.Stats().ParseErrors; pe == 0 {
+		t.Fatal("unsynthesizable tuple did not count a parse error")
+	}
+	c.Flush()
+	st = c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 ||
+		st.ParseErrors != 0 || st.Invalidations != 0 || st.Size != 0 || st.Negative != 0 {
+		t.Fatalf("flush left counters inconsistent: %+v", st)
+	}
+}
+
+// Torture: parallel lookups, batches, invalidations, and flushes with a
+// flow population far past capacity. Run under -race this exercises the
+// lock-free hit path against concurrent insert/evict/invalidate/flush.
+func TestCacheConcurrentTorture(t *testing.T) {
+	tr := testTree(t)
+	c, err := NewSized(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "",
+		CacheConfig{Size: 512, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 20_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			batch := make([]*packet.Packet, 64)
+			lbls := makeLabels(64)
+			hits := make([]bool, 64)
+			evs := make([]bool, 64)
+			for i := 0; i < perWorker; i++ {
+				f := packet.FlowID(rng.Intn(8192))
+				a := packet.AppID(rng.Intn(4))
+				switch i % 8 {
+				case 6:
+					c.Invalidate(a, f)
+				case 7:
+					if i%512 == 511 {
+						c.Flush()
+					} else {
+						for j := range batch {
+							batch[j] = pkt(a, packet.FlowID(rng.Intn(8192)))
+						}
+						c.ClassifyBatchEv(batch, lbls, hits, evs)
+					}
+				default:
+					lbl, _, _ := c.LookupEv(pkt(a, f))
+					if lbl == nil || lbl.Leaf.Name != "a" {
+						panic("misclassified under concurrency")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > c.CacheCap() || st.Size < 0 {
+		t.Fatalf("post-torture size %d out of [0, %d]", st.Size, c.CacheCap())
+	}
+	if st.Negative != 0 {
+		t.Fatalf("negative count %d, want 0 (every packet matches)", st.Negative)
+	}
+}
+
+// The hit path must not allocate: it is the NIC worker's per-packet fast
+// path (acceptance: 0 allocs/op).
+func TestClassifyHitNoAllocs(t *testing.T) {
+	tr := testTree(t)
+	c, _ := New(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "")
+	p := pkt(1, 1)
+	c.Lookup(p) // warm the entry
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, hit := c.Lookup(p); !hit {
+			t.Fatal("warm lookup missed")
+		}
+	}); avg != 0 {
+		t.Fatalf("hit path allocates %.1f per op, want 0", avg)
+	}
+}
+
+// The hit path is lock-free, so aggregate parallel throughput must not
+// collapse against single-threaded throughput (a mutex on the hit path
+// would make GOMAXPROCS workers slower in aggregate than one). The bar
+// is deliberately conservative — ≥0.9× serial — so the guard catches a
+// serializing regression without flaking on noisy CI runners.
+func TestClassifyHitParallelScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks under -short")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs ≥2 procs to measure scaling")
+	}
+	tr := testTree(t)
+	c, _ := New(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "")
+	const hot = 1024
+	for f := 0; f < hot; f++ {
+		c.Lookup(pkt(0, packet.FlowID(f)))
+	}
+	serial := testing.Benchmark(func(b *testing.B) {
+		p := pkt(0, 0)
+		for i := 0; i < b.N; i++ {
+			p.Flow = packet.FlowID(i % hot)
+			c.Lookup(p)
+		}
+	})
+	parallel := testing.Benchmark(func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			p := pkt(0, 0)
+			f := 0
+			for pb.Next() {
+				f++
+				p.Flow = packet.FlowID(f % hot)
+				c.Lookup(p)
+			}
+		})
+	})
+	serialOps := float64(serial.N) / serial.T.Seconds()
+	parOps := float64(parallel.N) / parallel.T.Seconds()
+	if parOps < 0.9*serialOps {
+		t.Fatalf("parallel hit throughput %.0f ops/s collapsed below serial %.0f ops/s — hit path serializing?",
+			parOps, serialOps)
+	}
+}
+
+// BenchmarkClassifyHit measures the lock-free hit path; with RunParallel
+// it should scale with GOMAXPROCS (shards spread the counters).
+func BenchmarkClassifyHit(b *testing.B) {
+	tr := testTree(b)
+	c, err := New(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm a working set of hot flows.
+	const hot = 1024
+	for f := 0; f < hot; f++ {
+		c.Lookup(pkt(0, packet.FlowID(f)))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		p := pkt(0, 0)
+		f := uint32(0)
+		for pb.Next() {
+			f++
+			p.Flow = packet.FlowID(f % hot)
+			if _, hit := c.Lookup(p); !hit {
+				b.Fatal("benchmark working set missed")
+			}
+		}
+	})
+}
+
+func BenchmarkClassifyMissEvict(b *testing.B) {
+	tr := testTree(b)
+	c, err := NewSized(tr, []Rule{{App: AnyApp, Flow: AnyFlow, Class: "a"}}, "",
+		CacheConfig{Size: 1 << 10, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	p := pkt(0, 0)
+	for i := 0; i < b.N; i++ {
+		p.Flow = packet.FlowID(i) // always fresh: miss + (warm) evict
+		c.Lookup(p)
+	}
+}

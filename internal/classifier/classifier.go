@@ -7,13 +7,17 @@
 // metadata (virtual function, flow) and parsed header fields (the
 // five-tuple). In front of the tables sits the Exact Match Flow Cache,
 // whose dedicated lookup engines the paper credits with a 10× speedup —
-// a hash map keyed by (VF, flow) that short-circuits the parser and the
-// table walk on hits. Lookups report hit/miss so the NIC model charges
-// the right cycle costs.
+// a sharded, capacity-bounded exact-match table keyed by (VF, flow) that
+// short-circuits the parser and the table walk on hits (see cache.go).
+// Lookups report hit/miss/eviction so the NIC model charges the right
+// cycle costs.
 package classifier
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"flowvalve/internal/headers"
 	"flowvalve/internal/p4lite"
@@ -87,37 +91,41 @@ func (r Rule) entry() p4lite.Entry {
 	}
 }
 
-type flowKey struct {
-	app  packet.AppID
-	flow packet.FlowID
-}
-
 // Classifier matches packets against the compiled filter pipeline,
-// caching resolved labels in an exact-match flow cache.
+// caching resolved labels in the sharded exact-match flow cache.
 //
-// Classifier is not safe for concurrent use; the DES is single-threaded
-// and the wall-clock benchmarks classify up-front (Pin in the facade).
+// Classifier is safe for concurrent use: hits are lock-free, misses
+// serialize per cache shard, and ClassifyBatch draws its ordering
+// scratch from a pool.
 type Classifier struct {
 	tree  *tree.Tree
 	pipe  *p4lite.Pipeline
 	def   *tree.Label // default class label, may be nil
-	cache map[flowKey]*tree.Label
+	cache *flowCache
 
-	scratch [headers.MaxStackLen]byte
-	// batchIdx orders ClassifyBatch lookups by flow key (scratch).
-	batchIdx []int32
+	// parseErrs counts frames the parser rejected on the miss path.
+	parseErrs atomic.Uint64
 
-	// Hits and Misses count cache outcomes since creation.
-	Hits   uint64
-	Misses uint64
-	// ParseErrors counts frames the parser rejected on the miss path.
-	ParseErrors uint64
+	// batchPool recycles ClassifyBatch index scratch so concurrent
+	// batches stay allocation-free without sharing state.
+	batchPool sync.Pool
 }
 
-// New builds a classifier for t. defaultClass names the leaf that absorbs
-// unmatched traffic (the tc "default" class); empty means unmatched
-// packets are reported as unclassified.
+// batchScratch orders one ClassifyBatch's lookups by flow key.
+type batchScratch struct {
+	idx []int32
+}
+
+// New builds a classifier for t with the default flow-cache geometry.
+// defaultClass names the leaf that absorbs unmatched traffic (the tc
+// "default" class); empty means unmatched packets are reported as
+// unclassified.
 func New(t *tree.Tree, rules []Rule, defaultClass string) (*Classifier, error) {
+	return NewSized(t, rules, defaultClass, CacheConfig{})
+}
+
+// NewSized is New with an explicit flow-cache capacity and shard count.
+func NewSized(t *tree.Tree, rules []Rule, defaultClass string, cache CacheConfig) (*Classifier, error) {
 	tbl := p4lite.NewTable("filters")
 	for _, r := range rules {
 		lbl, ok := t.LabelByName(r.Class)
@@ -131,8 +139,9 @@ func New(t *tree.Tree, rules []Rule, defaultClass string) (*Classifier, error) {
 	c := &Classifier{
 		tree:  t,
 		pipe:  p4lite.NewPipeline(tbl),
-		cache: make(map[flowKey]*tree.Label, 256),
+		cache: newFlowCache(cache),
 	}
+	c.batchPool.New = func() any { return new(batchScratch) }
 	if defaultClass != "" {
 		lbl, ok := t.LabelByName(defaultClass)
 		if !ok || lbl == nil {
@@ -147,66 +156,107 @@ func New(t *tree.Tree, rules []Rule, defaultClass string) (*Classifier, error) {
 // flow cache. On a miss the full pipeline runs: header bytes are
 // synthesized from the packet's tuple, parsed back, and walked through
 // the match-action tables. A nil label means the packet matched nothing
-// and there is no default class.
+// and there is no default class (negative results are cached too: the
+// NP caches the drop/default action the same way as a positive match).
 func (c *Classifier) Lookup(p *packet.Packet) (lbl *tree.Label, hit bool) {
-	key := flowKey{app: p.App, flow: p.Flow}
-	if lbl, ok := c.cache[key]; ok {
-		c.Hits++
-		return lbl, true
+	lbl, hit, _ = c.LookupEv(p)
+	return lbl, hit
+}
+
+// LookupEv is Lookup plus whether resolving the miss evicted a live
+// cache entry — the outcome the NIC model charges CLOCK-writeback
+// cycles for.
+func (c *Classifier) LookupEv(p *packet.Packet) (lbl *tree.Label, hit, evicted bool) {
+	key := packKey(p.App, p.Flow)
+	sh, lbl, ok := c.cache.get(key)
+	if ok {
+		return lbl, true, false
 	}
-	c.Misses++
-	lbl = c.classify(p)
-	// Negative results are cached too: the NP caches the drop/default
-	// action the same way as a positive match.
-	c.cache[key] = lbl
-	return lbl, false
+	// Miss path: parser + table walk + insert, serialized per shard.
+	sh.mu.Lock()
+	if e, ok := c.cache.probeLocked(sh, key); ok {
+		// A concurrent miss for the same flow resolved it first.
+		sh.mu.Unlock()
+		return e.lbl, false, false
+	}
+	lbl = c.classify(p, &sh.scratch)
+	evicted = c.cache.insertLocked(sh, key, lbl)
+	sh.mu.Unlock()
+	return lbl, false, evicted
 }
 
 // ClassifyBatch resolves the labels of a burst of packets, writing
 // labels[i] and hits[i] for ps[i] (both must be at least len(ps) long).
+// See ClassifyBatchEv for the eviction-reporting variant.
+func (c *Classifier) ClassifyBatch(ps []*packet.Packet, labels []*tree.Label, hits []bool) {
+	c.ClassifyBatchEv(ps, labels, hits, nil)
+}
+
+// batchSortThreshold is the burst length above which the grouping sort
+// switches from insertion sort to sort.SliceStable: Rx bursts are small
+// and run-heavy, where insertion sort wins, but an adversarial
+// all-distinct-flow burst makes it O(n²).
+const batchSortThreshold = 32
+
+// ClassifyBatchEv resolves the labels of a burst of packets, writing
+// labels[i], hits[i], and (when non-nil) evicted[i] for ps[i].
 //
 // The batch amortizes the exact-match flow cache: lookups are grouped by
-// flow key (a stable insertion sort over an index scratch — bursts are
-// small, and Rx bursts are usually run-heavy), so every packet of a
-// group behind its head resolves by pointer comparison instead of a map
-// probe. The stable order means the group head is the burst's
+// flow key (a stable sort over an index scratch), so every packet of a
+// group behind its head resolves by pointer comparison instead of a
+// table probe. The stable order means the group head is the burst's
 // first-arriving packet, so hit/miss accounting — and therefore the NIC
 // model's cycle charges — is identical to calling Lookup per packet in
 // arrival order.
-func (c *Classifier) ClassifyBatch(ps []*packet.Packet, labels []*tree.Label, hits []bool) {
+func (c *Classifier) ClassifyBatchEv(ps []*packet.Packet, labels []*tree.Label, hits, evicted []bool) {
 	n := len(ps)
 	labels, hits = labels[:n], hits[:n]
-	if cap(c.batchIdx) < n {
-		c.batchIdx = make([]int32, 0, n)
+	if evicted != nil {
+		evicted = evicted[:n]
 	}
-	idx := c.batchIdx[:0]
+	bs := c.batchPool.Get().(*batchScratch)
+	if cap(bs.idx) < n {
+		bs.idx = make([]int32, 0, n)
+	}
+	idx := bs.idx[:0]
 	for i := 0; i < n; i++ {
 		idx = append(idx, int32(i))
 	}
-	// Stable insertion sort by (app, flow); equal keys keep input order.
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && keyLess(ps[idx[j]], ps[idx[j-1]]); j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
+	if n <= batchSortThreshold {
+		// Stable insertion sort by (app, flow); equal keys keep input
+		// order.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && keyLess(ps[idx[j]], ps[idx[j-1]]); j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
 		}
+	} else {
+		sort.SliceStable(idx, func(a, b int) bool { return keyLess(ps[idx[a]], ps[idx[b]]) })
 	}
 	var (
-		lastKey flowKey
-		lastLbl *tree.Label
-		have    bool
+		lastKey  uint64
+		lastLbl  *tree.Label
+		lastHash uint64
+		have     bool
 	)
 	for _, i := range idx {
-		k := flowKey{app: ps[i].App, flow: ps[i].Flow}
+		k := packKey(ps[i].App, ps[i].Flow)
 		if have && k == lastKey {
 			// Same flow as the group head: the cache would hit; skip
 			// the probe and reuse the resolved label.
-			c.Hits++
+			c.cache.shardFor(lastHash).hits.Add(1)
 			labels[i], hits[i] = lastLbl, true
 			continue
 		}
-		labels[i], hits[i] = c.Lookup(ps[i])
-		lastKey, lastLbl, have = k, labels[i], true
+		var ev bool
+		labels[i], hits[i], ev = c.LookupEv(ps[i])
+		if evicted != nil {
+			evicted[i] = ev
+		}
+		lastKey, lastLbl, lastHash, have = k, labels[i], mix64(k), true
 	}
-	c.batchIdx = idx
+	bs.idx = idx
+	c.batchPool.Put(bs)
 }
 
 // keyLess orders packets by flow key for batch grouping.
@@ -218,19 +268,20 @@ func keyLess(a, b *packet.Packet) bool {
 }
 
 // classify runs the parser + match-action pipeline for one packet.
-func (c *Classifier) classify(p *packet.Packet) *tree.Label {
+// scratch is the caller's shard-owned header buffer.
+func (c *Classifier) classify(p *packet.Packet, scratch *[headers.MaxStackLen]byte) *tree.Label {
 	key := p4lite.Key{VF: uint32(p.App), FlowID: uint32(p.Flow)}
 	if p.Tuple != (headers.FiveTuple{}) {
 		// Honest parse: build the wire header stack and parse it
 		// back, exactly as the P4 parser would.
-		n, err := headers.Build(c.scratch[:], p.Tuple, p.Size-headers.EthLen)
+		n, err := headers.Build(scratch[:], p.Tuple, p.Size-headers.EthLen)
 		if err != nil {
-			c.ParseErrors++
+			c.parseErrs.Add(1)
 			return c.def
 		}
-		parsed, err := p4lite.ParseFrame(c.scratch[:n], uint32(p.App), uint32(p.Flow))
+		parsed, err := p4lite.ParseFrame(scratch[:n], uint32(p.App), uint32(p.Flow))
 		if err != nil {
-			c.ParseErrors++
+			c.parseErrs.Add(1)
 			return c.def
 		}
 		key = parsed
@@ -252,14 +303,26 @@ func (c *Classifier) Pipeline() *p4lite.Pipeline { return c.pipe }
 // Invalidate drops the cached entry for one flow (rule updates, flow
 // teardown). Unknown keys are ignored.
 func (c *Classifier) Invalidate(app packet.AppID, flow packet.FlowID) {
-	delete(c.cache, flowKey{app: app, flow: flow})
+	c.cache.invalidate(packKey(app, flow))
 }
 
-// Flush empties the flow cache (bulk rule replacement).
+// Flush empties the flow cache (bulk rule replacement) and resets every
+// cache counter — hits, misses, evictions, invalidations, and parse
+// errors together, so the post-flush statistics are consistent.
 func (c *Classifier) Flush() {
-	c.cache = make(map[flowKey]*tree.Label, 256)
-	c.Hits, c.Misses = 0, 0
+	c.cache.flush()
+	c.parseErrs.Store(0)
+}
+
+// Stats aggregates the flow-cache counters across shards.
+func (c *Classifier) Stats() CacheStats {
+	st := c.cache.stats()
+	st.ParseErrors = c.parseErrs.Load()
+	return st
 }
 
 // CacheLen returns the number of cached flow entries.
-func (c *Classifier) CacheLen() int { return len(c.cache) }
+func (c *Classifier) CacheLen() int { return c.cache.stats().Size }
+
+// CacheCap returns the effective flow-cache capacity in entries.
+func (c *Classifier) CacheCap() int { return c.cache.capacity }

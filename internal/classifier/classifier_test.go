@@ -7,7 +7,7 @@ import (
 	"flowvalve/internal/sched/tree"
 )
 
-func testTree(t *testing.T) *tree.Tree {
+func testTree(t testing.TB) *tree.Tree {
 	t.Helper()
 	return tree.NewBuilder().
 		Root("root", 10e9).
@@ -67,8 +67,8 @@ func TestFlowCacheHit(t *testing.T) {
 	if _, hit := c.Lookup(pkt(1, 1)); !hit {
 		t.Fatal("second lookup missed the cache")
 	}
-	if c.Hits != 1 || c.Misses != 1 {
-		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits, c.Misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
 	}
 	if c.CacheLen() != 1 {
 		t.Fatalf("CacheLen = %d", c.CacheLen())
@@ -111,7 +111,7 @@ func TestInvalidateAndFlush(t *testing.T) {
 	}
 	c.Invalidate(9, 9) // unknown key is fine
 	c.Flush()
-	if c.CacheLen() != 0 || c.Hits != 0 || c.Misses != 0 {
+	if st := c.Stats(); c.CacheLen() != 0 || st.Hits != 0 || st.Misses != 0 {
 		t.Fatal("flush did not clear cache and counters")
 	}
 }
@@ -176,8 +176,8 @@ func TestTupleRuleClassification(t *testing.T) {
 	if lbl == nil || lbl.Leaf.Name != "def" {
 		t.Fatalf("default fallthrough got %v", lbl)
 	}
-	if c.ParseErrors != 0 {
-		t.Fatalf("parser rejected %d synthetic frames", c.ParseErrors)
+	if pe := c.Stats().ParseErrors; pe != 0 {
+		t.Fatalf("parser rejected %d synthetic frames", pe)
 	}
 	if c.Pipeline() == nil || len(c.Pipeline().Tables()) != 1 {
 		t.Fatal("pipeline not exposed")

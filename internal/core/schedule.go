@@ -215,12 +215,17 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 
 	// Subprocedure 3: expired-status removal. A long-idle class
 	// restarts from its initial state rather than replaying the idle
-	// gap as a giant refill.
+	// gap as a giant refill. The lend ledger resets with it: a stale
+	// lentEpoch would subtract pre-idle lent bytes from the first fresh
+	// epoch's consumption, and a stale negative lendCarry would mute an
+	// interior class's lending with phantom pre-idle debt.
 	if dt > s.cfg.ExpireAfterNs {
 		st.est.Reset()
 		st.bucket.Reset(s.burstFor(st.theta.Load(), s.cfg.BurstNs))
 		st.shadow.Reset(0)
 		st.lendRate.Store(0)
+		st.lentEpoch.Store(0)
+		st.lendCarry.Store(0)
 		dt = s.cfg.UpdateIntervalNs // charge one nominal epoch
 	}
 
@@ -292,6 +297,17 @@ func (s *Scheduler) updateRacy(c *tree.Class, st *classState, now int64) bool {
 		return false
 	}
 	st.lastUpdate.Store(now)
+	// Subprocedure 3, as in updateLocked: a long-idle class restarts
+	// fresh (including the lend ledger) instead of replaying the gap.
+	if dt > s.cfg.ExpireAfterNs {
+		st.est.Reset()
+		st.bucket.Reset(s.burstFor(st.theta.Load(), s.cfg.BurstNs))
+		st.shadow.Reset(0)
+		st.lendRate.Store(0)
+		st.lentEpoch.Store(0)
+		st.lendCarry.Store(0)
+		dt = s.cfg.UpdateIntervalNs
+	}
 	consumed, _ := st.est.Roll(dt)
 	lent := st.lentEpoch.Swap(0)
 	own := consumed - lent

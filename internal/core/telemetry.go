@@ -101,7 +101,10 @@ func (s *Scheduler) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Trace
 // trace records one sampled scheduling decision. seq is the packet's
 // ordinal within its leaf's forward (or drop) stream — the per-class
 // statistics counters double as the sampling lattice, so the unsampled
-// path costs no extra atomic.
+// path costs no extra atomic. The two streams are independently counted
+// and the tracer stores them in disjoint lane groups, so forward and
+// drop samples never evict one another even when their ordinals
+// coincide on the sampling lattice.
 func (h *telHooks) trace(seq int64, now int64, lbl *tree.Label, lst *classState, sz int64, d *Decision) {
 	if h.tracer == nil || !h.tracer.ShouldSample(uint64(seq)) {
 		return

@@ -169,6 +169,32 @@ type Swapper interface {
 	Swap(s Scheduler)
 }
 
+// FlowCacheStats is a snapshot of a backend's exact-match flow cache
+// (the classification fast path). Counters are cumulative since the
+// cache was created or last flushed; Size/Capacity describe the table.
+type FlowCacheStats struct {
+	// Hits and Misses count lookup outcomes.
+	Hits, Misses uint64
+	// Evictions counts live entries displaced to admit new flows.
+	Evictions uint64
+	// ParseErrors counts frames the parser rejected on the miss path.
+	ParseErrors uint64
+	// Invalidations counts entries removed by targeted invalidation.
+	Invalidations uint64
+	// Size is the live entry count; Negative how many of those are
+	// cached matched-nothing results.
+	Size, Negative int
+	// Capacity is the entry bound; Shards the concurrency sharding.
+	Capacity, Shards int
+}
+
+// FlowCacher is implemented by backends with an observable flow cache
+// (the NIC model; the software baselines classify per packet and do
+// not). Harnesses probe for it to report cache behaviour under churn.
+type FlowCacher interface {
+	FlowCacheStats() FlowCacheStats
+}
+
 // FaultInjectable is implemented by backends that expose fault-injection
 // hook points (the NIC model; the software baselines do not — harnesses
 // probe and skip them when a fault plan is configured).

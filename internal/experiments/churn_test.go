@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"flowvalve/internal/classifier"
+)
+
+// The churn scenario must hold the flow cache at or under its configured
+// capacity while serving a flow population several times larger, and —
+// being a pure function of the scenario under the DES — reproduce its
+// eviction statistics exactly across runs.
+func TestFlowCacheChurnBoundedAndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn runs NIC sims")
+	}
+	sc := ChurnScenario{
+		DurationNs: 10 * 1e6,
+		Flows:      16 * 1024,
+		Cache:      classifier.CacheConfig{Size: 2048, Shards: 4},
+	}
+	a, err := RunFlowCacheChurn(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cache.Size > a.Cache.Capacity {
+		t.Fatalf("cache size %d exceeds capacity %d", a.Cache.Size, a.Cache.Capacity)
+	}
+	if a.Cache.Evictions == 0 {
+		t.Fatalf("%d flows through a %d-entry cache evicted nothing", sc.Flows, a.Cache.Capacity)
+	}
+	if a.Qdisc.Delivered == 0 {
+		t.Fatal("churn run delivered nothing")
+	}
+
+	b, err := RunFlowCacheChurn(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cache != b.Cache || a.Qdisc != b.Qdisc {
+		t.Fatalf("identical churn runs diverged:\n%+v\n%+v", a, b)
+	}
+
+	out := FormatChurn(a)
+	for _, want := range []string{"offered flows", "evictions", "delivered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatChurn output missing %q:\n%s", want, out)
+		}
+	}
+}

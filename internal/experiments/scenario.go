@@ -69,6 +69,9 @@ type TCPScenario struct {
 	// NIC configures the SmartNIC model (FlowValve runs); zero takes
 	// defaults.
 	NIC nic.Config
+	// FlowCache sizes the exact-match flow cache of FlowValve runs; the
+	// zero value takes the classifier defaults.
+	FlowCache classifier.CacheConfig
 	// Sched configures the FlowValve scheduler; zero takes defaults.
 	Sched core.Config
 	// MeasureLatency records per-packet one-way delay when true.
@@ -141,6 +144,9 @@ type Result struct {
 	// Watchdog is the graceful-degradation watchdog (nil unless faults
 	// were injected into a FlowValve run with the watchdog enabled).
 	Watchdog *core.Watchdog
+	// FlowCache is the backend's flow-cache snapshot at the end of the
+	// run (nil for backends without an observable cache).
+	FlowCache *dataplane.FlowCacheStats
 
 	// finish runs after the simulation ends, in registration order —
 	// builders use it to harvest backend-specific stats.
@@ -257,6 +263,10 @@ func runQdiscTCP(sc TCPScenario, build qdiscBuilder) (*Result, error) {
 	if acct, ok := q.(dataplane.HostAccountant); ok {
 		res.CoresUsed = acct.HostCores(sc.DurationNs)
 	}
+	if fc, ok := q.(dataplane.FlowCacher); ok {
+		st := fc.FlowCacheStats()
+		res.FlowCache = &st
+	}
 	for _, f := range res.finish {
 		f()
 	}
@@ -267,7 +277,7 @@ func runQdiscTCP(sc TCPScenario, build qdiscBuilder) (*Result, error) {
 // core on the SmartNIC model. sched may be nil for the forward-only
 // baseline.
 func buildFlowValve(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, res *Result, withSched bool) (dataplane.Qdisc, error) {
-	cls, err := classifier.New(sc.Tree, sc.Rules, sc.DefaultClass)
+	cls, err := classifier.NewSized(sc.Tree, sc.Rules, sc.DefaultClass, sc.FlowCache)
 	if err != nil {
 		return nil, err
 	}

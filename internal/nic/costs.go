@@ -32,6 +32,10 @@ type CostModel struct {
 	// a miss walks the filter rules (the 10× gap the paper cites).
 	CacheHit  int64
 	CacheMiss int64
+	// CacheEvict is the extra charge when a miss's insert displaces a
+	// live entry: the CLOCK sweep over the probe window plus the
+	// victim's writeback.
+	CacheEvict int64
 	// SchedPerClass is charged per class on the hierarchy label (the
 	// lastSeen stamp, try-lock, and consumption count).
 	SchedPerClass int64
@@ -72,6 +76,9 @@ func (c CostModel) Defaults() CostModel {
 	}
 	if c.CacheMiss <= 0 {
 		c.CacheMiss = 600
+	}
+	if c.CacheEvict <= 0 {
+		c.CacheEvict = 200
 	}
 	if c.SchedPerClass <= 0 {
 		c.SchedPerClass = 60

@@ -207,6 +207,7 @@ type NIC struct {
 	batchBuf    []*packet.Packet
 	batchLbls   []*tree.Label
 	batchHits   []bool
+	batchEvict  []bool
 	batchReqs   []dataplane.Request
 	batchDecs   []dataplane.Decision
 	batchFwd    []bool
@@ -319,6 +320,7 @@ func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched dataplan
 		n.batchBuf = make([]*packet.Packet, 0, b)
 		n.batchLbls = make([]*tree.Label, b)
 		n.batchHits = make([]bool, b)
+		n.batchEvict = make([]bool, b)
 		n.batchReqs = make([]dataplane.Request, 0, b)
 		n.batchDecs = make([]dataplane.Decision, b)
 		n.batchFwd = make([]bool, b)
@@ -490,13 +492,16 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 	seq := n.seqIssue
 	n.seqIssue++
 
-	lbl, hit := n.cls.Lookup(p)
+	lbl, hit, evicted := n.cls.LookupEv(p)
 
 	cycles := n.cfg.Costs.Pipeline + n.cfg.Costs.Parse
 	if hit {
 		cycles += n.cfg.Costs.CacheHit
 	} else {
 		cycles += n.cfg.Costs.CacheMiss
+		if evicted {
+			cycles += n.cfg.Costs.CacheEvict
+		}
 	}
 
 	sched := n.scheduler()
@@ -586,7 +591,8 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	k := len(batch)
 	lbls := n.batchLbls[:k]
 	hits := n.batchHits[:k]
-	n.cls.ClassifyBatch(batch, lbls, hits)
+	evs := n.batchEvict[:k]
+	n.cls.ClassifyBatchEv(batch, lbls, hits, evs)
 
 	// One scheduling pass over the classified packets.
 	sched := n.scheduler()
@@ -618,6 +624,9 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 			pc += n.cfg.Costs.CacheHit
 		} else {
 			pc += n.cfg.Costs.CacheMiss
+			if evs[i] {
+				pc += n.cfg.Costs.CacheEvict
+			}
 		}
 		forward := true
 		var reason DropReason
@@ -834,6 +843,23 @@ func (n *NIC) Backlog() int {
 		total += p.queue.Len()
 	}
 	return total
+}
+
+// FlowCacheStats implements dataplane.FlowCacher: a snapshot of the
+// exact-match flow cache in front of the classification pipeline.
+func (n *NIC) FlowCacheStats() dataplane.FlowCacheStats {
+	st := n.cls.Stats()
+	return dataplane.FlowCacheStats{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		ParseErrors:   st.ParseErrors,
+		Invalidations: st.Invalidations,
+		Size:          st.Size,
+		Negative:      st.Negative,
+		Capacity:      st.Capacity,
+		Shards:        st.Shards,
+	}
 }
 
 // Swap implements dataplane.Swapper, replacing the scheduling function

@@ -35,6 +35,13 @@ type nicTel struct {
 //	fv_nic_tm_queued_bytes / _packets           traffic-manager occupancy
 //	fv_nic_rx_ring_packets                      per-VF Rx ring backlog
 //	fv_nic_free_buffers                         buffer-pool headroom
+//	fv_flowcache_hits_total / _misses_total     exact-match cache outcomes
+//	fv_flowcache_evictions_total                CLOCK displacements
+//	fv_flowcache_size                           live cached flow entries
+//
+// The flow-cache families are callback-backed: they read the sharded
+// cache's atomic counters at scrape time, so the classification hot path
+// pays nothing for them.
 func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		n.tel = nil
@@ -70,5 +77,18 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
 			"Immediately allocatable packet buffers."),
 	}
 	t.freeBuffers.Set(float64(n.freeBuffers))
+	cls := n.cls
+	reg.CounterFunc("fv_flowcache_hits_total",
+		"Exact-match flow cache hits.",
+		func() float64 { return float64(cls.Stats().Hits) }, sched)
+	reg.CounterFunc("fv_flowcache_misses_total",
+		"Exact-match flow cache misses (full pipeline walks).",
+		func() float64 { return float64(cls.Stats().Misses) }, sched)
+	reg.CounterFunc("fv_flowcache_evictions_total",
+		"Live flow-cache entries displaced by CLOCK to admit new flows.",
+		func() float64 { return float64(cls.Stats().Evictions) }, sched)
+	reg.GaugeFunc("fv_flowcache_size",
+		"Live entries in the exact-match flow cache.",
+		func() float64 { return float64(cls.Stats().Size) }, sched)
 	n.tel = t
 }

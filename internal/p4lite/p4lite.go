@@ -10,6 +10,7 @@ package p4lite
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"flowvalve/internal/headers"
 )
@@ -128,9 +129,11 @@ type Table struct {
 	name    string
 	entries []Entry
 
-	// Lookups and Hits count table activity.
-	Lookups uint64
-	Hits    uint64
+	// Lookups and Hits count table activity. They are atomic because
+	// classifier miss paths walk the pipeline concurrently (one walk per
+	// cache shard).
+	Lookups atomic.Uint64
+	Hits    atomic.Uint64
 }
 
 // NewTable returns an empty table.
@@ -164,10 +167,10 @@ func (t *Table) Add(e Entry) error {
 
 // Lookup returns the first matching entry's action.
 func (t *Table) Lookup(k Key) (Action, bool) {
-	t.Lookups++
+	t.Lookups.Add(1)
 	for _, e := range t.entries {
 		if e.matches(k) {
-			t.Hits++
+			t.Hits.Add(1)
 			return e.Action, true
 		}
 	}

@@ -33,8 +33,8 @@ func TestExactMatchEntry(t *testing.T) {
 	if _, ok := tbl.Lookup(key(0, 80)); ok {
 		t.Fatal("non-matching port matched")
 	}
-	if tbl.Lookups != 2 || tbl.Hits != 1 {
-		t.Fatalf("stats: lookups=%d hits=%d", tbl.Lookups, tbl.Hits)
+	if tbl.Lookups.Load() != 2 || tbl.Hits.Load() != 1 {
+		t.Fatalf("stats: lookups=%d hits=%d", tbl.Lookups.Load(), tbl.Hits.Load())
 	}
 }
 

@@ -54,14 +54,35 @@ type traceShard struct {
 }
 
 // Tracer samples 1-in-N scheduling decisions into per-shard power-of-two
-// ring buffers. A nil *Tracer is a no-op.
+// ring buffers. Forward and drop events occupy disjoint lane groups: the
+// two verdicts are independently counted streams (the scheduler's
+// per-class forward and drop ordinals), so they must not compete for
+// ring slots — a drop storm filling the rings would silently evict the
+// forward samples it is most interesting to compare against. A nil
+// *Tracer is a no-op.
 type Tracer struct {
 	mask   uint64 // sample when seq & mask == 0
 	rmask  uint64 // ring index mask
 	shards []traceShard
 }
 
-const tracerShards = 8
+// tracerLanes is the writer-lane count per verdict group; forward and
+// drop each get their own group of lanes (tracerGroups total).
+const (
+	tracerLanes  = 8
+	tracerGroups = 2
+	tracerShards = tracerLanes * tracerGroups
+)
+
+// laneFor maps a verdict and a writer hint to a shard index: drops land
+// in the second lane group, everything else in the first.
+func laneFor(verdict uint8, hint uintptr) int {
+	group := 0
+	if verdict == TraceDrop {
+		group = 1
+	}
+	return group*tracerLanes + int(hint&(tracerLanes-1))
+}
 
 // nextPow2 rounds n up to a power of two (min 1).
 func nextPow2(n int) uint64 {
@@ -73,16 +94,18 @@ func nextPow2(n int) uint64 {
 }
 
 // NewTracer returns a tracer sampling one event in sampleEvery (rounded
-// up to a power of two; ≤1 records everything) with bufferSize total ring
-// slots (rounded up; split across shards).
+// up to a power of two; ≤1 records everything) with bufferSize ring
+// slots per verdict group (rounded up; split across that group's lanes).
+// Each verdict stream gets the full configured capacity so a storm of
+// one verdict can never shrink the other's retention window.
 func NewTracer(sampleEvery, bufferSize int) *Tracer {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
-	if bufferSize < tracerShards {
+	if bufferSize < tracerLanes {
 		bufferSize = 4096
 	}
-	perShard := nextPow2((bufferSize + tracerShards - 1) / tracerShards)
+	perShard := nextPow2((bufferSize + tracerLanes - 1) / tracerLanes)
 	t := &Tracer{
 		mask:   nextPow2(sampleEvery) - 1,
 		rmask:  perShard - 1,
@@ -118,7 +141,7 @@ func (t *Tracer) Record(ev Event) {
 	if t == nil {
 		return
 	}
-	sh := &t.shards[shardIndex()&(tracerShards-1)]
+	sh := &t.shards[laneFor(ev.Verdict, uintptr(shardIndex()))]
 	if (sh.seen.Add(1)-1)&t.mask != 0 {
 		return
 	}
@@ -130,7 +153,7 @@ func (t *Tracer) Write(ev Event) {
 	if t == nil {
 		return
 	}
-	t.writeShard(&t.shards[shardIndex()&(tracerShards-1)], ev)
+	t.writeShard(&t.shards[laneFor(ev.Verdict, uintptr(shardIndex()))], ev)
 }
 
 func (t *Tracer) writeShard(sh *traceShard, ev Event) {

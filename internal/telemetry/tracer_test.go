@@ -78,6 +78,36 @@ func TestTracerRingWraps(t *testing.T) {
 	}
 }
 
+// Forward and drop events are independently counted streams whose
+// sampled ordinals land on the same lattice; the tracer must keep them
+// in disjoint lanes so a drop storm cannot evict the forward samples.
+func TestTracerDropStormKeepsForwardSamples(t *testing.T) {
+	tr := NewTracer(1, tracerLanes*4) // record everything, tiny rings
+	// A handful of forward samples, then a storm of drops large enough
+	// to wrap every ring many times over.
+	for i := 0; i < 4; i++ {
+		tr.Write(Event{AtNs: int64(i), Class: "f", Verdict: TraceForward})
+	}
+	for i := 0; i < 10_000; i++ {
+		tr.Write(Event{AtNs: int64(100 + i), Class: "d", Verdict: TraceDrop})
+	}
+	var fwd, drop int
+	for _, ev := range tr.Drain() {
+		switch ev.Verdict {
+		case TraceForward:
+			fwd++
+		case TraceDrop:
+			drop++
+		}
+	}
+	if fwd != 4 {
+		t.Fatalf("forward samples surviving the drop storm = %d, want 4", fwd)
+	}
+	if drop == 0 {
+		t.Fatal("no drop samples retained")
+	}
+}
+
 func TestTracerNilIsNoOp(t *testing.T) {
 	var tr *Tracer
 	tr.Record(Event{})
