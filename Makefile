@@ -3,9 +3,27 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-figures reproduce
+.PHONY: all build vet test race chaos bench bench-figures reproduce lint test-fvassert
 
 all: build vet test
+
+# Static invariant checks: go vet plus the fvlint analyzer suite
+# (detnow, lockconv, atomicmix, hotpath, metricname — see
+# internal/analysis and DESIGN.md §11) over both tag sets, so the
+# fvassert-only file pair is linted too. Zero unsuppressed diagnostics
+# is the contract; suppressions are //fv: annotations with mandatory
+# justifications.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/fvlint ./...
+	$(GO) run ./cmd/fvlint -tags fvassert ./...
+
+# Full test suite with the runtime assertion layer (internal/fvassert)
+# compiled in: token conservation, FIFO occupancy, cache geometry, and
+# event-causality invariants all panic on violation instead of
+# corrupting results silently.
+test-fvassert:
+	$(GO) test -tags fvassert ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,183 @@
+// Command fvlint is FlowValve's invariant checker: a multichecker that
+// runs the five internal/analysis analyzers (detnow, lockconv,
+// atomicmix, hotpath, metricname) over module packages and exits
+// non-zero when any diagnostic is unsuppressed.
+//
+// Usage:
+//
+//	fvlint [-tags tag,tag] [packages]
+//
+// Each package argument is a directory or a "dir/..." pattern; the
+// default is "./...". fvlint needs no network and no pre-built export
+// data: packages are type-checked from source, including the standard
+// library from $GOROOT/src.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"flowvalve/internal/analysis"
+	"flowvalve/internal/analysis/atomicmix"
+	"flowvalve/internal/analysis/detnow"
+	"flowvalve/internal/analysis/hotpath"
+	"flowvalve/internal/analysis/lockconv"
+	"flowvalve/internal/analysis/metricname"
+)
+
+// analyzers is the fvlint suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	detnow.Analyzer,
+	lockconv.Analyzer,
+	atomicmix.Analyzer,
+	hotpath.Analyzer,
+	metricname.Analyzer,
+}
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags considered satisfied")
+	list := flag.Bool("V", false, "print the analyzer suite and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	code, err := run(os.Stdout, *tags, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run lints the packages named by args (default "./...") and writes one
+// line per diagnostic to w. It returns 0 for a clean run and 1 when any
+// diagnostic was reported.
+func run(w io.Writer, tags string, args []string) (int, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		return 0, err
+	}
+	if len(dirs) == 0 {
+		return 0, fmt.Errorf("no Go packages match %v", args)
+	}
+	var cfgTags []string
+	for _, t := range strings.Split(tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			cfgTags = append(cfgTags, t)
+		}
+	}
+	loader, err := analysis.NewLoader(analysis.Config{Dir: dirs[0], Tags: cfgTags})
+	if err != nil {
+		return 0, err
+	}
+	cwd, _ := os.Getwd()
+	count := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return 0, err
+		}
+		err = analysis.RunAnalyzers(pkg, analyzers, func(a *analysis.Analyzer, d analysis.Diagnostic) {
+			count++
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, a.Name, d.Message)
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(w, "fvlint: %d diagnostic(s)\n", count)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// expand resolves "dir/..." patterns and plain directories into the
+// sorted list of package directories to lint.
+func expand(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "..."); ok {
+			root = filepath.Clean(strings.TrimSuffix(root, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return fs.SkipDir
+				}
+				ok, err := hasGoFiles(path)
+				if err != nil {
+					return err
+				}
+				if ok {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ok, err := hasGoFiles(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("no non-test Go files in %s", arg)
+		}
+		add(filepath.Clean(arg))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, "_") && !strings.HasPrefix(name, ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoClean is the dogfood gate: the whole module must lint clean
+// with the default tag set. Every suppression in the tree carries a
+// justification, so a failure here is a genuine new violation.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide source type-check is slow; skipped in -short")
+	}
+	var buf bytes.Buffer
+	code, err := run(&buf, "", []string{filepath.Join("..", "..") + "/..."})
+	if err != nil {
+		t.Fatalf("fvlint run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("fvlint found diagnostics:\n%s", buf.String())
+	}
+}
+
+// TestRepoCleanFvassert lints the fvassert-tagged file set too: the
+// assertion bodies themselves must honor the same invariants.
+func TestRepoCleanFvassert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide source type-check is slow; skipped in -short")
+	}
+	var buf bytes.Buffer
+	code, err := run(&buf, "fvassert", []string{filepath.Join("..", "..") + "/..."})
+	if err != nil {
+		t.Fatalf("fvlint run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("fvlint -tags fvassert found diagnostics:\n%s", buf.String())
+	}
+}
+
+func TestExpandRejectsEmpty(t *testing.T) {
+	if _, err := expand([]string{t.TempDir()}); err == nil {
+		t.Fatal("expected error for a directory with no Go files")
+	}
+}

@@ -1,0 +1,122 @@
+// Package analysis is FlowValve's in-tree static-analysis framework: a
+// minimal, dependency-free mirror of the golang.org/x/tools/go/analysis
+// API driven entirely by the standard library (go/parser, go/types and
+// the source importer).
+//
+// FlowValve's correctness claims rest on invariants the Go compiler
+// cannot see: the discrete-event simulation must be bit-for-bit
+// deterministic (no wall clock or global rand in dataplane code),
+// per-class state must only be touched under the class lock or via the
+// documented ...Racy paths, and the batched hot path must stay
+// allocation- and lock-free. The analyzers under this package
+// (detnow, lockconv, atomicmix, hotpath, metricname) machine-check
+// those invariants; cmd/fvlint is the multichecker that runs them
+// repo-wide, and `make lint` wires them into CI.
+//
+// The API deliberately matches go/analysis — Analyzer{Name, Doc, Run},
+// Pass with Fset/Files/Pkg/TypesInfo/Report — so that if the x/tools
+// dependency ever becomes available the analyzers port by changing one
+// import path. The build environment for this repo is hermetic (no
+// module proxy), which is why the harness is vendored in spirit rather
+// than depended upon.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description shown by `fvlint -help`.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics are
+	// delivered through pass.Report; the result value is unused (kept
+	// for go/analysis signature parity).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver and the test harness
+	// install their own sinks.
+	Report func(Diagnostic)
+
+	// annotations caches the parsed //fv: directives of the package's
+	// files, built on first use.
+	annotations *Annotations
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Annotations returns the package's parsed //fv: directives.
+func (p *Pass) Annotations() *Annotations {
+	if p.annotations == nil {
+		p.annotations = parseAnnotations(p.Fset, p.Files)
+	}
+	return p.annotations
+}
+
+// FuncObj resolves the called function or method object of a call
+// expression, or nil when the callee is not a statically known func
+// (built-ins, func-typed variables, type conversions).
+func (p *Pass) FuncObj(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// ConstFalse reports whether e is a compile-time constant false — the
+// shape of a build-tag-gated guard such as `fvassert.Enabled && cond`
+// in a no-tag build. Analyzers use it to skip statically dead branches.
+func (p *Pass) ConstFalse(e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "false"
+}
+
+// DeadBranch reports whether an if-statement's condition is gated off by
+// a leading compile-time-false operand (peeling `&&` chains), meaning
+// the body can never execute in this build configuration.
+func (p *Pass) DeadBranch(ifStmt *ast.IfStmt) bool {
+	cond := ast.Unparen(ifStmt.Cond)
+	for {
+		if p.ConstFalse(cond) {
+			return true
+		}
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.LAND {
+			return false
+		}
+		cond = ast.Unparen(bin.X)
+	}
+}

@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	rand.Seed(1) // want `global math/rand`
+//
+// Each `// want` comment carries one or more double-quoted or
+// backquoted regular expressions; every diagnostic the analyzer emits
+// on that line must match one expectation and every expectation must be
+// matched by exactly one diagnostic. Fixtures live under
+// testdata/src/<pkg>/ next to the analyzer, are loaded with the real
+// loader (so they may import the standard library and module packages),
+// and never build into the repo.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"flowvalve/internal/analysis"
+)
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer, and reports mismatches through t. The returned
+// diagnostics allow extra assertions.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := analysis.NewLoader(analysis.Config{Dir: testdata, FixtureRoot: root})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var all []analysis.Diagnostic
+	for _, name := range pkgs {
+		dir := filepath.Join(root, filepath.FromSlash(name))
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s: %v", name, err)
+		}
+		want, err := parseExpectations(pkg)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		err = analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, func(_ *analysis.Analyzer, d analysis.Diagnostic) {
+			all = append(all, d)
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(want, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, name, err)
+		}
+		for _, w := range want {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+			}
+		}
+	}
+	return all
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// pattern matches msg.
+func claim(want []*expectation, file string, line int, msg string) bool {
+	for _, w := range want {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE pulls the quoted patterns off a // want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseExpectations scans every fixture file for // want comments. It
+// re-scans the raw source with go/scanner so comments inside any
+// context (including directive-adjacent ones) are seen exactly once.
+func parseExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		if seen[filename] {
+			continue
+		}
+		seen[filename] = true
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, err
+		}
+		fset := token.NewFileSet()
+		file := fset.AddFile(filename, -1, len(src))
+		var s scanner.Scanner
+		s.Init(file, src, nil, scanner.ScanComments)
+		for {
+			pos, tok, lit := s.Scan()
+			if tok == token.EOF {
+				break
+			}
+			if tok != token.COMMENT {
+				continue
+			}
+			body, ok := strings.CutPrefix(lit, "//")
+			if !ok {
+				continue
+			}
+			body = strings.TrimSpace(body)
+			// Accept both a standalone `// want ...` comment and one
+			// appended to another directive on the same line
+			// (`//fv:racy-ok ... // want ...`).
+			rest, ok := strings.CutPrefix(body, "want ")
+			if !ok {
+				if i := strings.LastIndex(body, "// want "); i >= 0 {
+					rest = body[i+len("// want "):]
+				} else {
+					continue
+				}
+			}
+			p := fset.Position(pos)
+			for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", filename, p.Line, pat, err)
+				}
+				out = append(out, &expectation{file: filename, line: p.Line, re: re, raw: pat})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out, nil
+}

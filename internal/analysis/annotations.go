@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FlowValve's analyzers are configured in-source through //fv: comment
+// directives. Two families exist:
+//
+//   - Function directives, written in a declaration's doc comment:
+//
+//     //fv:hotpath
+//     func (s *Scheduler) ScheduleBatch(...)
+//
+//     marks the function as hot-path code, opting it into the hotpath
+//     analyzer's allocation/defer/fmt/map-iteration discipline.
+//
+//   - Line suppressions, written on the offending line or the line
+//     directly above it, with a mandatory justification:
+//
+//     //fv:racy-ok NoLock ablation: epoch races are the experiment
+//     //fv:locked-ok lock is taken by the caller via LockAll
+//     //fv:allow-wallclock operator-facing timestamp, not sim state
+//     //fv:coldpath one-time scratch growth, amortized to zero
+//     //fv:metric-ok re-registration after policy swap
+//
+// A suppression without a justification is itself a diagnostic: silent
+// waivers rot. Directive parsing is shared here so every analyzer
+// resolves annotations identically.
+const directivePrefix = "//fv:"
+
+// Directive is one parsed //fv: annotation.
+type Directive struct {
+	// Name is the directive keyword, e.g. "hotpath" or "racy-ok".
+	Name string
+	// Reason is the free-text justification following the keyword.
+	Reason string
+	// Pos locates the directive comment.
+	Pos token.Pos
+	// Line is the 1-based source line the comment sits on.
+	Line int
+}
+
+// Annotations indexes a package's //fv: directives by file and line.
+type Annotations struct {
+	fset *token.FileSet
+	// byFileLine maps filename -> line -> directives on that line.
+	byFileLine map[string]map[int][]Directive
+}
+
+func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{fset: fset, byFileLine: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				body := strings.TrimPrefix(c.Text, directivePrefix)
+				// Fixture files append `// want ...` expectations to
+				// directive comments; they are not part of the reason.
+				if i := strings.Index(body, "// want"); i >= 0 {
+					body = body[:i]
+				}
+				name, reason, _ := strings.Cut(body, " ")
+				pos := fset.Position(c.Pos())
+				m := a.byFileLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]Directive)
+					a.byFileLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], Directive{
+					Name:   strings.TrimSpace(name),
+					Reason: strings.TrimSpace(reason),
+					Pos:    c.Pos(),
+					Line:   pos.Line,
+				})
+			}
+		}
+	}
+	return a
+}
+
+// At returns the directive with the given name attached to pos: on the
+// same source line or on the line directly above it (the conventional
+// spot for a suppression comment).
+func (a *Annotations) At(pos token.Pos, name string) (Directive, bool) {
+	p := a.fset.Position(pos)
+	m := a.byFileLine[p.Filename]
+	if m == nil {
+		return Directive{}, false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, d := range m[line] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective reports whether fn's doc comment carries the named
+// directive (e.g. "hotpath").
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		body, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		kw, _, _ := strings.Cut(body, " ")
+		if strings.TrimSpace(kw) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressed reports whether a diagnostic at pos is waived by the named
+// suppression directive. A directive present but missing its
+// justification does not suppress — analyzers report that separately via
+// CheckReason.
+func (a *Annotations) Suppressed(pos token.Pos, name string) (Directive, bool) {
+	d, ok := a.At(pos, name)
+	if !ok {
+		return Directive{}, false
+	}
+	return d, d.Reason != ""
+}
+
+// CheckReason reports (via the pass) any suppression directive found at
+// pos that lacks a justification, and returns whether a valid
+// suppression exists.
+func CheckReason(pass *Pass, pos token.Pos, name string) bool {
+	a := pass.Annotations()
+	d, found := a.At(pos, name)
+	if !found {
+		return false
+	}
+	if d.Reason == "" {
+		pass.Reportf(d.Pos, "//fv:%s suppression requires a justification", name)
+		return false
+	}
+	return true
+}

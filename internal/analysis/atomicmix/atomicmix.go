@@ -1,0 +1,187 @@
+// Package atomicmix detects struct fields that are accessed both
+// through sync/atomic operations and through plain loads/stores within
+// the same package — the access pattern that silently downgrades an
+// "atomic" field to a data race (the race detector only catches it when
+// a test happens to interleave the two).
+//
+// Two defect shapes are reported:
+//
+//  1. A field whose address is passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1)) and which is also read or written
+//     directly (s.n++ or v := s.n) anywhere in the package.
+//
+//  2. A field of one of the sync/atomic wrapper types (atomic.Int64,
+//     atomic.Pointer[T], ...) that is assigned as a whole value
+//     (s.ctr = atomic.Int64{}) — replacing the wrapper bypasses its
+//     atomicity and races with every concurrent method call on it.
+//
+// Accesses guarded by a statically-false condition (build-tag-gated
+// assertion blocks) are still counted: an assertion that races is a
+// heisenbug generator under -tags fvassert.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the atomicmix invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "detect fields accessed both via sync/atomic and via plain loads/stores",
+	Run:  run,
+}
+
+// access records one use of a field.
+type access struct {
+	pos    token.Pos
+	atomic bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// uses maps each struct-field object to its observed accesses.
+	uses := make(map[*types.Var][]access)
+	// atomicArgs marks selector expressions consumed as &sel by a
+	// sync/atomic call, so the second walk can classify them.
+	atomicArgs := make(map[*ast.SelectorExpr]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.FuncObj(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				v := fieldObj(pass, n)
+				if v == nil || !plainKind(v.Type()) {
+					return true
+				}
+				uses[v] = append(uses[v], access{pos: n.Pos(), atomic: atomicArgs[n]})
+			case *ast.AssignStmt:
+				// Whole-value stores to sync/atomic wrapper fields.
+				for _, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					v := fieldObj(pass, sel)
+					if v == nil || !isAtomicWrapper(v.Type()) {
+						continue
+					}
+					if analysis.CheckReason(pass, sel.Pos(), "atomic-ok") {
+						continue
+					}
+					pass.Reportf(sel.Pos(),
+						"whole-value store to %s field %s bypasses its atomicity; use its Store method (or annotate //fv:atomic-ok <reason>)",
+						typeString(v.Type()), v.Name())
+				}
+			}
+			return true
+		})
+	}
+
+	// Report fields seen through both access disciplines.
+	var mixed []*types.Var
+	for v, accs := range uses {
+		var hasAtomic, hasPlain bool
+		for _, a := range accs {
+			if a.atomic {
+				hasAtomic = true
+			} else {
+				hasPlain = true
+			}
+		}
+		if hasAtomic && hasPlain {
+			mixed = append(mixed, v)
+		}
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].Pos() < mixed[j].Pos() })
+	for _, v := range mixed {
+		accs := uses[v]
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		for _, a := range accs {
+			if a.atomic {
+				continue
+			}
+			if analysis.CheckReason(pass, a.pos, "atomic-ok") {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"field %s is accessed via sync/atomic elsewhere in this package but plainly here; make every access atomic (or annotate //fv:atomic-ok <reason>)",
+				v.Name())
+		}
+	}
+	return nil, nil
+}
+
+// fieldObj resolves sel to a struct-field variable, or nil.
+func fieldObj(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// plainKind reports whether t is a type someone might (wrongly) access
+// with both atomic functions and plain operations: integers, pointers,
+// and unsafe pointers.
+func plainKind(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsInteger|types.IsUnsigned) != 0 || u.Kind() == types.UnsafePointer
+	case *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// isAtomicWrapper reports whether t is one of the sync/atomic value
+// types (atomic.Int64, atomic.Uint32, atomic.Pointer[T], ...).
+func isAtomicWrapper(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// typeString renders t compactly for diagnostics.
+func typeString(t types.Type) string {
+	s := types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return fmt.Sprintf("%s", s)
+}

@@ -1,0 +1,36 @@
+// Package atomicmixtest seeds atomicmix violations: a field accessed
+// both atomically and plainly, and a whole-value store to a wrapper.
+package atomicmixtest
+
+import "sync/atomic"
+
+type C struct {
+	n     int64
+	ok    int64
+	flags int64
+	w     atomic.Int64
+}
+
+func (c *C) Add() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) Bad() int64 { return c.n } // want `field n is accessed via sync/atomic elsewhere in this package but plainly here`
+
+func (c *C) BadWrite() { c.n = 0 } // want `field n is accessed via sync/atomic`
+
+// Fine is plain-only: consistent, no diagnostic.
+func (c *C) Fine() { c.ok++ }
+
+// Flags is atomic-only: consistent, no diagnostic.
+func (c *C) Flags() int64 {
+	atomic.StoreInt64(&c.flags, 1)
+	return atomic.LoadInt64(&c.flags)
+}
+
+func (c *C) BadStore() { c.w = atomic.Int64{} } // want `whole-value store to atomic\.Int64 field w bypasses its atomicity`
+
+func (c *C) OkStore() { c.w.Store(1) }
+
+func (c *C) Annotated() int64 {
+	//fv:atomic-ok constructor runs before any goroutine exists
+	return c.n
+}

@@ -1,0 +1,105 @@
+// Package detnow implements the determinism analyzer: dataplane and
+// simulation code must not read the wall clock or the global math/rand
+// source, because the discrete-event runs are required to be
+// bit-for-bit reproducible (TestScenarioDeterministic and friends) and
+// a single stray time.Now() silently breaks that property — exactly
+// the bug class fixed at core/schedule.go's update-duration sampling.
+//
+// Forbidden in every package except internal/clock (the one sanctioned
+// wall-time boundary) and main packages (harness binaries are not
+// dataplane code):
+//
+//   - time.Now, time.Since, time.Until
+//   - package-level math/rand and math/rand/v2 functions that draw from
+//     the global source (rand.Intn, rand.Float64, rand.Shuffle, ...).
+//     Constructing a seeded local generator (rand.New, rand.NewSource,
+//     rand.NewPCG, ...) stays legal: the sim's RNG is exactly that.
+//
+// Wall time must instead flow through an injected clock.Clock — use
+// clock.NewWall at the composition root when real time is genuinely
+// meant. A line that must read wall time directly carries
+// //fv:allow-wallclock with a justification.
+package detnow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the detnow invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "detnow",
+	Doc:  "forbid wall-clock and global-rand reads in dataplane/sim code (use internal/clock and seeded RNGs)",
+	Run:  run,
+}
+
+// forbiddenTime is the set of time-package functions that read the wall
+// clock.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// randConstructors are the math/rand functions that build local,
+// seedable generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exempt(pass) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.FuncObj(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions are in scope: methods such
+			// as (*rand.Rand).Intn or (time.Time).Sub are fine.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					if analysis.CheckReason(pass, call.Pos(), "allow-wallclock") {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock in deterministic code: inject a clock.Clock (internal/clock) or annotate //fv:allow-wallclock <reason>",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					if analysis.CheckReason(pass, call.Pos(), "allow-wallclock") {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"global math/rand source (%s.%s) is nondeterministic: use a seeded local generator (sim/rng) or annotate //fv:allow-wallclock <reason>",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exempt reports whether the package is outside detnow's scope: the
+// sanctioned wall-clock boundary (internal/clock) and harness binaries
+// (package main).
+func exempt(pass *analysis.Pass) bool {
+	if pass.Pkg.Name() == "main" {
+		return true
+	}
+	return strings.HasSuffix(pass.Pkg.Path(), "internal/clock")
+}

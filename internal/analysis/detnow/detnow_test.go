@@ -1,0 +1,20 @@
+package detnow_test
+
+import (
+	"testing"
+
+	"flowvalve/internal/analysis/analysistest"
+	"flowvalve/internal/analysis/detnow"
+)
+
+func TestDetnow(t *testing.T) {
+	analysistest.Run(t, "testdata", detnow.Analyzer, "detnowtest")
+}
+
+// Main packages are harnesses, not dataplane code: zero diagnostics.
+func TestDetnowExemptsMain(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", detnow.Analyzer, "detnowmain")
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics in package main, got %d", len(diags))
+	}
+}

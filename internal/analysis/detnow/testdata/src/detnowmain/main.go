@@ -1,0 +1,10 @@
+// Command detnowmain proves detnow exempts harness binaries: package
+// main may read the wall clock (CLI progress timers are not dataplane
+// state).
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}

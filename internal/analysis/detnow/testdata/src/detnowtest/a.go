@@ -1,0 +1,34 @@
+// Package detnowtest seeds detnow violations: wall-clock reads and
+// global-rand draws that would break DES determinism.
+package detnowtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 {
+	t := time.Now()   // want `time\.Now reads the wall clock`
+	_ = time.Since(t) // want `time\.Since reads the wall clock`
+	_ = time.Until(t) // want `time\.Until reads the wall clock`
+	rand.Shuffle(1, func(i, j int) {}) // want `global math/rand source \(rand\.Shuffle\)`
+	return rand.Int63() // want `global math/rand source \(rand\.Int63\)`
+}
+
+func allowed() {
+	_ = time.Now() //fv:allow-wallclock operator-facing log timestamp, not sim state
+
+	// Local seeded generators are the sanctioned form of randomness.
+	r := rand.New(rand.NewSource(1))
+	_ = r.Int63()
+
+	// Methods and constants of package time are fine: only the wall
+	// clock readers are forbidden.
+	d := 3 * time.Second
+	_ = time.Unix(0, 42).Add(d)
+}
+
+func missingReason() {
+	//fv:allow-wallclock // want `//fv:allow-wallclock suppression requires a justification`
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}

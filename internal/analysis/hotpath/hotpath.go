@@ -1,0 +1,217 @@
+// Package hotpath enforces the per-packet discipline on functions
+// annotated //fv:hotpath: the batched scheduling path earns its 39
+// ns/pkt, 0 allocs/op budget (BenchmarkScheduleBatch32,
+// TestClassifyHitNoAllocs) only while nobody reintroduces an
+// allocation, a defer, or a formatting call — regressions that
+// benchmarks catch late and reviews miss early.
+//
+// Inside an annotated function's immediate body (closures are excluded:
+// a closure handed to the DES event queue runs on another budget), the
+// analyzer rejects:
+//
+//   - fmt.* calls — formatting allocates and convinces escape analysis
+//     to heap everything it touches;
+//   - defer statements — a defer costs tens of ns per call on this
+//     budget and hides an unlock ordering the try-lock design avoids;
+//   - map iteration — nondeterministic order and hash-walk cost;
+//   - heap-escaping composites: &T{...}, new(T), make(slice/map/chan);
+//   - interface-boxing conversions: passing or converting a non-pointer
+//     concrete value to an interface parameter allocates at runtime
+//     (pointer-shaped values — pointers, funcs, chans, maps — do not).
+//
+// A statement on a genuinely cold sub-path (one-time scratch growth, a
+// fallback for adversarial inputs) carries //fv:coldpath <reason>.
+// Branches gated by a compile-time-false constant (the fvassert
+// pattern) are skipped automatically.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the hotpath invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "reject allocations, defer, fmt and map iteration in //fv:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncDirective(fn, "hotpath") {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// check walks one annotated function body, skipping closures and
+// statically dead branches.
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate budget: DES event closures etc.
+		case *ast.IfStmt:
+			if pass.DeadBranch(n) {
+				// Init and Cond still execute; Body does not.
+				if n.Init != nil {
+					ast.Inspect(n.Init, walk)
+				}
+				ast.Inspect(n.Cond, walk)
+				if n.Else != nil {
+					ast.Inspect(n.Else, walk)
+				}
+				return false
+			}
+		case *ast.DeferStmt:
+			report(pass, n.Pos(), "defer in hot path (per-call overhead; unlock explicitly)")
+		case *ast.RangeStmt:
+			if n.X != nil {
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						report(pass, n.Pos(), "map iteration in hot path (hash-walk cost, nondeterministic order)")
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				report(pass, n.Pos(), "&composite literal in hot path escapes to the heap")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Built-ins: new always allocates; make allocates for every
+	// reference type.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch obj.Name() {
+			case "new":
+				report(pass, call.Pos(), "new(T) in hot path allocates; use pooled or caller-provided scratch")
+			case "make":
+				report(pass, call.Pos(), "make in hot path allocates; use pooled or caller-provided scratch")
+			}
+			return
+		}
+	}
+
+	fn := pass.FuncObj(call)
+	if fn != nil && fn.Pkg() != nil {
+		// fvassert calls are exempt: under -tags fvassert the guard
+		// branch is live and Failf's ...any boxing is an accepted,
+		// deliberate cost of an assertion build.
+		if strings.HasSuffix(fn.Pkg().Path(), "internal/fvassert") {
+			return
+		}
+		if fn.Pkg().Path() == "fmt" {
+			report(pass, call.Pos(), "fmt.%s in hot path (formatting allocates)", fn.Name())
+			return
+		}
+	}
+
+	// Interface boxing at call boundaries: a concrete, non-pointer-
+	// shaped argument passed to an interface parameter allocates.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if boxes(at.Type) {
+			report(pass, arg.Pos(), "boxing %s into interface %s allocates in hot path",
+				types.TypeString(at.Type, shortQual), types.TypeString(pt, shortQual))
+		}
+	}
+}
+
+// paramType returns the type the i-th argument is assigned to, or nil
+// when no boxing can occur at that position (out of range, or a
+// ...slice forwarded whole).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() {
+		if i < n-1 {
+			return params.At(i).Type()
+		}
+		if ellipsis {
+			return nil
+		}
+		if sl, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// callSignature returns the static signature of the callee, or nil for
+// type conversions and unresolvable callees.
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() {
+		return nil // conversion, handled by type checker elsewhere
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: true for every concrete type that is not pointer-shaped.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false // already boxed
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly in the iface word
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	default:
+		return true // structs, arrays, slices, strings
+	}
+}
+
+func shortQual(p *types.Package) string { return p.Name() }
+
+// report emits a diagnostic unless the line carries //fv:coldpath.
+func report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if analysis.CheckReason(pass, pos, "coldpath") {
+		return
+	}
+	pass.Reportf(pos, format+" — move off the hot path or annotate //fv:coldpath <reason>", args...)
+}

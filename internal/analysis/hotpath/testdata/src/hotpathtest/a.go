@@ -1,0 +1,72 @@
+// Package hotpathtest seeds hotpath violations inside //fv:hotpath
+// functions and proves unannotated code is untouched.
+package hotpathtest
+
+import (
+	"fmt"
+
+	"internal/fvassert"
+)
+
+type T struct{ m map[int]int }
+
+func sink(v any) { _ = v }
+
+//fv:hotpath
+func Bad(t *T) {
+	defer fmt.Println() // want `defer in hot path` `fmt\.Println in hot path`
+	fmt.Println("x")    // want `fmt\.Println in hot path`
+	for range t.m {     // want `map iteration in hot path`
+	}
+	_ = &T{}           // want `&composite literal in hot path escapes to the heap`
+	_ = make([]int, 4) // want `make in hot path allocates`
+	_ = new(T)         // want `new\(T\) in hot path allocates`
+	sink(42)           // want `boxing int into interface`
+}
+
+//fv:hotpath
+func Cold() {
+	_ = make([]int, 4) //fv:coldpath one-time scratch growth, amortized to zero
+}
+
+const debug = false
+
+func expensive() bool { return true }
+
+// DeadOK proves statically dead branches (the fvassert pattern) are
+// skipped: debug is a compile-time false constant.
+//
+//fv:hotpath
+func DeadOK() {
+	if debug && expensive() {
+		fmt.Println("never")
+	}
+}
+
+// NotHot is unannotated: the discipline does not apply.
+func NotHot() {
+	defer fmt.Println()
+	_ = make([]int, 4)
+}
+
+// AssertOK proves fvassert calls are exempt even in a live branch:
+// Enabled is true in the fixture package, so the guard is not dead,
+// yet boxing n into Failf's ...any draws no diagnostic.
+//
+//fv:hotpath
+func AssertOK(n int64) {
+	if fvassert.Enabled && n < 0 {
+		fvassert.Failf("negative count %d", n)
+	}
+}
+
+// PtrOK passes pointer-shaped values into interfaces: no allocation, no
+// diagnostic.
+//
+//fv:hotpath
+func PtrOK(t *T) {
+	sink(t)
+	// Closures run on their own budget (DES events): excluded.
+	f := func() { _ = make([]int, 1) }
+	f()
+}

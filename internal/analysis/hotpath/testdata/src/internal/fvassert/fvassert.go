@@ -1,0 +1,11 @@
+// Package fvassert is a fixture stand-in for the real assertion layer:
+// the hotpath analyzer exempts calls into any package whose path ends
+// in internal/fvassert.
+package fvassert
+
+// Enabled is true here so the guard branch in the fixture is live.
+const Enabled = true
+
+// Failf boxes its arguments; the exemption is what keeps this legal in
+// a hot path.
+func Failf(format string, args ...any) {}

@@ -1,0 +1,353 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("flowvalve/internal/core").
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config configures a Loader.
+type Config struct {
+	// Dir is any directory inside the module; the loader walks up to
+	// the enclosing go.mod to learn the module path and root. Empty
+	// means the current working directory.
+	Dir string
+	// Tags are extra build tags considered satisfied (e.g. "fvassert").
+	// GOOS, GOARCH and the release tags are always satisfied.
+	Tags []string
+	// FixtureRoot, when set, is an extra import root resolved before
+	// the module: an import "x" loads FixtureRoot/x if that directory
+	// exists. The analysistest harness points it at testdata/src.
+	FixtureRoot string
+}
+
+// Loader loads and type-checks packages without the go toolchain's
+// package driver: module-local imports resolve against the module tree,
+// fixture imports against Config.FixtureRoot, and everything else
+// (the standard library) through the source importer, which type-checks
+// from $GOROOT/src and therefore needs no pre-built export data and no
+// network. One Loader memoizes every package it has checked, so a
+// repo-wide lint run pays the standard-library checking cost once.
+type Loader struct {
+	fset       *token.FileSet
+	modulePath string
+	moduleDir  string
+	tags       map[string]bool
+	fixtures   string
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	busy map[string]bool
+}
+
+// NewLoader builds a loader rooted at the module enclosing cfg.Dir.
+func NewLoader(cfg Config) (*Loader, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	tags := map[string]bool{
+		runtime.GOOS: true, runtime.GOARCH: true, "gc": true,
+	}
+	if runtime.GOOS != "windows" && runtime.GOOS != "plan9" {
+		tags["unix"] = true
+	}
+	for _, t := range cfg.Tags {
+		tags[t] = true
+	}
+	return &Loader{
+		fset:       fset,
+		modulePath: modPath,
+		moduleDir:  modDir,
+		tags:       tags,
+		fixtures:   cfg.FixtureRoot,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		busy:       make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModulePath returns the enclosing module's path.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// ModuleDir returns the enclosing module's root directory.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// ImportPathForDir maps a directory to the import path the loader would
+// assign it.
+func (l *Loader) ImportPathForDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	if l.fixtures != "" {
+		if rel, err := filepath.Rel(l.fixtures, abs); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) && rel != "." {
+			return filepath.ToSlash(rel), nil
+		}
+	}
+	rel, err := filepath.Rel(l.moduleDir, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleDir)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForImport resolves an import path to a module or fixture directory,
+// or "" when the path belongs to neither (i.e. the standard library).
+func (l *Loader) dirForImport(path string) string {
+	if l.fixtures != "" {
+		d := filepath.Join(l.fixtures, filepath.FromSlash(path))
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d
+		}
+	}
+	if path == l.modulePath {
+		return l.moduleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// LoadDir loads and type-checks the (non-test) package in dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	path, err := l.ImportPathForDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, dir)
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.moduleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if dir := l.dirForImport(path); dir != "" {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	names, err := l.selectFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// selectFiles returns the buildable non-test .go files of dir under the
+// loader's tag set, sorted for deterministic diagnostics.
+func (l *Loader) selectFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		ok, err := l.fileMatches(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// fileMatches evaluates filename GOOS/GOARCH suffixes and the //go:build
+// line against the loader's tag set.
+func (l *Loader) fileMatches(path string) (bool, error) {
+	base := strings.TrimSuffix(filepath.Base(path), ".go")
+	// Filename constraints: name_GOOS.go, name_GOARCH.go,
+	// name_GOOS_GOARCH.go. Only the trailing one or two segments count.
+	parts := strings.Split(base, "_")
+	if n := len(parts); n > 1 {
+		last := parts[n-1]
+		if knownArch[last] {
+			if !l.tags[last] {
+				return false, nil
+			}
+			if n > 2 && knownOS[parts[n-2]] && !l.tags[parts[n-2]] {
+				return false, nil
+			}
+		} else if knownOS[last] && !l.tags[last] {
+			return false, nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	// Scan the header (before the package clause) for a //go:build line.
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return false, fmt.Errorf("analysis: %s: %v", path, err)
+		}
+		return expr.Eval(func(tag string) bool {
+			if strings.HasPrefix(tag, "go1.") {
+				return true // release tags: always current enough
+			}
+			return l.tags[tag]
+		}), nil
+	}
+	return true, nil
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// RunAnalyzers applies each analyzer to pkg, delivering diagnostics to
+// report in source order per analyzer.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, report func(*Analyzer, Diagnostic)) error {
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			report(a, d)
+		}
+	}
+	return nil
+}

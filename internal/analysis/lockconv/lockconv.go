@@ -1,0 +1,160 @@
+// Package lockconv enforces FlowValve's locking naming convention.
+//
+// The codebase marks lock discipline in function names: a method named
+// FooLocked must only run with the relevant mutex held, and a method
+// named FooRacy is deliberately callable without mutual exclusion (the
+// NoLock ablation paths). The convention is only useful if call sites
+// honor it, so this analyzer checks, intra-procedurally:
+//
+//   - A call to a *Locked function is legal when the calling function
+//     is itself *Locked (the caller inherited the lock), or when a
+//     mutex acquisition (Lock, RLock or TryLock on a sync.Mutex /
+//     sync.RWMutex) appears earlier in the calling function's body —
+//     the lexical approximation of "the lock is held here". Otherwise
+//     the call needs //fv:locked-ok <reason>.
+//
+//   - A call to a *Racy function must carry //fv:racy-ok <reason>
+//     unless the caller is itself *Racy — racing is always a deliberate,
+//     documented choice, never an accident.
+//
+// The lexical heuristic deliberately trades soundness for zero false
+// positives on idiomatic code: it will miss a *Locked call placed in
+// the failure arm of a TryLock, but it catches the common regression —
+// a new call site with no lock acquisition in sight at all.
+package lockconv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the lockconv invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockconv",
+	Doc:  "enforce the ...Locked / ...Racy naming convention at call sites",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	callerLocked := strings.HasSuffix(fn.Name.Name, "Locked")
+	callerRacy := strings.HasSuffix(fn.Name.Name, "Racy")
+
+	// acquisitions collects the positions of every mutex Lock/RLock/
+	// TryLock call in the function body (including inside closures —
+	// a closure acquiring the lock before calling a *Locked method is
+	// the same idiom one level down).
+	var acquisitions []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isMutexAcquire(pass, call) {
+			acquisitions = append(acquisitions, call.Pos())
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pass.FuncObj(call)
+		if callee == nil {
+			return true
+		}
+		name := callee.Name()
+		switch {
+		case strings.HasSuffix(name, "Locked"):
+			if callerLocked || isMutexAcquire(pass, call) {
+				return true
+			}
+			if acquiredBefore(acquisitions, call.Pos()) {
+				return true
+			}
+			if analysis.CheckReason(pass, call.Pos(), "locked-ok") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s is a ...Locked function but no mutex acquisition precedes this call in %s (and it is not itself ...Locked); hold the lock or annotate //fv:locked-ok <reason>",
+				name, fn.Name.Name)
+		case strings.HasSuffix(name, "Racy"):
+			if callerRacy {
+				return true
+			}
+			if analysis.CheckReason(pass, call.Pos(), "racy-ok") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s is a ...Racy function: the call site must justify racing with //fv:racy-ok <reason>",
+				name)
+		}
+		return true
+	})
+}
+
+// acquiredBefore reports whether any recorded acquisition position
+// precedes pos.
+func acquiredBefore(acqs []token.Pos, pos token.Pos) bool {
+	for _, a := range acqs {
+		if a < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutexAcquire reports whether call acquires a sync mutex: a Lock,
+// RLock or TryLock/TryRLock method on sync.Mutex, sync.RWMutex, or any
+// type embedding them.
+func isMutexAcquire(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isSyncLocker(sig.Recv().Type()) || fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// isSyncLocker reports whether t (possibly behind a pointer) is a
+// sync.Mutex or sync.RWMutex.
+func isSyncLocker(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,12 @@
+package lockconv_test
+
+import (
+	"testing"
+
+	"flowvalve/internal/analysis/analysistest"
+	"flowvalve/internal/analysis/lockconv"
+)
+
+func TestLockconv(t *testing.T) {
+	analysistest.Run(t, "testdata", lockconv.Analyzer, "lockconvtest")
+}

@@ -1,0 +1,68 @@
+// Package lockconvtest seeds lockconv violations: ...Locked calls with
+// no lock acquisition in scope and unjustified ...Racy calls.
+package lockconvtest
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (s *S) bumpLocked() { s.n++ }
+
+func (s *S) readRacy() int { return s.n }
+
+// Good acquires the mutex before the ...Locked call.
+func (s *S) Good() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+
+// GoodTry uses the try-lock idiom (FlowValve's per-class update path).
+func (s *S) GoodTry() bool {
+	if s.mu.TryLock() {
+		s.bumpLocked()
+		s.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// GoodRead holds a reader lock.
+func (s *S) GoodRead() {
+	s.rw.RLock()
+	s.bumpLocked()
+	s.rw.RUnlock()
+}
+
+// alsoLocked inherits the lock from its caller by convention.
+func (s *S) alsoLocked() { s.bumpLocked() }
+
+// chainRacy is itself ...Racy, so racing onward needs no annotation.
+func (s *S) chainRacy() int { return s.readRacy() }
+
+func (s *S) Bad() {
+	s.bumpLocked() // want `bumpLocked is a \.\.\.Locked function but no mutex acquisition precedes this call in Bad`
+}
+
+func (s *S) BadRace() int {
+	return s.readRacy() // want `readRacy is a \.\.\.Racy function: the call site must justify racing`
+}
+
+func (s *S) OkAnnotated() int {
+	//fv:racy-ok stats snapshot tolerates torn reads by design
+	return s.readRacy()
+}
+
+func (s *S) OkSuppressedLocked() {
+	//fv:locked-ok lock is held by the caller via LockAll
+	s.bumpLocked()
+}
+
+func (s *S) BadNakedSuppression() {
+	//fv:racy-ok // want `//fv:racy-ok suppression requires a justification`
+	_ = s.readRacy() // want `readRacy is a \.\.\.Racy function`
+}

@@ -1,0 +1,127 @@
+// Package metricname enforces the telemetry naming contract: every
+// metric registered on a telemetry.Registry carries a compile-time
+// constant, fv_-prefixed, prometheus-legal name, and each name is
+// registered from exactly one call site per package. The registry
+// dedups at runtime, so a second registration with a different help
+// string or kind is silently ignored — a divergence this analyzer
+// surfaces at build time instead of on a dashboard.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the metricname invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry metric names must be constant, fv_-prefixed, and registered once per package",
+	Run:  run,
+}
+
+// registerMethods maps the telemetry.Registry methods that register a
+// metric family; the first argument is the family name.
+var registerMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+// nameRE is the accepted shape: fv_ prefix, lowercase snake case.
+var nameRE = regexp.MustCompile(`^fv_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+func run(pass *analysis.Pass) (any, error) {
+	type site struct {
+		pos  token.Pos
+		name string
+	}
+	var sites []site
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := pass.FuncObj(call)
+			if fn == nil || !registerMethods[fn.Name()] || !isRegistry(fn) {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				if !analysis.CheckReason(pass, arg.Pos(), "metric-ok") {
+					pass.Reportf(arg.Pos(),
+						"metric name passed to Registry.%s must be a compile-time string constant (or annotate //fv:metric-ok <reason>)",
+						fn.Name())
+				}
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !nameRE.MatchString(name) {
+				if !analysis.CheckReason(pass, arg.Pos(), "metric-ok") {
+					pass.Reportf(arg.Pos(),
+						"metric name %q must match %s (fv_-prefixed lowercase snake case)",
+						name, nameRE)
+				}
+				return true
+			}
+			sites = append(sites, site{pos: arg.Pos(), name: name})
+			return true
+		})
+	}
+
+	// One registration call site per family name per package: the
+	// runtime registry dedups, so duplicate static sites mean one of
+	// them silently loses.
+	byName := make(map[string][]site)
+	for _, s := range sites {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	names := make([]string, 0, len(byName))
+	for name, ss := range byName {
+		if len(ss) > 1 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := byName[name]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].pos < ss[j].pos })
+		for _, s := range ss[1:] {
+			if analysis.CheckReason(pass, s.pos, "metric-ok") {
+				continue
+			}
+			first := pass.Fset.Position(ss[0].pos)
+			pass.Reportf(s.pos,
+				"metric %q is already registered at %s:%d; register each family once (or annotate //fv:metric-ok <reason>)",
+				name, first.Filename, first.Line)
+		}
+	}
+	return nil, nil
+}
+
+// isRegistry reports whether fn is a method of telemetry.Registry.
+func isRegistry(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/telemetry")
+}

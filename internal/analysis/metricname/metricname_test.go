@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"flowvalve/internal/analysis/analysistest"
+	"flowvalve/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, "metricnametest")
+}

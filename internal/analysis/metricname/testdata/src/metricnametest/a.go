@@ -1,0 +1,28 @@
+// Package metricnametest seeds metricname violations: non-constant
+// names, bad prefixes, bad casing, and duplicate registrations.
+package metricnametest
+
+import "flowvalve/internal/telemetry"
+
+const goodName = "fv_demo_packets_total"
+
+// Shadow is not telemetry.Registry: its methods are out of scope.
+type Shadow struct{}
+
+func (Shadow) Counter(name, help string) {}
+
+func Register(r *telemetry.Registry, dynamic string) {
+	r.Counter(goodName, "packets forwarded")
+	r.Gauge("fv_demo_queue_depth", "queue depth")
+	r.CounterFunc("fv_demo_uptime_seconds", "uptime", func() float64 { return 0 })
+
+	r.Histogram("demo_latency_ns", "latency", nil) // want `metric name "demo_latency_ns" must match`
+	r.Counter("fv_BadCase_total", "casing")        // want `metric name "fv_BadCase_total" must match`
+	r.Counter(dynamic, "dynamic")                  // want `must be a compile-time string constant`
+	r.Gauge("fv_demo_queue_depth", "dup")          // want `metric "fv_demo_queue_depth" is already registered`
+
+	//fv:metric-ok migration shim keeps the legacy dotted name until dashboards move
+	r.Counter("legacy.demo.count", "legacy")
+
+	Shadow{}.Counter("whatever", "not a telemetry registry")
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flowvalve/internal/fvassert"
 	"flowvalve/internal/headers"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
@@ -134,6 +135,11 @@ func newFlowCache(cfg CacheConfig) *flowCache {
 	if perShard < cacheProbeWindow {
 		perShard = cacheProbeWindow
 	}
+	if fvassert.Enabled &&
+		(cfg.Shards <= 0 || cfg.Shards&(cfg.Shards-1) != 0 || perShard&(perShard-1) != 0) {
+		fvassert.Failf("classifier: cache geometry must be power-of-two (shards %d, slots/shard %d): masking would alias",
+			cfg.Shards, perShard)
+	}
 	fc := &flowCache{
 		shards:    make([]cacheShard, cfg.Shards),
 		shardMask: uint64(cfg.Shards) - 1,
@@ -173,6 +179,8 @@ func (fc *flowCache) shardFor(h uint64) *cacheShard {
 // (tombstones keep the chain walkable and are skipped). A hit refreshes
 // the entry's CLOCK bit. Returns the shard either way so the caller's
 // miss path can lock it without rehashing.
+//
+//fv:hotpath
 func (fc *flowCache) get(key uint64) (sh *cacheShard, lbl *tree.Label, ok bool) {
 	h := mix64(key)
 	sh = fc.shardFor(h)

@@ -166,6 +166,8 @@ func (c *Classifier) Lookup(p *packet.Packet) (lbl *tree.Label, hit bool) {
 // LookupEv is Lookup plus whether resolving the miss evicted a live
 // cache entry — the outcome the NIC model charges CLOCK-writeback
 // cycles for.
+//
+//fv:hotpath
 func (c *Classifier) LookupEv(p *packet.Packet) (lbl *tree.Label, hit, evicted bool) {
 	key := packKey(p.App, p.Flow)
 	sh, lbl, ok := c.cache.get(key)
@@ -208,6 +210,8 @@ const batchSortThreshold = 32
 // first-arriving packet, so hit/miss accounting — and therefore the NIC
 // model's cycle charges — is identical to calling Lookup per packet in
 // arrival order.
+//
+//fv:hotpath
 func (c *Classifier) ClassifyBatchEv(ps []*packet.Packet, labels []*tree.Label, hits, evicted []bool) {
 	n := len(ps)
 	labels, hits = labels[:n], hits[:n]
@@ -216,7 +220,7 @@ func (c *Classifier) ClassifyBatchEv(ps []*packet.Packet, labels []*tree.Label, 
 	}
 	bs := c.batchPool.Get().(*batchScratch)
 	if cap(bs.idx) < n {
-		bs.idx = make([]int32, 0, n)
+		bs.idx = make([]int32, 0, n) //fv:coldpath pooled scratch grows to the largest burst once, then never again
 	}
 	idx := bs.idx[:0]
 	for i := 0; i < n; i++ {
@@ -231,6 +235,7 @@ func (c *Classifier) ClassifyBatchEv(ps []*packet.Packet, labels []*tree.Label, 
 			}
 		}
 	} else {
+		//fv:coldpath bursts beyond batchSortThreshold exceed any NIC ring budget; stdlib sort is fine there
 		sort.SliceStable(idx, func(a, b int) bool { return keyLess(ps[idx[a]], ps[idx[b]]) })
 	}
 	var (

@@ -95,6 +95,8 @@ func (bs *batchScratch) countOne(c *tree.Class, sz int64) {
 //
 // Safe for concurrent use like Schedule; scratch state is pooled per
 // call, never shared between concurrent batches.
+//
+//fv:hotpath
 func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Decision) {
 	n := len(reqs)
 	if n == 0 {

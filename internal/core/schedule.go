@@ -1,9 +1,8 @@
 package core
 
 import (
-	"time"
-
 	"flowvalve/internal/dataplane"
+	"flowvalve/internal/fvassert"
 	"flowvalve/internal/sched/tree"
 )
 
@@ -34,6 +33,8 @@ var _ dataplane.Scheduler = (*Scheduler)(nil)
 // Schedule runs the scheduling function (Algorithm 1) for one packet of
 // `size` bytes carrying QoS label lbl, and returns the forwarding
 // decision. It is safe to call from any number of goroutines.
+//
+//fv:hotpath
 func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 	now := s.clk.Now()
 	sz := int64(size)
@@ -172,6 +173,7 @@ func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Dec
 		s.globalMu.Unlock()
 	case NoLock:
 		// Ablation: races between epochs permitted.
+		//fv:racy-ok NoLock mode exists to measure exactly this race; see DESIGN.md locking ablations
 		if s.updateRacy(c, st, now) {
 			d.Updates++
 		}
@@ -182,6 +184,8 @@ func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Dec
 // (estimators feeding Γ) and the leaf's forward statistics. It returns the
 // leaf's new forward-packet ordinal, which the telemetry hook reuses as
 // its sampling sequence — tracing costs the unsampled path nothing.
+//
+//fv:hotpath
 func (s *Scheduler) recordForward(lbl *tree.Label, sz int64) int64 {
 	for _, c := range lbl.Path {
 		s.states[c.ID].est.Count(sz)
@@ -203,14 +207,16 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 	}
 	st.lastUpdate.Store(now)
 
-	// Telemetry: time the executed epoch roll in wall-clock ns. The
-	// sim clock is virtual, so this measures the real compute cost of
+	// Telemetry: time the executed epoch roll on the scheduler's own
+	// clock. Under a wall-backed clock this is the real compute cost of
 	// the update subprocedure — the quantity the NP cycle budget cares
-	// about. Only paid when a histogram is attached.
-	var t0 time.Time
+	// about; under the DES Manual clock it is identically zero, keeping
+	// seeded runs bit-identical even with latency sampling attached.
+	// Only paid when a histogram is attached.
+	var t0 int64
 	h := s.tel.Load()
 	if h != nil && h.updateDur != nil {
-		t0 = time.Now()
+		t0 = s.clk.Now()
 	}
 
 	// Subprocedure 3: expired-status removal. A long-idle class
@@ -227,6 +233,11 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 		st.lentEpoch.Store(0)
 		st.lendCarry.Store(0)
 		dt = s.cfg.UpdateIntervalNs // charge one nominal epoch
+	}
+
+	if fvassert.Enabled && dt <= 0 {
+		fvassert.Failf("core: class %d epoch rolled with non-positive dt %d (now %d, last %d): clock not monotone",
+			c.ID, dt, now, last)
 	}
 
 	theta := st.theta.Load()
@@ -248,6 +259,10 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 	supplement := int64(theta * float64(dt) / 1e9)
 	st.bucket.SetBurst(s.burstFor(theta, s.cfg.BurstNs))
 	absorbed := st.bucket.Refill(supplement)
+	if fvassert.Enabled && (absorbed < 0 || absorbed > supplement) {
+		fvassert.Failf("core: class %d epoch minted θ·ΔT=%d but the bucket absorbed %d: conservation violated",
+			c.ID, supplement, absorbed)
+	}
 
 	// Shadow bucket (subprocedure 2): publish this epoch's unconsumed
 	// tokens for eligible borrowers. For a leaf, "unconsumed" is
@@ -277,7 +292,7 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 	}
 	st.updates.Add(1)
 	if h != nil && h.updateDur != nil {
-		h.updateDur.Observe(float64(time.Since(t0)))
+		h.updateDur.Observe(float64(s.clk.Now() - t0))
 	}
 	return true
 }

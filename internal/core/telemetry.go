@@ -20,8 +20,10 @@ type telHooks struct {
 // Func collectors reading the scheduler's existing atomics — continuous
 // metrics at zero added cost on the packet path. The only hot-path
 // additions are one atomic pointer load per Schedule call plus, 1-in-N
-// packets, a trace ring write; the update subprocedure gains a wall-clock
-// duration histogram sample per executed epoch roll.
+// packets, a trace ring write; the update subprocedure gains a
+// scheduler-clock duration histogram sample per executed epoch roll
+// (real time under a wall-backed clock, identically zero — and therefore
+// deterministic — under the DES virtual clock).
 //
 // Metric families (all labelled {class="<name>"}):
 //
@@ -38,7 +40,7 @@ type telHooks struct {
 //	fv_class_mark_packets_total   counter   ECN-marked packets
 //	fv_class_lent_bytes_total     counter   bytes granted to borrowers
 //	fv_class_updates_total        counter   epoch rolls executed
-//	fv_update_duration_ns         histogram wall time of one epoch roll
+//	fv_update_duration_ns         histogram scheduler-clock time of one epoch roll
 //
 // Passing nil for both arguments detaches telemetry.
 func (s *Scheduler) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
@@ -49,7 +51,7 @@ func (s *Scheduler) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Trace
 	h := &telHooks{tracer: tr}
 	if reg != nil {
 		h.updateDur = reg.Histogram("fv_update_duration_ns",
-			"Wall-clock duration of one class update subprocedure (epoch roll).",
+			"Scheduler-clock duration of one class update subprocedure (epoch roll).",
 			telemetry.DurationBucketsNs)
 		for _, c := range s.tree.Classes() {
 			st := &s.states[c.ID]

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"flowvalve/internal/fvconf"
+	"flowvalve/internal/nic"
+	"flowvalve/internal/telemetry"
+)
+
+// determinismRun executes one seeded FlowValve scenario with the full
+// observability stack attached — metric registry, decision tracer, and
+// latency sampling — and reduces everything observable to strings.
+func determinismRun(t *testing.T) (metrics string, traces string, latency string) {
+	t.Helper()
+	script, err := fvconf.Parse(fvconf.FairQueueScript("40gbit", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, rules, err := script.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(4, 4096)
+	sc := TCPScenario{
+		DurationNs: 1e9,
+		BinNs:      1e8,
+		Apps: []AppSpec{
+			{App: 0, Conns: 2, StartNs: 0},
+			{App: 1, Conns: 2, StartNs: 0},
+		},
+		Tree:           tr,
+		Rules:          rules,
+		DefaultClass:   script.DefaultClass,
+		NIC:            nic.Config{WireRateBps: 40e9, WirePorts: 2},
+		Telemetry:      reg,
+		Tracer:         tracer,
+		MeasureLatency: true,
+	}
+	res, err := RunFlowValveTCP(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat string
+	if res.Latency != nil {
+		lat = fmt.Sprintf("n=%d mean=%v std=%v p50=%v p99=%v max=%v",
+			res.Latency.Count(), res.Latency.MeanUs(), res.Latency.StdUs(),
+			res.Latency.PercentileUs(50), res.Latency.PercentileUs(99), res.Latency.MaxUs())
+	}
+	return reg.Dump(), fmt.Sprintf("%+v", tracer.Drain()), lat
+}
+
+// TestSeededRunsIdenticalWithTelemetry is the regression test for the
+// wall-clock leak this PR removed from the update subprocedure: with the
+// fv_update_duration_ns histogram attached, epoch-roll timing used to
+// read time.Now, so two identical seeded DES runs diverged in their
+// metric export. Timing now flows through the scheduler's injected
+// clock, which is virtual under the DES — every observable artifact
+// (metric dump, trace ring, latency summary) must be bit-identical
+// across runs.
+func TestSeededRunsIdenticalWithTelemetry(t *testing.T) {
+	m1, t1, l1 := determinismRun(t)
+	m2, t2, l2 := determinismRun(t)
+	if m1 != m2 {
+		t.Errorf("metric dumps differ between identical seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", m1, m2)
+	}
+	if t1 != t2 {
+		t.Errorf("decision traces differ between identical seeded runs")
+	}
+	if l1 != l2 {
+		t.Errorf("latency summaries differ between identical seeded runs:\nrun 1: %s\nrun 2: %s", l1, l2)
+	}
+	if m1 == "" {
+		t.Fatal("metric dump is empty; telemetry was not attached")
+	}
+}

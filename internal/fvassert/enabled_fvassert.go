@@ -1,0 +1,7 @@
+//go:build fvassert
+
+package fvassert
+
+// Enabled reports whether runtime assertions are compiled in. This
+// build has the fvassert tag: every assertion guard is live.
+const Enabled = true

@@ -1,0 +1,8 @@
+//go:build !fvassert
+
+package fvassert
+
+// Enabled reports whether runtime assertions are compiled in. Without
+// the fvassert tag every assertion guard is a compile-time-false branch
+// the compiler deletes: the hot path pays nothing.
+const Enabled = false

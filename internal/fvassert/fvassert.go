@@ -1,0 +1,31 @@
+// Package fvassert is the build-tag-gated runtime assertion layer.
+//
+// Assertions guard invariants the type system cannot express — token
+// conservation per epoch, FIFO occupancy bounds, power-of-two cache
+// geometry, event-time monotonicity — and cost nothing in normal
+// builds: Enabled is an untyped constant, so every
+//
+//	if fvassert.Enabled && <invariant violated> {
+//		fvassert.Failf("subsystem: what broke (values)")
+//	}
+//
+// guard is dead code the compiler deletes unless the build runs with
+// -tags fvassert. CI exercises the full test suite under the tag (see
+// the fvassert job in .github/workflows/ci.yml and `make test-fvassert`),
+// so a violated invariant fails loudly there while release and
+// benchmark builds keep their zero-cost hot path —
+// BenchmarkScheduleBatch32 is the guard that the tag-off build really
+// pays nothing.
+//
+// Failf always panics: an assertion failure is a logic bug, never an
+// input error, so there is no recovery story beyond the stack trace.
+package fvassert
+
+import "fmt"
+
+// Failf panics with a "fvassert: "-prefixed formatted message. Call it
+// only behind an `if fvassert.Enabled && ...` guard so the call (and
+// its argument boxing) compiles out of untagged builds.
+func Failf(format string, args ...any) {
+	panic(fmt.Sprintf("fvassert: "+format, args...))
+}

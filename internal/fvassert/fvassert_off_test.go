@@ -1,0 +1,13 @@
+//go:build !fvassert
+
+package fvassert
+
+import "testing"
+
+// TestDisabledByDefault pins the zero-cost contract: without the tag,
+// Enabled is a compile-time false constant.
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("fvassert.Enabled must be false without the fvassert build tag")
+	}
+}

@@ -1,0 +1,31 @@
+//go:build fvassert
+
+package fvassert
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabledUnderTag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("fvassert.Enabled must be true under the fvassert build tag")
+	}
+}
+
+func TestFailfPanicsWithPrefix(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "fvassert: ") {
+			t.Fatalf("Failf panic = %v, want fvassert:-prefixed string", r)
+		}
+		if !strings.Contains(msg, "tokens 42") {
+			t.Fatalf("Failf did not format arguments: %q", msg)
+		}
+	}()
+	Failf("token: tokens %d", 42)
+}

@@ -458,6 +458,8 @@ func (n *NIC) injectBatched(p *packet.Packet) {
 
 // serviceBatch pulls up to BatchSize waiting packets and runs them as
 // one service routine, or parks the context when the rings are empty.
+//
+//fv:hotpath
 func (n *NIC) serviceBatch(cl *cluster) {
 	batch := n.batchBuf[:0]
 	for len(batch) < n.cfg.BatchSize {
@@ -587,6 +589,8 @@ func (n *NIC) releaseContext(cl *cluster) {
 // ScheduleBatch pass, charge the per-batch fixed cycles once and the
 // per-packet stages per packet, then hand every completion to the
 // reorder system at the batch's service latency.
+//
+//fv:hotpath
 func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	k := len(batch)
 	lbls := n.batchLbls[:k]

@@ -7,7 +7,10 @@
 // discretion), mirroring how the real structures behave.
 package pktq
 
-import "flowvalve/internal/packet"
+import (
+	"flowvalve/internal/fvassert"
+	"flowvalve/internal/packet"
+)
 
 // FIFO is a bounded first-in first-out packet queue implemented as a
 // growable ring buffer. The zero value is unbounded; use New to set limits.
@@ -65,6 +68,11 @@ func (q *FIFO) TryPush(p *packet.Packet) bool {
 		return false
 	}
 	q.push(p)
+	if fvassert.Enabled &&
+		(q.maxPkts > 0 && q.count > q.maxPkts || q.maxBytes > 0 && q.bytes > q.maxBytes) {
+		fvassert.Failf("pktq: TryPush admitted past bounds (count %d/%d, bytes %d/%d)",
+			q.count, q.maxPkts, q.bytes, q.maxBytes)
+	}
 	return true
 }
 
@@ -112,6 +120,9 @@ func (q *FIFO) Pop() *packet.Packet {
 	}
 	q.count--
 	q.bytes -= int64(p.Size)
+	if fvassert.Enabled && (q.count < 0 || q.bytes < 0 || q.count == 0 && q.bytes != 0) {
+		fvassert.Failf("pktq: Pop left inconsistent occupancy (count %d, bytes %d)", q.count, q.bytes)
+	}
 	return p
 }
 

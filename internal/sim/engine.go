@@ -18,6 +18,7 @@ import (
 	"container/heap"
 
 	"flowvalve/internal/clock"
+	"flowvalve/internal/fvassert"
 )
 
 // Func is an event callback. It runs at its scheduled virtual time and may
@@ -111,6 +112,10 @@ func (e *Engine) Step() bool {
 	ev, ok := heap.Pop(&e.events).(event)
 	if !ok {
 		panic("sim: event heap contained non-event value")
+	}
+	if fvassert.Enabled && ev.at < e.clk.Now() {
+		fvassert.Failf("sim: event scheduled at t=%d fired with clock already at %d: causality violated",
+			ev.at, e.clk.Now())
 	}
 	e.clk.Set(ev.at)
 	e.fired++

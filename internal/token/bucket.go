@@ -14,7 +14,11 @@
 // re-expressed in NP clock units.
 package token
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"flowvalve/internal/fvassert"
+)
 
 // Color is the two-color meter result.
 type Color int
@@ -88,6 +92,8 @@ func (b *Bucket) Tokens() int64 { return b.tokens.Load() }
 // TryConsume atomically takes n tokens if at least n are present and
 // reports whether it did. This is the meter primitive: Green on success,
 // Red on failure, with no partial consumption.
+//
+//fv:hotpath
 func (b *Bucket) TryConsume(n int64) bool {
 	for {
 		cur := b.tokens.Load()
@@ -106,6 +112,8 @@ func (b *Bucket) TryConsume(n int64) bool {
 // each epoch mints exactly θ·ΔT tokens in total). Negative n is ignored.
 // Refill is called from the update subprocedure under the class lock, so
 // a simple load-add-clamp CAS loop suffices.
+//
+//fv:hotpath
 func (b *Bucket) Refill(n int64) (absorbed int64) {
 	if n <= 0 {
 		return 0
@@ -121,7 +129,12 @@ func (b *Bucket) Refill(n int64) (absorbed int64) {
 			return 0
 		}
 		if b.tokens.CompareAndSwap(cur, next) {
-			return next - cur
+			absorbed = next - cur
+			if fvassert.Enabled && (absorbed < 0 || absorbed > n) {
+				fvassert.Failf("token: Refill(%d) absorbed %d (tokens %d→%d, burst %d): conservation violated",
+					n, absorbed, cur, next, burst)
+			}
+			return absorbed
 		}
 	}
 }
@@ -139,6 +152,8 @@ func (b *Bucket) Drain() int64 {
 // Meter classifies a packet of size bytes against the bucket: Green if
 // tokens were available (and consumes them), Red otherwise. It mirrors the
 // NP's atomic meter instruction wrapped by the paper's meter function.
+//
+//fv:hotpath
 func (b *Bucket) Meter(size int64) Color {
 	if b.TryConsume(size) {
 		return Green

@@ -43,6 +43,8 @@ func NewEstimator(alpha float64) *Estimator {
 
 // Count records that n bytes of the class were forwarded. Safe from any
 // core.
+//
+//fv:hotpath
 func (e *Estimator) Count(n int64) { e.counted.Add(n) }
 
 // Roll closes the current epoch of dt nanoseconds: it converts the counted
