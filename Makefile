@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-figures reproduce lint test-fvassert
+.PHONY: all build vet test race chaos bench bench-figures bench-json bench-gate reproduce lint test-fvassert
 
 all: build vet test
 
@@ -57,6 +57,20 @@ bench:
 # Scaled figure/table regeneration benches + ablations.
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The ScheduleBatch32 benches guarded by the CI regression gate: the
+# core batched hot path plus the pifo scheduler family. bench-json
+# refreshes the committed baseline (run it on the reference machine when
+# a deliberate perf change lands); bench-gate fails when any guarded
+# benchmark's best-of-N ns/op regresses more than 15% past the baseline
+# (cmd/fvbenchstat).
+BENCH_GATE = $(GO) test -run '^$$' -bench 'ScheduleBatch32' -benchmem -count=5 . ./internal/pifo/
+
+bench-json:
+	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -emit BENCH_pr6.json
+
+bench-gate:
+	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -baseline BENCH_pr6.json -match ScheduleBatch32 -threshold 0.15
 
 # Full-scale reproduction of the paper's evaluation.
 reproduce:

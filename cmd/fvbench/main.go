@@ -14,6 +14,7 @@
 //	fvbench -size 1518 -depth 4           # deeper scheduling trees
 //	fvbench -size 64 -batch 8             # batched Rx service
 //	fvbench -backend dpdk -cores 4        # DPDK QoS baseline
+//	fvbench -backend sppifo -rank wfq     # programmable-scheduler family
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"flowvalve/internal/classifier"
@@ -30,11 +32,23 @@ import (
 	"flowvalve/internal/experiments"
 	"flowvalve/internal/nic"
 	"flowvalve/internal/packet"
+	"flowvalve/internal/pifo"
 	"flowvalve/internal/sched/tree"
 	"flowvalve/internal/sim"
 	"flowvalve/internal/telemetry"
 	"flowvalve/internal/trafficgen"
 )
+
+// pifoApps is the number of competing senders driven at the
+// programmable-scheduler family: one rank-policy slot per app.
+const pifoApps = 4
+
+// backendNames is the single source of truth for -backend: the two
+// FlowValve-era backends plus the whole pifo registry. Flag help and
+// the unknown-backend error both derive from it.
+func backendNames() []string {
+	return append([]string{"flowvalve", "dpdk"}, pifo.BackendNames()...)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -45,7 +59,8 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fvbench", flag.ContinueOnError)
-	backend := fs.String("backend", "flowvalve", "backend to drive: flowvalve | dpdk")
+	backend := fs.String("backend", "flowvalve", "backend to drive: "+strings.Join(backendNames(), " | "))
+	rank := fs.String("rank", pifo.PolicyWFQ, "rank policy for pifo-family backends: "+strings.Join(pifo.PolicyNames(), " | "))
 	size := fs.Int("size", 64, "frame size in bytes (incl. FCS)")
 	cores := fs.Int("cores", 0, "worker cores (default: 50 NP contexts for flowvalve, 4 poll-mode cores for dpdk)")
 	freq := fs.Float64("freq", 800e6, "NP core frequency (Hz)")
@@ -82,7 +97,10 @@ func run(args []string, out io.Writer) error {
 	case "dpdk":
 		q, procPps, header, err = buildDPDK(eng, counter, reg, *cores, *wire)
 	default:
-		return fmt.Errorf("unknown backend %q (flowvalve | dpdk)", *backend)
+		if !pifo.IsBackend(*backend) {
+			return fmt.Errorf("unknown backend %q (want %s)", *backend, strings.Join(backendNames(), " | "))
+		}
+		q, procPps, header, err = buildPifo(eng, counter, reg, *backend, *rank, *size, *wire)
 	}
 	if err != nil {
 		return err
@@ -99,7 +117,17 @@ func run(args []string, out io.Writer) error {
 	for i := range flows {
 		flows[i] = packet.FlowID(i)
 	}
-	if _, err := trafficgen.NewSaturator(eng, alloc, flows, 0, *size,
+	if pifo.IsBackend(*backend) {
+		// The rank policies differentiate by app slot, so the family is
+		// driven by pifoApps equal competing senders instead of one.
+		perAppBps := offeredPps * float64(*size) * 8 / pifoApps
+		for a := 0; a < pifoApps; a++ {
+			if _, err := trafficgen.NewSaturator(eng, alloc, flows, packet.AppID(a), *size,
+				perAppBps, 0, 2*warm, q.Enqueue); err != nil {
+				return err
+			}
+		}
+	} else if _, err := trafficgen.NewSaturator(eng, alloc, flows, 0, *size,
 		offeredPps*float64(*size)*8, 0, 2*warm, q.Enqueue); err != nil {
 		return err
 	}
@@ -122,6 +150,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if acct, ok := q.(dataplane.HostAccountant); ok {
 		fmt.Fprintf(out, "host cores: %.2f\n", acct.HostCores(2*warm))
+	}
+	if pq, ok := q.(*pifo.Qdisc); ok {
+		qs := pq.QueueStats()
+		fmt.Fprintf(out, "pifo: inversions=%d drops(rank/full/evict)=%d/%d/%d adaptations(up/down)=%d/%d\n",
+			pq.Inversions(), qs.RankDrops, qs.FullDrops, qs.EvictDrops, qs.PushUps, qs.PushDowns)
 	}
 	if reg != nil {
 		w := out
@@ -180,6 +213,29 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 	header := fmt.Sprintf("backend=flowvalve size=%dB cores=%d freq=%.0fMHz depth=%d batch=%d",
 		size, cores, freq/1e6, depth, cfg.BatchSize)
 	return dev, procPps, header, nil
+}
+
+// buildPifo assembles one programmable-scheduler backend from the pifo
+// registry. The structures are O(log n) or better and not the modelled
+// bottleneck, so the processing bound is the wire itself.
+func buildPifo(eng *sim.Engine, counter *experiments.DeliveredCounter, reg *telemetry.Registry,
+	backend, rank string, size int, wire float64) (dataplane.Qdisc, float64, string, error) {
+	pol, err := pifo.NewPolicy(rank, pifoApps, wire)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	cfg := pifo.Config{Backend: backend, LinkRateBps: wire}
+	cfg.Defaults()
+	q, err := pifo.NewQdisc(eng, cfg, pol, counter.Callbacks())
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if reg != nil {
+		q.AttachTelemetry(reg)
+	}
+	procPps := wire / float64((size+packet.WireOverhead)*8)
+	header := fmt.Sprintf("backend=%s rank=%s size=%dB cap=%dpkts", backend, rank, size, cfg.CapPkts)
+	return q, procPps, header, nil
 }
 
 // buildDPDK assembles the DPDK QoS Scheduler baseline: four fair pipes

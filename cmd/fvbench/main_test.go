@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"flowvalve/internal/pifo"
 )
 
 func TestRunSmallSweep(t *testing.T) {
@@ -57,8 +59,50 @@ func TestRunDPDKBackend(t *testing.T) {
 
 func TestRunUnknownBackend(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-backend", "nonesuch"}, &sb); err == nil {
+	err := run([]string{"-backend", "nonesuch"}, &sb)
+	if err == nil {
 		t.Fatal("unknown backend accepted")
+	}
+	// The error enumerates the registry-derived backend set, not a
+	// hand-maintained list.
+	for _, want := range []string{"flowvalve", "dpdk", "sppifo", "eiffel"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %v does not list backend %q", err, want)
+		}
+	}
+}
+
+func TestRunPifoBackends(t *testing.T) {
+	for _, backend := range pifo.BackendNames() {
+		t.Run(backend, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run([]string{"-backend", backend, "-size", "1000", "-duration", "5ms"}, &sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			for _, want := range []string{"backend=" + backend, "rank=wfq", "delivered:", "pifo: inversions="} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunPifoRankPolicy(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-backend", "eiffel", "-rank", "deadline", "-size", "1000", "-duration", "5ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rank=deadline") {
+		t.Fatalf("rank policy not reflected:\n%s", sb.String())
+	}
+}
+
+func TestRunPifoBadRank(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-backend", "pifo", "-rank", "nonesuch"}, &sb); err == nil {
+		t.Fatal("unknown rank policy accepted")
 	}
 }
 

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: flowvalve
+BenchmarkScheduleBatch32-8   	  100000	      1000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleBatch32-8   	  100000	      1200 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleBatch32-8   	  100000	      1100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPifoScheduleBatch32/pifo-8  	  200000	       760.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPifoScheduleBatch32/pifo-8  	  200000	       750.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOther-8             	  500000	       300 ns/op	      16 B/op	       1 allocs/op
+PASS
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	base, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(base.Benchmarks), base.Benchmarks)
+	}
+	byName := map[string]Summary{}
+	for _, s := range base.Benchmarks {
+		byName[s.Name] = s
+	}
+	root := byName["BenchmarkScheduleBatch32"]
+	if root.Runs != 3 || root.NsPerOp != 1100 || root.MinNsPerOp != 1000 {
+		t.Fatalf("root summary %+v: want 3 runs, median 1100, min 1000 ns/op", root)
+	}
+	sub := byName["BenchmarkPifoScheduleBatch32/pifo"]
+	if sub.Runs != 2 || sub.NsPerOp != 755.5 || sub.MinNsPerOp != 750.5 {
+		t.Fatalf("subbench summary %+v: want 2 runs, median 755.5, min 750.5 ns/op", sub)
+	}
+	other := byName["BenchmarkOther"]
+	if other.BytesPerOp != 16 || other.AllocsPerOp != 1 {
+		t.Fatalf("memory columns not parsed: %+v", other)
+	}
+	if len(base.Lines) != 6 {
+		t.Fatalf("got %d raw lines, want 6", len(base.Lines))
+	}
+}
+
+// emitBaseline runs the tool in -emit mode and returns the file path.
+func emitBaseline(t *testing.T, bench string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	var sb strings.Builder
+	code, err := run(strings.NewReader(bench), &sb, path, "", "ScheduleBatch32", 0.15, false)
+	if err != nil || code != 0 {
+		t.Fatalf("emit: code=%d err=%v", code, err)
+	}
+	return path
+}
+
+func TestEmitAndPrintRoundTrip(t *testing.T) {
+	path := emitBaseline(t, sampleBench)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("emitted file is not valid JSON: %v", err)
+	}
+	// -print must recover benchstat-consumable text: the raw lines.
+	var sb strings.Builder
+	code, err := run(nil, &sb, "", path, "", 0, true)
+	if err != nil || code != 0 {
+		t.Fatalf("print: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(sb.String(), "BenchmarkPifoScheduleBatch32/pifo-8") {
+		t.Fatalf("printed text lost raw lines:\n%s", sb.String())
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	path := emitBaseline(t, sampleBench)
+	// 10% slower on every guarded bench: inside the 15% gate.
+	slower := strings.ReplaceAll(sampleBench, "1000 ns/op", "1100 ns/op")
+	slower = strings.ReplaceAll(slower, "1200 ns/op", "1320 ns/op")
+	var sb strings.Builder
+	code, err := run(strings.NewReader(slower), &sb, "", path, "ScheduleBatch32", 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("gate failed within threshold:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "within the 15% gate") {
+		t.Fatalf("missing pass summary:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsPastThreshold(t *testing.T) {
+	path := emitBaseline(t, sampleBench)
+	// Root bench 2x slower: past the gate. The unguarded Other bench
+	// regressing must not matter.
+	slower := strings.ReplaceAll(sampleBench, "1000 ns/op", "2000 ns/op")
+	slower = strings.ReplaceAll(slower, "1200 ns/op", "2400 ns/op")
+	slower = strings.ReplaceAll(slower, "1100 ns/op", "2200 ns/op")
+	var sb strings.Builder
+	code, err := run(strings.NewReader(slower), &sb, "", path, "ScheduleBatch32", 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("gate passed a 2x regression:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAIL BenchmarkScheduleBatch32") {
+		t.Fatalf("missing FAIL verdict:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkOther") {
+		t.Fatalf("unguarded benchmark leaked into the gate:\n%s", out)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	path := emitBaseline(t, sampleBench)
+	// A run that lost the pifo subbenches entirely.
+	var kept []string
+	for _, line := range strings.Split(sampleBench, "\n") {
+		if !strings.Contains(line, "Pifo") {
+			kept = append(kept, line)
+		}
+	}
+	var sb strings.Builder
+	code, err := run(strings.NewReader(strings.Join(kept, "\n")), &sb, "", path, "ScheduleBatch32", 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(sb.String(), "not in this run") {
+		t.Fatalf("missing guarded benchmark not flagged (code=%d):\n%s", code, sb.String())
+	}
+}
+
+func TestGateFailsOnNoMatch(t *testing.T) {
+	path := emitBaseline(t, sampleBench)
+	var sb strings.Builder
+	code, err := run(strings.NewReader(sampleBench), &sb, "", path, "Nonesuch", 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("empty guard set passed:\n%s", sb.String())
+	}
+}
+
+func TestEmitRejectsEmptyInput(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(strings.NewReader("no benchmarks here\n"), &sb,
+		filepath.Join(t.TempDir(), "x.json"), "", "", 0.15, false); err == nil {
+		t.Fatal("empty bench input accepted")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":     "BenchmarkFoo/sub",
+		"BenchmarkFoo/rate-1e9-4": "BenchmarkFoo/rate-1e9",
+		"BenchmarkBare":           "BenchmarkBare",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

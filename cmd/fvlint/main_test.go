@@ -44,3 +44,36 @@ func TestExpandRejectsEmpty(t *testing.T) {
 		t.Fatal("expected error for a directory with no Go files")
 	}
 }
+
+// TestLintCoversNewPackages pins the lint surface: the repo-wide
+// pattern CI runs must actually expand to the packages recent PRs
+// added. A package silently dropping out of the walk (renamed, moved
+// under an ignored directory) would otherwise pass CI unlinted.
+func TestLintCoversNewPackages(t *testing.T) {
+	dirs, err := expand([]string{filepath.Join("..", "..") + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(filepath.Join("..", ".."), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[filepath.ToSlash(rel)] = true
+	}
+	for _, want := range []string{
+		"internal/pifo",
+		"internal/experiments",
+		"internal/fvassert",
+		"internal/analysis",
+		"cmd/fvbenchstat",
+		"cmd/fvbench",
+		"cmd/fvsim",
+		"cmd/fvlint",
+	} {
+		if !seen[want] {
+			t.Errorf("lint walk missed %s; covered: %v", want, dirs)
+		}
+	}
+}

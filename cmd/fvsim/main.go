@@ -11,7 +11,7 @@
 //	fvsim -experiment fig11a -metrics-json -       # JSON dump afterwards
 //
 // Experiments: fig3 fig11a fig11b fig11c fig13 fig14 cpu prop
-// scale100g all.
+// scale100g conns priocmp accuracy all.
 package main
 
 import (
@@ -37,9 +37,17 @@ func main() {
 	}
 }
 
+// experimentOrder is the single source of truth for the experiment set:
+// the -experiment flag help, the "all" expansion, and runOne's dispatch
+// all derive from it.
+var experimentOrder = []string{
+	"fig3", "fig11a", "fig11b", "fig11c", "fig13", "fig14",
+	"cpu", "prop", "scale100g", "conns", "priocmp", "accuracy",
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fvsim", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "fig3|fig11a|fig11b|fig11c|fig13|fig14|cpu|prop|scale100g|conns|priocmp|all")
+	exp := fs.String("experiment", "all", strings.Join(experimentOrder, "|")+"|all")
 	scale := fs.Float64("scale", 1.0, "time-scale factor (1.0 = paper durations)")
 	csv := fs.Bool("csv", false, "emit raw per-second series as CSV where applicable")
 	metricsAddr := fs.String("metrics-addr", "", "serve live telemetry on this address (/metrics, /metrics.json)")
@@ -80,7 +88,7 @@ func run(args []string, out io.Writer) error {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig3", "fig11a", "fig11b", "fig11c", "fig13", "fig14", "cpu", "prop", "scale100g", "conns", "priocmp"}
+		names = experimentOrder
 	}
 	for _, name := range names {
 		if err := runOne(name, *scale, *csv, out, telOpts...); err != nil {
@@ -209,8 +217,16 @@ func runOne(name string, scale float64, csv bool, out io.Writer, telOpts ...expe
 			return err
 		}
 		fmt.Fprint(out, experiments.FormatScale100G(rows))
+	case "accuracy":
+		res, err := experiments.RunAccuracy(experiments.AccuracyScenario{
+			DurationNs: int64(20e6 * scale),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatAccuracy(res))
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return fmt.Errorf("unknown experiment %q (want %s|all)", name, strings.Join(experimentOrder, "|"))
 	}
 	return nil
 }

@@ -59,7 +59,43 @@ func TestRunProp(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-experiment", "fig99"}, &sb); err == nil {
+	err := run([]string{"-experiment", "fig99"}, &sb)
+	if err == nil {
 		t.Fatal("unknown experiment succeeded")
+	}
+	// The error lists the registry-derived experiment set.
+	if !strings.Contains(err.Error(), "accuracy") {
+		t.Fatalf("error does not list experiments: %v", err)
+	}
+}
+
+func TestRunAccuracyLab(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "accuracy", "-scale", "0.25"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"scheduler-accuracy lab", "inversions", "pifo", "sppifo", "eiffel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("accuracy report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentOrderDispatches(t *testing.T) {
+	// Every name in the "all" expansion must be dispatchable; a fast way
+	// to catch list/switch drift without running the experiments is to
+	// check each name is distinct and the flag help carries them all.
+	seen := map[string]bool{}
+	for _, name := range experimentOrder {
+		if seen[name] {
+			t.Fatalf("experiment %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{"fig3", "fig11a", "scale100g", "conns", "priocmp", "accuracy"} {
+		if !seen[want] {
+			t.Fatalf("experiment %q missing from experimentOrder", want)
+		}
 	}
 }

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"flowvalve/internal/pifo"
+	"flowvalve/internal/telemetry"
+)
+
+// TestAccuracyLab runs the full backend family on a short trace and pins
+// the lab's structural guarantees: the oracle ranks first with zero
+// inversions and zero enforcement error, every registered backend
+// appears exactly once, and each row's accounting is self-consistent.
+func TestAccuracyLab(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := RunAccuracy(AccuracyScenario{DurationNs: 5e6, Seed: 42, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Rows), len(pifo.Backends()); got != want {
+		t.Fatalf("got %d rows, want %d", got, want)
+	}
+	if res.Rows[0].Backend != pifo.BackendPIFO {
+		t.Fatalf("oracle ranked %q first, want %q", res.Rows[0].Backend, pifo.BackendPIFO)
+	}
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		if seen[row.Backend] {
+			t.Fatalf("backend %s appears twice", row.Backend)
+		}
+		seen[row.Backend] = true
+		if row.Backend == pifo.BackendPIFO {
+			if row.Inversions != 0 {
+				t.Errorf("oracle recorded %d inversions, want 0", row.Inversions)
+			}
+			if row.EnforcementErr != 0 {
+				t.Errorf("oracle enforcement error %.4f, want 0", row.EnforcementErr)
+			}
+		}
+		if row.Delivered == 0 {
+			t.Errorf("%s delivered nothing", row.Backend)
+		}
+		if row.Dropped == 0 {
+			t.Errorf("%s dropped nothing under 1.3x overload", row.Backend)
+		}
+		if row.Dropped != row.RankDrops+row.FullDrops+row.EvictDrops {
+			t.Errorf("%s drop split %d+%d+%d != total %d", row.Backend,
+				row.RankDrops, row.FullDrops, row.EvictDrops, row.Dropped)
+		}
+		if row.EnforcementErr < 0 || row.EnforcementErr > 1 {
+			t.Errorf("%s enforcement error %.4f out of [0,1]", row.Backend, row.EnforcementErr)
+		}
+	}
+	if !seen[pifo.BackendSPPIFO] {
+		t.Fatal("sppifo missing from default backend set")
+	}
+	if !strings.Contains(reg.Dump(), "scheduler=") {
+		t.Error("telemetry registry has no scheduler-labelled families")
+	}
+
+	out := FormatAccuracy(res)
+	for _, want := range []string{"scheduler-accuracy lab", "inversions", "per-app Mbps", pifo.BackendEiffel} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAccuracyDeterministic pins the trace digests: the same seeded
+// scenario reproduces bit-identical per-backend delivery traces, and a
+// different seed changes them.
+func TestAccuracyDeterministic(t *testing.T) {
+	sc := AccuracyScenario{DurationNs: 5e6, Seed: 7}
+	a, err := RunAccuracy(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAccuracy(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Backend != b.Rows[i].Backend {
+			t.Fatalf("row %d ranking diverged: %s vs %s", i, a.Rows[i].Backend, b.Rows[i].Backend)
+		}
+		if a.Rows[i].TraceDigest != b.Rows[i].TraceDigest {
+			t.Errorf("%s trace digest diverged across identical runs", a.Rows[i].Backend)
+		}
+	}
+	c, err := RunAccuracy(AccuracyScenario{DurationNs: 5e6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, ra := range a.Rows {
+		for _, rc := range c.Rows {
+			if ra.Backend == rc.Backend && ra.TraceDigest == rc.TraceDigest {
+				same++
+			}
+		}
+	}
+	if same == len(a.Rows) {
+		t.Error("different seeds produced identical traces for every backend")
+	}
+}
+
+// TestAccuracyRejectsUnknownBackend pins the registry-driven validation.
+func TestAccuracyRejectsUnknownBackend(t *testing.T) {
+	_, err := RunAccuracy(AccuracyScenario{Backends: []string{"nonesuch"}})
+	if err == nil || !strings.Contains(err.Error(), "nonesuch") {
+		t.Fatalf("got %v, want unknown-backend error", err)
+	}
+}
+
+// TestAccuracyAddsOracle pins that a backend list without the exact
+// PIFO still gets the oracle prepended — enforcement error needs it.
+func TestAccuracyAddsOracle(t *testing.T) {
+	res, err := RunAccuracy(AccuracyScenario{
+		DurationNs: 2e6,
+		Backends:   []string{pifo.BackendAIFO},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Backend != pifo.BackendPIFO {
+		t.Fatalf("rows %+v: want oracle first plus aifo", res.Rows)
+	}
+}

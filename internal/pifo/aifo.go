@@ -1,0 +1,83 @@
+package pifo
+
+// admitScale precomputes AIFO's W/(1-θ): the admission test then needs
+// only the windowed quantile count and the free fraction.
+func admitScale(windowPkts int, headroom float64) float64 {
+	if headroom < 0 {
+		headroom = 0
+	}
+	if headroom > 0.9 {
+		headroom = 0.9
+	}
+	return float64(windowPkts) / (1 - headroom)
+}
+
+// aifoAdmit is AIFO's admission predicate, shared by the Qdisc-plane
+// queue (packet-counted occupancy) and the Sched-plane admitter
+// (byte-counted virtual occupancy): admit iff the arriving rank's
+// windowed quantile count fits the queue's free fraction inflated by
+// the burst allowance, W·(1/(1-θ))·free >= countLess(r).
+//
+//fv:hotpath
+func aifoAdmit(quantile int, scale, free float64) bool {
+	if free <= 0 {
+		return false
+	}
+	return float64(quantile) <= scale*free
+}
+
+// aifo is the AIFO backend ("programmable packet scheduling with a
+// single queue"): one FIFO plus a windowed quantile admission filter.
+// Well-ranked packets are admitted even when the queue is nearly full
+// (they displace, in expectation, the tail of the rank distribution at
+// admission time instead of at dequeue time); badly ranked packets are
+// dropped early. Dequeue is plain FIFO — all reordering fidelity comes
+// from admission.
+type aifo struct {
+	ring  entryRing
+	win   *rankWindow
+	cap   int
+	scale float64
+	st    QueueStats
+}
+
+func newAIFO(capPkts, windowPkts int, headroom float64) *aifo {
+	q := &aifo{
+		win:   newRankWindow(windowPkts),
+		cap:   capPkts,
+		scale: admitScale(windowPkts, headroom),
+	}
+	q.ring.presize(capPkts)
+	return q
+}
+
+var _ rankQueue = (*aifo)(nil)
+
+//fv:hotpath
+func (q *aifo) push(e entry) (entry, bool) {
+	k := q.ring.len()
+	quantile := q.win.countLess(e.rank)
+	q.win.observe(e.rank)
+	if !aifoAdmit(quantile, q.scale, float64(q.cap-k)/float64(q.cap)) {
+		if k >= q.cap {
+			q.st.FullDrops++
+		} else {
+			q.st.RankDrops++
+		}
+		return entry{}, false
+	}
+	q.ring.push(e)
+	q.st.Admitted++
+	return entry{}, true
+}
+
+//fv:hotpath
+func (q *aifo) pop() (entry, bool) { return q.ring.pop() }
+
+//fv:hotpath
+func (q *aifo) peek() (entry, bool) { return q.ring.peek() }
+
+//fv:hotpath
+func (q *aifo) len() int { return q.ring.len() }
+
+func (q *aifo) stats() *QueueStats { return &q.st }

@@ -1,0 +1,200 @@
+package pifo
+
+import "flowvalve/internal/packet"
+
+// entry is one queued packet with its admission-time rank. seq is a
+// monotone arrival sequence number used to break rank ties FIFO — it
+// makes every backend's dequeue order a total order, which the
+// conformance tests and the exact-PIFO oracle cross-check rely on.
+type entry struct {
+	rank Rank
+	seq  uint64
+	pkt  *packet.Packet
+}
+
+// before reports whether e dequeues ahead of o: lower rank first,
+// earlier arrival breaking ties.
+//
+//fv:hotpath
+func (e entry) before(o entry) bool {
+	if e.rank != o.rank {
+		return e.rank < o.rank
+	}
+	return e.seq < o.seq
+}
+
+// QueueStats counts a backend queue's admission and adaptation events.
+// The Qdisc and Sched wrappers export these through telemetry; the
+// fields mirror the fv_pifo_* metric family.
+type QueueStats struct {
+	// Admitted counts entries accepted by the admission filter.
+	Admitted uint64
+	// RankDrops counts arrivals rejected by rank admission (SP-PIFO
+	// band overflow pressure, AIFO/RIFO window rejection, taildrop
+	// horizon misses, exact-PIFO worst-rank rejections).
+	RankDrops uint64
+	// FullDrops counts arrivals rejected only because the structure was
+	// at capacity with no better-ranked entry to displace.
+	FullDrops uint64
+	// EvictDrops counts already-queued entries displaced by a
+	// better-ranked arrival (exact PIFO drop-worst).
+	EvictDrops uint64
+	// PushUps / PushDowns count SP-PIFO bound adaptations.
+	PushUps   uint64
+	PushDowns uint64
+}
+
+// rankQueue is the structural contract each backend implements: push
+// ranks-and-admits, pop yields the backend's best entry. A push may
+// displace a queued entry (exact PIFO's drop-worst); the displaced
+// packet comes back in evicted (evicted.pkt == nil means none) so the
+// Qdisc can account the drop. Implementations are single-consumer and
+// not concurrent-safe — the DES runs them single-threaded and the Sched
+// wrapper adds its own lock.
+type rankQueue interface {
+	push(e entry) (evicted entry, admitted bool)
+	pop() (entry, bool)
+	peek() (entry, bool)
+	len() int
+	stats() *QueueStats
+}
+
+// entryRing is a growable FIFO ring of entries, the building block for
+// the banded and bucketed backends. It mirrors pktq.FIFO but holds
+// rank-stamped entries and is unbounded — capacity policy lives in the
+// backend's admission logic, not in the ring.
+type entryRing struct {
+	buf  []entry
+	head int
+	size int
+}
+
+const entryRingMinCap = 8
+
+//fv:hotpath
+func (r *entryRing) push(e entry) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = e
+	r.size++
+}
+
+//fv:hotpath
+func (r *entryRing) pop() (entry, bool) {
+	if r.size == 0 {
+		return entry{}, false
+	}
+	e := r.buf[r.head]
+	r.buf[r.head] = entry{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+	return e, true
+}
+
+//fv:hotpath
+func (r *entryRing) peek() (entry, bool) {
+	if r.size == 0 {
+		return entry{}, false
+	}
+	return r.buf[r.head], true
+}
+
+//fv:hotpath
+func (r *entryRing) len() int { return r.size }
+
+// grow doubles the ring (cold path: amortized, and backends that
+// pre-size past their admission cap never hit it after warm-up).
+func (r *entryRing) grow() {
+	capNew := len(r.buf) * 2
+	if capNew < entryRingMinCap {
+		capNew = entryRingMinCap
+	}
+	buf := make([]entry, capNew)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// presize allocates capacity for at least n entries up front (rounded to
+// a power of two) so hot paths never grow.
+func (r *entryRing) presize(n int) {
+	capNew := entryRingMinCap
+	for capNew < n {
+		capNew *= 2
+	}
+	if capNew > len(r.buf) {
+		buf := make([]entry, capNew)
+		for i := 0; i < r.size; i++ {
+			buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = buf
+		r.head = 0
+	}
+}
+
+// rankWindow is the sliding window of recently seen ranks shared by the
+// AIFO and RIFO admission filters. It observes every arrival (admitted
+// or dropped) in a fixed ring and answers rank-distribution queries by
+// linear scan — W is small (tens), so a scan is cheaper and
+// allocation-free compared to maintaining an ordered structure.
+type rankWindow struct {
+	ring []Rank
+	next int
+	n    int // filled entries, ≤ len(ring)
+}
+
+func newRankWindow(w int) *rankWindow {
+	if w < 1 {
+		w = 1
+	}
+	return &rankWindow{ring: make([]Rank, w)}
+}
+
+//fv:hotpath
+func (w *rankWindow) observe(r Rank) {
+	w.ring[w.next] = r
+	w.next++
+	if w.next == len(w.ring) {
+		w.next = 0
+	}
+	if w.n < len(w.ring) {
+		w.n++
+	}
+}
+
+// countLess reports how many windowed ranks are strictly below r — the
+// numerator of AIFO's quantile estimate.
+//
+//fv:hotpath
+func (w *rankWindow) countLess(r Rank) int {
+	c := 0
+	for i := 0; i < w.n; i++ {
+		if w.ring[i] < r {
+			c++
+		}
+	}
+	return c
+}
+
+// bounds returns the windowed min and max rank — RIFO's normalization
+// range. ok is false while the window is empty.
+//
+//fv:hotpath
+func (w *rankWindow) bounds() (lo, hi Rank, ok bool) {
+	if w.n == 0 {
+		return 0, 0, false
+	}
+	lo, hi = w.ring[0], w.ring[0]
+	for i := 1; i < w.n; i++ {
+		if w.ring[i] < lo {
+			lo = w.ring[i]
+		}
+		if w.ring[i] > hi {
+			hi = w.ring[i]
+		}
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,72 @@
+package pifo
+
+// rifoAdmit is RIFO's admission predicate, shared by the Qdisc-plane
+// queue and the Sched-plane admitter: normalize the arriving rank
+// against the windowed [lo, hi] range and admit iff the normalized
+// position fits the queue's free fraction, (r-lo)/(hi-lo) <= free.
+// Before the window has seen two distinct ranks the test degenerates to
+// plain tail drop.
+//
+//fv:hotpath
+func rifoAdmit(r, lo, hi Rank, seeded bool, free float64) bool {
+	if free <= 0 {
+		return false
+	}
+	if !seeded || hi == lo || r <= lo {
+		return true
+	}
+	if r > hi {
+		r = hi
+	}
+	return float64(r-lo) <= float64(hi-lo)*free
+}
+
+// rifo is the RIFO backend ("RIFO: Pushing the Efficiency of
+// Programmable Packet Schedulers"): one FIFO plus a range-relative
+// admission filter. Instead of AIFO's quantile, RIFO tracks only the
+// min/max of the recent rank window — two registers instead of a
+// quantile sketch, the paper's pitch being that this is cheap enough
+// for any pipeline while staying close to AIFO's accuracy.
+type rifo struct {
+	ring entryRing
+	win  *rankWindow
+	cap  int
+	st   QueueStats
+}
+
+func newRIFO(capPkts, windowPkts int) *rifo {
+	q := &rifo{win: newRankWindow(windowPkts), cap: capPkts}
+	q.ring.presize(capPkts)
+	return q
+}
+
+var _ rankQueue = (*rifo)(nil)
+
+//fv:hotpath
+func (q *rifo) push(e entry) (entry, bool) {
+	k := q.ring.len()
+	lo, hi, seeded := q.win.bounds()
+	q.win.observe(e.rank)
+	if !rifoAdmit(e.rank, lo, hi, seeded, float64(q.cap-k)/float64(q.cap)) {
+		if k >= q.cap {
+			q.st.FullDrops++
+		} else {
+			q.st.RankDrops++
+		}
+		return entry{}, false
+	}
+	q.ring.push(e)
+	q.st.Admitted++
+	return entry{}, true
+}
+
+//fv:hotpath
+func (q *rifo) pop() (entry, bool) { return q.ring.pop() }
+
+//fv:hotpath
+func (q *rifo) peek() (entry, bool) { return q.ring.peek() }
+
+//fv:hotpath
+func (q *rifo) len() int { return q.ring.len() }
+
+func (q *rifo) stats() *QueueStats { return &q.st }

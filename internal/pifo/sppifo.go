@@ -1,0 +1,136 @@
+package pifo
+
+import "flowvalve/internal/fvassert"
+
+// spPIFO approximates a PIFO with a small bank of strict-priority FIFOs
+// and per-queue rank bounds, adapted online ("SP-PIFO: Approximating
+// Push-In First-Out Behaviors using Strict-Priority Queues"). An arrival
+// with rank r scans the bank bottom-up (lowest priority first) and joins
+// the first queue whose bound it meets:
+//
+//   - admit to queue i when r >= bounds[i]: push-up — the queue's bound
+//     chases the highest rank it has accepted (bounds[i] = r), so bounds
+//     spread out to partition the live rank distribution.
+//
+//   - r < bounds[0] (better than every bound): push-down — a queue-0
+//     admission here would dequeue behind queue-0 packets with worse
+//     ranks already mapped there, a guaranteed inversion. All bounds
+//     shift down by the miss cost (bounds[0] - r) and the packet joins
+//     queue 0, re-centering the mapping on the new rank range.
+//
+// Inversions still happen *within* a queue (it is FIFO), which is
+// exactly the error the accuracy lab measures against the exact oracle.
+type spPIFO struct {
+	bands   []entryRing
+	bounds  []Rank
+	bandCap int // per-band entry cap (CapPkts / len(bands))
+	st      QueueStats
+}
+
+func newSPPIFO(capPkts, nbands int) *spPIFO {
+	q := &spPIFO{
+		bands:   make([]entryRing, nbands),
+		bounds:  make([]Rank, nbands),
+		bandCap: capPkts / nbands,
+	}
+	if q.bandCap < 1 {
+		q.bandCap = 1
+	}
+	for i := range q.bands {
+		q.bands[i].presize(q.bandCap)
+	}
+	return q
+}
+
+var _ rankQueue = (*spPIFO)(nil)
+
+// admitBand runs the SP-PIFO mapping: it picks the band for rank r and
+// applies the push-up/push-down bound adaptation. Shared by the Qdisc
+// (real queues) and the Sched admitter (virtual occupancy), so both
+// planes adapt bounds identically.
+//
+//fv:hotpath
+func (q *spPIFO) admitBand(r Rank) int {
+	for i := len(q.bounds) - 1; i >= 0; i-- {
+		if r >= q.bounds[i] {
+			if q.bounds[i] != r {
+				q.bounds[i] = r
+				q.st.PushUps++
+			}
+			q.repairBounds(i)
+			return i
+		}
+	}
+	// Push-down: shift the whole bound vector by the miss cost.
+	cost := q.bounds[0] - r
+	for i := range q.bounds {
+		q.bounds[i] -= cost
+	}
+	q.st.PushDowns++
+	return 0
+}
+
+// repairBounds restores the ascending-bounds invariant after a push-up
+// on band i. SP-PIFO's scan order alone keeps bounds sorted in the
+// paper's model; clamping makes that explicit and lets fvassert verify
+// it cheaply.
+//
+//fv:hotpath
+func (q *spPIFO) repairBounds(i int) {
+	for j := i + 1; j < len(q.bounds); j++ {
+		if q.bounds[j] >= q.bounds[j-1] {
+			break
+		}
+		q.bounds[j] = q.bounds[j-1]
+	}
+	if fvassert.Enabled {
+		for j := 1; j < len(q.bounds); j++ {
+			if q.bounds[j] < q.bounds[j-1] {
+				fvassert.Failf("pifo: sp-pifo bounds unsorted at %d: %d < %d", j, q.bounds[j], q.bounds[j-1])
+			}
+		}
+	}
+}
+
+//fv:hotpath
+func (q *spPIFO) push(e entry) (entry, bool) {
+	band := q.admitBand(e.rank)
+	if q.bands[band].len() >= q.bandCap {
+		q.st.FullDrops++
+		return entry{}, false
+	}
+	q.bands[band].push(e)
+	q.st.Admitted++
+	return entry{}, true
+}
+
+//fv:hotpath
+func (q *spPIFO) pop() (entry, bool) {
+	for i := range q.bands {
+		if e, ok := q.bands[i].pop(); ok {
+			return e, true
+		}
+	}
+	return entry{}, false
+}
+
+//fv:hotpath
+func (q *spPIFO) peek() (entry, bool) {
+	for i := range q.bands {
+		if e, ok := q.bands[i].peek(); ok {
+			return e, true
+		}
+	}
+	return entry{}, false
+}
+
+//fv:hotpath
+func (q *spPIFO) len() int {
+	n := 0
+	for i := range q.bands {
+		n += q.bands[i].len()
+	}
+	return n
+}
+
+func (q *spPIFO) stats() *QueueStats { return &q.st }

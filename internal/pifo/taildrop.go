@@ -1,0 +1,64 @@
+package pifo
+
+// horizonAdmit is FlowValve's specialized tail drop as a rank
+// predicate, shared by the Qdisc-plane queue and the Sched-plane
+// admitter: reject when the rank (under the deadline policy, the
+// virtual instant the sender's token schedule covers the packet) runs
+// more than horizonNs ahead of now.
+//
+//fv:hotpath
+func horizonAdmit(r Rank, nowNs, horizonNs int64) bool {
+	return int64(r) <= nowNs+horizonNs
+}
+
+// taildrop expresses FlowValve's specialized tail drop as a rank
+// function over one FIFO — the backend the paper's scheduler reduces to
+// when viewed through the PIFO lens. In-profile traffic (rank ≈ now) is
+// admitted; bursts whose token debt exceeds the horizon are dropped at
+// the tail exactly like FlowValve's token-shaped early drop. Dequeue is
+// FIFO; like AIFO/RIFO all policy lives in admission, but the admission
+// signal is the sender's own schedule instead of the rank distribution.
+type taildrop struct {
+	ring      entryRing
+	cap       int
+	horizonNs int64
+	nowNs     func() int64
+	st        QueueStats
+}
+
+// newTaildrop builds the fvrank backend. nowNs supplies the admission
+// clock (the DES or wall clock of the wrapper that owns the queue).
+func newTaildrop(capPkts int, horizonNs int64, nowNs func() int64) *taildrop {
+	q := &taildrop{cap: capPkts, horizonNs: horizonNs, nowNs: nowNs}
+	q.ring.presize(capPkts)
+	return q
+}
+
+var _ rankQueue = (*taildrop)(nil)
+
+//fv:hotpath
+func (q *taildrop) push(e entry) (entry, bool) {
+	k := q.ring.len()
+	if k >= q.cap {
+		q.st.FullDrops++
+		return entry{}, false
+	}
+	if !horizonAdmit(e.rank, q.nowNs(), q.horizonNs) {
+		q.st.RankDrops++
+		return entry{}, false
+	}
+	q.ring.push(e)
+	q.st.Admitted++
+	return entry{}, true
+}
+
+//fv:hotpath
+func (q *taildrop) pop() (entry, bool) { return q.ring.pop() }
+
+//fv:hotpath
+func (q *taildrop) peek() (entry, bool) { return q.ring.peek() }
+
+//fv:hotpath
+func (q *taildrop) len() int { return q.ring.len() }
+
+func (q *taildrop) stats() *QueueStats { return &q.st }

@@ -1,0 +1,119 @@
+package pifo
+
+import "flowvalve/internal/telemetry"
+
+// Drop reasons for fv_dropped_packets_total.
+const (
+	// dropRank is an arrival the admission filter rejected (rank window,
+	// band overflow, horizon miss) or plain capacity tail drop.
+	dropRank = "rank"
+	// dropEvict is a queued packet displaced by a better-ranked arrival
+	// (exact-PIFO drop-worst).
+	dropEvict = "evict"
+)
+
+// qdiscTel holds a backend's attached metric handles. The DES drives the
+// Qdisc single-threaded, so the atomic instruments are updated without
+// contention while remaining safe to scrape from another goroutine. A
+// nil *qdiscTel (telemetry not attached) is a no-op on every method.
+type qdiscTel struct {
+	enqueued       *telemetry.Counter
+	delivered      *telemetry.Counter
+	deliveredBytes *telemetry.Counter
+	droppedRank    *telemetry.Counter
+	droppedEvict   *telemetry.Counter
+	inversions     *telemetry.Counter
+}
+
+func (t *qdiscTel) enq() {
+	if t != nil {
+		t.enqueued.Inc()
+	}
+}
+
+func (t *qdiscTel) deliver(wireBytes int) {
+	if t != nil {
+		t.delivered.Inc()
+		t.deliveredBytes.Add(int64(wireBytes))
+	}
+}
+
+func (t *qdiscTel) drop(reason string) {
+	if t == nil {
+		return
+	}
+	if reason == dropEvict {
+		t.droppedEvict.Inc()
+		return
+	}
+	t.droppedRank.Inc()
+}
+
+func (t *qdiscTel) inversion() {
+	if t != nil {
+		t.inversions.Inc()
+	}
+}
+
+// AttachTelemetry wires the backend into a metrics registry. Families
+// shared with the other schedulers carry {scheduler=<backend name>} so
+// the whole family can be compared by selecting on one label:
+//
+//	fv_enqueued_packets_total{scheduler}        admissions into the structure
+//	fv_delivered_packets_total{scheduler}       wire deliveries
+//	fv_delivered_bytes_total{scheduler}         wire delivered bytes
+//	fv_dropped_packets_total{scheduler,reason}  reason ∈ rank, evict
+//	fv_pifo_inversions_total{scheduler}         better-ranked co-resident overtaken
+//	fv_pifo_admission_drops_total{scheduler,reason}  structure's own filter counters
+//	fv_pifo_bound_adaptations_total{scheduler,direction}  SP-PIFO push-up/push-down
+//	fv_pifo_backlog_packets{scheduler}          current structure occupancy
+//
+// The fv_pifo_admission/bound/backlog families are callback-backed: they
+// read the structure's own counters at scrape time, so the admit path
+// pays nothing for them.
+func (q *Qdisc) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		q.tel = nil
+		return
+	}
+	sched := telemetry.Label{Key: "scheduler", Value: q.cfg.Backend}
+	drop := func(reason string) *telemetry.Counter {
+		return reg.Counter("fv_dropped_packets_total",
+			"Packets dropped, by scheduler and reason.",
+			sched, telemetry.Label{Key: "reason", Value: reason})
+	}
+	admission := func(reason string, read func(*QueueStats) uint64) {
+		st := q.rq.stats()
+		reg.CounterFunc("fv_pifo_admission_drops_total",
+			"Arrivals rejected by the backend structure's admission filter, by reason.",
+			func() float64 { return float64(read(st)) },
+			sched, telemetry.Label{Key: "reason", Value: reason})
+	}
+	q.tel = &qdiscTel{
+		enqueued: reg.Counter("fv_enqueued_packets_total",
+			"Packets accepted into the scheduling structure.", sched),
+		delivered: reg.Counter("fv_delivered_packets_total",
+			"Packets that finished transmitting on the wire.", sched),
+		deliveredBytes: reg.Counter("fv_delivered_bytes_total",
+			"Frame bytes that finished transmitting on the wire.", sched),
+		droppedRank:  drop(dropRank),
+		droppedEvict: drop(dropEvict),
+		inversions: reg.Counter("fv_pifo_inversions_total",
+			"Dequeues that overtook a better-ranked co-resident packet.", sched),
+	}
+	admission("rank", func(st *QueueStats) uint64 { return st.RankDrops })
+	admission("full", func(st *QueueStats) uint64 { return st.FullDrops })
+	admission("evict", func(st *QueueStats) uint64 { return st.EvictDrops })
+	st := q.rq.stats()
+	adaptation := func(direction string, read func(*QueueStats) uint64) {
+		reg.CounterFunc("fv_pifo_bound_adaptations_total",
+			"SP-PIFO rank-bound adaptations, by direction.",
+			func() float64 { return float64(read(st)) },
+			sched, telemetry.Label{Key: "direction", Value: direction})
+	}
+	adaptation("up", func(st *QueueStats) uint64 { return st.PushUps })
+	adaptation("down", func(st *QueueStats) uint64 { return st.PushDowns })
+	reg.GaugeFunc("fv_pifo_backlog_packets",
+		"Packets currently held in the scheduling structure.",
+		func() float64 { return float64(q.rq.len()) }, sched)
+}
