@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-figures bench-json bench-gate reproduce lint test-fvassert
+.PHONY: all build vet test race chaos chaos-shards bench bench-figures bench-json bench-gate bench-procs reproduce lint test-fvassert
 
 all: build vet test
 
@@ -45,6 +45,13 @@ race:
 chaos:
 	$(GO) test -race -run Chaos -v ./internal/experiments/
 
+# Sharded parallel soak under -race: worker goroutines own the shards,
+# producers hammer the MPSC feed rings, and the chaos fault plan stays
+# armed (lock contention on shard1, epoch faults elsewhere) while token
+# conservation is asserted at every settlement.
+chaos-shards:
+	$(GO) test -race -tags fvassert -run 'ShardedParallelChaosSoak|FeedRingMPSC' -v ./internal/core/
+
 # Scheduling hot-path microbenchmarks (per-packet, batched, telemetry,
 # depth, parallel lock modes) plus the classification hot path
 # (BenchmarkClassifyHit guards the lock-free, zero-alloc flow-cache hit),
@@ -59,18 +66,27 @@ bench-figures:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # The ScheduleBatch32 benches guarded by the CI regression gate: the
-# core batched hot path plus the pifo scheduler family. bench-json
-# refreshes the committed baseline (run it on the reference machine when
-# a deliberate perf change lands); bench-gate fails when any guarded
-# benchmark's best-of-N ns/op regresses more than 15% past the baseline
-# (cmd/fvbenchstat).
+# core batched hot path (plain, sharded inline, sharded parallel) plus
+# the pifo scheduler family. bench-json refreshes the committed baseline
+# (run it on the reference machine when a deliberate perf change lands);
+# bench-gate fails when any guarded benchmark's best-of-N ns/op
+# regresses more than 15% past the baseline, or allocates at all
+# (cmd/fvbenchstat -max-allocs 0 — the hot-path zero-allocation
+# contract).
 BENCH_GATE = $(GO) test -run '^$$' -bench 'ScheduleBatch32' -benchmem -count=5 . ./internal/pifo/
 
 bench-json:
-	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -emit BENCH_pr6.json
+	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -emit BENCH_pr7.json
 
 bench-gate:
-	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -baseline BENCH_pr6.json -match ScheduleBatch32 -threshold 0.15
+	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -baseline BENCH_pr7.json -match ScheduleBatch32 -threshold 0.15 -max-allocs 0
+
+# Parallel scaling matrix: the fvbench wall-clock mode at increasing
+# -procs (shards + producers). On a multi-core host throughput should
+# scale toward linear; on a single core it demonstrates the sharded
+# path adds no overhead.
+bench-procs:
+	@for p in 1 2 4 8; do $(GO) run ./cmd/fvbench -procs $$p -duration 2s; done
 
 # Full-scale reproduction of the paper's evaluation.
 reproduce:

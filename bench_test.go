@@ -9,6 +9,7 @@ package flowvalve_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"flowvalve"
@@ -81,6 +82,81 @@ func benchmarkScheduleBatch(b *testing.B, bs int) {
 func BenchmarkScheduleBatch1(b *testing.B)  { benchmarkScheduleBatch(b, 1) }
 func BenchmarkScheduleBatch8(b *testing.B)  { benchmarkScheduleBatch(b, 8) }
 func BenchmarkScheduleBatch32(b *testing.B) { benchmarkScheduleBatch(b, 32) }
+
+// newBenchSharded builds a sharded scheduler over an 8-tenant tree (the
+// fvbench -shards policy shape) so every shard count schedules the same
+// work. The manual clock never advances: the benches measure the steady
+// hot path (partition, ring-less inline drain, per-replica batch) without
+// epoch rolls or settlements, which have their own tests.
+func newBenchSharded(b *testing.B, shards int) (*core.ShardedScheduler, []*tree.Label) {
+	b.Helper()
+	const tenants = 8
+	builder := tree.NewBuilder().Root("root", 1e15)
+	for k := 0; k < tenants; k++ {
+		tn := fmt.Sprintf("tenant%d", k)
+		builder.Add(tree.ClassSpec{Name: tn, Parent: "root", Weight: 1})
+		builder.Add(tree.ClassSpec{Name: fmt.Sprintf("t%dapp", k), Parent: tn, Weight: 1})
+	}
+	t, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.NewSharded(t, clock.NewManual(0), core.Config{}, core.ShardConfig{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := make([]*tree.Label, tenants)
+	for k := 0; k < tenants; k++ {
+		lbl, ok := t.LabelByName(fmt.Sprintf("t%dapp", k))
+		if !ok {
+			b.Fatal("no label")
+		}
+		labels[k] = lbl
+	}
+	return s, labels
+}
+
+// benchmarkScheduleBatchSharded drives the inline (deterministic) sharded
+// batch path with a 32-request burst spread over all 8 tenants: one
+// counting-sort partition plus one per-shard sub-batch per iteration.
+// Acceptance: zero allocations at any shard count.
+func benchmarkScheduleBatchSharded(b *testing.B, shards int) {
+	s, labels := newBenchSharded(b, shards)
+	reqs := make([]core.Request, 32)
+	for i := range reqs {
+		reqs[i] = core.Request{Label: labels[i%len(labels)], Size: 1500}
+	}
+	out := make([]core.Decision, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += 32 {
+		s.ScheduleBatch(reqs, out)
+	}
+}
+
+func BenchmarkScheduleBatch32Sharded1(b *testing.B) { benchmarkScheduleBatchSharded(b, 1) }
+func BenchmarkScheduleBatch32Sharded4(b *testing.B) { benchmarkScheduleBatchSharded(b, 4) }
+
+// BenchmarkScheduleBatch32ShardedPar measures the parallel mode: worker
+// goroutines own the shards and producers feed the MPSC rings. On a
+// single-CPU host this reports the feed/drain handoff cost; with more
+// cores the producers and shard owners overlap.
+func BenchmarkScheduleBatch32ShardedPar(b *testing.B) {
+	s, labels := newBenchSharded(b, 4)
+	if err := s.StartWorkers(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.StopWorkers()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			for !s.Feed(labels[i%len(labels)], 1500) {
+				runtime.Gosched()
+			}
+			i++
+		}
+	})
+}
 
 // BenchmarkScheduleBatch32NoFaults guards the fault-free fast path: a
 // scheduler that never saw ApplyFaults pays exactly one atomic

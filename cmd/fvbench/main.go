@@ -22,10 +22,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"flowvalve/internal/classifier"
+	"flowvalve/internal/clock"
 	"flowvalve/internal/core"
 	"flowvalve/internal/dataplane"
 	"flowvalve/internal/dpdkqos"
@@ -67,6 +71,8 @@ func run(args []string, out io.Writer) error {
 	wire := fs.Float64("wire", 40e9, "wire rate (bits/s)")
 	depth := fs.Int("depth", 1, "scheduling-tree depth below the root (flowvalve)")
 	batch := fs.Int("batch", 1, "NIC Rx service batch size (flowvalve; 1 = per-packet pipeline)")
+	shards := fs.Int("shards", 1, "scheduler shards (flowvalve; >1 switches to a tenant tree partitioned across shards)")
+	procs := fs.Int("procs", 0, "wall-clock parallel mode: run N scheduler shards on N producer/worker pairs and report pps scaling (bypasses the DES)")
 	nflows := fs.Int("flows", 16, "distinct transport flows offered (drive past -cache-size to exercise eviction)")
 	cacheSize := fs.Int("cache-size", 0, "flow-cache entry bound (flowvalve; 0 = default 65536)")
 	cacheShards := fs.Int("cache-shards", 0, "flow-cache shard count (flowvalve; 0 = default 8)")
@@ -74,6 +80,9 @@ func run(args []string, out io.Writer) error {
 	metricsJSON := fs.String("metrics-json", "", "write a JSON metrics snapshot to this file after the run (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *procs > 0 {
+		return runProcs(out, *procs, *size, *wire, *duration)
 	}
 	var reg *telemetry.Registry
 	if *metricsJSON != "" {
@@ -89,11 +98,16 @@ func run(args []string, out io.Writer) error {
 		procPps float64
 		header  string
 		err     error
+		ssched  *core.ShardedScheduler
+		tenants int
 	)
 	switch *backend {
 	case "flowvalve":
 		cacheCfg := classifier.CacheConfig{Size: *cacheSize, Shards: *cacheShards}
-		q, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch, cacheCfg)
+		if *shards > 1 {
+			tenants = 2 * *shards
+		}
+		q, ssched, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch, *shards, tenants, cacheCfg)
 	case "dpdk":
 		q, procPps, header, err = buildDPDK(eng, counter, reg, *cores, *wire)
 	default:
@@ -127,6 +141,16 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
+	} else if tenants > 0 {
+		// Sharded mode: one sender per tenant app, so traffic spreads
+		// across every scheduler shard's partition.
+		perAppBps := offeredPps * float64(*size) * 8 / float64(tenants)
+		for a := 0; a < tenants; a++ {
+			if _, err := trafficgen.NewSaturator(eng, alloc, flows, packet.AppID(a), *size,
+				perAppBps, 0, 2*warm, q.Enqueue); err != nil {
+				return err
+			}
+		}
 	} else if _, err := trafficgen.NewSaturator(eng, alloc, flows, 0, *size,
 		offeredPps*float64(*size)*8, 0, 2*warm, q.Enqueue); err != nil {
 		return err
@@ -141,7 +165,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "enqueued=%d delivered=%d dropped=%d\n", st.Enqueued, st.Delivered, st.Dropped)
 	if dev, ok := q.(*nic.NIC); ok {
 		ns := dev.Stats()
-		fmt.Fprintf(out, "drops: sched=%d rx-ring=%d tm=%d\n", ns.SchedDrops, ns.RxRingDrops, ns.TMDrops)
+		fmt.Fprintf(out, "drops: sched=%d rx-ring=%d tm=%d shard-ring=%d\n",
+			ns.SchedDrops, ns.RxRingDrops, ns.TMDrops, ns.ShardRingDrops)
+	}
+	if ssched != nil {
+		fmt.Fprintf(out, "shards: n=%d settles=%d\n", ssched.Shards(), ssched.Settles())
 	}
 	if fc, ok := q.(dataplane.FlowCacher); ok {
 		cs := fc.FlowCacheStats()
@@ -173,23 +201,36 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// buildFlowValve assembles the offloaded backend on the NIC model.
+// buildFlowValve assembles the offloaded backend on the NIC model. With
+// shards > 1 the chain policy is replaced by a tenant tree (one subtree
+// per tenant, `tenants` of them) partitioned across scheduler shards,
+// and the NIC pays the shard steer/doorbell costs.
 func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg *telemetry.Registry,
-	size, cores int, freq, wire float64, depth, batch int, cache classifier.CacheConfig) (dataplane.Qdisc, float64, string, error) {
+	size, cores int, freq, wire float64, depth, batch, shards, tenants int,
+	cache classifier.CacheConfig) (dataplane.Qdisc, *core.ShardedScheduler, float64, string, error) {
 	if cores <= 0 {
 		cores = 50
 	}
-	t, rules, err := chainPolicy(wire, depth)
+	var (
+		t     *tree.Tree
+		rules []classifier.Rule
+		err   error
+	)
+	if shards > 1 {
+		t, rules, err = tenantPolicy(wire, tenants)
+	} else {
+		t, rules, err = chainPolicy(wire, depth)
+	}
 	if err != nil {
-		return nil, 0, "", err
+		return nil, nil, 0, "", err
 	}
 	cls, err := classifier.NewSized(t, rules, "", cache)
 	if err != nil {
-		return nil, 0, "", err
+		return nil, nil, 0, "", err
 	}
-	sched, err := core.New(t, eng.Clock(), core.Config{})
+	sched, err := core.NewSharded(t, eng.Clock(), core.Config{}, core.ShardConfig{Shards: shards})
 	if err != nil {
-		return nil, 0, "", err
+		return nil, nil, 0, "", err
 	}
 	if reg != nil {
 		sched.AttachTelemetry(reg, nil)
@@ -203,7 +244,7 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 		BatchSize:   batch,
 	}, cls, sched, nic.Callbacks{OnDeliver: cb.OnDeliver})
 	if err != nil {
-		return nil, 0, "", err
+		return nil, nil, 0, "", err
 	}
 	if reg != nil {
 		dev.AttachTelemetry(reg)
@@ -212,7 +253,10 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 	procPps := float64(cfg.Cores) * cfg.CoreFreqHz / float64(cfg.Costs.PerPacket(depth+1))
 	header := fmt.Sprintf("backend=flowvalve size=%dB cores=%d freq=%.0fMHz depth=%d batch=%d",
 		size, cores, freq/1e6, depth, cfg.BatchSize)
-	return dev, procPps, header, nil
+	if shards > 1 {
+		header += fmt.Sprintf(" shards=%d tenants=%d", shards, tenants)
+	}
+	return dev, sched, procPps, header, nil
 }
 
 // buildPifo assembles one programmable-scheduler backend from the pifo
@@ -285,4 +329,96 @@ func chainPolicy(wireBps float64, depth int) (*tree.Tree, []classifier.Rule, err
 	}
 	rules := []classifier.Rule{{App: classifier.AnyApp, Flow: classifier.AnyFlow, Class: parent}}
 	return t, rules, nil
+}
+
+// tenantPolicy builds one subtree per tenant — tenant<K> holding a
+// single leaf t<K>app guaranteed half its fair share, borrowing the
+// rest from root's shadow bucket. Sharded schedulers partition whole
+// tenant subtrees, so root is the only split class and the borrow
+// labels exercise cross-shard leases. App K maps to tenant K's leaf.
+func tenantPolicy(wireBps float64, tenants int) (*tree.Tree, []classifier.Rule, error) {
+	if tenants < 1 {
+		tenants = 1
+	}
+	b := tree.NewBuilder().Root("root", wireBps)
+	rules := make([]classifier.Rule, 0, tenants)
+	for k := 0; k < tenants; k++ {
+		tn := fmt.Sprintf("tenant%d", k)
+		leaf := fmt.Sprintf("t%dapp", k)
+		b.Add(tree.ClassSpec{Name: tn, Parent: "root", Weight: 1})
+		b.Add(tree.ClassSpec{
+			Name: leaf, Parent: tn, Weight: 1,
+			RateBps:    wireBps / float64(2*tenants),
+			BorrowFrom: []string{"root"},
+		})
+		rules = append(rules, classifier.Rule{App: k, Flow: classifier.AnyFlow, Class: leaf})
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, rules, nil
+}
+
+// runProcs is the wall-clock parallel mode: no DES, no NIC model —
+// just N scheduler shards on their worker goroutines, fed through the
+// MPSC rings by N producers. It reports raw scheduled pps, the number
+// to compare across -procs values for the scaling curve.
+func runProcs(out io.Writer, procs, size int, wire float64, dur time.Duration) error {
+	if procs < 1 {
+		procs = 1
+	}
+	tenants := 2 * procs
+	t, _, err := tenantPolicy(wire, tenants)
+	if err != nil {
+		return err
+	}
+	sched, err := core.NewSharded(t, clock.NewWall(), core.Config{},
+		core.ShardConfig{Shards: procs})
+	if err != nil {
+		return err
+	}
+	labels := make([]*tree.Label, tenants)
+	for a := 0; a < tenants; a++ {
+		lbl, ok := t.LabelByName(fmt.Sprintf("t%dapp", a))
+		if !ok {
+			return fmt.Errorf("tenant leaf t%dapp missing", a)
+		}
+		labels[a] = lbl
+	}
+	if err := sched.StartWorkers(); err != nil {
+		return err
+	}
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Offset the starting tenant so producers do not march in
+			// lockstep over the same shard's ring.
+			i := 2 * p
+			for !stop.Load() {
+				if !sched.Feed(labels[i%tenants], size) {
+					runtime.Gosched()
+					continue
+				}
+				i++
+			}
+		}(p)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	sched.StopWorkers()
+	secs := time.Since(start).Seconds()
+	pps := float64(sched.Processed()) / secs
+	fmt.Fprintf(out, "procs=%d gomaxprocs=%d shards=%d tenants=%d size=%dB\n",
+		procs, runtime.GOMAXPROCS(0), sched.Shards(), tenants, size)
+	fmt.Fprintf(out, "scheduled: %.2f Mpps over %.3fs  ring-drops=%d settles=%d\n",
+		pps/1e6, secs, sched.RingDrops(), sched.Settles())
+	return nil
 }

@@ -10,12 +10,12 @@
 // Usage:
 //
 //	go test -run '^$' -bench ScheduleBatch32 -benchmem -count=5 ./... |
-//	    fvbenchstat -emit BENCH_pr6.json
+//	    fvbenchstat -emit BENCH_pr7.json
 //
 //	go test -run '^$' -bench ScheduleBatch32 -benchmem -count=5 ./... |
-//	    fvbenchstat -baseline BENCH_pr6.json -match ScheduleBatch32 -threshold 0.15
+//	    fvbenchstat -baseline BENCH_pr7.json -match ScheduleBatch32 -threshold 0.15 -max-allocs 0
 //
-//	fvbenchstat -print -baseline BENCH_pr6.json   # re-emit benchstat text
+//	fvbenchstat -print -baseline BENCH_pr7.json   # re-emit benchstat text
 package main
 
 import (
@@ -58,9 +58,10 @@ func main() {
 	baseline := flag.String("baseline", "", "committed JSON baseline to gate against or print")
 	match := flag.String("match", "ScheduleBatch32", "substring selecting the benchmarks the gate guards")
 	threshold := flag.Float64("threshold", 0.15, "maximum allowed ns/op regression fraction")
+	maxAllocs := flag.Float64("max-allocs", -1, "fail any guarded benchmark whose median allocs/op exceeds this (negative disables)")
 	printText := flag.Bool("print", false, "re-emit the baseline's raw benchmark lines and exit")
 	flag.Parse()
-	code, err := run(os.Stdin, os.Stdout, *emit, *baseline, *match, *threshold, *printText)
+	code, err := run(os.Stdin, os.Stdout, *emit, *baseline, *match, *threshold, *maxAllocs, *printText)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fvbenchstat:", err)
 		os.Exit(2)
@@ -68,7 +69,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(in io.Reader, out io.Writer, emit, baselinePath, match string, threshold float64, printText bool) (int, error) {
+func run(in io.Reader, out io.Writer, emit, baselinePath, match string, threshold, maxAllocs float64, printText bool) (int, error) {
 	if printText {
 		base, err := loadBaseline(baselinePath)
 		if err != nil {
@@ -112,7 +113,7 @@ func run(in io.Reader, out io.Writer, emit, baselinePath, match string, threshol
 	if err != nil {
 		return 0, err
 	}
-	return gate(out, base, cur, match, threshold)
+	return gate(out, base, cur, match, threshold, maxAllocs)
 }
 
 func loadBaseline(path string) (*Baseline, error) {
@@ -132,8 +133,10 @@ func loadBaseline(path string) (*Baseline, error) {
 
 // gate compares the guarded benchmarks of cur against base and reports
 // each verdict; any regression past the threshold (or a guarded
-// baseline benchmark missing from the run) fails the gate.
-func gate(out io.Writer, base, cur *Baseline, match string, threshold float64) (int, error) {
+// baseline benchmark missing from the run) fails the gate. When
+// maxAllocs is non-negative, a guarded benchmark allocating more than
+// that per op also fails — the hot-path zero-allocation contract.
+func gate(out io.Writer, base, cur *Baseline, match string, threshold, maxAllocs float64) (int, error) {
 	current := map[string]Summary{}
 	for _, s := range cur.Benchmarks {
 		current[s.Name] = s
@@ -158,6 +161,11 @@ func gate(out io.Writer, base, cur *Baseline, match string, threshold float64) (
 		}
 		fmt.Fprintf(out, "%s %s: best %.1f ns/op vs baseline %.1f ns/op (%+.1f%%, limit +%.0f%%)\n",
 			verdict, want.Name, got.MinNsPerOp, want.MinNsPerOp, delta*100, threshold*100)
+		if maxAllocs >= 0 && got.AllocsPerOp > maxAllocs {
+			failures++
+			fmt.Fprintf(out, "FAIL %s: %.1f allocs/op exceeds the %.0f allocs/op ceiling\n",
+				want.Name, got.AllocsPerOp, maxAllocs)
+		}
 	}
 	if guarded == 0 {
 		fmt.Fprintf(out, "FAIL no baseline benchmark matches %q\n", match)

@@ -54,7 +54,7 @@ func emitBaseline(t *testing.T, bench string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "base.json")
 	var sb strings.Builder
-	code, err := run(strings.NewReader(bench), &sb, path, "", "ScheduleBatch32", 0.15, false)
+	code, err := run(strings.NewReader(bench), &sb, path, "", "ScheduleBatch32", 0.15, -1, false)
 	if err != nil || code != 0 {
 		t.Fatalf("emit: code=%d err=%v", code, err)
 	}
@@ -73,7 +73,7 @@ func TestEmitAndPrintRoundTrip(t *testing.T) {
 	}
 	// -print must recover benchstat-consumable text: the raw lines.
 	var sb strings.Builder
-	code, err := run(nil, &sb, "", path, "", 0, true)
+	code, err := run(nil, &sb, "", path, "", 0, -1, true)
 	if err != nil || code != 0 {
 		t.Fatalf("print: code=%d err=%v", code, err)
 	}
@@ -88,7 +88,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	slower := strings.ReplaceAll(sampleBench, "1000 ns/op", "1100 ns/op")
 	slower = strings.ReplaceAll(slower, "1200 ns/op", "1320 ns/op")
 	var sb strings.Builder
-	code, err := run(strings.NewReader(slower), &sb, "", path, "ScheduleBatch32", 0.15, false)
+	code, err := run(strings.NewReader(slower), &sb, "", path, "ScheduleBatch32", 0.15, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestGateFailsPastThreshold(t *testing.T) {
 	slower = strings.ReplaceAll(slower, "1200 ns/op", "2400 ns/op")
 	slower = strings.ReplaceAll(slower, "1100 ns/op", "2200 ns/op")
 	var sb strings.Builder
-	code, err := run(strings.NewReader(slower), &sb, "", path, "ScheduleBatch32", 0.15, false)
+	code, err := run(strings.NewReader(slower), &sb, "", path, "ScheduleBatch32", 0.15, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	code, err := run(strings.NewReader(strings.Join(kept, "\n")), &sb, "", path, "ScheduleBatch32", 0.15, false)
+	code, err := run(strings.NewReader(strings.Join(kept, "\n")), &sb, "", path, "ScheduleBatch32", 0.15, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 func TestGateFailsOnNoMatch(t *testing.T) {
 	path := emitBaseline(t, sampleBench)
 	var sb strings.Builder
-	code, err := run(strings.NewReader(sampleBench), &sb, "", path, "Nonesuch", 0.15, false)
+	code, err := run(strings.NewReader(sampleBench), &sb, "", path, "Nonesuch", 0.15, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestGateFailsOnNoMatch(t *testing.T) {
 func TestEmitRejectsEmptyInput(t *testing.T) {
 	var sb strings.Builder
 	if _, err := run(strings.NewReader("no benchmarks here\n"), &sb,
-		filepath.Join(t.TempDir(), "x.json"), "", "", 0.15, false); err == nil {
+		filepath.Join(t.TempDir(), "x.json"), "", "", 0.15, -1, false); err == nil {
 		t.Fatal("empty bench input accepted")
 	}
 }
@@ -173,5 +173,34 @@ func TestStripProcs(t *testing.T) {
 		if got := stripProcs(in); got != want {
 			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestGateAllocCeiling(t *testing.T) {
+	path := emitBaseline(t, sampleBench)
+	// Same speed, but a guarded bench now allocates: the -max-allocs 0
+	// ceiling must fail it even though ns/op is inside the threshold.
+	leaky := strings.ReplaceAll(sampleBench,
+		"1000 ns/op	       0 B/op	       0 allocs/op",
+		"1000 ns/op	      48 B/op	       2 allocs/op")
+	leaky = strings.ReplaceAll(leaky,
+		"1100 ns/op	       0 B/op	       0 allocs/op",
+		"1100 ns/op	      48 B/op	       2 allocs/op")
+	leaky = strings.ReplaceAll(leaky,
+		"1200 ns/op	       0 B/op	       0 allocs/op",
+		"1200 ns/op	      48 B/op	       2 allocs/op")
+	var sb strings.Builder
+	code, err := run(strings.NewReader(leaky), &sb, "", path, "ScheduleBatch32", 0.15, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(sb.String(), "exceeds the 0 allocs/op ceiling") {
+		t.Fatalf("alloc ceiling not enforced (code=%d):\n%s", code, sb.String())
+	}
+	// With the ceiling disabled the same run passes.
+	sb.Reset()
+	code, err = run(strings.NewReader(leaky), &sb, "", path, "ScheduleBatch32", 0.15, -1, false)
+	if err != nil || code != 0 {
+		t.Fatalf("disabled ceiling still failed (code=%d err=%v):\n%s", code, err, sb.String())
 	}
 }

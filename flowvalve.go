@@ -127,6 +127,13 @@ type Options struct {
 	// rounded up to a power of two). Lookup hits are lock-free; misses
 	// serialize per shard.
 	FlowCacheShards int
+	// Shards partitions the scheduling tree across N scheduler shards
+	// (default 1 — the single-scheduler behaviour, bit-identical to
+	// prior releases). Whole top-level subtrees co-locate on a shard;
+	// cross-shard bandwidth lending settles at epoch boundaries. More
+	// than one shard trades exact global work conservation between
+	// settlements for multi-core scaling.
+	Shards int
 	// Telemetry, when non-nil, attaches the scheduler to an observability
 	// sink: per-class metric families registered at construction (and
 	// re-registered on Swap, so collectors follow the live policy) plus
@@ -152,11 +159,14 @@ type Scheduler struct {
 	inner atomic.Pointer[schedulerInner]
 }
 
-// schedulerInner is one compiled policy generation.
+// schedulerInner is one compiled policy generation. The scheduling
+// function is always the sharded container — at the default Shards=1
+// it delegates every call straight to one plain core scheduler, so the
+// single-shard facade is bit-identical to prior releases.
 type schedulerInner struct {
 	pol   *Policy
 	cls   *classifier.Classifier
-	sched *core.Scheduler
+	sched *core.ShardedScheduler
 }
 
 func buildInner(p *Policy, clk Clock, opts Options) (*schedulerInner, error) {
@@ -175,11 +185,11 @@ func buildInner(p *Policy, clk Clock, opts Options) (*schedulerInner, error) {
 			clk = jc
 		}
 	}
-	sched, err := core.New(p.tree, clk, core.Config{
+	sched, err := core.NewSharded(p.tree, clk, core.Config{
 		UpdateIntervalNs: opts.UpdateIntervalNs,
 		ExpireAfterNs:    opts.ExpireAfterNs,
 		BurstNs:          opts.BurstNs,
-	})
+	}, core.ShardConfig{Shards: opts.Shards})
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 //
 //     //fv:racy-ok NoLock ablation: epoch races are the experiment
 //     //fv:locked-ok lock is taken by the caller via LockAll
+//     //fv:owner-ok workers not started; inline mode is single-goroutine
 //     //fv:allow-wallclock operator-facing timestamp, not sim state
 //     //fv:coldpath one-time scratch growth, amortized to zero
 //     //fv:metric-ok re-registration after policy swap

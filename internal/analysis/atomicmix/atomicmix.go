@@ -15,6 +15,12 @@
 //     (s.ctr = atomic.Int64{}) — replacing the wrapper bypasses its
 //     atomicity and races with every concurrent method call on it.
 //
+//  3. A wrapper field read as a whole value (v := s.ctr, f(r.tail)) —
+//     the copy is a plain load of the wrapper's innards, so it can tear
+//     against concurrent Store/Add calls. This is the feed-ring defect
+//     shape: ring state (head/tail/seq words) must be moved through the
+//     wrapper's methods, never by copying the wrapper out of the struct.
+//
 // Accesses guarded by a statically-false condition (build-tag-gated
 // assertion blocks) are still counted: an assertion that races is a
 // heisenbug generator under -tags fvassert.
@@ -74,10 +80,47 @@ func run(pass *analysis.Pass) (any, error) {
 		})
 	}
 
+	// safeWrapperUse marks wrapper-typed selectors consumed through a
+	// non-copying context: as the receiver of a further selection
+	// (s.ctr.Load()), behind an address-of, or as an assignment target
+	// (defect shape 2 reports those separately).
+	safeWrapperUse := make(map[*ast.SelectorExpr]bool)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
+				if sub, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					safeWrapperUse[sub] = true
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						safeWrapperUse[sel] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						safeWrapperUse[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if v := fieldObj(pass, n); v != nil && isAtomicWrapper(v.Type()) && !safeWrapperUse[n] {
+					if !analysis.CheckReason(pass, n.Pos(), "atomic-ok") {
+						pass.Reportf(n.Pos(),
+							"whole-value read of %s field %s copies its innards with a plain load; use its Load method (or annotate //fv:atomic-ok <reason>)",
+							typeString(v.Type()), v.Name())
+					}
+					return true
+				}
 				v := fieldObj(pass, n)
 				if v == nil || !plainKind(v.Type()) {
 					return true

@@ -34,3 +34,22 @@ func (c *C) Annotated() int64 {
 	//fv:atomic-ok constructor runs before any goroutine exists
 	return c.n
 }
+
+func (c *C) BadCopy() atomic.Int64 { return c.w } // want `whole-value read of atomic\.Int64 field w copies its innards`
+
+func (c *C) BadCopyAssign() {
+	v := c.w // want `whole-value read of atomic\.Int64 field w copies its innards`
+	_ = v
+}
+
+// OkLoad reads through the wrapper's method: the receiver selection is
+// not a copy.
+func (c *C) OkLoad() int64 { return c.w.Load() }
+
+// OkAddr takes the wrapper's address; no value moves.
+func (c *C) OkAddr() *atomic.Int64 { return &c.w }
+
+func (c *C) OkCopyAnnotated() atomic.Int64 {
+	//fv:atomic-ok snapshot taken before workers start
+	return c.w
+}

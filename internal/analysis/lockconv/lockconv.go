@@ -17,6 +17,13 @@
 //     unless the caller is itself *Racy — racing is always a deliberate,
 //     documented choice, never an accident.
 //
+//   - A call to an *Owner function — single-consumer code whose safety
+//     rests on exactly one goroutine (the shard owner) executing it, the
+//     MPSC feed-ring discipline — is legal only from another *Owner
+//     function. Any other call site is a potential second consumer and
+//     must justify itself with //fv:owner-ok <reason> (e.g. "workers not
+//     started; inline DES mode is single-goroutine").
+//
 // The lexical heuristic deliberately trades soundness for zero false
 // positives on idiomatic code: it will miss a *Locked call placed in
 // the failure arm of a TryLock, but it catches the common regression —
@@ -35,7 +42,7 @@ import (
 // Analyzer is the lockconv invariant checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockconv",
-	Doc:  "enforce the ...Locked / ...Racy naming convention at call sites",
+	Doc:  "enforce the ...Locked / ...Racy / ...Owner naming conventions at call sites",
 	Run:  run,
 }
 
@@ -55,6 +62,7 @@ func run(pass *analysis.Pass) (any, error) {
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	callerLocked := strings.HasSuffix(fn.Name.Name, "Locked")
 	callerRacy := strings.HasSuffix(fn.Name.Name, "Racy")
+	callerOwner := strings.HasSuffix(fn.Name.Name, "Owner")
 
 	// acquisitions collects the positions of every mutex Lock/RLock/
 	// TryLock call in the function body (including inside closures —
@@ -102,6 +110,16 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			pass.Reportf(call.Pos(),
 				"%s is a ...Racy function: the call site must justify racing with //fv:racy-ok <reason>",
 				name)
+		case strings.HasSuffix(name, "Owner"):
+			if callerOwner {
+				return true
+			}
+			if analysis.CheckReason(pass, call.Pos(), "owner-ok") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s is a ...Owner (single-consumer) function and %s is not; only the owning goroutine may call it — annotate //fv:owner-ok <reason> if this site is the owner",
+				name, fn.Name.Name)
 		}
 		return true
 	})

@@ -66,3 +66,20 @@ func (s *S) BadNakedSuppression() {
 	//fv:racy-ok // want `//fv:racy-ok suppression requires a justification`
 	_ = s.readRacy() // want `readRacy is a \.\.\.Racy function`
 }
+
+// drainOwner is single-consumer code: only the owning goroutine may
+// run it (the MPSC feed-ring discipline).
+func (s *S) drainOwner() int { return s.n }
+
+// serveOwner is itself ...Owner, so onward ...Owner calls are the same
+// goroutine by convention.
+func (s *S) serveOwner() int { return s.drainOwner() }
+
+func (s *S) BadSecondConsumer() int {
+	return s.drainOwner() // want `drainOwner is a \.\.\.Owner \(single-consumer\) function and BadSecondConsumer is not`
+}
+
+func (s *S) OkOwnerAnnotated() int {
+	//fv:owner-ok workers not started; inline mode is single-goroutine
+	return s.drainOwner()
+}

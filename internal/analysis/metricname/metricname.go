@@ -72,6 +72,13 @@ func run(pass *analysis.Pass) (any, error) {
 				}
 				return true
 			}
+			// A justified //fv:metric-ok site is an acknowledged alias of
+			// another registration (e.g. a merged export path registering
+			// the same families as the plain one); it neither counts
+			// toward nor trips the once-per-package rule.
+			if analysis.CheckReason(pass, arg.Pos(), "metric-ok") {
+				return true
+			}
 			sites = append(sites, site{pos: arg.Pos(), name: name})
 			return true
 		})
@@ -95,9 +102,6 @@ func run(pass *analysis.Pass) (any, error) {
 		ss := byName[name]
 		sort.Slice(ss, func(i, j int) bool { return ss[i].pos < ss[j].pos })
 		for _, s := range ss[1:] {
-			if analysis.CheckReason(pass, s.pos, "metric-ok") {
-				continue
-			}
 			first := pass.Fset.Position(ss[0].pos)
 			pass.Reportf(s.pos,
 				"metric %q is already registered at %s:%d; register each family once (or annotate //fv:metric-ok <reason>)",

@@ -306,3 +306,57 @@ func BenchmarkClassifyMissEvict(b *testing.B) {
 		c.Lookup(p)
 	}
 }
+
+// ClassifyBatchSteerEv must agree with ClassifyBatchEv on labels and
+// hit accounting while steering every classified packet to its label's
+// shard (and unclassified packets to -1), on both sides of the
+// sort-algorithm threshold.
+func TestClassifyBatchSteerEquivalence(t *testing.T) {
+	shardOf := func(lbl *tree.Label) int {
+		switch lbl.Leaf.Name {
+		case "a":
+			return 0
+		case "b":
+			return 1
+		default:
+			return 2
+		}
+	}
+	for _, n := range []int{1, 3, batchSortThreshold, 4 * batchSortThreshold} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		ps := make([]*packet.Packet, n)
+		for i := range ps {
+			// Apps 0/1 match rules; app 2 matches nothing (nil label).
+			ps[i] = pkt(packet.AppID(rng.Intn(3)), packet.FlowID(rng.Intn(n)))
+		}
+		tr := testTree(t)
+		rules := []Rule{{App: 0, Flow: AnyFlow, Class: "a"}, {App: 1, Flow: AnyFlow, Class: "b"}}
+
+		cs, _ := New(tr, rules, "")
+		sLbls, sHits, sEvs := makeLabels(n), make([]bool, n), make([]bool, n)
+		shards := make([]int32, n)
+		cs.ClassifyBatchSteerEv(ps, sLbls, sHits, sEvs, shardOf, shards)
+
+		cb, _ := New(tr, rules, "")
+		bLbls, bHits, bEvs := makeLabels(n), make([]bool, n), make([]bool, n)
+		cb.ClassifyBatchEv(ps, bLbls, bHits, bEvs)
+
+		for i := range ps {
+			if sLbls[i] != bLbls[i] || sHits[i] != bHits[i] || sEvs[i] != bEvs[i] {
+				t.Fatalf("n=%d pkt %d: steer (%v,%v,%v) != batch (%v,%v,%v)",
+					n, i, sLbls[i], sHits[i], sEvs[i], bLbls[i], bHits[i], bEvs[i])
+			}
+			want := int32(-1)
+			if sLbls[i] != nil {
+				want = int32(shardOf(sLbls[i]))
+			}
+			if shards[i] != want {
+				t.Fatalf("n=%d pkt %d: shard %d, want %d", n, i, shards[i], want)
+			}
+		}
+		ss, bs := cs.Stats(), cb.Stats()
+		if ss.Hits != bs.Hits || ss.Misses != bs.Misses {
+			t.Fatalf("n=%d: steer stats %d/%d != batch stats %d/%d", n, ss.Hits, ss.Misses, bs.Hits, bs.Misses)
+		}
+	}
+}

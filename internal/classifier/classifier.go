@@ -264,6 +264,70 @@ func (c *Classifier) ClassifyBatchEv(ps []*packet.Packet, labels []*tree.Label, 
 	c.batchPool.Put(bs)
 }
 
+// ClassifyBatchSteerEv is ClassifyBatchEv with scheduler-shard steering
+// fused into the classification pass: shards[i] receives the shard that
+// owns ps[i]'s label (shardOf), or -1 for unclassified packets. The
+// steer is computed once per flow group — every follower behind a group
+// head inherits the head's shard along with its label — so a burst
+// dominated by few flows pays one steering hash per flow, not per
+// packet. Drivers of sharded scheduling functions (the NIC's burst
+// service) use this to fill their per-shard feed lanes.
+//
+//fv:hotpath
+func (c *Classifier) ClassifyBatchSteerEv(ps []*packet.Packet, labels []*tree.Label, hits, evicted []bool, shardOf func(*tree.Label) int, shards []int32) {
+	n := len(ps)
+	labels, hits, shards = labels[:n], hits[:n], shards[:n]
+	if evicted != nil {
+		evicted = evicted[:n]
+	}
+	bs := c.batchPool.Get().(*batchScratch)
+	if cap(bs.idx) < n {
+		bs.idx = make([]int32, 0, n) //fv:coldpath pooled scratch grows to the largest burst once, then never again
+	}
+	idx := bs.idx[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, int32(i))
+	}
+	if n <= batchSortThreshold {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && keyLess(ps[idx[j]], ps[idx[j-1]]); j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+	} else {
+		//fv:coldpath bursts beyond batchSortThreshold exceed any NIC ring budget; stdlib sort is fine there
+		sort.SliceStable(idx, func(a, b int) bool { return keyLess(ps[idx[a]], ps[idx[b]]) })
+	}
+	var (
+		lastKey   uint64
+		lastLbl   *tree.Label
+		lastHash  uint64
+		lastShard int32
+		have      bool
+	)
+	for _, i := range idx {
+		k := packKey(ps[i].App, ps[i].Flow)
+		if have && k == lastKey {
+			c.cache.shardFor(lastHash).hits.Add(1)
+			labels[i], hits[i], shards[i] = lastLbl, true, lastShard
+			continue
+		}
+		var ev bool
+		labels[i], hits[i], ev = c.LookupEv(ps[i])
+		if evicted != nil {
+			evicted[i] = ev
+		}
+		lastShard = -1
+		if labels[i] != nil {
+			lastShard = int32(shardOf(labels[i]))
+		}
+		shards[i] = lastShard
+		lastKey, lastLbl, lastHash, have = k, labels[i], mix64(k), true
+	}
+	bs.idx = idx
+	c.batchPool.Put(bs)
+}
+
 // keyLess orders packets by flow key for batch grouping.
 func keyLess(a, b *packet.Packet) bool {
 	if a.App != b.App {

@@ -98,13 +98,30 @@ func (bs *batchScratch) countOne(c *tree.Class, sz int64) {
 //
 //fv:hotpath
 func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Decision) {
+	if len(reqs) == 0 {
+		return
+	}
+	bs := s.batchPool.Get().(*batchScratch)
+	//fv:owner-ok scratch drawn from the pool is exclusively held until the Put below
+	s.scheduleBatchOwner(reqs, out, bs)
+	s.batchPool.Put(bs)
+}
+
+// scheduleBatchOwner is ScheduleBatch against caller-owned scratch. The
+// Owner suffix is the single-goroutine-ownership convention: bs must be
+// exclusively held by the caller for the duration of the call — the
+// pool wrapper above guarantees it per call, and each parallel shard
+// worker owns a dedicated scratch outright, so sharded batching never
+// bounces scratch through a shared sync.Pool between cores.
+//
+//fv:hotpath
+func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane.Decision, bs *batchScratch) {
 	n := len(reqs)
 	if n == 0 {
 		return
 	}
 	out = out[:n]
 	now := s.clk.Now()
-	bs := s.batchPool.Get().(*batchScratch)
 	gen := bs.nextGen()
 	h := s.tel.Load()
 	flt := s.flt.Load()
@@ -151,6 +168,30 @@ func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Deci
 		// update also amortized to once per batch.
 		borrowed := false
 		for _, lender := range lbl.Borrow {
+			if sc := s.shard; sc != nil && !sc.owns(lender.ID) {
+				// Remote lender: spend the shard-local lease (see
+				// Schedule); the lender's replica state on this shard
+				// is never touched, so nothing mints twice.
+				if sc.tryLease(lender.ID, sz) {
+					if s.cfg.ECNMarkFrac > 0 {
+						lst.markPkts.Add(1)
+						d.Marked = true
+					}
+					lst.borrowPkts.Add(1)
+					bs.count(lbl.Path, sz)
+					seq := lst.fwdPkts.Add(1)
+					lst.fwdBytes.Add(sz)
+					d.Verdict = Forward
+					d.Borrowed = true
+					d.Lender = lender
+					if h != nil {
+						bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+					}
+					borrowed = true
+					break
+				}
+				continue
+			}
 			ls := &s.states[lender.ID]
 			if bs.seen[lender.ID] != gen {
 				bs.seen[lender.ID] = gen
@@ -214,5 +255,4 @@ func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Deci
 		}
 		bs.traces = bs.traces[:0]
 	}
-	s.batchPool.Put(bs)
 }

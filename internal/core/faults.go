@@ -116,6 +116,12 @@ func (s *Scheduler) ApplyFaults(p *faults.Plan) error {
 		if !e.Kind.SchedulerScoped() {
 			continue
 		}
+		// Shard targeting: a standalone scheduler is "shard0". Events
+		// aimed at other shards belong to a ShardedScheduler, which
+		// filters per shard before delegating here.
+		if e.Shard != "" && e.Shard != "shard0" {
+			continue
+		}
 		w := faultWindow{
 			from:    e.AtNs,
 			to:      e.AtNs + e.DurationNs,

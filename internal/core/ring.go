@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"flowvalve/internal/sched/tree"
+)
+
+// feedRing is the bounded lock-free MPSC ring that feeds one scheduler
+// shard in parallel mode: any number of classifier/producer goroutines
+// push, exactly one shard worker drains. The design is the classic
+// sequence-stamped array queue (Vyukov): each slot carries a sequence
+// atomic whose value tells a producer whether the slot is free for
+// ticket `pos` (seq == pos) and the consumer whether the payload at
+// `head` is published (seq == head+1). Producers claim tickets with one
+// CAS on tail; payload fields are plain because the slot's sequence
+// stamp orders every access to them (the publish Store releases the
+// payload write, the consumer's Load acquires it) — the "ring atomics"
+// convention the atomicmix analyzer knows: atomics carry the protocol,
+// payloads stay plain, and the two never mix on the same field.
+//
+// The ring never blocks: a full ring fails the push (the caller counts
+// the overflow and drops, exactly like a hardware feed ring), an empty
+// ring returns zero from drain.
+type feedRing struct {
+	mask uint64
+	size uint64
+	_    [48]byte // keep the consumer cursor off the geometry line
+
+	// head is the consumer cursor. It is a plain field owned by the
+	// single drainer — the lockconv "Owner" convention: only *Owner
+	// methods touch it.
+	head uint64
+	_    [56]byte // producers' tail CAS must not false-share head
+
+	tail  atomic.Uint64
+	_     [56]byte
+	drops atomic.Uint64 // pushes rejected because the ring was full
+
+	slots []ringSlot
+}
+
+// ringSlot is one ring entry: the sequence stamp plus the plain payload
+// it protects.
+type ringSlot struct {
+	seq  atomic.Uint64
+	lbl  *tree.Label
+	size int32
+	_    [64 - 8 - 8 - 4]byte // one slot per cache line: no false sharing between adjacent tickets
+}
+
+// newFeedRing builds a ring with capacity rounded up to a power of two
+// (minimum 2).
+func newFeedRing(capacity int) *feedRing {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	r := &feedRing{mask: n - 1, size: n, slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push offers one packet to the ring from any producer goroutine. It
+// returns false — counting the overflow — when the ring is full.
+//
+//fv:hotpath
+func (r *feedRing) push(lbl *tree.Label, size int) bool {
+	pos := r.tail.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				slot.lbl = lbl
+				slot.size = int32(size)
+				slot.seq.Store(pos + 1) // publish: releases the payload writes
+				return true
+			}
+			pos = r.tail.Load()
+		case diff < 0:
+			// The slot still holds an undrained entry from one lap
+			// ago: the ring is full.
+			r.drops.Add(1)
+			return false
+		default:
+			// Another producer claimed this ticket; chase the tail.
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// drainOwner moves up to len(reqs) published entries into reqs,
+// returning how many it moved. Single-consumer only: the shard worker
+// that owns the ring (it is the sole reader/writer of r.head).
+//
+//fv:hotpath
+func (r *feedRing) drainOwner(reqs []Request) int {
+	n := 0
+	for n < len(reqs) {
+		slot := &r.slots[r.head&r.mask]
+		if slot.seq.Load() != r.head+1 {
+			break // next entry not yet published
+		}
+		reqs[n] = Request{Label: slot.lbl, Size: int(slot.size)}
+		slot.lbl = nil // drop the label reference before recycling the slot
+		slot.seq.Store(r.head + r.size)
+		r.head++
+		n++
+	}
+	return n
+}
+
+// lenOwner reports the published backlog. Single-consumer only, like
+// drainOwner; producers must not call it.
+func (r *feedRing) lenOwner() int { return int(r.tail.Load() - r.head) }
+
+// Drops reports how many pushes the ring rejected for being full.
+func (r *feedRing) Drops() uint64 { return r.drops.Load() }

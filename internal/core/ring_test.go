@@ -1,0 +1,145 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"flowvalve/internal/sched/tree"
+)
+
+func ringLabel(t *testing.T) *tree.Label {
+	t.Helper()
+	tr := tree.NewBuilder().
+		Root("root", 1e9).
+		Add(tree.ClassSpec{Name: "a", Parent: "root"}).
+		MustBuild()
+	lbl, ok := tr.LabelByName("a")
+	if !ok {
+		t.Fatal("leaf label missing")
+	}
+	return lbl
+}
+
+func TestFeedRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct {
+		capacity int
+		want     uint64
+	}{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {1024, 1024}, {1025, 2048}} {
+		r := newFeedRing(tc.capacity)
+		if r.size != tc.want {
+			t.Errorf("newFeedRing(%d).size = %d, want %d", tc.capacity, r.size, tc.want)
+		}
+		if r.mask != tc.want-1 {
+			t.Errorf("newFeedRing(%d).mask = %d, want %d", tc.capacity, r.mask, tc.want-1)
+		}
+	}
+}
+
+func TestFeedRingFullFailsPushAndCounts(t *testing.T) {
+	lbl := ringLabel(t)
+	r := newFeedRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.push(lbl, i) {
+			t.Fatalf("push %d failed on a non-full ring", i)
+		}
+	}
+	if r.push(lbl, 99) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	if got := r.Drops(); got != 1 {
+		t.Fatalf("Drops = %d, want 1", got)
+	}
+	reqs := make([]Request, 8)
+	n := r.drainOwner(reqs)
+	if n != 4 {
+		t.Fatalf("drained %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if reqs[i].Size != i || reqs[i].Label != lbl {
+			t.Fatalf("reqs[%d] = {%v %d}, want {lbl %d} (FIFO order)", i, reqs[i].Label, reqs[i].Size, i)
+		}
+	}
+	// The overflowed entry was dropped, not deferred.
+	if r.drainOwner(reqs) != 0 {
+		t.Fatal("ring not empty after full drain")
+	}
+}
+
+func TestFeedRingWraparound(t *testing.T) {
+	lbl := ringLabel(t)
+	r := newFeedRing(4)
+	reqs := make([]Request, 4)
+	seq := 0
+	for lap := 0; lap < 100; lap++ {
+		for i := 0; i < 3; i++ {
+			if !r.push(lbl, seq+i) {
+				t.Fatalf("lap %d: push failed", lap)
+			}
+		}
+		if n := r.drainOwner(reqs); n != 3 {
+			t.Fatalf("lap %d: drained %d, want 3", lap, n)
+		}
+		for i := 0; i < 3; i++ {
+			if reqs[i].Size != seq+i {
+				t.Fatalf("lap %d: reqs[%d].Size = %d, want %d", lap, i, reqs[i].Size, seq+i)
+			}
+		}
+		seq += 3
+	}
+}
+
+// TestFeedRingMPSC exercises the multi-producer protocol under real
+// goroutine concurrency (meaningful chiefly under -race): every pushed
+// entry is drained exactly once and each producer's entries arrive in
+// its program order.
+func TestFeedRingMPSC(t *testing.T) {
+	lbl := ringLabel(t)
+	const producers, perProducer = 4, 20000
+	r := newFeedRing(256)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !r.push(lbl, p*1_000_000+i) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	var total int
+	lastSeq := [producers]int{}
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	go func() {
+		defer close(done)
+		reqs := make([]Request, 64)
+		for total < producers*perProducer {
+			n := r.drainOwner(reqs)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, q := range reqs[:n] {
+				p, seq := q.Size/1_000_000, q.Size%1_000_000
+				if seq <= lastSeq[p] {
+					t.Errorf("producer %d: seq %d arrived after %d (per-producer FIFO broken)", p, seq, lastSeq[p])
+					return
+				}
+				lastSeq[p] = seq
+			}
+			total += n
+		}
+	}()
+	wg.Wait()
+	<-done
+	if total != producers*perProducer {
+		t.Fatalf("drained %d entries, want %d", total, producers*perProducer)
+	}
+}

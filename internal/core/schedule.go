@@ -79,6 +79,29 @@ func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
 	// shadow keeps filling at its lendable rate even though the lender
 	// itself sees no packet arrivals.
 	for _, lender := range lbl.Borrow {
+		if sc := s.shard; sc != nil && !sc.owns(lender.ID) {
+			// Remote lender: spend from the shard-local lease instead
+			// of the lender's shadow bucket (which lives — and is
+			// refilled — on the owner shard only; touching a replica's
+			// copy would mint tokens twice). The lender-side Γ and
+			// lending counters are settled by the reconciler.
+			if sc.tryLease(lender.ID, sz) {
+				if s.cfg.ECNMarkFrac > 0 {
+					lst.markPkts.Add(1)
+					d.Marked = true
+				}
+				lst.borrowPkts.Add(1)
+				seq := s.recordForward(lbl, sz)
+				d.Verdict = Forward
+				d.Borrowed = true
+				d.Lender = lender
+				if h := s.tel.Load(); h != nil {
+					h.trace(seq, now, lbl, lst, sz, &d)
+				}
+				return d
+			}
+			continue
+		}
 		ls := &s.states[lender.ID]
 		s.maybeUpdate(lender, ls, now, &d, flt)
 		if ls.shadow.TryConsume(sz) {
@@ -264,6 +287,21 @@ func (s *Scheduler) updateLocked(c *tree.Class, st *classState, now int64) bool 
 			c.ID, supplement, absorbed)
 	}
 
+	// Sharded mode: the root is the one class whose state is split
+	// across every shard (each replica sees only its shard's traffic),
+	// so root-level decisions that need the *global* Γ — lendable
+	// minting and child-rate recomputation — are made by the shard
+	// reconciler at settlement, not by any single replica. A replica
+	// deciding from its local Γ would see the other shards' children as
+	// idle and over-grant its own.
+	if s.shard != nil && c.Parent == nil {
+		st.updates.Add(1)
+		if h != nil && h.updateDur != nil {
+			h.updateDur.Observe(float64(s.clk.Now() - t0))
+		}
+		return true
+	}
+
 	// Shadow bucket (subprocedure 2): publish this epoch's unconsumed
 	// tokens for eligible borrowers. For a leaf, "unconsumed" is
 	// whatever its (metered) bucket could not absorb — routing the
@@ -333,6 +371,12 @@ func (s *Scheduler) updateRacy(c *tree.Class, st *classState, now int64) bool {
 	supplement := int64(theta * float64(dt) / 1e9)
 	st.bucket.SetBurst(s.burstFor(theta, s.cfg.BurstNs))
 	absorbed := st.bucket.Refill(supplement)
+	if s.shard != nil && c.Parent == nil {
+		// Sharded mode: root lending and child rates are global
+		// decisions taken at settlement (see updateLocked).
+		st.updates.Add(1)
+		return true
+	}
 	st.lendRate.Store(tree.Lendable(theta, st.est.Rate()))
 	st.shadow.SetBurst(s.burstFor(theta, s.cfg.ShadowBurstNs))
 	unused := supplement - absorbed

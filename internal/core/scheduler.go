@@ -169,6 +169,65 @@ type Scheduler struct {
 	// Swapped atomically like tel, so ApplyFaults is safe against
 	// in-flight Schedule calls and the no-fault path costs one load.
 	flt atomic.Pointer[schedFaults]
+
+	// shard is non-nil when this scheduler is one shard of a
+	// ShardedScheduler (see shard.go): it carries the shard's identity,
+	// the class→owner partition, and the shard-local lease buckets that
+	// stand in for remote lenders' shadow buckets. A standalone
+	// scheduler leaves it nil and pays one nil check on the borrow path.
+	shard *shardCtx
+}
+
+// shardCtx is one shard's view of the cross-shard partition. The owner
+// and slot tables are immutable after construction; the lease states
+// are written by this shard's scheduling goroutine (consumption) and
+// the settlement reconciler (grants).
+type shardCtx struct {
+	id    int32
+	owner []int32 // ClassID → owning shard
+	slot  []int32 // ClassID → lease slot, -1 when the class is not a cross-shard lender
+
+	// leases holds this shard's local token leases, one per cross-shard
+	// lender (indexed by slot). Tokens are granted by the reconciler at
+	// settlement and consumed here between settlements, so borrowing
+	// never touches another shard's cache lines on the packet path.
+	leases []leaseState
+}
+
+// leaseState is one shard's local lease on a remote lender's shadow
+// bucket. tokens is the spendable balance (granted − consumed, never
+// negative); consumed is the cumulative spend the reconciler settles
+// against the owner shard's accounting at epoch boundaries.
+type leaseState struct {
+	tokens   atomic.Int64
+	consumed atomic.Int64
+	_        [48]byte // one lease per cache line: the reconciler's grant writes must not false-share neighbours
+}
+
+// owns reports whether class id lives on this shard's partition.
+func (sc *shardCtx) owns(id tree.ClassID) bool { return sc.owner[id] == sc.id }
+
+// tryLease spends sz bytes from the local lease on a remote lender,
+// reporting success. The CAS loop keeps the balance non-negative even
+// with concurrent inline callers on the same shard.
+//
+//fv:hotpath
+func (sc *shardCtx) tryLease(id tree.ClassID, sz int64) bool {
+	slot := sc.slot[id]
+	if slot < 0 {
+		return false
+	}
+	ls := &sc.leases[slot]
+	for {
+		cur := ls.tokens.Load()
+		if cur < sz {
+			return false
+		}
+		if ls.tokens.CompareAndSwap(cur, cur-sz) {
+			ls.consumed.Add(sz)
+			return true
+		}
+	}
 }
 
 // New builds a scheduler over t, reading time from clk. It validates that

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"flowvalve/internal/sched/tree"
+)
+
+// Parallel mode: one worker goroutine per shard, fed by that shard's
+// bounded MPSC ring. Producers (classifier cores, benchmark drivers)
+// call Feed, which steers each packet to its owner shard's ring with
+// one CAS; each worker drains its ring into a private request buffer
+// and runs the plain per-shard batch path against a dedicated scratch.
+// No scheduling state is shared between workers except the lease
+// atomics and the settlement lock — the hot path is shard-local by
+// construction.
+
+// shardWorker is one shard's parallel service loop state. Everything
+// here is owned by the worker goroutine (Owner convention) once
+// StartWorkers hands it over.
+type shardWorker struct {
+	id      int
+	sched   *Scheduler
+	ring    *feedRing
+	reqs    []Request
+	dec     []Decision
+	scratch *batchScratch // dedicated: never pooled, never shared across shards
+	done    atomic.Int64  // packets processed (read live by Processed)
+}
+
+// StartWorkers switches the scheduler into parallel mode: it builds the
+// per-shard feed rings and launches one worker goroutine per shard.
+// Inline Schedule/ScheduleBatch must not be mixed with parallel feeding
+// (the partition stays correct, but determinism is gone — that is the
+// point of parallel mode).
+func (ss *ShardedScheduler) StartWorkers() error {
+	if ss.started.Swap(true) {
+		return fmt.Errorf("core: workers already started")
+	}
+	ss.stopped.Store(false)
+	ss.rings = make([]*feedRing, ss.n)
+	ss.workers = make([]*shardWorker, ss.n)
+	for k := 0; k < ss.n; k++ {
+		ss.rings[k] = newFeedRing(ss.scfg.RingPkts)
+		ss.workers[k] = &shardWorker{
+			id:    k,
+			sched: ss.inner[k],
+			ring:  ss.rings[k],
+			reqs:  make([]Request, batchDrain),
+			dec:   make([]Decision, batchDrain),
+			// A dedicated scratch per worker: cross-shard sync.Pool
+			// ping-pong would bounce the scratch's cache lines between
+			// cores on every batch, so each worker owns its working set
+			// outright for its whole lifetime.
+			scratch: newBatchScratch(ss.tree.Len()),
+		}
+	}
+	for k := 0; k < ss.n; k++ {
+		ss.wg.Add(1)
+		w := ss.workers[k]
+		//fv:owner-ok ownership of w transfers to the goroutine spawned here; this is the handoff point
+		go ss.serveShardOwner(w)
+	}
+	return nil
+}
+
+// batchDrain is how many ring entries a worker drains per service
+// batch — the parallel analogue of the NIC's burst size.
+const batchDrain = 64
+
+// Feed offers one packet to its owner shard's ring from any producer
+// goroutine. It returns false when that ring is full (the packet is
+// dropped and counted; read RingDrops).
+//
+//fv:hotpath
+func (ss *ShardedScheduler) Feed(lbl *tree.Label, size int) bool {
+	return ss.rings[ss.owner[lbl.Leaf.ID]].push(lbl, size)
+}
+
+// serveShardOwner is shard w's service loop: drain the feed ring, run
+// the shard-local batch path, repeat. Sole owner of w and of the ring's
+// consumer side.
+func (ss *ShardedScheduler) serveShardOwner(w *shardWorker) {
+	defer ss.wg.Done()
+	idle := 0
+	for {
+		n := w.ring.drainOwner(w.reqs)
+		if n == 0 {
+			if ss.stopped.Load() {
+				// Stop is requested and the ring is drained; one last
+				// check catches entries pushed before the flag landed.
+				if w.ring.drainOwner(w.reqs[:1]) == 0 {
+					return
+				}
+				n = 1
+			} else {
+				idle++
+				if idle > 64 {
+					runtime.Gosched() //fv:coldpath empty-ring backoff
+				}
+				continue
+			}
+		}
+		idle = 0
+		// Each worker hits the settlement check on its own clock; the
+		// TryLock inside elects a single reconciler.
+		ss.maybeSettle(ss.clk.Now())
+		w.sched.scheduleBatchOwner(w.reqs[:n], w.dec[:n], w.scratch)
+		w.done.Add(int64(n))
+	}
+}
+
+// StopWorkers drains the rings, stops the workers, and returns the
+// scheduler to inline mode. Safe to call once per StartWorkers.
+func (ss *ShardedScheduler) StopWorkers() {
+	if !ss.started.Load() || ss.stopped.Swap(true) {
+		return
+	}
+	ss.wg.Wait()
+	ss.started.Store(false)
+}
+
+// Processed reports how many packets the workers have scheduled since
+// StartWorkers. Exact after StopWorkers; a live snapshot before.
+func (ss *ShardedScheduler) Processed() int64 {
+	var total int64
+	for _, w := range ss.workers {
+		if w != nil {
+			total += w.done.Load()
+		}
+	}
+	return total
+}
+
+// RingDrops reports how many Feed offers were rejected ring-full across
+// all shards.
+func (ss *ShardedScheduler) RingDrops() uint64 {
+	var total uint64
+	for _, r := range ss.rings {
+		if r != nil {
+			total += r.Drops()
+		}
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"flowvalve/internal/telemetry"
+)
+
+// AttachTelemetry wires the sharded scheduler into a registry and
+// (optionally) a tracer: the same metric families as the plain
+// scheduler (see Scheduler.AttachTelemetry), with every per-shard lane
+// merged at export time. Counters sum across shard replicas — a
+// replica that owns none of a class's traffic contributes zeros, and
+// the root's per-replica lanes sum to the global picture. Gauges read
+// the owner replica, whose state is authoritative for rates and bucket
+// levels; the one exception is Γ, which sums like a counter because
+// every replica measures its own slice of root traffic.
+//
+// All shards share one tracer and one update-duration histogram (both
+// are internally sharded and concurrency-safe), so parallel workers
+// never contend on telemetry.
+func (ss *ShardedScheduler) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if ss.n == 1 {
+		ss.inner[0].AttachTelemetry(reg, tr)
+		return
+	}
+	if reg == nil && tr == nil {
+		for _, in := range ss.inner {
+			in.attachHooks(nil)
+		}
+		return
+	}
+	h := &telHooks{tracer: tr}
+	if reg != nil {
+		h.updateDur = reg.Histogram("fv_update_duration_ns", //fv:metric-ok merged shard export of the plain scheduler's family
+			"Scheduler-clock duration of one class update subprocedure (epoch roll).",
+			telemetry.DurationBucketsNs)
+		for _, c := range ss.tree.Classes() {
+			owner := &ss.inner[ss.owner[c.ID]].states[c.ID]
+			lb := telemetry.Label{Key: "class", Value: c.Name}
+			sum := func(read func(*classState) float64) func() float64 {
+				states := make([]*classState, ss.n)
+				for k, in := range ss.inner {
+					states[k] = &in.states[c.ID]
+				}
+				return func() float64 {
+					var v float64
+					for _, st := range states {
+						v += read(st)
+					}
+					return v
+				}
+			}
+			reg.GaugeFunc("fv_class_theta_bps", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Granted token rate θ in bits/second.",
+				func() float64 { return owner.theta.Load() * 8 }, lb)
+			reg.GaugeFunc("fv_class_gamma_bps", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Measured consumption rate Γ in bits/second.",
+				sum(func(st *classState) float64 { return st.est.Rate() * 8 }), lb)
+			reg.GaugeFunc("fv_class_lendable_bps", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Published lendable (shadow) rate in bits/second.",
+				func() float64 { return owner.lendRate.Load() * 8 }, lb)
+			reg.GaugeFunc("fv_class_bucket_tokens_bytes", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Current class bucket token level in bytes.",
+				func() float64 { return float64(owner.bucket.Tokens()) }, lb)
+			reg.GaugeFunc("fv_class_shadow_tokens_bytes", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Current shadow bucket token level in bytes.",
+				func() float64 { return float64(owner.shadow.Tokens()) }, lb)
+			reg.CounterFunc("fv_class_fwd_packets_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Packets forwarded by the scheduling function.",
+				sum(func(st *classState) float64 { return float64(st.fwdPkts.Load()) }), lb)
+			reg.CounterFunc("fv_class_fwd_bytes_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Bytes forwarded by the scheduling function.",
+				sum(func(st *classState) float64 { return float64(st.fwdBytes.Load()) }), lb)
+			reg.CounterFunc("fv_class_drop_packets_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Packets discarded by the specialized tail drop.",
+				sum(func(st *classState) float64 { return float64(st.dropPkts.Load()) }), lb)
+			reg.CounterFunc("fv_class_drop_bytes_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Bytes discarded by the specialized tail drop.",
+				sum(func(st *classState) float64 { return float64(st.dropBytes.Load()) }), lb)
+			reg.CounterFunc("fv_class_borrow_packets_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Packets admitted via a lender's shadow bucket or lease.",
+				sum(func(st *classState) float64 { return float64(st.borrowPkts.Load()) }), lb)
+			reg.CounterFunc("fv_class_mark_packets_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Packets forwarded carrying a congestion mark.",
+				sum(func(st *classState) float64 { return float64(st.markPkts.Load()) }), lb)
+			reg.CounterFunc("fv_class_lent_bytes_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Bytes granted to borrowers from this class's shadow bucket.",
+				sum(func(st *classState) float64 { return float64(st.lentBytes.Load()) }), lb)
+			reg.CounterFunc("fv_class_updates_total", //fv:metric-ok merged shard export of the plain scheduler's family
+				"Update-subprocedure executions (epoch rolls).",
+				sum(func(st *classState) float64 { return float64(st.updates.Load()) }), lb)
+		}
+	}
+	for _, in := range ss.inner {
+		in.attachHooks(h)
+	}
+}

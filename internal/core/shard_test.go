@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"flowvalve/internal/clock"
+	"flowvalve/internal/faults"
+	"flowvalve/internal/sched/tree"
+)
+
+// tenantTree builds the canonical sharding policy: `tenants` top-level
+// subtrees, each holding one leaf guaranteed half its fair share and
+// borrowing the rest from root — so root is the only split class and
+// its shadow bucket is the cross-shard lender.
+func tenantTree(t *testing.T, tenants int) *tree.Tree {
+	t.Helper()
+	b := tree.NewBuilder().Root("root", 10e9)
+	for k := 0; k < tenants; k++ {
+		tn := fmt.Sprintf("tenant%d", k)
+		b.Add(tree.ClassSpec{Name: tn, Parent: "root", Weight: 1})
+		b.Add(tree.ClassSpec{
+			Name: fmt.Sprintf("t%dapp", k), Parent: tn, Weight: 1,
+			RateBps:    10e9 / float64(2*tenants),
+			BorrowFrom: []string{"root"},
+		})
+	}
+	return b.MustBuild()
+}
+
+func tenantLabels(t *testing.T, tr *tree.Tree, tenants int) []*tree.Label {
+	t.Helper()
+	labels := make([]*tree.Label, tenants)
+	for k := 0; k < tenants; k++ {
+		lbl, ok := tr.LabelByName(fmt.Sprintf("t%dapp", k))
+		if !ok {
+			t.Fatalf("leaf t%dapp missing", k)
+		}
+		labels[k] = lbl
+	}
+	return labels
+}
+
+func newShardedT(t *testing.T, tr *tree.Tree, clk clock.Clock, shards int) *ShardedScheduler {
+	t.Helper()
+	ss, err := NewSharded(tr, clk, Config{}, ShardConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func TestShardConfigDefaults(t *testing.T) {
+	sched := Config{}.Defaults()
+	scfg := ShardConfig{}.Defaults(sched)
+	if scfg.Shards != 1 {
+		t.Fatalf("default Shards = %d, want 1", scfg.Shards)
+	}
+	if scfg.SettleEveryNs != 4*sched.UpdateIntervalNs {
+		t.Fatalf("default SettleEveryNs = %d, want %d", scfg.SettleEveryNs, 4*sched.UpdateIntervalNs)
+	}
+	if scfg.RingPkts != 1024 {
+		t.Fatalf("default RingPkts = %d, want 1024", scfg.RingPkts)
+	}
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	tr := tree.NewBuilder().Root("r", 1e9).MustBuild()
+	clk := clock.NewManual(0)
+	if _, err := NewSharded(nil, clk, Config{}, ShardConfig{}); err == nil {
+		t.Fatal("NewSharded with nil tree succeeded")
+	}
+	if _, err := NewSharded(tr, nil, Config{}, ShardConfig{}); err == nil {
+		t.Fatal("NewSharded with nil clock succeeded")
+	}
+}
+
+// N=1 sharded must be bit-identical to the plain scheduler: same
+// decisions packet for packet, same snapshot down to the float.
+func TestShardedSingleShardMatchesPlain(t *testing.T) {
+	tr := tenantTree(t, 4)
+	labels := tenantLabels(t, tr, 4)
+	clk := clock.NewManual(0)
+	plain, err := New(tr, clk, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := newShardedT(t, tr, clk, 1)
+
+	for i := 0; i < 20000; i++ {
+		lbl := labels[i%len(labels)]
+		size := 200 + i%1300
+		d1 := plain.Schedule(lbl, size)
+		d2 := ss.Schedule(lbl, size)
+		if d1 != d2 {
+			t.Fatalf("packet %d: plain %+v vs sharded(1) %+v", i, d1, d2)
+		}
+		if i%8 == 7 {
+			clk.Advance(20_000)
+		}
+	}
+
+	reqs := make([]Request, 64)
+	out1 := make([]Decision, 64)
+	out2 := make([]Decision, 64)
+	for b := 0; b < 200; b++ {
+		for i := range reqs {
+			reqs[i] = Request{Label: labels[(b+i)%len(labels)], Size: 300 + (b*7+i)%1200}
+		}
+		plain.ScheduleBatch(reqs, out1)
+		ss.ScheduleBatch(reqs, out2)
+		for i := range reqs {
+			if out1[i] != out2[i] {
+				t.Fatalf("batch %d packet %d: plain %+v vs sharded(1) %+v", b, i, out1[i], out2[i])
+			}
+		}
+		clk.Advance(50_000)
+	}
+
+	s1, s2 := plain.Snapshot(), ss.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("snapshots diverged between plain and sharded(1)")
+	}
+}
+
+// The partition is deterministic, co-locates whole top-level subtrees,
+// keeps root on shard 0, and leaves no shard empty when there are at
+// least as many subtrees as shards.
+func TestPartitionDeterministicCoLocatedBalanced(t *testing.T) {
+	tr := tenantTree(t, 8)
+	clk := clock.NewManual(0)
+	a := newShardedT(t, tr, clk, 4)
+	b := newShardedT(t, tr, clk, 4)
+
+	root := tr.Root()
+	if a.owner[root.ID] != 0 {
+		t.Fatalf("root owned by shard %d, want 0", a.owner[root.ID])
+	}
+	used := make(map[int32]bool)
+	for _, top := range root.Children {
+		sh := a.owner[top.ID]
+		used[sh] = true
+		var walk func(c *tree.Class)
+		walk = func(c *tree.Class) {
+			if a.owner[c.ID] != sh {
+				t.Fatalf("class %s on shard %d, subtree top %s on shard %d: subtree split",
+					c.Name, a.owner[c.ID], top.Name, sh)
+			}
+			for _, ch := range c.Children {
+				walk(ch)
+			}
+		}
+		walk(top)
+	}
+	if len(used) != 4 {
+		t.Fatalf("8 subtrees landed on %d of 4 shards; greedy placement should fill all", len(used))
+	}
+	for _, c := range tr.Classes() {
+		if a.owner[c.ID] != b.owner[c.ID] {
+			t.Fatalf("partition not deterministic at class %s", c.Name)
+		}
+	}
+}
+
+// Inline sharded batching partitions stably: each shard's sub-batch is
+// the in-order subsequence of its requests, so feeding those
+// subsequences to an identical scheduler reproduces the mixed batch's
+// decisions element for element.
+func TestShardedBatchEqualsPerShardSubsequences(t *testing.T) {
+	tr := tenantTree(t, 8)
+	labels := tenantLabels(t, tr, 8)
+	clk := clock.NewManual(0)
+	mixed := newShardedT(t, tr, clk, 4)
+	split := newShardedT(t, tr, clk, 4)
+
+	const n = 96
+	reqs := make([]Request, n)
+	out := make([]Decision, n)
+	for b := 0; b < 50; b++ {
+		for i := range reqs {
+			reqs[i] = Request{Label: labels[(i*3+b)%len(labels)], Size: 400 + (i*13+b)%1100}
+		}
+		mixed.ScheduleBatch(reqs, out)
+
+		for k := 0; k < split.Shards(); k++ {
+			var sub []Request
+			var pos []int
+			for i := range reqs {
+				if split.ShardOf(reqs[i].Label) == k {
+					sub = append(sub, reqs[i])
+					pos = append(pos, i)
+				}
+			}
+			if len(sub) == 0 {
+				continue
+			}
+			subOut := make([]Decision, len(sub))
+			split.ScheduleBatch(sub, subOut)
+			for j, i := range pos {
+				if out[i] != subOut[j] {
+					t.Fatalf("batch %d shard %d: mixed out[%d] = %+v, subsequence %+v", b, k, i, out[i], subOut[j])
+				}
+			}
+		}
+		clk.Advance(60_000)
+	}
+}
+
+// Cross-shard lending conserves tokens: every byte forwarded on a
+// lease shows up — after settlement — in the lender's merged lending
+// ledger, and the reconciler's grant/consume books balance exactly.
+func TestCrossShardLeaseConservation(t *testing.T) {
+	tr := tenantTree(t, 4)
+	labels := tenantLabels(t, tr, 4)
+	clk := clock.NewManual(0)
+	ss := newShardedT(t, tr, clk, 2)
+
+	root := tr.Root()
+	// Drive only leaves owned by the shard that does NOT own root, so
+	// every root borrow goes through a lease.
+	var remote []*tree.Label
+	for _, lbl := range labels {
+		if int32(ss.ShardOf(lbl)) != ss.owner[root.ID] {
+			remote = append(remote, lbl)
+		}
+	}
+	if len(remote) == 0 {
+		t.Fatal("partition left no tenant off root's shard")
+	}
+
+	var borrowed, forwarded int64
+	const size = 1500
+	for i := 0; i < 400_000; i++ {
+		d := ss.Schedule(remote[i%len(remote)], size)
+		if d.Verdict == Forward {
+			forwarded += size
+			if d.Borrowed {
+				if d.Lender != root {
+					t.Fatalf("packet %d borrowed from %s, want root", i, d.Lender.Name)
+				}
+				borrowed += size
+			}
+		}
+		// ~4.8Gbps offered per remote leaf at 1500B / 2.5µs.
+		clk.Advance(2_500)
+	}
+	ss.ForceSettle()
+
+	if borrowed == 0 {
+		t.Fatal("no packets were forwarded on a cross-shard lease")
+	}
+	if got := ss.StatsFor(root).LentBytes; got != borrowed {
+		t.Fatalf("root LentBytes = %d after settlement, want %d (lease-forwarded bytes)", got, borrowed)
+	}
+	if ss.Settles() == 0 {
+		t.Fatal("no settlements ran despite epochs elapsing")
+	}
+
+	// The reconciler's books: granted = consumed + remaining balance,
+	// per lender per borrower shard, with no negative balances.
+	for li := range ss.lenders {
+		L := &ss.lenders[li]
+		for bi, k := range L.borrowers {
+			ls := &ss.inner[k].shard.leases[L.slot]
+			bal := ls.tokens.Load()
+			if bal < 0 {
+				t.Fatalf("lender %s shard %d: negative lease balance %d", L.c.Name, k, bal)
+			}
+			if consumed := ls.consumed.Load(); L.granted[bi] != consumed+bal {
+				t.Fatalf("lender %s shard %d: granted %d ≠ consumed %d + balance %d",
+					L.c.Name, k, L.granted[bi], consumed, bal)
+			}
+		}
+	}
+}
+
+// Root token rates are reconciled globally: a shard's idle tenants
+// must not let another shard's replica over-grant its own tenants, and
+// the per-tenant θ written back at settlement reflects all shards'
+// demand.
+func TestSettlementDistributesRootRates(t *testing.T) {
+	tr := tenantTree(t, 4)
+	labels := tenantLabels(t, tr, 4)
+	clk := clock.NewManual(0)
+	ss := newShardedT(t, tr, clk, 2)
+
+	// Saturate every tenant so the condition templates see demand
+	// everywhere.
+	for i := 0; i < 400_000; i++ {
+		ss.Schedule(labels[i%len(labels)], 1500)
+		clk.Advance(600)
+	}
+	ss.ForceSettle()
+
+	var sum float64
+	for _, top := range tr.Root().Children {
+		theta := ss.Theta(top)
+		if theta <= 0 {
+			t.Fatalf("tenant %s granted θ=0 after settlement under saturation", top.Name)
+		}
+		sum += theta
+	}
+	rootTheta := ss.Theta(tr.Root())
+	if sum > rootTheta*1.01 {
+		t.Fatalf("tenant θ sum %.3g exceeds root θ %.3g: settlement over-granted", sum, rootTheta)
+	}
+}
+
+// Shard-targeted fault events reach only the named shard, the derived
+// per-shard seeds keep shard 0 on the plan's own stream, and malformed
+// or out-of-range targets are rejected.
+func TestShardedFaultRouting(t *testing.T) {
+	tr := tenantTree(t, 8)
+	labels := tenantLabels(t, tr, 8)
+	clk := clock.NewManual(0)
+	ss := newShardedT(t, tr, clk, 4)
+
+	plan := &faults.Plan{Seed: 7, Events: []faults.Event{{
+		Kind: faults.KindLockContention, AtNs: 0, DurationNs: 1e12, Prob: 1, Shard: "shard1",
+	}}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	// The original plan must not be mutated by routing.
+	if plan.Events[0].Shard != "shard1" {
+		t.Fatalf("ApplyFaults mutated the caller's plan: Shard=%q", plan.Events[0].Shard)
+	}
+	for i := 0; i < 100_000; i++ {
+		ss.Schedule(labels[i%len(labels)], 1000)
+		clk.Advance(1_000)
+	}
+	for k, in := range ss.inner {
+		misses := in.InjectedFaults().LockMisses
+		if k == 1 && misses == 0 {
+			t.Fatal("shard1 saw no injected lock misses despite prob-1 targeting")
+		}
+		if k != 1 && misses != 0 {
+			t.Fatalf("shard %d saw %d lock misses from a shard1-targeted event", k, misses)
+		}
+	}
+	if total := ss.InjectedFaults().LockMisses; total != ss.inner[1].InjectedFaults().LockMisses {
+		t.Fatalf("merged LockMisses %d ≠ shard1's %d", total, ss.inner[1].InjectedFaults().LockMisses)
+	}
+
+	bad := &faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e9, Shard: "shard9",
+	}}}
+	if err := ss.ApplyFaults(bad); err == nil {
+		t.Fatal("out-of-range shard target accepted")
+	}
+	malformed := faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e9, Shard: "shardx",
+	}}}
+	if err := malformed.Validate(); err == nil {
+		t.Fatal("malformed shard name validated")
+	}
+	nonSched := faults.Plan{Events: []faults.Event{{
+		Kind: faults.KindCoreStall, AtNs: 0, DurationNs: 1e9, Cores: 4, Shard: "shard0",
+	}}}
+	if err := nonSched.Validate(); err == nil {
+		t.Fatal("shard targeting on a NIC-scoped fault validated")
+	}
+}
+
+// The inline sharded batch path is allocation-free at steady state —
+// the partition scratch pools and the per-shard batch scratches never
+// escape to the heap per call.
+func TestShardedInlineBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	tr := tenantTree(t, 8)
+	labels := tenantLabels(t, tr, 8)
+	clk := clock.NewManual(0)
+	ss := newShardedT(t, tr, clk, 4)
+
+	reqs := make([]Request, 64)
+	out := make([]Decision, 64)
+	for i := range reqs {
+		reqs[i] = Request{Label: labels[i%len(labels)], Size: 1000}
+	}
+	// Warm: grow pooled scratch to the batch size and roll first epochs.
+	for i := 0; i < 10; i++ {
+		ss.ScheduleBatch(reqs, out)
+		clk.Advance(60_000)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ss.ScheduleBatch(reqs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("inline sharded ScheduleBatch allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// Parallel mode under chaos: workers on a wall clock, concurrent
+// producers, shard-targeted faults armed. Every fed packet is
+// scheduled exactly once and the fault windows only touch their
+// targets. Run with -race (and -tags fvassert for the conservation
+// asserts) in CI.
+func TestShardedParallelChaosSoak(t *testing.T) {
+	tr := tenantTree(t, 8)
+	labels := tenantLabels(t, tr, 8)
+	ss, err := NewSharded(tr, clock.NewWall(), Config{}, ShardConfig{Shards: 4, RingPkts: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Seed: 42, Events: []faults.Event{
+		{Kind: faults.KindLockContention, AtNs: 0, DurationNs: 1e12, Prob: 0.5, Shard: "shard1"},
+		{Kind: faults.KindEpochDelay, AtNs: 0, DurationNs: 1e12, DelayNs: 200_000, Shard: "shard2"},
+		{Kind: faults.KindEpochDrop, AtNs: 0, DurationNs: 1e12, Prob: 0.2},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.ApplyFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ss.StartWorkers(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.StartWorkers(); err == nil {
+		t.Fatal("second StartWorkers succeeded")
+	}
+
+	const producers, perProducer = 4, 50_000
+	var pushed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var ok int64
+			for i := 0; i < perProducer; i++ {
+				lbl := labels[(p+i)%len(labels)]
+				if ss.Feed(lbl, 64+i%1400) {
+					ok++
+				} else {
+					runtime.Gosched()
+				}
+			}
+			mu.Lock()
+			pushed += ok
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	ss.StopWorkers()
+
+	if got := ss.Processed(); got != pushed {
+		t.Fatalf("workers processed %d packets, producers pushed %d", got, pushed)
+	}
+	if pushed+int64(ss.RingDrops()) != producers*perProducer {
+		t.Fatalf("pushed %d + ring drops %d ≠ offered %d", pushed, ss.RingDrops(), producers*perProducer)
+	}
+	var fwd, drop int64
+	for _, st := range ss.Snapshot() {
+		fwd += st.FwdPkts
+		drop += st.DropPkts
+	}
+	if fwd+drop != pushed {
+		t.Fatalf("forwarded %d + dropped %d ≠ scheduled %d: packets lost or double-counted", fwd, drop, pushed)
+	}
+	if ss.inner[1].InjectedFaults().LockMisses == 0 {
+		t.Error("shard1 lock-contention window never fired under load")
+	}
+	if ss.inner[0].InjectedFaults().LockMisses != 0 {
+		t.Error("shard0 saw lock misses from a shard1-targeted event")
+	}
+
+	// Inline mode resumes after StopWorkers.
+	if d := ss.Schedule(labels[0], 1000); d.Verdict != Forward && d.Verdict != Drop {
+		t.Fatalf("inline Schedule after StopWorkers returned %+v", d)
+	}
+}

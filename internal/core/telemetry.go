@@ -100,6 +100,13 @@ func (s *Scheduler) AttachTelemetry(reg *telemetry.Registry, tr *telemetry.Trace
 	s.tel.Store(h)
 }
 
+// attachHooks installs pre-built observability hooks without touching a
+// registry — the sharded scheduler's path: every shard replica shares
+// one tracer and one update-duration histogram (both concurrency-safe),
+// while metric families are registered once, merged, by the
+// ShardedScheduler itself (see shard_telemetry.go).
+func (s *Scheduler) attachHooks(h *telHooks) { s.tel.Store(h) }
+
 // trace records one sampled scheduling decision. seq is the packet's
 // ordinal within its leaf's forward (or drop) stream — the per-class
 // statistics counters double as the sampling lattice, so the unsampled

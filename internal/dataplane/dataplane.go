@@ -195,6 +195,32 @@ type FlowCacher interface {
 	FlowCacheStats() FlowCacheStats
 }
 
+// Sharder is implemented by scheduling functions that partition the
+// class tree across N scheduler shards (core.ShardedScheduler).
+// Consumers probe for it to model per-shard feed queues: the NIC
+// charges a steering cost per packet and a doorbell per shard lane it
+// touches in a burst, and bounds each lane like a hardware feed ring.
+// A scheduler that does not implement Sharder — or one reporting a
+// single shard — is driven exactly as before.
+type Sharder interface {
+	// Shards reports the number of scheduler shards (≥ 1).
+	Shards() int
+	// ShardOf reports which shard owns (and must schedule) the label's
+	// leaf class.
+	ShardOf(lbl *tree.Label) int
+}
+
+// ShardsOf probes s for sharding, returning the shard count and the
+// Sharder when s is sharded (shards > 1), or (1, nil) otherwise.
+func ShardsOf(s Scheduler) (int, Sharder) {
+	if sh, ok := s.(Sharder); ok {
+		if n := sh.Shards(); n > 1 {
+			return n, sh
+		}
+	}
+	return 1, nil
+}
+
 // FaultInjectable is implemented by backends that expose fault-injection
 // hook points (the NIC model; the software baselines do not — harnesses
 // probe and skip them when a fault plan is configured).

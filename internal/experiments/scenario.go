@@ -74,6 +74,11 @@ type TCPScenario struct {
 	FlowCache classifier.CacheConfig
 	// Sched configures the FlowValve scheduler; zero takes defaults.
 	Sched core.Config
+	// Shards, when positive, runs the FlowValve scheduler through the
+	// sharded engine with that many shards (1 reproduces the plain
+	// scheduler's decisions through the sharded code path). Zero keeps
+	// the plain single-engine scheduler.
+	Shards int
 	// MeasureLatency records per-packet one-way delay when true.
 	MeasureLatency bool
 	// Telemetry, when non-nil, receives the scheduler's and NIC model's
@@ -130,6 +135,9 @@ type Result struct {
 	// Sched is the FlowValve scheduler (for snapshots); nil for
 	// baselines.
 	Sched *core.Scheduler
+	// ShardSched is the sharded FlowValve engine when the scenario set
+	// Shards > 0 (Sched is then nil).
+	ShardSched *core.ShardedScheduler
 	// CoresUsed is the host CPU cores consumed by a software baseline
 	// over the run (0 for FlowValve — scheduling is offloaded).
 	CoresUsed float64
@@ -282,6 +290,7 @@ func buildFlowValve(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, re
 		return nil, err
 	}
 	var sched *core.Scheduler
+	var ssched *core.ShardedScheduler
 	if withSched {
 		// The scheduler reads the engine clock — unless the fault plan
 		// jitters it, in which case the scheduler sees the perturbed
@@ -294,6 +303,29 @@ func buildFlowValve(eng *sim.Engine, sc *TCPScenario, cb dataplane.Callbacks, re
 				sc.inj.Register(jc)
 				clk = jc
 			}
+		}
+		if sc.Shards > 0 {
+			// Sharded engine: shards are drained inline within each NIC
+			// service event, so runs stay deterministic. The watchdog
+			// monitors a single engine's epoch health and does not apply
+			// here — the reconciler owns cross-shard recovery.
+			ssched, err = core.NewSharded(sc.Tree, clk, sc.Sched, core.ShardConfig{Shards: sc.Shards})
+			if err != nil {
+				return nil, err
+			}
+			if sc.Telemetry != nil {
+				ssched.AttachTelemetry(sc.Telemetry, sc.Tracer)
+			}
+			res.ShardSched = ssched
+			dev, err := nic.New(eng, sc.NIC, cls, ssched, nic.Callbacks{
+				OnDeliver: cb.OnDeliver,
+				OnDrop:    func(p *packet.Packet, _ nic.DropReason) { cb.OnDrop(p) },
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.finish = append(res.finish, func() { res.NICStats = dev.Stats() })
+			return dev, nil
 		}
 		sched, err = core.New(sc.Tree, clk, sc.Sched)
 		if err != nil {

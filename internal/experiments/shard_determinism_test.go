@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"flowvalve/internal/fvconf"
+	"flowvalve/internal/nic"
+	"flowvalve/internal/telemetry"
+)
+
+// shardDeterminismRun executes one seeded FlowValve scenario through the
+// sharded engine (shards == 0 keeps the plain scheduler) with the full
+// observability stack attached, and reduces everything observable to
+// strings. Four fair-queue classes with all-pairs borrow labels, so a
+// multi-shard partition exercises cross-shard leases.
+func shardDeterminismRun(t *testing.T, shards int) (metrics string, traces string, latency string) {
+	t.Helper()
+	script, err := fvconf.Parse(fvconf.FairQueueScript("40gbit", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, rules, err := script.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(4, 4096)
+	sc := TCPScenario{
+		DurationNs: 5e8,
+		BinNs:      1e8,
+		Apps: []AppSpec{
+			{App: 0, Conns: 2, StartNs: 0},
+			{App: 1, Conns: 2, StartNs: 0},
+			{App: 2, Conns: 1, StartNs: 0},
+			{App: 3, Conns: 1, StartNs: 1e8},
+		},
+		Tree:           tr,
+		Rules:          rules,
+		DefaultClass:   script.DefaultClass,
+		NIC:            nic.Config{WireRateBps: 40e9, WirePorts: 2, BatchSize: 8},
+		Shards:         shards,
+		Telemetry:      reg,
+		Tracer:         tracer,
+		MeasureLatency: true,
+	}
+	res, err := RunFlowValveTCP(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards > 0 {
+		if res.ShardSched == nil {
+			t.Fatal("Shards > 0 but Result.ShardSched is nil")
+		}
+		if res.Sched != nil {
+			t.Fatal("sharded run also populated Result.Sched")
+		}
+		if got := res.ShardSched.Shards(); got != shards {
+			t.Fatalf("engine has %d shards, scenario asked for %d", got, shards)
+		}
+	}
+	var lat string
+	if res.Latency != nil {
+		lat = fmt.Sprintf("n=%d mean=%v std=%v p50=%v p99=%v max=%v",
+			res.Latency.Count(), res.Latency.MeanUs(), res.Latency.StdUs(),
+			res.Latency.PercentileUs(50), res.Latency.PercentileUs(99), res.Latency.MaxUs())
+	}
+	return reg.Dump(), fmt.Sprintf("%+v", tracer.Drain()), lat
+}
+
+// TestShardedSeededRunsIdentical pins the sharded engine's determinism:
+// with shards drained inline inside each DES service event (no worker
+// goroutines), two identical seeded runs at any shard count must produce
+// bit-identical metric dumps, decision traces, and latency summaries.
+func TestShardedSeededRunsIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			m1, t1, l1 := shardDeterminismRun(t, n)
+			m2, t2, l2 := shardDeterminismRun(t, n)
+			if m1 != m2 {
+				t.Errorf("metric dumps differ between identical seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", m1, m2)
+			}
+			if t1 != t2 {
+				t.Errorf("decision traces differ between identical seeded runs")
+			}
+			if l1 != l2 {
+				t.Errorf("latency summaries differ:\nrun 1: %s\nrun 2: %s", l1, l2)
+			}
+			if m1 == "" {
+				t.Fatal("metric dump is empty; telemetry was not attached")
+			}
+		})
+	}
+}
+
+// TestShardedOneShardMatchesPlain pins the refactor's compatibility
+// floor: a single-shard engine must replay the plain scheduler exactly —
+// same decisions in the same order, so every observable artifact of a
+// seeded run (metric dump, trace ring, latency summary) is bit-identical
+// to the pre-refactor single-engine path.
+func TestShardedOneShardMatchesPlain(t *testing.T) {
+	mp, tp, lp := shardDeterminismRun(t, 0)
+	ms, ts, ls := shardDeterminismRun(t, 1)
+	if mp != ms {
+		t.Errorf("single-shard metric dump diverged from the plain scheduler:\n--- plain ---\n%s\n--- shards=1 ---\n%s", mp, ms)
+	}
+	if tp != ts {
+		t.Errorf("single-shard decision trace diverged from the plain scheduler")
+	}
+	if lp != ls {
+		t.Errorf("latency summaries diverged:\nplain:    %s\nshards=1: %s", lp, ls)
+	}
+}

@@ -122,6 +122,28 @@ type Event struct {
 	// Classes restricts a scheduler-scoped fault to the named classes
 	// (empty = every class).
 	Classes []string `json:"classes,omitempty"`
+	// Shard restricts a scheduler-scoped fault to one scheduler shard,
+	// named "shard0".."shardN-1" (empty = every shard). A single-shard
+	// scheduler is "shard0", so plans stay valid across shard counts.
+	Shard string `json:"shard,omitempty"`
+}
+
+// ShardIndex parses a Shard field of the form "shard<k>", reporting the
+// index and whether the name is well-formed.
+func ShardIndex(s string) (int, bool) {
+	const prefix = "shard"
+	if len(s) <= len(prefix) || s[:len(prefix)] != prefix {
+		return 0, false
+	}
+	k := 0
+	for i := len(prefix); i < len(s); i++ {
+		d := s[i]
+		if d < '0' || d > '9' || k > (1<<30) {
+			return 0, false
+		}
+		k = k*10 + int(d-'0')
+	}
+	return k, true
 }
 
 // EndNs returns the instant the event's effect ends.
@@ -165,6 +187,14 @@ func (p *Plan) Validate() error {
 		}
 		if e.Prob < 0 || e.Prob > 1 {
 			return fmt.Errorf("faults: event %d (%s): prob %g outside [0,1]", i, e.Kind, e.Prob)
+		}
+		if e.Shard != "" {
+			if !e.Kind.SchedulerScoped() {
+				return fmt.Errorf("faults: event %d (%s): shard targeting is scheduler-scoped only", i, e.Kind)
+			}
+			if _, ok := ShardIndex(e.Shard); !ok {
+				return fmt.Errorf("faults: event %d (%s): malformed shard %q (want \"shard<k>\")", i, e.Kind, e.Shard)
+			}
 		}
 		needDuration := e.Kind != KindCacheFlush
 		if needDuration && e.DurationNs <= 0 {

@@ -182,3 +182,50 @@ func TestNewInjectorValidates(t *testing.T) {
 		t.Fatal("nil engine accepted")
 	}
 }
+
+func TestShardIndex(t *testing.T) {
+	for _, tc := range []struct {
+		in string
+		k  int
+		ok bool
+	}{
+		{"shard0", 0, true},
+		{"shard3", 3, true},
+		{"shard17", 17, true},
+		{"shard", 0, false},
+		{"shardx", 0, false},
+		{"shard-1", 0, false},
+		{"shard03x", 0, false},
+		{"0", 0, false},
+		{"", 0, false},
+		{"Shard0", 0, false},
+		{"shard99999999999999999999", 0, false},
+	} {
+		k, ok := ShardIndex(tc.in)
+		if ok != tc.ok || (ok && k != tc.k) {
+			t.Errorf("ShardIndex(%q) = (%d, %v), want (%d, %v)", tc.in, k, ok, tc.k, tc.ok)
+		}
+	}
+}
+
+func TestPlanValidateShardTargets(t *testing.T) {
+	good := Plan{Events: []Event{
+		{Kind: KindLockContention, AtNs: 0, DurationNs: 10, Shard: "shard2"},
+		{Kind: KindEpochDrop, AtNs: 0, DurationNs: 10},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid shard-targeted plan rejected: %v", err)
+	}
+	malformed := Plan{Events: []Event{
+		{Kind: KindEpochDelay, AtNs: 0, DurationNs: 10, DelayNs: 5, Shard: "shard-two"},
+	}}
+	if err := malformed.Validate(); err == nil {
+		t.Fatal("malformed shard name accepted")
+	}
+	nicScoped := Plan{Events: []Event{
+		{Kind: KindRxOverflow, AtNs: 0, DurationNs: 10, RingCap: 4, Shard: "shard0"},
+	}}
+	if err := nicScoped.Validate(); err == nil {
+		t.Fatal("shard targeting on a NIC-scoped kind accepted")
+	}
+}

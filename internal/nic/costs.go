@@ -49,6 +49,13 @@ type CostModel struct {
 	// TxEnqueue covers the traffic-manager enqueue of forwarded
 	// packets.
 	TxEnqueue int64
+	// ShardSteer is charged per classified packet when the scheduling
+	// function is sharded: the owner-shard hash plus the feed-ring
+	// ticket CAS that steers the packet to its shard engine.
+	ShardSteer int64
+	// ShardDoorbell is charged once per shard feed lane a service burst
+	// touches: the write that wakes the shard engine to drain its ring.
+	ShardDoorbell int64
 	// MemStall is the per-packet memory-access latency (DMA pulls,
 	// CTM/DRAM reads) in cycles. It adds to a packet's service LATENCY
 	// but not to a micro-engine's occupancy as long as the ME has
@@ -94,6 +101,12 @@ func (c CostModel) Defaults() CostModel {
 	}
 	if c.TxEnqueue <= 0 {
 		c.TxEnqueue = 400
+	}
+	if c.ShardSteer <= 0 {
+		c.ShardSteer = 20
+	}
+	if c.ShardDoorbell <= 0 {
+		c.ShardDoorbell = 80
 	}
 	if c.MemStall <= 0 {
 		c.MemStall = 3000

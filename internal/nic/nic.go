@@ -41,6 +41,10 @@ const (
 	// DropUnclassified means no filter rule matched and no default
 	// class exists.
 	DropUnclassified
+	// DropShardRing means the packet's scheduler-shard feed ring was
+	// full: the classifier steered it to its owner shard but the burst
+	// overflowed that shard's bounded feed lane.
+	DropShardRing
 )
 
 // String names the drop reason.
@@ -54,6 +58,8 @@ func (r DropReason) String() string {
 		return "tm"
 	case DropUnclassified:
 		return "unclassified"
+	case DropShardRing:
+		return "shard-ring"
 	default:
 		return "invalid"
 	}
@@ -111,6 +117,12 @@ type Config struct {
 	// unloaded NIC still services packets as they arrive. The default
 	// of 1 preserves the unbatched per-packet pipeline exactly.
 	BatchSize int
+	// ShardRingPkts bounds each scheduler-shard feed ring when the
+	// attached scheduling function is sharded (dataplane.Sharder with
+	// more than one shard): a burst steers each classified packet into
+	// its owner shard's lane and an overfull lane drops the packet
+	// (DropShardRing). Ignored for single-shard schedulers.
+	ShardRingPkts int
 	// FixedLatencyNs is the constant pipeline latency outside the
 	// modelled stages (PCIe DMA, MAC, SerDes).
 	FixedLatencyNs int64
@@ -153,6 +165,9 @@ func (c Config) Defaults() Config {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 1
 	}
+	if c.ShardRingPkts <= 0 {
+		c.ShardRingPkts = 256
+	}
 	if c.FixedLatencyNs <= 0 {
 		// PCIe DMA, MAC and SerDes stages plus receiver turnaround:
 		// the constant part of the paper's one-way-delay floor (the
@@ -172,6 +187,9 @@ type Stats struct {
 	RxRingDrops  uint64
 	TMDrops      uint64
 	Unclassified uint64
+	// ShardRingDrops counts packets lost to a full scheduler-shard
+	// feed ring (sharded scheduling functions only).
+	ShardRingDrops uint64
 	// BufferDrops counts packets rejected because the buffer pool was
 	// exhausted (freed buffers not yet recycled by the manager core).
 	BufferDrops uint64
@@ -212,6 +230,11 @@ type NIC struct {
 	batchDecs   []dataplane.Decision
 	batchFwd    []bool
 	batchReason []DropReason
+	// batchShard / batchShardDrop carry each burst packet's steered
+	// shard (-1 unclassified) and whether it was lost to a full shard
+	// feed lane before scheduling (sharded scheduling functions only).
+	batchShard     []int32
+	batchShardDrop []bool
 
 	clusters    []*cluster
 	nextCluster int
@@ -248,8 +271,30 @@ type NIC struct {
 	ringClamp int
 }
 
-// schedRef boxes the scheduler interface for atomic storage.
-type schedRef struct{ s dataplane.Scheduler }
+// schedRef boxes the scheduler interface for atomic storage, together
+// with the sharding capability probed once at install time: the shard
+// count, the steering function, and the per-shard feed-lane model the
+// burst service charges against. For a single-shard scheduler the
+// extras stay nil/1 and the service path is untouched.
+type schedRef struct {
+	s       dataplane.Scheduler
+	shards  int
+	shardOf func(lbl *tree.Label) int
+	lanes   *sim.Lanes
+}
+
+// newSchedRef probes s for sharding and builds its installable ref.
+func (n *NIC) newSchedRef(s dataplane.Scheduler) *schedRef {
+	ref := &schedRef{s: s, shards: 1}
+	if s != nil {
+		if k, sh := dataplane.ShardsOf(s); sh != nil {
+			ref.shards = k
+			ref.shardOf = sh.ShardOf
+			ref.lanes = sim.NewLanes(k, n.cfg.ShardRingPkts)
+		}
+	}
+	return ref
+}
 
 // scheduler returns the active scheduling function (nil = pass-through).
 func (n *NIC) scheduler() dataplane.Scheduler { return n.sched.Load().s }
@@ -297,7 +342,7 @@ func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched dataplan
 		pending:     make(map[uint64]completion),
 		freeBuffers: cfg.BufferPool,
 	}
-	n.sched.Store(&schedRef{s: sched})
+	n.sched.Store(n.newSchedRef(sched))
 	if cfg.Clusters > cfg.Cores {
 		cfg.Clusters = cfg.Cores
 		n.cfg.Clusters = cfg.Clusters
@@ -325,6 +370,8 @@ func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched dataplan
 		n.batchDecs = make([]dataplane.Decision, b)
 		n.batchFwd = make([]bool, b)
 		n.batchReason = make([]DropReason, b)
+		n.batchShard = make([]int32, b)
+		n.batchShardDrop = make([]bool, b)
 	}
 	return n, nil
 }
@@ -506,7 +553,8 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 		}
 	}
 
-	sched := n.scheduler()
+	ref := n.sched.Load()
+	sched := ref.s
 	forward := true
 	var reason DropReason
 	switch {
@@ -514,6 +562,12 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 		forward = false
 		reason = DropUnclassified
 	case sched != nil:
+		if ref.shards > 1 {
+			// Single-packet service still steers to the owner shard
+			// and rings its doorbell; a lone packet cannot overflow a
+			// feed lane, so no occupancy model is needed here.
+			cycles += n.cfg.Costs.ShardSteer + n.cfg.Costs.ShardDoorbell
+		}
 		// Tokens are charged in wire bytes (frame + preamble/IFG):
 		// the policy rates are link rates, and charging frame bytes
 		// only would over-subscribe the wire by the per-frame
@@ -596,16 +650,44 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	lbls := n.batchLbls[:k]
 	hits := n.batchHits[:k]
 	evs := n.batchEvict[:k]
-	n.cls.ClassifyBatchEv(batch, lbls, hits, evs)
 
-	// One scheduling pass over the classified packets.
-	sched := n.scheduler()
+	// One scheduling pass over the classified packets. A sharded
+	// scheduling function interposes the feed-lane model: the
+	// classifier fuses the shard steer into its batch pass (one steer
+	// per flow group), each classified packet fills its owner shard's
+	// bounded lane, and an overfull lane drops it before scheduling;
+	// the shard engines drain all lanes within this service event.
+	ref := n.sched.Load()
+	sched := ref.s
+	if ref.lanes != nil {
+		n.cls.ClassifyBatchSteerEv(batch, lbls, hits, evs, ref.shardOf, n.batchShard[:k])
+	} else {
+		n.cls.ClassifyBatchEv(batch, lbls, hits, evs)
+	}
 	var decs []dataplane.Decision
+	doorbells := 0
 	if sched != nil {
 		reqs := n.batchReqs[:0]
-		for i := 0; i < k; i++ {
-			if lbls[i] != nil {
+		if ref.lanes != nil {
+			shardDrop := n.batchShardDrop[:k]
+			for i := 0; i < k; i++ {
+				if lbls[i] == nil {
+					continue
+				}
+				if !ref.lanes.Offer(int(n.batchShard[i])) {
+					shardDrop[i] = true
+					continue
+				}
+				shardDrop[i] = false
 				reqs = append(reqs, dataplane.Request{Label: lbls[i], Size: batch[i].WireBytes()})
+			}
+			doorbells = ref.lanes.Touched()
+			ref.lanes.DrainAll()
+		} else {
+			for i := 0; i < k; i++ {
+				if lbls[i] != nil {
+					reqs = append(reqs, dataplane.Request{Label: lbls[i], Size: batch[i].WireBytes()})
+				}
 			}
 		}
 		n.batchReqs = reqs[:0]
@@ -618,7 +700,8 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	// Cycle charging: the fixed share of the pipeline stage is paid
 	// once per burst (out[0].Batched tells the model how many packets
 	// that charge covers); the remainder of every stage is per packet.
-	cycles := n.cfg.Costs.PipelineBatch
+	// Sharding adds one doorbell per shard lane the burst touched.
+	cycles := n.cfg.Costs.PipelineBatch + n.cfg.Costs.ShardDoorbell*int64(doorbells)
 	perPkt := n.cfg.Costs.Pipeline - n.cfg.Costs.PipelineBatch
 	di := 0
 	for i := 0; i < k; i++ {
@@ -638,7 +721,16 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 		case lbls[i] == nil:
 			forward = false
 			reason = DropUnclassified
+		case sched != nil && ref.lanes != nil && n.batchShardDrop[i]:
+			// Steered, but the shard's feed lane was full; the packet
+			// never reached the scheduling function.
+			pc += n.cfg.Costs.ShardSteer
+			forward = false
+			reason = DropShardRing
 		case sched != nil:
+			if ref.lanes != nil {
+				pc += n.cfg.Costs.ShardSteer
+			}
 			d := &decs[di]
 			di++
 			pc += n.cfg.Costs.SchedPerClass*int64(len(lbls[i].Path)) + n.cfg.Costs.Meter
@@ -707,6 +799,11 @@ func (n *NIC) completeService(p *packet.Packet, seq uint64, forward bool, reason
 			n.stats.Unclassified++
 			if n.tel != nil {
 				n.tel.dropUncl.Add(1)
+			}
+		case DropShardRing:
+			n.stats.ShardRingDrops++
+			if n.tel != nil {
+				n.tel.dropShardRing.Add(1)
 			}
 		}
 		n.drop(p, reason)
@@ -875,5 +972,5 @@ func (n *NIC) Swap(s dataplane.Scheduler) {
 	if v := reflect.ValueOf(s); s != nil && v.Kind() == reflect.Pointer && v.IsNil() {
 		s = nil
 	}
-	n.sched.Store(&schedRef{s: s})
+	n.sched.Store(n.newSchedRef(s))
 }

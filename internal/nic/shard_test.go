@@ -1,0 +1,187 @@
+package nic
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flowvalve/internal/classifier"
+	"flowvalve/internal/core"
+	"flowvalve/internal/dataplane"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/sim"
+)
+
+// shardRig bundles a NIC over a tenant tree with a sharded scheduling
+// function: app k maps to tenant k's leaf.
+type shardRig struct {
+	eng       *sim.Engine
+	nic       *NIC
+	sched     *core.ShardedScheduler
+	delivered int
+	drops     map[DropReason]int
+}
+
+func newShardRig(t *testing.T, cfg Config, tenants, shards int) *shardRig {
+	t.Helper()
+	b := tree.NewBuilder().Root("root", 40e9)
+	rules := make([]classifier.Rule, 0, tenants)
+	for k := 0; k < tenants; k++ {
+		tn := fmt.Sprintf("tenant%d", k)
+		leaf := fmt.Sprintf("t%dapp", k)
+		b.Add(tree.ClassSpec{Name: tn, Parent: "root", Weight: 1})
+		b.Add(tree.ClassSpec{Name: leaf, Parent: tn, Weight: 1})
+		rules = append(rules, classifier.Rule{App: k, Flow: classifier.AnyFlow, Class: leaf})
+	}
+	tr := b.MustBuild()
+	eng := sim.New()
+	cls, err := classifier.New(tr, rules, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewSharded(tr, eng.Clock(), core.Config{}, core.ShardConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &shardRig{eng: eng, sched: sched, drops: make(map[DropReason]int)}
+	r.nic, err = New(eng, cfg, cls, sched, Callbacks{
+		OnDeliver: func(p *packet.Packet) { r.delivered++ },
+		OnDrop:    func(p *packet.Packet, reason DropReason) { r.drops[reason]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// driveShardRig injects `per` packets per tenant, paced so every tenant
+// stays under its share.
+func (r *shardRig) drive(tenants, per int) {
+	alloc := &packet.Alloc{}
+	for k := 0; k < tenants; k++ {
+		app := packet.AppID(k)
+		for i := 0; i < per; i++ {
+			p := alloc.New(packet.FlowID(i%4), app, 1000, 0)
+			r.eng.At(int64(i)*40_000, func() { r.nic.Inject(p) })
+		}
+	}
+	r.eng.Run()
+}
+
+// A single-shard sharded scheduler must be cost-identical to the plain
+// scheduler on the NIC: no steer, no doorbells, no lanes — the exact
+// same cycle charges and drop accounting, per-packet and batched.
+func TestShardedOneShardCostIdentical(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		run := func(sharded bool) (Stats, int) {
+			tr := tree.NewBuilder().
+				Root("root", 40e9).
+				Add(tree.ClassSpec{Name: "leaf", Parent: "root"}).
+				MustBuild()
+			eng := sim.New()
+			cls, err := classifier.New(tr, []classifier.Rule{
+				{App: classifier.AnyApp, Flow: classifier.AnyFlow, Class: "leaf"},
+			}, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sched dataplane.Scheduler
+			if sharded {
+				s, err := core.NewSharded(tr, eng.Clock(), core.Config{}, core.ShardConfig{Shards: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sched = s
+			} else {
+				s, err := core.New(tr, eng.Clock(), core.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sched = s
+			}
+			delivered := 0
+			dev, err := New(eng, Config{BatchSize: batch}, cls, sched, Callbacks{
+				OnDeliver: func(p *packet.Packet) { delivered++ },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			alloc := &packet.Alloc{}
+			for i := 0; i < 500; i++ {
+				p := alloc.New(packet.FlowID(i%8), 0, 1000, 0)
+				eng.At(int64(i)*30_000, func() { dev.Inject(p) })
+			}
+			eng.Run()
+			return dev.Stats(), delivered
+		}
+		plainStats, plainN := run(false)
+		shardStats, shardN := run(true)
+		if plainN != shardN {
+			t.Fatalf("batch=%d: plain delivered %d, sharded(1) %d", batch, plainN, shardN)
+		}
+		if !reflect.DeepEqual(plainStats, shardStats) {
+			t.Fatalf("batch=%d: stats diverged:\nplain   %+v\nsharded %+v", batch, plainStats, shardStats)
+		}
+		if shardStats.ShardRingDrops != 0 {
+			t.Fatalf("batch=%d: single-shard run counted %d shard-ring drops", batch, shardStats.ShardRingDrops)
+		}
+	}
+}
+
+// Sharding costs are charged: the same traffic through a 4-shard
+// scheduling function burns more pipeline cycles (steer per packet,
+// doorbell per touched lane) than through a single shard, without
+// changing what is delivered when every tenant is under its rate.
+func TestShardSteerAndDoorbellCharged(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		one := newShardRig(t, Config{BatchSize: batch}, 4, 1)
+		one.drive(4, 200)
+		four := newShardRig(t, Config{BatchSize: batch}, 4, 4)
+		four.drive(4, 200)
+		if one.delivered != four.delivered {
+			t.Fatalf("batch=%d: 1-shard delivered %d, 4-shard %d", batch, one.delivered, four.delivered)
+		}
+		if four.nic.Stats().BusyCycles <= one.nic.Stats().BusyCycles {
+			t.Fatalf("batch=%d: 4-shard busy cycles %.0f not above 1-shard %.0f — steer/doorbell not charged",
+				batch, four.nic.Stats().BusyCycles, one.nic.Stats().BusyCycles)
+		}
+		if four.nic.Stats().ShardRingDrops != 0 {
+			t.Fatalf("batch=%d: unexpected shard-ring drops %d", batch, four.nic.Stats().ShardRingDrops)
+		}
+	}
+}
+
+// A burst bigger than a shard's feed lane overflows it: the packet is
+// dropped with DropShardRing before reaching the scheduling function,
+// and the accounting balances.
+func TestShardRingOverflowDrops(t *testing.T) {
+	// One worker context so the burst queues up and services as one
+	// batch; one tenant so every packet steers to the same lane.
+	r := newShardRig(t, Config{Cores: 1, Clusters: 1, BatchSize: 32, ShardRingPkts: 1}, 4, 4)
+	alloc := &packet.Alloc{}
+	const injected = 32
+	for i := 0; i < injected; i++ {
+		p := alloc.New(packet.FlowID(i), 0, 1000, 0)
+		r.eng.At(0, func() { r.nic.Inject(p) })
+	}
+	r.eng.Run()
+
+	st := r.nic.Stats()
+	if st.ShardRingDrops == 0 {
+		t.Fatal("no shard-ring drops from a 32-packet burst into a 1-packet lane")
+	}
+	if got := r.drops[DropShardRing]; uint64(got) != st.ShardRingDrops {
+		t.Fatalf("OnDrop saw %d shard-ring drops, stats say %d", got, st.ShardRingDrops)
+	}
+	total := r.delivered
+	for _, n := range r.drops {
+		total += n
+	}
+	if total != injected {
+		t.Fatalf("delivered %d + drops %v ≠ injected %d", r.delivered, r.drops, injected)
+	}
+	if DropShardRing.String() != "shard-ring" {
+		t.Fatalf("DropShardRing.String() = %q", DropShardRing.String())
+	}
+}

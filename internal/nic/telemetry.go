@@ -14,6 +14,7 @@ type nicTel struct {
 	dropRxRing     *telemetry.Counter
 	dropTM         *telemetry.Counter
 	dropUncl       *telemetry.Counter
+	dropShardRing  *telemetry.Counter
 	dropBuffer     *telemetry.Counter
 	busyCycles     *telemetry.Counter
 	tmBytes        *telemetry.Gauge
@@ -60,11 +61,12 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
 			"Packets that finished transmitting on the wire.", sched),
 		deliveredBytes: reg.Counter("fv_delivered_bytes_total",
 			"Frame bytes that finished transmitting on the wire.", sched),
-		dropSched:  drop(DropSched.String()),
-		dropRxRing: drop(DropRxRing.String()),
-		dropTM:     drop(DropTM.String()),
-		dropUncl:   drop(DropUnclassified.String()),
-		dropBuffer: drop("buffer"),
+		dropSched:     drop(DropSched.String()),
+		dropRxRing:    drop(DropRxRing.String()),
+		dropTM:        drop(DropTM.String()),
+		dropUncl:      drop(DropUnclassified.String()),
+		dropShardRing: drop(DropShardRing.String()),
+		dropBuffer:    drop("buffer"),
 		busyCycles: reg.Counter("fv_nic_busy_cycles_total",
 			"Busy cycles accumulated by the worker micro-engine contexts."),
 		tmBytes: reg.Gauge("fv_nic_tm_queued_bytes",

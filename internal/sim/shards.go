@@ -1,0 +1,72 @@
+package sim
+
+// Lanes is the deterministic DES model of per-shard feed rings: when
+// the NIC drives a sharded scheduling function, each classified packet
+// is steered into its owner shard's bounded feed lane, and the shard
+// engines drain every lane within the same service event (the DES
+// equivalent of the parallel workers keeping up within a burst). The
+// model therefore carries no occupancy across bursts — what it adds to
+// the simulation is the ring-capacity bound (a burst can overflow a
+// lane and drop) and the per-lane doorbell accounting the cost model
+// charges.
+//
+// Single-threaded like the engine that drives it; all methods are
+// called from the owning qdisc's service events only.
+type Lanes struct {
+	capacity int
+	fill     []int
+	touched  []int // lane indices with fill > 0, in first-touch order
+	drops    uint64
+}
+
+// NewLanes builds n lanes of the given per-lane packet capacity.
+func NewLanes(n, capacity int) *Lanes {
+	if n < 1 {
+		n = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Lanes{
+		capacity: capacity,
+		fill:     make([]int, n),
+		touched:  make([]int, 0, n),
+	}
+}
+
+// N reports the lane count.
+func (l *Lanes) N() int { return len(l.fill) }
+
+// Offer steers one packet into a lane, reporting whether it fit. A full
+// lane rejects the packet (counted in Drops) — the feed-ring overflow
+// the parallel path observes as a failed push.
+func (l *Lanes) Offer(lane int) bool {
+	if l.fill[lane] >= l.capacity {
+		l.drops++
+		return false
+	}
+	if l.fill[lane] == 0 {
+		l.touched = append(l.touched, lane)
+	}
+	l.fill[lane]++
+	return true
+}
+
+// Touched reports how many distinct lanes hold packets — the number of
+// shard doorbells this burst rings.
+func (l *Lanes) Touched() int { return len(l.touched) }
+
+// DrainAll empties every lane (the shard engines consume the burst) and
+// returns the number of packets drained.
+func (l *Lanes) DrainAll() int {
+	n := 0
+	for _, lane := range l.touched {
+		n += l.fill[lane]
+		l.fill[lane] = 0
+	}
+	l.touched = l.touched[:0]
+	return n
+}
+
+// Drops reports the cumulative lane-overflow rejections.
+func (l *Lanes) Drops() uint64 { return l.drops }

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+func TestLanesMinimums(t *testing.T) {
+	l := NewLanes(0, 0)
+	if l.N() != 1 {
+		t.Fatalf("N = %d, want 1 (floor)", l.N())
+	}
+	if !l.Offer(0) {
+		t.Fatal("capacity floor of 1 rejected the first packet")
+	}
+	if l.Offer(0) {
+		t.Fatal("capacity 1 lane accepted a second packet")
+	}
+}
+
+func TestLanesOfferTouchedDrain(t *testing.T) {
+	l := NewLanes(4, 2)
+	for _, lane := range []int{2, 0, 2} {
+		if !l.Offer(lane) {
+			t.Fatalf("Offer(%d) rejected below capacity", lane)
+		}
+	}
+	if l.Touched() != 2 {
+		t.Fatalf("Touched = %d, want 2 (lanes 0 and 2)", l.Touched())
+	}
+	// Lane 2 is at capacity now.
+	if l.Offer(2) {
+		t.Fatal("full lane accepted a packet")
+	}
+	if l.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", l.Drops())
+	}
+	if n := l.DrainAll(); n != 3 {
+		t.Fatalf("DrainAll = %d, want 3", n)
+	}
+	if l.Touched() != 0 {
+		t.Fatalf("Touched = %d after drain, want 0", l.Touched())
+	}
+	// No occupancy carries across bursts: the drained lane refills.
+	if !l.Offer(2) || !l.Offer(2) {
+		t.Fatal("drained lane rejected packets below capacity")
+	}
+	if n := l.DrainAll(); n != 2 {
+		t.Fatalf("second DrainAll = %d, want 2", n)
+	}
+	if l.Drops() != 1 {
+		t.Fatalf("Drops = %d after clean second burst, want 1 (cumulative)", l.Drops())
+	}
+}
