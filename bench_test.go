@@ -17,6 +17,7 @@ import (
 	"flowvalve/internal/clock"
 	"flowvalve/internal/core"
 	"flowvalve/internal/experiments"
+	"flowvalve/internal/offload"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/sched/tree"
 	"flowvalve/internal/telemetry"
@@ -263,6 +264,41 @@ func BenchmarkScheduleBorrowPath(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Schedule(lbl, 1500)
+	}
+}
+
+// BenchmarkOffloadUpdate is the offload control plane's per-packet cost
+// — sketch update, top-K offer, rule-table lookup — over a realistic key
+// mix: 32 offloaded elephants (fast-path hits) interleaved 1:1 with 992
+// mice that never cross the threshold. Guarded by the CI gate at zero
+// allocations: Observe runs once per packet on the NIC service path.
+func BenchmarkOffloadUpdate(b *testing.B) {
+	ctl, err := offload.New(offload.Config{
+		TableCap:              64,
+		InitialThresholdBytes: 4096,
+		Policy:                offload.NewStatic(4096),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const elephants, mice = 32, 992
+	// Warm the elephants onto the fast path (one outsized packet each,
+	// then a control tick to drain the install queue).
+	for f := 0; f < elephants; f++ {
+		ctl.Observe(1, packet.FlowID(f), 8192)
+	}
+	ctl.Tick(1_000_000)
+	if ctl.Offloaded() != elephants {
+		b.Fatalf("warmup installed %d flows, want %d", ctl.Offloaded(), elephants)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			ctl.Observe(1, packet.FlowID(i%elephants), 1000)
+		} else {
+			ctl.Observe(2, packet.FlowID(i%mice), 200)
+		}
 	}
 }
 

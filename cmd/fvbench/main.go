@@ -35,6 +35,7 @@ import (
 	"flowvalve/internal/dpdkqos"
 	"flowvalve/internal/experiments"
 	"flowvalve/internal/nic"
+	"flowvalve/internal/offload"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/pifo"
 	"flowvalve/internal/sched/tree"
@@ -76,6 +77,9 @@ func run(args []string, out io.Writer) error {
 	nflows := fs.Int("flows", 16, "distinct transport flows offered (drive past -cache-size to exercise eviction)")
 	cacheSize := fs.Int("cache-size", 0, "flow-cache entry bound (flowvalve; 0 = default 65536)")
 	cacheShards := fs.Int("cache-shards", 0, "flow-cache shard count (flowvalve; 0 = default 8)")
+	offloadOn := fs.Bool("offload", false, "attach the offload control plane: only heavy hitters ride the fast path (flowvalve)")
+	churnRate := fs.Float64("churn-rate", 0, "short-lived mouse-flow arrivals per second on the last app (flowvalve; 0 = none)")
+	ruleRate := fs.Float64("rule-rate", 220e3, "offload rule-channel budget in rules/s (with -offload)")
 	duration := fs.Duration("duration", 100*time.Millisecond, "measurement window (simulated)")
 	metricsJSON := fs.String("metrics-json", "", "write a JSON metrics snapshot to this file after the run (- for stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -107,7 +111,7 @@ func run(args []string, out io.Writer) error {
 		if *shards > 1 {
 			tenants = 2 * *shards
 		}
-		q, ssched, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch, *shards, tenants, cacheCfg)
+		q, ssched, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch, *shards, tenants, cacheCfg, *offloadOn, *ruleRate)
 	case "dpdk":
 		q, procPps, header, err = buildDPDK(eng, counter, reg, *cores, *wire)
 	default:
@@ -155,6 +159,18 @@ func run(args []string, out io.Writer) error {
 		offeredPps*float64(*size)*8, 0, 2*warm, q.Enqueue); err != nil {
 		return err
 	}
+	if *churnRate > 0 {
+		// Mouse-flow churn rides on the last app, flow IDs far above the
+		// saturator's so every arrival is a brand-new connection.
+		churnApp := packet.AppID(0)
+		if tenants > 0 {
+			churnApp = packet.AppID(tenants - 1)
+		}
+		if _, err := trafficgen.NewChurn(eng, alloc, churnApp, *size,
+			*churnRate, 8, 2_000, packet.FlowID(1<<20), 0, 2*warm, 1, q.Enqueue); err != nil {
+			return err
+		}
+	}
 	eng.RunUntil(2 * warm)
 
 	pps := counter.Pps(warm)
@@ -178,6 +194,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if acct, ok := q.(dataplane.HostAccountant); ok {
 		fmt.Fprintf(out, "host cores: %.2f\n", acct.HostCores(2*warm))
+	}
+	if off, ok := q.(dataplane.Offloader); ok {
+		if os := off.OffloadStats(); os.Enabled {
+			tot := os.FastPkts + os.SlowPkts
+			var slowShare float64
+			if tot > 0 {
+				slowShare = float64(os.SlowPkts) / float64(tot)
+			}
+			fmt.Fprintf(out, "offload: policy=%s flows=%d/%d slow-share=%.1f%% threshold=%dB installs=%d demotions=%d queue-drops=%d shed=%d\n",
+				os.Policy, os.Offloaded, os.TableCap, slowShare*100,
+				os.ThresholdBytes, os.Installs, os.Demotions, os.QueueDrops, os.SlowPathDrops)
+		}
 	}
 	if pq, ok := q.(*pifo.Qdisc); ok {
 		qs := pq.QueueStats()
@@ -207,7 +235,7 @@ func run(args []string, out io.Writer) error {
 // and the NIC pays the shard steer/doorbell costs.
 func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg *telemetry.Registry,
 	size, cores int, freq, wire float64, depth, batch, shards, tenants int,
-	cache classifier.CacheConfig) (dataplane.Qdisc, *core.ShardedScheduler, float64, string, error) {
+	cache classifier.CacheConfig, offloadOn bool, ruleRate float64) (dataplane.Qdisc, *core.ShardedScheduler, float64, string, error) {
 	if cores <= 0 {
 		cores = 50
 	}
@@ -246,6 +274,15 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 	if err != nil {
 		return nil, nil, 0, "", err
 	}
+	if offloadOn {
+		ctl, err := offload.New(offload.Config{RulesPerSec: ruleRate})
+		if err != nil {
+			return nil, nil, 0, "", err
+		}
+		if err := dev.AttachOffload(ctl, nic.SlowPathConfig{}); err != nil {
+			return nil, nil, 0, "", err
+		}
+	}
 	if reg != nil {
 		dev.AttachTelemetry(reg)
 	}
@@ -255,6 +292,9 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 		size, cores, freq/1e6, depth, cfg.BatchSize)
 	if shards > 1 {
 		header += fmt.Sprintf(" shards=%d tenants=%d", shards, tenants)
+	}
+	if offloadOn {
+		header += fmt.Sprintf(" offload=on rule-rate=%.0fk/s", ruleRate/1e3)
 	}
 	return dev, sched, procPps, header, nil
 }

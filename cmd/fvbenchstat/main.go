@@ -56,7 +56,7 @@ type Summary struct {
 func main() {
 	emit := flag.String("emit", "", "write a JSON baseline parsed from stdin to this file (- for stdout)")
 	baseline := flag.String("baseline", "", "committed JSON baseline to gate against or print")
-	match := flag.String("match", "ScheduleBatch32", "substring selecting the benchmarks the gate guards")
+	match := flag.String("match", "ScheduleBatch32", "substring selecting the benchmarks the gate guards ('|' separates OR alternatives)")
 	threshold := flag.Float64("threshold", 0.15, "maximum allowed ns/op regression fraction")
 	maxAllocs := flag.Float64("max-allocs", -1, "fail any guarded benchmark whose median allocs/op exceeds this (negative disables)")
 	printText := flag.Bool("print", false, "re-emit the baseline's raw benchmark lines and exit")
@@ -143,7 +143,7 @@ func gate(out io.Writer, base, cur *Baseline, match string, threshold, maxAllocs
 	}
 	guarded, failures := 0, 0
 	for _, want := range base.Benchmarks {
-		if !strings.Contains(want.Name, match) {
+		if !matchAny(want.Name, match) {
 			continue
 		}
 		guarded++
@@ -178,6 +178,18 @@ func gate(out io.Writer, base, cur *Baseline, match string, threshold, maxAllocs
 	}
 	fmt.Fprintf(out, "fvbenchstat: %d guarded benchmark(s) within the %.0f%% gate\n", guarded, threshold*100)
 	return 0, nil
+}
+
+// matchAny reports whether name contains any of the '|'-separated
+// substring alternatives in match (empty alternatives are skipped, so a
+// stray trailing '|' cannot guard everything by accident).
+func matchAny(name, match string) bool {
+	for _, alt := range strings.Split(match, "|") {
+		if alt != "" && strings.Contains(name, alt) {
+			return true
+		}
+	}
+	return false
 }
 
 // parseBench reads `go test -bench` text and aggregates repetitions of

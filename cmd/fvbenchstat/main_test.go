@@ -143,6 +143,33 @@ func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestGateMatchesOrAlternatives(t *testing.T) {
+	path := emitBaseline(t, sampleBench)
+	// 'A|B' guards the union; an alternative matching nothing is fine as
+	// long as the other one guards something.
+	var sb strings.Builder
+	code, err := run(strings.NewReader(sampleBench), &sb, "", path, "ScheduleBatch32|Other", 0.15, -1, false)
+	if err != nil || code != 0 {
+		t.Fatalf("OR match failed (code=%d err=%v):\n%s", code, err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkOther") || !strings.Contains(out, "BenchmarkScheduleBatch32") {
+		t.Fatalf("OR alternatives not all guarded:\n%s", out)
+	}
+	if !strings.Contains(out, "3 guarded benchmark(s)") {
+		t.Fatalf("unexpected guard count:\n%s", out)
+	}
+	// Empty alternatives (stray '|') must not guard everything.
+	sb.Reset()
+	code, err = run(strings.NewReader(sampleBench), &sb, "", path, "ScheduleBatch32|", 0.15, -1, false)
+	if err != nil || code != 0 {
+		t.Fatalf("trailing '|' broke the gate (code=%d err=%v):\n%s", code, err, sb.String())
+	}
+	if strings.Contains(sb.String(), "BenchmarkOther") {
+		t.Fatalf("empty alternative guarded everything:\n%s", sb.String())
+	}
+}
+
 func TestGateFailsOnNoMatch(t *testing.T) {
 	path := emitBaseline(t, sampleBench)
 	var sb strings.Builder

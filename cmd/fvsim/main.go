@@ -11,7 +11,7 @@
 //	fvsim -experiment fig11a -metrics-json -       # JSON dump afterwards
 //
 // Experiments: fig3 fig11a fig11b fig11c fig13 fig14 cpu prop
-// scale100g conns priocmp accuracy all.
+// scale100g conns priocmp accuracy offload all.
 package main
 
 import (
@@ -43,6 +43,7 @@ func main() {
 var experimentOrder = []string{
 	"fig3", "fig11a", "fig11b", "fig11c", "fig13", "fig14",
 	"cpu", "prop", "scale100g", "conns", "priocmp", "accuracy",
+	"offload",
 }
 
 func run(args []string, out io.Writer) error {
@@ -225,6 +226,14 @@ func runOne(name string, scale float64, csv bool, out io.Writer, telOpts ...expe
 			return err
 		}
 		fmt.Fprint(out, experiments.FormatAccuracy(res))
+	case "offload":
+		res, err := experiments.RunOffload(experiments.OffloadScenario{
+			DurationNs: int64(40e6 * scale),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatOffload(res))
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s|all)", name, strings.Join(experimentOrder, "|"))
 	}

@@ -221,6 +221,46 @@ func ShardsOf(s Scheduler) (int, Sharder) {
 	return 1, nil
 }
 
+// OffloadStats is a snapshot of a backend's fast-path/slow-path offload
+// control plane (internal/offload): heavy-hitter installs against a
+// bounded rule channel, demotions, and the traffic split between the NIC
+// fast path and the host slow path.
+type OffloadStats struct {
+	// Enabled is false when the backend has no offload control plane
+	// attached; every other field is then zero.
+	Enabled bool
+	// Offloaded is the number of flows currently holding a fast-path
+	// rule; TableCap the rule-table capacity bounding it.
+	Offloaded, TableCap int
+	// QueueDepth/QueueCap describe the rule-install queue.
+	QueueDepth, QueueCap int
+	// ThresholdBytes is the current offload threshold (window bytes);
+	// SketchErrBytes the heavy-hitter sketch's expected overestimate.
+	ThresholdBytes, SketchErrBytes uint64
+	// FastPkts/SlowPkts and FastBytes/SlowBytes split observed traffic
+	// by path; the slow-path share is SlowPkts/(FastPkts+SlowPkts).
+	FastPkts, SlowPkts   uint64
+	FastBytes, SlowBytes uint64
+	// Installs/Demotions count rule-channel operations; QueueDrops
+	// install candidates refused by backpressure; StaleSkips queued
+	// candidates gone cold before install; TableFull drain passes cut
+	// short by a full rule table.
+	Installs, Demotions               uint64
+	QueueDrops, StaleSkips, TableFull uint64
+	// SlowPathDrops counts packets the overloaded host slow path shed;
+	// Invalidations flow-cache entries tombstoned on demotion.
+	SlowPathDrops, Invalidations uint64
+	// Policy names the active threshold policy.
+	Policy string
+}
+
+// Offloader is implemented by backends with an attached offload control
+// plane (the NIC model when AttachOffload was called). Harnesses probe
+// for it to report the fast/slow split and rule-channel pressure.
+type Offloader interface {
+	OffloadStats() OffloadStats
+}
+
 // FaultInjectable is implemented by backends that expose fault-injection
 // hook points (the NIC model; the software baselines do not — harnesses
 // probe and skip them when a fault plan is configured).

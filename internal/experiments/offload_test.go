@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flowvalve/internal/faults"
+)
+
+// offloadTestScenario is a scaled-down lab (10ms of sources) so the full
+// four-row sweep stays test-suite fast.
+func offloadTestScenario() OffloadScenario {
+	return OffloadScenario{DurationNs: 10e6}
+}
+
+// TestOffloadDeterminismAndShape reruns the identical seeded lab and
+// requires bit-identical trace digests and control-plane stats per row —
+// plus the structural properties each row must have: the oracle anchors
+// at offload fraction 1 with zero enforcement error, every policy row
+// observes real slow-path traffic and stays within the rule-table bound.
+func TestOffloadDeterminismAndShape(t *testing.T) {
+	a, err := RunOffload(offloadTestScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOffload(offloadTestScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) || len(a.Rows) < 2 {
+		t.Fatalf("row counts: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.TraceDigest != rb.TraceDigest {
+			t.Errorf("row %s: trace digest diverged across identical runs (%#x vs %#x)",
+				ra.Name, ra.TraceDigest, rb.TraceDigest)
+		}
+		if ra.Offload != rb.Offload {
+			t.Errorf("row %s: offload stats diverged:\n a=%+v\n b=%+v", ra.Name, ra.Offload, rb.Offload)
+		}
+	}
+
+	oracle := a.Rows[0]
+	if oracle.Name != "oracle" || oracle.Offload.Enabled {
+		t.Fatalf("row 0 must be the no-offload oracle, got %+v", oracle)
+	}
+	if oracle.OffloadFraction != 1 || oracle.EnforcementErr != 0 {
+		t.Fatalf("oracle anchor broken: fraction=%v err=%v", oracle.OffloadFraction, oracle.EnforcementErr)
+	}
+	if oracle.Delivered == 0 {
+		t.Fatal("oracle delivered nothing")
+	}
+	for _, row := range a.Rows[1:] {
+		if !row.Offload.Enabled {
+			t.Errorf("row %s: offload layer not attached", row.Name)
+			continue
+		}
+		if row.OffloadFraction >= 1 || row.OffloadFraction <= 0 {
+			t.Errorf("row %s: offload fraction %v, want in (0, 1) under churn", row.Name, row.OffloadFraction)
+		}
+		if row.Offload.SlowPkts == 0 || row.Offload.Installs == 0 {
+			t.Errorf("row %s: control plane idle: %+v", row.Name, row.Offload)
+		}
+		if row.Offload.Offloaded > row.Offload.TableCap {
+			t.Errorf("row %s: %d offloaded flows exceed table capacity %d",
+				row.Name, row.Offload.Offloaded, row.Offload.TableCap)
+		}
+		if row.Delivered == 0 {
+			t.Errorf("row %s: delivered nothing", row.Name)
+		}
+	}
+
+	// The report renderer covers every row.
+	out := FormatOffload(a)
+	for _, row := range a.Rows {
+		if !strings.Contains(out, row.Name) {
+			t.Errorf("FormatOffload omits row %q", row.Name)
+		}
+	}
+}
+
+// TestChaosOffloadChurn is the offload-churn soak: randomized fault
+// plans (fixed seed matrix) run against every policy row while the churn
+// load hammers the install queue. Graceful degradation here means the
+// run completes, faults really were injected, rule-table and queue
+// bounds hold, and packets still flow.
+func TestChaosOffloadChurn(t *testing.T) {
+	const (
+		faultFrom = int64(2e6)
+		faultTo   = int64(8e6)
+	)
+	for _, seed := range []uint64{1, 2} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sc := offloadTestScenario()
+			sc.Faults = faults.RandomPlan(seed, faultFrom, faultTo)
+			res, err := RunOffload(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range res.Rows {
+				if row.Faults == 0 {
+					t.Errorf("row %s: randomized plan injected no faults", row.Name)
+				}
+				if row.Delivered == 0 {
+					t.Errorf("row %s: nothing delivered through the faulted run", row.Name)
+				}
+				if !row.Offload.Enabled {
+					continue
+				}
+				if row.Offload.Offloaded > row.Offload.TableCap {
+					t.Errorf("row %s: table bound broken under faults: %d > %d",
+						row.Name, row.Offload.Offloaded, row.Offload.TableCap)
+				}
+				if row.Offload.QueueDepth > row.Offload.QueueCap {
+					t.Errorf("row %s: install queue over capacity: %d > %d",
+						row.Name, row.Offload.QueueDepth, row.Offload.QueueCap)
+				}
+			}
+		})
+	}
+}

@@ -56,6 +56,19 @@ type CostModel struct {
 	// ShardDoorbell is charged once per shard feed lane a service burst
 	// touches: the write that wakes the shard engine to drain its ring.
 	ShardDoorbell int64
+	// RuleInstall / RuleEvict are charged per offload rule-table
+	// operation executed by the control tick (internal/offload): the
+	// exact-match table write plus the wildcard-rule shadow update, and
+	// the delete plus free-list relink. They land on the worker budget —
+	// rule churn steals the same micro-engine cycles that forward
+	// packets, which is why the insertion rate is bounded.
+	RuleInstall int64
+	RuleEvict   int64
+	// SlowPath is the NIC-side exception-path charge for a packet whose
+	// flow holds no fast-path rule: the miss verdict and the host-bound
+	// descriptor setup. The host-side cost is modelled separately by
+	// SlowPathConfig.CyclesPerPkt.
+	SlowPath int64
 	// MemStall is the per-packet memory-access latency (DMA pulls,
 	// CTM/DRAM reads) in cycles. It adds to a packet's service LATENCY
 	// but not to a micro-engine's occupancy as long as the ME has
@@ -107,6 +120,15 @@ func (c CostModel) Defaults() CostModel {
 	}
 	if c.ShardDoorbell <= 0 {
 		c.ShardDoorbell = 80
+	}
+	if c.RuleInstall <= 0 {
+		c.RuleInstall = 2600
+	}
+	if c.RuleEvict <= 0 {
+		c.RuleEvict = 1400
+	}
+	if c.SlowPath <= 0 {
+		c.SlowPath = 160
 	}
 	if c.MemStall <= 0 {
 		c.MemStall = 3000

@@ -45,6 +45,10 @@ const (
 	// full: the classifier steered it to its owner shard but the burst
 	// overflowed that shard's bounded feed lane.
 	DropShardRing
+	// DropSlowPath means the packet's flow held no fast-path rule and
+	// the host slow path was too backlogged to absorb the detour (the
+	// offload control plane's overload shedding).
+	DropSlowPath
 )
 
 // String names the drop reason.
@@ -60,6 +64,8 @@ func (r DropReason) String() string {
 		return "unclassified"
 	case DropShardRing:
 		return "shard-ring"
+	case DropSlowPath:
+		return "slow-path"
 	default:
 		return "invalid"
 	}
@@ -190,6 +196,10 @@ type Stats struct {
 	// ShardRingDrops counts packets lost to a full scheduler-shard
 	// feed ring (sharded scheduling functions only).
 	ShardRingDrops uint64
+	// SlowPathDrops counts packets shed by an overloaded host slow path
+	// (offload control plane attached, flow not offloaded, host queue
+	// past its wait bound).
+	SlowPathDrops uint64
 	// BufferDrops counts packets rejected because the buffer pool was
 	// exhausted (freed buffers not yet recycled by the manager core).
 	BufferDrops uint64
@@ -235,6 +245,9 @@ type NIC struct {
 	// feed lane before scheduling (sharded scheduling functions only).
 	batchShard     []int32
 	batchShardDrop []bool
+	// batchSlow carries each burst packet's slow-path detour latency
+	// (0 = fast path), filled when an offload control plane is attached.
+	batchSlow []int64
 
 	clusters    []*cluster
 	nextCluster int
@@ -258,6 +271,10 @@ type NIC struct {
 	pending  map[uint64]completion
 
 	ports []*wirePort
+
+	// off is the attached offload control plane (nil = every flow rides
+	// the fast path, the pre-offload behaviour).
+	off *offloadState
 
 	stats Stats
 
@@ -372,6 +389,7 @@ func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched dataplan
 		n.batchReason = make([]DropReason, b)
 		n.batchShard = make([]int32, b)
 		n.batchShardDrop = make([]bool, b)
+		n.batchSlow = make([]int64, b)
 	}
 	return n, nil
 }
@@ -553,6 +571,17 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 		}
 	}
 
+	// Offload lookup: the flow-binding check against the rule table.
+	// Packets of un-offloaded flows pay the exception-path charge here
+	// and the host detour below (only if they survive scheduling).
+	fast := true
+	if n.off != nil && lbl != nil {
+		fast = n.off.ctl.Observe(p.App, p.Flow, p.WireBytes())
+		if !fast {
+			cycles += n.cfg.Costs.SlowPath
+		}
+	}
+
 	ref := n.sched.Load()
 	sched := ref.s
 	forward := true
@@ -587,6 +616,16 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 		}
 		p.Marked = d.Marked
 	}
+	var slowExtraNs int64
+	if forward && !fast {
+		extra, ok := n.off.slowDetour(n.eng.Now())
+		if !ok {
+			forward = false
+			reason = DropSlowPath
+		} else {
+			slowExtraNs = extra
+		}
+	}
 	if forward {
 		cycles += n.cfg.Costs.TxEnqueue
 	}
@@ -615,7 +654,10 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 	occupancyNs := int64(float64(occupancy) / n.cfg.CoreFreqHz * 1e9)
 	latencyNs := int64(float64(total) / n.cfg.CoreFreqHz * 1e9)
 	n.eng.After(occupancyNs, func() { n.releaseContext(cl) })
-	n.eng.After(latencyNs, func() {
+	// A slow-path packet completes only after its host detour; the
+	// reorder system holds later fast-path completions until it lands,
+	// preserving service-begin order on the wire.
+	n.eng.After(latencyNs+slowExtraNs, func() {
 		n.completeService(p, seq, forward, reason)
 	})
 }
@@ -703,6 +745,7 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	// Sharding adds one doorbell per shard lane the burst touched.
 	cycles := n.cfg.Costs.PipelineBatch + n.cfg.Costs.ShardDoorbell*int64(doorbells)
 	perPkt := n.cfg.Costs.Pipeline - n.cfg.Costs.PipelineBatch
+	now := n.eng.Now()
 	di := 0
 	for i := 0; i < k; i++ {
 		p := batch[i]
@@ -713,6 +756,16 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 			pc += n.cfg.Costs.CacheMiss
 			if evs[i] {
 				pc += n.cfg.Costs.CacheEvict
+			}
+		}
+		// Offload lookup, as in the per-packet path: shard-dropped
+		// packets are still observed (the flow-binding check precedes
+		// the feed-lane offer on the NP pipeline).
+		fast := true
+		if n.off != nil && lbls[i] != nil {
+			fast = n.off.ctl.Observe(p.App, p.Flow, p.WireBytes())
+			if !fast {
+				pc += n.cfg.Costs.SlowPath
 			}
 		}
 		forward := true
@@ -743,6 +796,16 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 				reason = DropSched
 			}
 			p.Marked = d.Marked
+		}
+		n.batchSlow[i] = 0
+		if forward && !fast {
+			extra, ok := n.off.slowDetour(now)
+			if !ok {
+				forward = false
+				reason = DropSlowPath
+			} else {
+				n.batchSlow[i] = extra
+			}
 		}
 		if forward {
 			pc += n.cfg.Costs.TxEnqueue
@@ -779,7 +842,9 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 		p, fwd, reason := batch[i], n.batchFwd[i], n.batchReason[i]
 		seq := n.seqIssue
 		n.seqIssue++
-		n.eng.After(latencyNs, func() { n.completeService(p, seq, fwd, reason) })
+		// Slow-path packets complete after their host detour; the
+		// reorder system absorbs the resulting spread.
+		n.eng.After(latencyNs+n.batchSlow[i], func() { n.completeService(p, seq, fwd, reason) })
 	}
 }
 
@@ -804,6 +869,11 @@ func (n *NIC) completeService(p *packet.Packet, seq uint64, forward bool, reason
 			n.stats.ShardRingDrops++
 			if n.tel != nil {
 				n.tel.dropShardRing.Add(1)
+			}
+		case DropSlowPath:
+			n.stats.SlowPathDrops++
+			if n.tel != nil {
+				n.tel.dropSlow.Add(1)
 			}
 		}
 		n.drop(p, reason)
@@ -929,7 +999,8 @@ func (n *NIC) QdiscStats() dataplane.Stats {
 		Enqueued:  n.stats.Injected,
 		Delivered: n.stats.Delivered,
 		Dropped: n.stats.SchedDrops + n.stats.RxRingDrops + n.stats.TMDrops +
-			n.stats.Unclassified + n.stats.BufferDrops,
+			n.stats.Unclassified + n.stats.BufferDrops + n.stats.ShardRingDrops +
+			n.stats.SlowPathDrops,
 	}
 }
 

@@ -1,0 +1,186 @@
+package nic
+
+import (
+	"fmt"
+
+	"flowvalve/internal/dataplane"
+	"flowvalve/internal/host"
+	"flowvalve/internal/offload"
+	"flowvalve/internal/packet"
+)
+
+// SlowPathConfig models the host slow path behind the offload control
+// plane: the CPU budget un-offloaded mice are charged against, and the
+// detour a slow-path packet takes through the host before re-entering
+// the NIC's transmit path. Zero fields take the defaults noted on each
+// field.
+type SlowPathConfig struct {
+	// Host is the CPU the slow path runs on (host.Config defaults:
+	// the paper's 8-core 2.3GHz testbed).
+	Host host.Config
+	// CyclesPerPkt is the host cost of one slow-path packet — flow
+	// lookup in the software table, scheduling, and the Tx descriptor
+	// back to the NIC (default 3200, the software-scheduler class of
+	// per-packet cost).
+	CyclesPerPkt float64
+	// MaxWaitNs bounds the slow-path queueing delay: a packet that
+	// would wait longer is shed (DropSlowPath) instead of growing the
+	// backlog without bound (default 1ms).
+	MaxWaitNs int64
+	// DetourNs is the fixed PCIe round trip of the detour — NIC→host
+	// DMA plus the host→NIC re-injection (default 30µs).
+	DetourNs int64
+}
+
+// Defaults fills unset fields.
+func (c SlowPathConfig) Defaults() SlowPathConfig {
+	c.Host = c.Host.Defaults()
+	if c.CyclesPerPkt <= 0 {
+		c.CyclesPerPkt = 3200
+	}
+	if c.MaxWaitNs <= 0 {
+		c.MaxWaitNs = 1_000_000
+	}
+	if c.DetourNs <= 0 {
+		c.DetourNs = 30_000
+	}
+	return c
+}
+
+// offloadState is the NIC side of the offload control plane: the
+// controller, the host-CPU accountant behind the slow path, and the
+// fluid single-server model of the slow path's service capacity.
+type offloadState struct {
+	ctl *offload.Controller
+	cpu *host.CPU
+	cfg SlowPathConfig
+	// serviceNs is the slow path's per-packet service time with every
+	// host core pooled; freeAtF is the fluid server's busy-until
+	// instant (float64 so sub-ns service times accumulate exactly and
+	// deterministically).
+	serviceNs float64
+	freeAtF   float64
+	// invalidations counts flow-cache tombstones written on demotion.
+	invalidations uint64
+}
+
+// AttachOffload puts the offload control plane in front of the fast
+// path: from now on only flows holding a rule installed by ctl ride the
+// NIC pipeline at full speed; every other classified packet pays the
+// exception-path cycles and a host detour (or is shed when the host is
+// saturated). The NIC chains ctl's demotion hook to the classifier's
+// targeted invalidation, so a demoted flow's next packet re-resolves
+// instead of hitting a stale fast-path cache entry.
+//
+// Call before AttachTelemetry so the fv_offload_* family registers with
+// the NIC's registry. The controller's periodic tick is armed here on
+// the NIC's engine; Tick must not be driven externally afterwards.
+func (n *NIC) AttachOffload(ctl *offload.Controller, cfg SlowPathConfig) error {
+	if ctl == nil {
+		return fmt.Errorf("nic: nil offload controller")
+	}
+	if n.off != nil {
+		return fmt.Errorf("nic: offload control plane already attached")
+	}
+	cfg = cfg.Defaults()
+	st := &offloadState{
+		ctl: ctl,
+		cpu: host.New(cfg.Host),
+		cfg: cfg,
+	}
+	hc := st.cpu.Config()
+	st.serviceNs = cfg.CyclesPerPkt / (hc.FreqHz * float64(hc.Cores)) * 1e9
+
+	prev := ctl.DemoteHook()
+	ctl.SetDemoteHook(func(app packet.AppID, flow packet.FlowID) {
+		n.cls.Invalidate(app, flow)
+		st.invalidations++
+		if prev != nil {
+			prev(app, flow)
+		}
+	})
+
+	n.off = st
+	n.eng.After(ctl.TickNs(), n.offloadTick)
+	return nil
+}
+
+// offloadTick runs one control-plane pass and charges the rule-channel
+// work to the worker budget: installs and evictions execute on the same
+// micro-engines that forward packets, which is what bounds the
+// insertion rate in the first place.
+func (n *NIC) offloadTick() {
+	rep := n.off.ctl.Tick(n.eng.Now())
+	cycles := n.cfg.Costs.RuleInstall*int64(rep.Installs) +
+		n.cfg.Costs.RuleEvict*int64(rep.Demotions)
+	if cycles > 0 {
+		n.stats.BusyCycles += float64(cycles)
+		if n.tel != nil {
+			n.tel.busyCycles.Add(cycles)
+		}
+	}
+	n.eng.After(n.off.ctl.TickNs(), n.offloadTick)
+}
+
+// slowDetour admits one packet to the host slow path at virtual time
+// now, returning the extra latency of the detour, or ok=false when the
+// host backlog exceeds the wait bound and the packet is shed. The slow
+// path is a fluid single server pooling every host core; host cycles
+// are charged only for admitted packets.
+func (st *offloadState) slowDetour(now int64) (extraNs int64, ok bool) {
+	f := float64(now)
+	if st.freeAtF < f {
+		st.freeAtF = f
+	}
+	wait := st.freeAtF - f
+	if wait > float64(st.cfg.MaxWaitNs) {
+		return 0, false
+	}
+	st.cpu.Charge(st.cfg.CyclesPerPkt)
+	st.freeAtF += st.serviceNs
+	return int64(wait+st.serviceNs) + st.cfg.DetourNs, true
+}
+
+// HostCores implements dataplane.HostAccountant: the mean host cores
+// burned by the slow path over the run (zero without an offload control
+// plane — the pure-offload FlowValve claim).
+func (n *NIC) HostCores(durationNs int64) float64 {
+	if n.off == nil {
+		return 0
+	}
+	return n.off.cpu.CoresUsed(durationNs)
+}
+
+// OffloadStats implements dataplane.Offloader.
+func (n *NIC) OffloadStats() dataplane.OffloadStats {
+	if n.off == nil {
+		return dataplane.OffloadStats{}
+	}
+	s := n.off.ctl.Stats()
+	return dataplane.OffloadStats{
+		Enabled:        true,
+		Offloaded:      s.Offloaded,
+		TableCap:       s.TableCap,
+		QueueDepth:     s.QueueDepth,
+		QueueCap:       s.QueueCap,
+		ThresholdBytes: s.ThresholdBytes,
+		SketchErrBytes: s.SketchErrBytes,
+		FastPkts:       s.FastPkts,
+		SlowPkts:       s.SlowPkts,
+		FastBytes:      s.FastBytes,
+		SlowBytes:      s.SlowBytes,
+		Installs:       s.Installs,
+		Demotions:      s.Demotions,
+		QueueDrops:     s.QueueDrops,
+		StaleSkips:     s.StaleSkips,
+		TableFull:      s.TableFull,
+		SlowPathDrops:  n.stats.SlowPathDrops,
+		Invalidations:  n.off.invalidations,
+		Policy:         s.Policy,
+	}
+}
+
+var (
+	_ dataplane.HostAccountant = (*NIC)(nil)
+	_ dataplane.Offloader      = (*NIC)(nil)
+)

@@ -1,0 +1,171 @@
+package nic
+
+import (
+	"testing"
+
+	"flowvalve/internal/host"
+	"flowvalve/internal/offload"
+	"flowvalve/internal/packet"
+	"flowvalve/internal/trafficgen"
+)
+
+func TestAttachOffloadValidation(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	if err := r.nic.AttachOffload(nil, SlowPathConfig{}); err == nil {
+		t.Fatal("nil controller accepted")
+	}
+	ctl, err := offload.New(offload.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.AttachOffload(ctl, SlowPathConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.AttachOffload(ctl, SlowPathConfig{}); err == nil {
+		t.Fatal("double attach accepted")
+	}
+}
+
+// Without an offload control plane the probes report the pure-offload
+// story: no host cores, zeroed stats.
+func TestOffloadProbesDisabled(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	if s := r.nic.OffloadStats(); s.Enabled {
+		t.Fatalf("OffloadStats enabled without AttachOffload: %+v", s)
+	}
+	if c := r.nic.HostCores(1e9); c != 0 {
+		t.Fatalf("HostCores = %v without a slow path, want 0", c)
+	}
+}
+
+// TestPromoteDemoteRepromote is the cache-coherence regression: an
+// elephant is promoted to the fast path, demoted when it goes quiet
+// (which must tombstone its classifier cache entry), and re-promoted
+// when it returns — with every transition visible in the stats.
+func TestPromoteDemoteRepromote(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	ctl, err := offload.New(offload.Config{
+		TableCap:              16,
+		TopK:                  16,
+		WindowNs:              1_000_000,
+		TickNs:                1_000_000,
+		InitialThresholdBytes: 4096,
+		Policy:                offload.NewStatic(4096),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.AttachOffload(ctl, SlowPathConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	alloc := &packet.Alloc{}
+	const (
+		app  = packet.AppID(2)
+		flow = packet.FlowID(5)
+	)
+	// Phase 1: the flow blasts 1Gbps for 5ms, then goes quiet.
+	if _, err := trafficgen.NewCBR(r.eng, alloc, flow, app, 1500, 1e9, 0, 5e6, r.nic.Inject); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: it returns at 20ms.
+	if _, err := trafficgen.NewCBR(r.eng, alloc, flow, app, 1500, 1e9, 20e6, 25e6, r.nic.Inject); err != nil {
+		t.Fatal(err)
+	}
+
+	var promoted, demoted bool
+	var invalAtDemote uint64
+	r.eng.At(4_000_000, func() { promoted = ctl.IsOffloaded(app, flow) })
+	r.eng.At(19_000_000, func() {
+		demoted = !ctl.IsOffloaded(app, flow)
+		invalAtDemote = r.nic.FlowCacheStats().Invalidations
+	})
+	r.eng.RunUntil(30_000_000)
+
+	if !promoted {
+		t.Fatal("flow not on the fast path at 4ms (promotion)")
+	}
+	if !demoted {
+		t.Fatal("quiet flow still on the fast path at 19ms (demotion)")
+	}
+	if invalAtDemote == 0 {
+		t.Fatal("demotion left the classifier cache entry standing — stale fast-path binding")
+	}
+	if !ctl.IsOffloaded(app, flow) {
+		t.Fatal("returning flow not re-promoted by 30ms")
+	}
+	s := r.nic.OffloadStats()
+	if !s.Enabled || s.Installs < 2 || s.Demotions < 1 || s.Invalidations < 1 {
+		t.Fatalf("transition counters wrong: %+v", s)
+	}
+	// The re-promoted flow's packets were delivered after re-resolving
+	// through the invalidated cache.
+	var phase2 int
+	for _, p := range r.delivered {
+		if p.EgressAt > 20e6 {
+			phase2++
+		}
+	}
+	if phase2 == 0 {
+		t.Fatal("no packets delivered after demotion — cache re-resolution broken")
+	}
+}
+
+// TestSlowPathShedding saturates a deliberately feeble host slow path
+// (one core, 1ms per packet) with traffic that never crosses the offload
+// threshold: the wait bound must shed the excess as DropSlowPath, the
+// drops must land in every stats surface, and the slow path must burn
+// visible host cores.
+func TestSlowPathShedding(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	ctl, err := offload.New(offload.Config{
+		InitialThresholdBytes: 1 << 40, // nothing ever offloads
+		Policy:                offload.NewStatic(1 << 40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.nic.AttachOffload(ctl, SlowPathConfig{
+		Host:         host.Config{Cores: 1},
+		CyclesPerPkt: 2.3e6, // 1ms/packet at 2.3GHz — the host is the bottleneck
+		MaxWaitNs:    100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alloc := &packet.Alloc{}
+	if _, err := trafficgen.NewCBR(r.eng, alloc, 9, 1, 1500, 1e9, 0, 5e6, r.nic.Inject); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(10_000_000)
+
+	st := r.nic.Stats()
+	os := r.nic.OffloadStats()
+	if os.FastPkts != 0 || os.Offloaded != 0 {
+		t.Fatalf("traffic crossed an unreachable threshold: %+v", os)
+	}
+	if os.SlowPkts == 0 {
+		t.Fatal("no packets observed on the slow path")
+	}
+	if st.SlowPathDrops == 0 {
+		t.Fatal("saturated slow path shed nothing")
+	}
+	if got := uint64(r.drops[DropSlowPath]); got != st.SlowPathDrops {
+		t.Fatalf("OnDrop saw %d slow-path drops, stats say %d", got, st.SlowPathDrops)
+	}
+	if os.SlowPathDrops != st.SlowPathDrops {
+		t.Fatalf("OffloadStats.SlowPathDrops = %d, NIC stats %d", os.SlowPathDrops, st.SlowPathDrops)
+	}
+	if q := r.nic.QdiscStats(); q.Dropped < st.SlowPathDrops {
+		t.Fatalf("QdiscStats.Dropped = %d misses %d slow-path drops", q.Dropped, st.SlowPathDrops)
+	}
+	if cores := r.nic.HostCores(10_000_000); cores <= 0 || cores > 1 {
+		t.Fatalf("HostCores = %v, want in (0, 1] for a one-core slow path", cores)
+	}
+	// Admitted ≈ serviceable: 5ms of offered load into a 1ms/pkt server
+	// bounded by a 100µs wait can deliver only a handful.
+	if len(r.delivered) == 0 || len(r.delivered) > 20 {
+		t.Fatalf("delivered %d packets, want a handful (shed the rest)", len(r.delivered))
+	}
+}

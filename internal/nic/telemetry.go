@@ -15,6 +15,7 @@ type nicTel struct {
 	dropTM         *telemetry.Counter
 	dropUncl       *telemetry.Counter
 	dropShardRing  *telemetry.Counter
+	dropSlow       *telemetry.Counter
 	dropBuffer     *telemetry.Counter
 	busyCycles     *telemetry.Counter
 	tmBytes        *telemetry.Gauge
@@ -66,6 +67,7 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
 		dropTM:        drop(DropTM.String()),
 		dropUncl:      drop(DropUnclassified.String()),
 		dropShardRing: drop(DropShardRing.String()),
+		dropSlow:      drop(DropSlowPath.String()),
 		dropBuffer:    drop("buffer"),
 		busyCycles: reg.Counter("fv_nic_busy_cycles_total",
 			"Busy cycles accumulated by the worker micro-engine contexts."),
@@ -93,4 +95,7 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
 		"Live entries in the exact-match flow cache.",
 		func() float64 { return float64(cls.Stats().Size) }, sched)
 	n.tel = t
+	if n.off != nil {
+		n.off.ctl.AttachTelemetry(reg)
+	}
 }

@@ -1,0 +1,43 @@
+//go:build fvassert
+
+package offload
+
+import (
+	"strings"
+	"testing"
+
+	"flowvalve/internal/packet"
+)
+
+// TestTableCapAssertionFiresOnCorruption proves the capacity invariant
+// is live under the tag: an offloaded-flow table corrupted past the
+// rule-table capacity — a state no public API can produce, since the
+// install drain stops at TableCap — must make the next Tick panic
+// instead of silently modelling a NIC with more rule slots than it has.
+func TestTableCapAssertionFiresOnCorruption(t *testing.T) {
+	// RulesPerSec 1 keeps the tick's rule budget under one token, so the
+	// demotion scan cannot quietly evict the corrupted entries before the
+	// capacity check runs.
+	c, err := New(Config{TableCap: 2, TopK: 4, RulesPerSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-package corruption: append entries beyond TableCap directly.
+	for f := 0; f < 3; f++ {
+		k := flowKey(1, packet.FlowID(f))
+		c.index[k] = int32(len(c.entries))
+		c.entries = append(c.entries, flowEntry{key: k, app: 1, flow: packet.FlowID(f)})
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Tick on an over-capacity table did not panic under -tags fvassert")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "fvassert: offload:") {
+			t.Fatalf("panic = %v, want fvassert: offload:-prefixed message", r)
+		}
+	}()
+	c.Tick(1_000_000)
+}

@@ -1,0 +1,402 @@
+// Package offload is the fast-path/slow-path control plane in front of
+// the NIC: at millions-of-connections scale the binding of flows to the
+// NIC fast path is itself the bottleneck — NP-based NICs sustain on the
+// order of 220k rule insertions per second against 1.2–1.4M new
+// connections per second — so only heavy hitters can live on the NIC
+// and everything else must be scheduled on the host.
+//
+// The Controller composes three mechanisms:
+//
+//   - a heavy-hitter identifier: a count-min sketch with conservative
+//     update and windowed halving decay (Sketch) feeding a min-heap
+//     top-K tracker (TopK);
+//
+//   - a bounded-rate rule installer: a token budget of RulesPerSec
+//     shared by installs and demotion evictions, with a bounded install
+//     queue that exerts backpressure (candidates arriving past a full
+//     queue are counted and dropped, to retry on a later packet);
+//
+//   - pluggable offload-threshold policies (Policy): a static
+//     byte-threshold baseline and an adaptive controller that moves the
+//     threshold to keep the install queue and the rule-table occupancy
+//     in their operating range.
+//
+// The per-packet surface is Observe — sketch update, top-K offer, one
+// table lookup, at zero allocations — and everything that mutates the
+// offloaded set happens on the periodic Tick, so the packet path never
+// blocks on control-plane work. The whole controller is deterministic:
+// no wall clock, no map iteration, state advanced only by Observe and
+// Tick in calling order.
+package offload
+
+import (
+	"fmt"
+
+	"flowvalve/internal/fvassert"
+	"flowvalve/internal/packet"
+)
+
+// DemoteHook is called for each flow evicted from the offloaded set —
+// the NIC wires it to the classifier's cache invalidation so a demoted
+// flow's next packet re-resolves through the full pipeline instead of a
+// stale fast-path binding.
+type DemoteHook func(app packet.AppID, flow packet.FlowID)
+
+// Config sizes the offload control plane. Zero fields take the defaults
+// noted on each field.
+type Config struct {
+	// TableCap is the NIC rule-table capacity — the hard bound on
+	// concurrently offloaded flows (default 2048).
+	TableCap int
+	// RulesPerSec is the rule-channel budget shared by installs and
+	// evictions (default 220_000, the NP-class insertion rate).
+	RulesPerSec float64
+	// QueueCap bounds the install queue (default 512).
+	QueueCap int
+	// SketchRows/SketchCols size the count-min sketch (defaults 4 and
+	// 4096; cols rounds up to a power of two).
+	SketchRows, SketchCols int
+	// TopK sizes the heavy-hitter tracker (default TableCap).
+	TopK int
+	// WindowNs is the sketch decay window (default 10ms): estimates
+	// approximate per-window byte volumes.
+	WindowNs int64
+	// TickNs is the control-loop period (default 1ms): budget accrual,
+	// demotion scan, queue drain, threshold adjustment.
+	TickNs int64
+	// InitialThresholdBytes seeds the offload threshold (default 32768
+	// window bytes). Static policies override it on the first tick.
+	InitialThresholdBytes uint64
+	// DemoteFrac sets the demotion cut as a fraction of the current
+	// threshold (default 0.25): a flow is evicted when its windowed
+	// estimate falls under DemoteFrac×threshold. The gap between the
+	// install and demote cuts is the hysteresis band.
+	DemoteFrac float64
+	// Policy moves the threshold each tick (default NewAdaptive).
+	Policy Policy
+	// OnDemote, when set, fires for every demoted flow.
+	OnDemote DemoteHook
+}
+
+func (c Config) defaults() Config {
+	if c.TableCap <= 0 {
+		c.TableCap = 2048
+	}
+	if c.RulesPerSec <= 0 {
+		c.RulesPerSec = 220_000
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 512
+	}
+	if c.SketchRows <= 0 {
+		c.SketchRows = 4
+	}
+	if c.SketchCols <= 0 {
+		c.SketchCols = 4096
+	}
+	if c.TopK <= 0 {
+		c.TopK = c.TableCap
+	}
+	if c.WindowNs <= 0 {
+		c.WindowNs = 10_000_000
+	}
+	if c.TickNs <= 0 {
+		c.TickNs = 1_000_000
+	}
+	if c.InitialThresholdBytes == 0 {
+		c.InitialThresholdBytes = 32 * 1024
+	}
+	if c.DemoteFrac <= 0 || c.DemoteFrac >= 1 {
+		c.DemoteFrac = 0.25
+	}
+	if c.Policy == nil {
+		c.Policy = NewAdaptive(AdaptiveConfig{})
+	}
+	return c
+}
+
+// Stats is a snapshot of the controller's counters and gauges.
+type Stats struct {
+	// Offloaded is the number of flows currently on the fast path;
+	// TableCap the rule-table bound.
+	Offloaded, TableCap int
+	// QueueDepth/QueueCap describe the install queue.
+	QueueDepth, QueueCap int
+	// ThresholdBytes is the current offload threshold (window bytes).
+	ThresholdBytes uint64
+	// SketchErrBytes is the sketch's expected overestimate.
+	SketchErrBytes uint64
+	// FastPkts/SlowPkts and FastBytes/SlowBytes split observed traffic
+	// by path: fast = the flow held a NIC rule at observation time.
+	FastPkts, SlowPkts   uint64
+	FastBytes, SlowBytes uint64
+	// Installs/Demotions count rule-channel operations consumed.
+	Installs, Demotions uint64
+	// QueueDrops counts install candidates rejected by a full queue
+	// (backpressure); StaleSkips candidates whose demand decayed below
+	// the threshold while queued (drained free, no rule op spent);
+	// TableFull drain passes cut short by a full rule table.
+	QueueDrops, StaleSkips, TableFull uint64
+	// Ticks counts control-loop executions.
+	Ticks uint64
+	// Policy names the active threshold policy.
+	Policy string
+}
+
+// TickReport tells the caller what one control tick did, so a device
+// model can charge cycle costs for the rule-channel operations.
+type TickReport struct {
+	// Installs/Demotions are the rule operations executed this tick.
+	Installs, Demotions int
+	// Halved reports whether the sketch window rolled.
+	Halved bool
+}
+
+// flowEntry is one offloaded flow in the dense rule-table mirror.
+type flowEntry struct {
+	key  uint64
+	app  packet.AppID
+	flow packet.FlowID
+}
+
+// Controller is the offload control plane. It is single-threaded by
+// design (the DES drives it); Observe is the only per-packet call.
+type Controller struct {
+	cfg    Config
+	sketch *Sketch
+	top    *TopK
+
+	threshold uint64
+
+	// entries is the dense offloaded-flow table (the NIC rule-table
+	// mirror); index maps flow key → entries position. Control scans
+	// iterate entries, never the map — map iteration order would leak
+	// nondeterminism into demotion order.
+	entries []flowEntry
+	index   map[uint64]int32
+
+	// queue is the bounded install ring; pending dedups queued keys.
+	queue   []flowEntry
+	qhead   int
+	qlen    int
+	pending map[uint64]struct{}
+
+	// budget is the fractional rule-channel token level.
+	budget      float64
+	lastTickNs  int64
+	lastHalveNs int64
+
+	stats Stats
+	tel   *offloadTel
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.defaults()
+	if cfg.TopK < cfg.TableCap {
+		return nil, fmt.Errorf("offload: TopK %d below TableCap %d would starve installs", cfg.TopK, cfg.TableCap)
+	}
+	c := &Controller{
+		cfg:       cfg,
+		sketch:    NewSketch(cfg.SketchRows, cfg.SketchCols),
+		top:       NewTopK(cfg.TopK),
+		threshold: cfg.InitialThresholdBytes,
+		entries:   make([]flowEntry, 0, cfg.TableCap),
+		index:     make(map[uint64]int32, cfg.TableCap),
+		queue:     make([]flowEntry, cfg.QueueCap),
+		pending:   make(map[uint64]struct{}, cfg.QueueCap),
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// TickNs returns the control-loop period, for drivers arming the tick.
+func (c *Controller) TickNs() int64 { return c.cfg.TickNs }
+
+// Threshold returns the current offload threshold in window bytes.
+func (c *Controller) Threshold() uint64 { return c.threshold }
+
+// Offloaded returns the number of flows currently on the fast path.
+func (c *Controller) Offloaded() int { return len(c.entries) }
+
+// DemoteHook returns the current demotion hook (nil if unset).
+func (c *Controller) DemoteHook() DemoteHook { return c.cfg.OnDemote }
+
+// SetDemoteHook replaces the demotion hook; the NIC chains the
+// classifier invalidation in front of any caller-installed hook.
+func (c *Controller) SetDemoteHook(h DemoteHook) { c.cfg.OnDemote = h }
+
+// flowKey packs (app, flow) into the sketch/table key. The high bit
+// marks the key live, so the zero key never aliases a real flow.
+func flowKey(app packet.AppID, flow packet.FlowID) uint64 {
+	return 1<<48 | uint64(app)<<32 | uint64(flow)
+}
+
+// Observe accounts one packet of wireBytes from (app, flow) and reports
+// whether the flow rides the NIC fast path (true) or must detour
+// through the host slow path (false). It also nominates threshold
+// crossers for installation; the actual install happens on a later Tick
+// under the rule budget. Zero allocations, no map iteration.
+//
+//fv:hotpath
+func (c *Controller) Observe(app packet.AppID, flow packet.FlowID, wireBytes int) bool {
+	k := flowKey(app, flow)
+	est := c.sketch.Update(k, uint64(wireBytes))
+	c.top.Offer(k, est)
+	if _, ok := c.index[k]; ok {
+		c.stats.FastPkts++
+		c.stats.FastBytes += uint64(wireBytes)
+		return true
+	}
+	c.stats.SlowPkts++
+	c.stats.SlowBytes += uint64(wireBytes)
+	if est >= c.threshold && c.top.Contains(k) {
+		if _, queued := c.pending[k]; !queued {
+			if c.qlen == len(c.queue) {
+				c.stats.QueueDrops++
+			} else {
+				slot := c.qhead + c.qlen
+				if slot >= len(c.queue) {
+					slot -= len(c.queue)
+				}
+				c.queue[slot] = flowEntry{key: k, app: app, flow: flow}
+				c.qlen++
+				c.pending[k] = struct{}{}
+			}
+		}
+	}
+	return false
+}
+
+// Tick runs one control-loop pass at virtual time nowNs: accrue the
+// rule budget, roll the sketch window, demote cold flows, drain the
+// install queue, and let the policy move the threshold. The returned
+// report carries the rule operations executed, for cycle charging.
+func (c *Controller) Tick(nowNs int64) TickReport {
+	var rep TickReport
+
+	// Budget accrual, capped at one queue's worth so an idle stretch
+	// cannot bank an unbounded install burst.
+	dt := nowNs - c.lastTickNs
+	if dt > 0 {
+		c.budget += c.cfg.RulesPerSec * float64(dt) / 1e9
+		if cap := float64(c.cfg.QueueCap); c.budget > cap {
+			c.budget = cap
+		}
+	}
+	c.lastTickNs = nowNs
+
+	// Window roll: halve the sketch and the tracked estimates together
+	// so install/demote comparisons stay consistent.
+	if nowNs-c.lastHalveNs >= c.cfg.WindowNs {
+		c.sketch.Halve()
+		c.top.Halve()
+		c.lastHalveNs = nowNs
+		rep.Halved = true
+	}
+
+	// Demotion scan: evict flows whose windowed estimate fell under the
+	// hysteresis cut. Each eviction spends a rule-channel token, like a
+	// real rule delete. The scan iterates the dense table (deterministic
+	// order); swap-removal revisits the swapped-in entry.
+	cut := uint64(float64(c.threshold) * c.cfg.DemoteFrac)
+	for i := 0; i < len(c.entries) && c.budget >= 1; i++ {
+		e := c.entries[i]
+		if c.sketch.Estimate(e.key) >= cut {
+			continue
+		}
+		c.removeEntry(i)
+		c.budget--
+		c.stats.Demotions++
+		rep.Demotions++
+		if c.cfg.OnDemote != nil {
+			c.cfg.OnDemote(e.app, e.flow)
+		}
+		i--
+	}
+
+	// Install drain under the remaining budget. Candidates re-validate
+	// against the current threshold: demand may have decayed while the
+	// entry sat in the queue (no rule op is spent on those).
+	for c.budget >= 1 && c.qlen > 0 {
+		if len(c.entries) >= c.cfg.TableCap {
+			c.stats.TableFull++
+			break
+		}
+		it := c.queue[c.qhead]
+		c.qhead++
+		if c.qhead == len(c.queue) {
+			c.qhead = 0
+		}
+		c.qlen--
+		delete(c.pending, it.key)
+		if c.sketch.Estimate(it.key) < c.threshold {
+			c.stats.StaleSkips++
+			continue
+		}
+		c.index[it.key] = int32(len(c.entries))
+		c.entries = append(c.entries, it)
+		c.budget--
+		c.stats.Installs++
+		rep.Installs++
+	}
+
+	c.threshold = c.cfg.Policy.Adjust(c.threshold, PolicyInput{
+		QueueDepth:     c.qlen,
+		QueueCap:       c.cfg.QueueCap,
+		TableUsed:      len(c.entries),
+		TableCap:       c.cfg.TableCap,
+		SketchErrBytes: c.sketch.ErrorBound(),
+	})
+
+	// The rule table mirrors hardware with TableCap slots: exceeding it
+	// means the drain loop's bound broke.
+	if fvassert.Enabled && len(c.entries) > c.cfg.TableCap {
+		fvassert.Failf("offload: %d offloaded flows exceed rule-table capacity %d",
+			len(c.entries), c.cfg.TableCap)
+	}
+
+	c.stats.Ticks++
+	if c.tel != nil {
+		c.exportTick()
+	}
+	return rep
+}
+
+// removeEntry swap-removes entries[i] and fixes the index.
+func (c *Controller) removeEntry(i int) {
+	last := len(c.entries) - 1
+	delete(c.index, c.entries[i].key)
+	if i != last {
+		c.entries[i] = c.entries[last]
+		c.index[c.entries[i].key] = int32(i)
+	}
+	c.entries = c.entries[:last]
+}
+
+// IsOffloaded reports whether (app, flow) currently holds a NIC rule.
+func (c *Controller) IsOffloaded(app packet.AppID, flow packet.FlowID) bool {
+	_, ok := c.index[flowKey(app, flow)]
+	return ok
+}
+
+// Estimate returns the sketch's current windowed byte estimate for
+// (app, flow).
+func (c *Controller) Estimate(app packet.AppID, flow packet.FlowID) uint64 {
+	return c.sketch.Estimate(flowKey(app, flow))
+}
+
+// Stats returns a snapshot of the controller state.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.Offloaded = len(c.entries)
+	s.TableCap = c.cfg.TableCap
+	s.QueueDepth = c.qlen
+	s.QueueCap = c.cfg.QueueCap
+	s.ThresholdBytes = c.threshold
+	s.SketchErrBytes = c.sketch.ErrorBound()
+	s.Policy = c.cfg.Policy.Name()
+	return s
+}

@@ -1,0 +1,147 @@
+package offload
+
+// PolicyInput is the controller state a threshold policy reads on each
+// control tick.
+type PolicyInput struct {
+	// QueueDepth/QueueCap describe the rule-install queue: sustained
+	// depth means candidates arrive faster than the insertion budget
+	// drains them.
+	QueueDepth, QueueCap int
+	// TableUsed/TableCap describe the NIC rule-table occupancy.
+	TableUsed, TableCap int
+	// SketchErrBytes is the sketch's current expected overestimate —
+	// a crowded sketch argues for a higher threshold, since marginal
+	// candidates are likely collision noise.
+	SketchErrBytes uint64
+}
+
+// Policy decides the offload threshold: a flow whose windowed byte
+// estimate reaches the threshold becomes an install candidate. Adjust
+// is called once per control tick with the previous threshold and the
+// current operating state; implementations must be deterministic pure
+// functions of their inputs.
+type Policy interface {
+	// Name identifies the policy in reports and metrics.
+	Name() string
+	// Adjust returns the next threshold in window bytes.
+	Adjust(cur uint64, in PolicyInput) uint64
+}
+
+// StaticPolicy pins the threshold to a constant — the baseline the
+// adaptive controller is measured against.
+type StaticPolicy struct {
+	// Bytes is the fixed offload threshold in window bytes.
+	Bytes uint64
+}
+
+// NewStatic returns a fixed-threshold policy.
+func NewStatic(bytes uint64) *StaticPolicy {
+	if bytes < 1 {
+		bytes = 1
+	}
+	return &StaticPolicy{Bytes: bytes}
+}
+
+// Name implements Policy.
+func (p *StaticPolicy) Name() string { return "static" }
+
+// Adjust implements Policy: the threshold never moves.
+func (p *StaticPolicy) Adjust(uint64, PolicyInput) uint64 { return p.Bytes }
+
+// AdaptiveConfig tunes the adaptive threshold controller. Zero fields
+// take the defaults noted on each field.
+type AdaptiveConfig struct {
+	// Min/Max clamp the threshold (defaults 2048 / 1<<26 bytes).
+	Min, Max uint64
+	// Up/Down are the multiplicative step factors (defaults 1.5 / 0.8):
+	// the threshold rises fast under pressure and relaxes slowly, the
+	// usual AIMD-flavoured asymmetry.
+	Up, Down float64
+	// QueueHi/QueueLo are install-queue occupancy watermarks (defaults
+	// 0.5 / 0.1): above QueueHi candidates outrun the insertion budget
+	// and the threshold rises; the queue must fall under QueueLo before
+	// the threshold relaxes.
+	QueueHi, QueueLo float64
+	// OccHi/OccLo are rule-table occupancy watermarks (defaults
+	// 0.9 / 0.5), applied the same way.
+	OccHi, OccLo float64
+}
+
+func (c AdaptiveConfig) defaults() AdaptiveConfig {
+	if c.Min == 0 {
+		c.Min = 2048
+	}
+	if c.Max == 0 {
+		c.Max = 1 << 26
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Up <= 1 {
+		c.Up = 1.5
+	}
+	if c.Down <= 0 || c.Down >= 1 {
+		c.Down = 0.8
+	}
+	if c.QueueHi <= 0 {
+		c.QueueHi = 0.5
+	}
+	if c.QueueLo <= 0 {
+		c.QueueLo = 0.1
+	}
+	if c.OccHi <= 0 {
+		c.OccHi = 0.9
+	}
+	if c.OccLo <= 0 {
+		c.OccLo = 0.5
+	}
+	return c
+}
+
+// AdaptivePolicy moves the threshold to keep the install queue and the
+// rule-table occupancy inside their operating range: multiplicative
+// increase when either resource is pressured, gentle decrease only when
+// both are comfortably idle. Between the watermarks the threshold holds
+// — hysteresis that keeps a marginal elephant from flapping across the
+// install/demote boundary every window.
+type AdaptivePolicy struct {
+	cfg AdaptiveConfig
+}
+
+// NewAdaptive returns an adaptive threshold controller.
+func NewAdaptive(cfg AdaptiveConfig) *AdaptivePolicy {
+	return &AdaptivePolicy{cfg: cfg.defaults()}
+}
+
+// Config returns the effective tuning.
+func (p *AdaptivePolicy) Config() AdaptiveConfig { return p.cfg }
+
+// Name implements Policy.
+func (p *AdaptivePolicy) Name() string { return "adaptive" }
+
+// Adjust implements Policy.
+func (p *AdaptivePolicy) Adjust(cur uint64, in PolicyInput) uint64 {
+	if cur < p.cfg.Min {
+		cur = p.cfg.Min
+	}
+	var queueFrac, occFrac float64
+	if in.QueueCap > 0 {
+		queueFrac = float64(in.QueueDepth) / float64(in.QueueCap)
+	}
+	if in.TableCap > 0 {
+		occFrac = float64(in.TableUsed) / float64(in.TableCap)
+	}
+	switch {
+	case queueFrac > p.cfg.QueueHi || occFrac > p.cfg.OccHi:
+		cur = uint64(float64(cur)*p.cfg.Up) + 1
+	case queueFrac < p.cfg.QueueLo && occFrac < p.cfg.OccLo:
+		cur = uint64(float64(cur) * p.cfg.Down)
+	}
+	if cur < p.cfg.Min {
+		cur = p.cfg.Min
+	}
+	if cur > p.cfg.Max {
+		cur = p.cfg.Max
+	}
+	return cur
+}

@@ -1,0 +1,140 @@
+package offload
+
+// Sketch is a count-min sketch with conservative update — the
+// heavy-hitter estimator in front of the rule-table installer (the
+// "elastic sketch" role in the fast-path/slow-path split). Each row
+// hashes the flow key with its own salt; an update raises only the
+// counters that would otherwise under-report the flow, so small flows
+// colliding with an elephant inflate its row counters far less than a
+// plain count-min would.
+//
+// Decay is periodic halving (Halve, driven by the controller's window
+// timer): estimates track the current window's byte volume instead of
+// the run total, so a flow that goes quiet falls under the demotion cut
+// within a few windows.
+//
+// The sketch is deterministic (fixed salts, no map iteration) and the
+// update path allocates nothing — it runs once per packet on the NIC
+// service path.
+type Sketch struct {
+	rows int
+	mask uint32 // cols-1 (cols is a power of two)
+	cols int
+	// cnt is the rows×cols counter matrix, row-major.
+	cnt []uint64
+	// salts decorrelate the row hashes.
+	salts [sketchMaxRows]uint64
+	// total is the byte volume absorbed since the last halving; the
+	// classic count-min analysis bounds the expected overestimate of
+	// any key by total/cols per row.
+	total uint64
+}
+
+// sketchMaxRows bounds the row count so Update can hold its per-row
+// indices in a stack array (no per-packet allocation).
+const sketchMaxRows = 8
+
+// NewSketch builds a rows×cols sketch; cols is rounded up to a power of
+// two. rows is clamped to [1, 8]; typical configurations use 3–4 rows.
+func NewSketch(rows, cols int) *Sketch {
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > sketchMaxRows {
+		rows = sketchMaxRows
+	}
+	if cols < 16 {
+		cols = 16
+	}
+	c := 16
+	for c < cols {
+		c <<= 1
+	}
+	s := &Sketch{rows: rows, cols: c, mask: uint32(c - 1)}
+	s.cnt = make([]uint64, rows*c)
+	// Fixed splitmix64 stream: deterministic across runs, distinct per
+	// row.
+	x := uint64(0x9e3779b97f4a7c15)
+	for r := 0; r < rows; r++ {
+		x += 0x9e3779b97f4a7c15
+		s.salts[r] = fmix64(x)
+	}
+	return s
+}
+
+// Rows and Cols report the sketch geometry.
+func (s *Sketch) Rows() int { return s.rows }
+func (s *Sketch) Cols() int { return s.cols }
+
+// Update adds n bytes to key's counters (conservative update) and
+// returns the new estimate. A count-min estimate never under-reports:
+// the returned value is ≥ the key's true byte volume this window.
+//
+//fv:hotpath
+func (s *Sketch) Update(key, n uint64) uint64 {
+	var idx [sketchMaxRows]uint32
+	est := ^uint64(0)
+	base := 0
+	for r := 0; r < s.rows; r++ {
+		i := uint32(fmix64(key^s.salts[r])) & s.mask
+		idx[r] = i
+		if v := s.cnt[base+int(i)]; v < est {
+			est = v
+		}
+		base += s.cols
+	}
+	est += n
+	base = 0
+	for r := 0; r < s.rows; r++ {
+		p := base + int(idx[r])
+		if s.cnt[p] < est {
+			s.cnt[p] = est
+		}
+		base += s.cols
+	}
+	s.total += n
+	return est
+}
+
+// Estimate returns the current estimate for key without updating.
+//
+//fv:hotpath
+func (s *Sketch) Estimate(key uint64) uint64 {
+	est := ^uint64(0)
+	base := 0
+	for r := 0; r < s.rows; r++ {
+		i := uint32(fmix64(key^s.salts[r])) & s.mask
+		if v := s.cnt[base+int(i)]; v < est {
+			est = v
+		}
+		base += s.cols
+	}
+	return est
+}
+
+// Halve decays every counter (and the collision-bound accumulator) by
+// half — the controller calls it once per observation window.
+func (s *Sketch) Halve() {
+	for i := range s.cnt {
+		s.cnt[i] >>= 1
+	}
+	s.total >>= 1
+}
+
+// ErrorBound returns the expected per-key overestimate of one row,
+// total/cols — the telemetry-exported sketch accuracy indicator. Taking
+// the min over rows, the true expected error is lower; this is the
+// conservative figure.
+func (s *Sketch) ErrorBound() uint64 {
+	return s.total / uint64(s.cols)
+}
+
+// fmix64 is the MurmurHash3 finalizer: a cheap full-avalanche mix.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

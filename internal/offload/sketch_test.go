@@ -1,0 +1,267 @@
+package offload
+
+import (
+	"sort"
+	"testing"
+
+	"flowvalve/internal/sim"
+)
+
+// zipfTrace builds a seeded Zipf(alpha)-distributed update trace over
+// nFlows keys: returns the per-key exact byte counts and the update
+// sequence (key, bytes) in arrival order. Inverse-CDF sampling over the
+// precomputed cumulative weights keeps it deterministic under sim.RNG.
+type zipfUpdate struct {
+	key uint64
+	n   uint64
+}
+
+func zipfTrace(seed uint64, nFlows, nUpdates int, alpha float64) ([]zipfUpdate, map[uint64]uint64) {
+	cum := make([]float64, nFlows)
+	var total float64
+	for i := 0; i < nFlows; i++ {
+		w := 1.0 / pow(float64(i+1), alpha)
+		total += w
+		cum[i] = total
+	}
+	rng := sim.NewRNG(seed)
+	updates := make([]zipfUpdate, 0, nUpdates)
+	exact := make(map[uint64]uint64, nFlows)
+	for u := 0; u < nUpdates; u++ {
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= nFlows {
+			i = nFlows - 1
+		}
+		key := uint64(1)<<48 | uint64(i)
+		bytes := uint64(64 + rng.Intn(1436)) // 64..1499B frames
+		updates = append(updates, zipfUpdate{key: key, n: bytes})
+		exact[key] += bytes
+	}
+	return updates, exact
+}
+
+// pow is a tiny positive-base power helper (avoids importing math just
+// for the trace builder).
+func pow(base, exp float64) float64 {
+	// exp is small and fixed (1.2); use exp = a + b with integer a.
+	r := 1.0
+	for exp >= 1 {
+		r *= base
+		exp--
+	}
+	if exp > 0 {
+		// linear interpolation between base^0 and base^1 is good enough
+		// for weighting a test trace.
+		r *= 1 + exp*(base-1)
+	}
+	return r
+}
+
+// TestSketchNeverUnderestimates pins the count-min guarantee the
+// controller's install logic relies on: an estimate is never below the
+// true count, so a true heavy hitter can never hide under the threshold.
+func TestSketchNeverUnderestimates(t *testing.T) {
+	updates, exact := zipfTrace(42, 4096, 200_000, 1.2)
+	s := NewSketch(4, 4096)
+	for _, u := range updates {
+		s.Update(u.key, u.n)
+	}
+	for key, want := range exact {
+		if got := s.Estimate(key); got < want {
+			t.Fatalf("key %#x: estimate %d < exact %d — count-min underestimated", key, got, want)
+		}
+	}
+}
+
+// TestSketchOverestimateBounded asserts the conservative-update sketch
+// stays within a small multiple of the analytic error bound total/cols
+// for every key of the Zipf trace.
+func TestSketchOverestimateBounded(t *testing.T) {
+	updates, exact := zipfTrace(7, 4096, 200_000, 1.2)
+	s := NewSketch(4, 4096)
+	for _, u := range updates {
+		s.Update(u.key, u.n)
+	}
+	bound := s.ErrorBound()
+	if bound == 0 {
+		t.Fatal("error bound is zero after 200k updates")
+	}
+	for key, want := range exact {
+		got := s.Estimate(key)
+		if got-want > 8*bound {
+			t.Fatalf("key %#x: overestimate %d > 8×bound %d", key, got-want, 8*bound)
+		}
+	}
+}
+
+// TestSketchTopKElephants is the accuracy satellite: feeding the sketch
+// estimates into the top-K tracker on a seeded Zipf trace, the exact
+// top-16 flows must land in a top-64 tracker with at most one false
+// negative — true elephants must not be missed.
+func TestSketchTopKElephants(t *testing.T) {
+	updates, exact := zipfTrace(99, 4096, 200_000, 1.2)
+	s := NewSketch(4, 4096)
+	top := NewTopK(64)
+	for _, u := range updates {
+		top.Offer(u.key, s.Update(u.key, u.n))
+	}
+
+	type kv struct {
+		key uint64
+		n   uint64
+	}
+	ranked := make([]kv, 0, len(exact))
+	for k, n := range exact {
+		ranked = append(ranked, kv{k, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].key < ranked[j].key
+	})
+
+	const elephants = 16
+	misses := 0
+	for _, e := range ranked[:elephants] {
+		if !top.Contains(e.key) {
+			misses++
+			t.Logf("elephant %#x (%dB) missing from top-K", e.key, e.n)
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("%d/%d true elephants missing from the top-K tracker (allow ≤1)", misses, elephants)
+	}
+}
+
+// TestSketchHalve checks the window decay: every estimate (and the error
+// accumulator) halves together.
+func TestSketchHalve(t *testing.T) {
+	s := NewSketch(4, 256)
+	s.Update(0xabc, 1000)
+	s.Update(0xdef, 3000)
+	before := s.Estimate(0xdef)
+	eb := s.ErrorBound()
+	s.Halve()
+	if got := s.Estimate(0xdef); got != before/2 {
+		t.Fatalf("estimate after halve = %d, want %d", got, before/2)
+	}
+	if got := s.ErrorBound(); got != eb/2 {
+		t.Fatalf("error bound after halve = %d, want %d", got, eb/2)
+	}
+}
+
+// TestSketchDeterminism pins the fixed-salt contract: two sketches of
+// the same geometry produce bit-identical estimates for the same trace.
+func TestSketchDeterminism(t *testing.T) {
+	updates, exact := zipfTrace(5, 1024, 50_000, 1.1)
+	a, b := NewSketch(3, 1024), NewSketch(3, 1024)
+	for _, u := range updates {
+		if ea, eb := a.Update(u.key, u.n), b.Update(u.key, u.n); ea != eb {
+			t.Fatalf("Update diverged: %d vs %d", ea, eb)
+		}
+	}
+	for key := range exact {
+		if ea, eb := a.Estimate(key), b.Estimate(key); ea != eb {
+			t.Fatalf("Estimate diverged for %#x: %d vs %d", key, ea, eb)
+		}
+	}
+}
+
+// TestTopKOrdering exercises the heap: eviction of the minimum,
+// in-place updates, removal, and the (est, key) deterministic tie-break.
+func TestTopKOrdering(t *testing.T) {
+	top := NewTopK(3)
+	top.Offer(1, 100)
+	top.Offer(2, 200)
+	top.Offer(3, 300)
+	if top.MinEst() != 100 {
+		t.Fatalf("MinEst = %d, want 100", top.MinEst())
+	}
+	// 4 beats the min → evicts key 1.
+	top.Offer(4, 150)
+	if top.Contains(1) || !top.Contains(4) {
+		t.Fatal("expected key 1 evicted by key 4")
+	}
+	// 5 ties the min (150, key 4): tie-break by key — 5 > 4 wins entry.
+	top.Offer(5, 150)
+	if !top.Contains(5) || top.Contains(4) {
+		t.Fatal("equal-estimate tie must break by key (larger key beats the root)")
+	}
+	// In-place update reorders.
+	top.Offer(5, 400)
+	if top.MinEst() != 200 {
+		t.Fatalf("MinEst after update = %d, want 200", top.MinEst())
+	}
+	top.Remove(2)
+	if top.Contains(2) || top.Len() != 2 {
+		t.Fatalf("Remove failed: len=%d", top.Len())
+	}
+	snap := top.Snapshot(nil)
+	if len(snap) != 2 || snap[0].Key != 5 || snap[1].Key != 3 {
+		t.Fatalf("Snapshot = %+v, want [{5 400} {3 300}]", snap)
+	}
+	top.Halve()
+	snap = top.Snapshot(snap[:0])
+	if len(snap) != 2 || snap[0].Est != 200 || snap[1].Est != 150 {
+		t.Fatalf("Snapshot after halve = %+v, want ests [200 150]", snap)
+	}
+}
+
+// TestStaticPolicy pins the baseline: the threshold never moves.
+func TestStaticPolicy(t *testing.T) {
+	p := NewStatic(8192)
+	if p.Name() != "static" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	for _, in := range []PolicyInput{
+		{},
+		{QueueDepth: 100, QueueCap: 100, TableUsed: 100, TableCap: 100},
+	} {
+		if got := p.Adjust(1, in); got != 8192 {
+			t.Fatalf("Adjust = %d, want 8192", got)
+		}
+	}
+}
+
+// TestAdaptivePolicy exercises the watermark controller: raise under
+// queue or table pressure, relax only when both are idle, hold in the
+// hysteresis band, clamp at the rails.
+func TestAdaptivePolicy(t *testing.T) {
+	p := NewAdaptive(AdaptiveConfig{Min: 1000, Max: 100_000})
+	cfg := p.Config()
+
+	// Queue pressure raises.
+	up := p.Adjust(2000, PolicyInput{QueueDepth: 80, QueueCap: 100, TableCap: 100})
+	if up <= 2000 {
+		t.Fatalf("pressured Adjust = %d, want > 2000", up)
+	}
+	if want := uint64(2000*cfg.Up) + 1; up != want {
+		t.Fatalf("pressured Adjust = %d, want %d", up, want)
+	}
+	// Table pressure raises too.
+	if got := p.Adjust(2000, PolicyInput{QueueCap: 100, TableUsed: 95, TableCap: 100}); got <= 2000 {
+		t.Fatalf("occupancy-pressured Adjust = %d, want > 2000", got)
+	}
+	// Idle relaxes.
+	down := p.Adjust(2000, PolicyInput{QueueDepth: 0, QueueCap: 100, TableUsed: 10, TableCap: 100})
+	if want := uint64(2000 * cfg.Down); down != want {
+		t.Fatalf("idle Adjust = %d, want %d", down, want)
+	}
+	// In the band: hold.
+	if got := p.Adjust(2000, PolicyInput{QueueDepth: 30, QueueCap: 100, TableUsed: 70, TableCap: 100}); got != 2000 {
+		t.Fatalf("in-band Adjust = %d, want hold at 2000", got)
+	}
+	// Rails.
+	if got := p.Adjust(1000, PolicyInput{QueueDepth: 0, QueueCap: 100, TableCap: 100}); got != 1000 {
+		t.Fatalf("Adjust below Min = %d, want clamp at 1000", got)
+	}
+	cur := uint64(90_000)
+	for i := 0; i < 10; i++ {
+		cur = p.Adjust(cur, PolicyInput{QueueDepth: 100, QueueCap: 100, TableCap: 100})
+	}
+	if cur != 100_000 {
+		t.Fatalf("Adjust above Max = %d, want clamp at 100000", cur)
+	}
+}

@@ -1,0 +1,101 @@
+package offload
+
+import "flowvalve/internal/telemetry"
+
+// offloadTel holds the controller's attached metric handles. The
+// controller is single-threaded under the DES; gauges are Set and
+// counter deltas Added once per control tick (never per packet), so
+// attaching telemetry costs the packet path nothing.
+type offloadTel struct {
+	flows     *telemetry.Gauge
+	queue     *telemetry.Gauge
+	threshold *telemetry.Gauge
+	sketchErr *telemetry.Gauge
+
+	installs   *telemetry.Counter
+	demotions  *telemetry.Counter
+	queueDrops *telemetry.Counter
+	staleSkips *telemetry.Counter
+	fastPkts   *telemetry.Counter
+	slowPkts   *telemetry.Counter
+	fastBytes  *telemetry.Counter
+	slowBytes  *telemetry.Counter
+
+	// last is the counter state already exported; each tick exports the
+	// delta since.
+	last Stats
+}
+
+// AttachTelemetry wires the controller into a metrics registry.
+//
+//	fv_offload_flows                  flows currently on the NIC fast path
+//	fv_offload_queue_depth            rule-install queue backlog
+//	fv_offload_threshold_bytes        current offload threshold
+//	fv_offload_sketch_error_bytes     expected sketch overestimate
+//	fv_offload_installs_total         rules installed
+//	fv_offload_demotions_total        rules evicted (flows demoted)
+//	fv_offload_queue_drops_total      install candidates refused (backpressure)
+//	fv_offload_stale_skips_total      queued candidates gone cold before install
+//	fv_offload_fast_packets_total     packets served on the fast path
+//	fv_offload_slow_packets_total     packets detoured to the host slow path
+//	fv_offload_fast_bytes_total       wire bytes on the fast path
+//	fv_offload_slow_bytes_total       wire bytes on the slow path
+//
+// The slow-path share — the headline figure — is
+// fv_offload_slow_packets_total / (fast+slow).
+func (c *Controller) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	pol := telemetry.Label{Key: "policy", Value: c.cfg.Policy.Name()}
+	t := &offloadTel{
+		flows: reg.Gauge("fv_offload_flows",
+			"Flows currently holding a NIC fast-path rule.", pol),
+		queue: reg.Gauge("fv_offload_queue_depth",
+			"Install candidates waiting for rule-channel budget.", pol),
+		threshold: reg.Gauge("fv_offload_threshold_bytes",
+			"Current offload threshold in window bytes.", pol),
+		sketchErr: reg.Gauge("fv_offload_sketch_error_bytes",
+			"Expected count-min overestimate per key (total/cols).", pol),
+		installs: reg.Counter("fv_offload_installs_total",
+			"Fast-path rules installed.", pol),
+		demotions: reg.Counter("fv_offload_demotions_total",
+			"Fast-path rules evicted because the flow went cold.", pol),
+		queueDrops: reg.Counter("fv_offload_queue_drops_total",
+			"Install candidates refused by a full queue (backpressure).", pol),
+		staleSkips: reg.Counter("fv_offload_stale_skips_total",
+			"Queued candidates whose demand decayed below the threshold.", pol),
+		fastPkts: reg.Counter("fv_offload_fast_packets_total",
+			"Packets observed on offloaded (fast-path) flows.", pol),
+		slowPkts: reg.Counter("fv_offload_slow_packets_total",
+			"Packets observed on host (slow-path) flows.", pol),
+		fastBytes: reg.Counter("fv_offload_fast_bytes_total",
+			"Wire bytes observed on offloaded (fast-path) flows.", pol),
+		slowBytes: reg.Counter("fv_offload_slow_bytes_total",
+			"Wire bytes observed on host (slow-path) flows.", pol),
+	}
+	c.tel = t
+	c.exportTick()
+}
+
+// exportTick publishes the tick-granularity view: gauges get the current
+// values, counters the deltas accumulated since the previous export.
+func (c *Controller) exportTick() {
+	t := c.tel
+	t.flows.Set(float64(len(c.entries)))
+	t.queue.Set(float64(c.qlen))
+	t.threshold.Set(float64(c.threshold))
+	t.sketchErr.Set(float64(c.sketch.ErrorBound()))
+
+	s := c.stats
+	t.installs.Add(int64(s.Installs - t.last.Installs))
+	t.demotions.Add(int64(s.Demotions - t.last.Demotions))
+	t.queueDrops.Add(int64(s.QueueDrops - t.last.QueueDrops))
+	t.staleSkips.Add(int64(s.StaleSkips - t.last.StaleSkips))
+	t.fastPkts.Add(int64(s.FastPkts - t.last.FastPkts))
+	t.slowPkts.Add(int64(s.SlowPkts - t.last.SlowPkts))
+	t.fastBytes.Add(int64(s.FastBytes - t.last.FastBytes))
+	t.slowBytes.Add(int64(s.SlowBytes - t.last.SlowBytes))
+	t.last = s
+}

@@ -1,0 +1,190 @@
+package offload
+
+import "sort"
+
+// TopK tracks the K flows with the largest sketch estimates: a min-heap
+// keyed by (estimate, key) with a position index so membership tests and
+// in-place estimate updates are O(1)/O(log K). The sketch feeds it on
+// every packet; the controller reads it to rank offload candidates and
+// to decide demotions.
+//
+// Ordering ties break on the flow key, so two runs that present the same
+// update sequence hold byte-identical heaps — the determinism contract
+// of the whole control plane.
+type TopK struct {
+	k   int
+	h   []topEntry
+	pos map[uint64]int32
+}
+
+type topEntry struct {
+	key uint64
+	est uint64
+}
+
+// Entry is one tracked flow in a Snapshot.
+type Entry struct {
+	Key uint64
+	Est uint64
+}
+
+// NewTopK builds a tracker for the k largest keys (k ≥ 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{
+		k:   k,
+		h:   make([]topEntry, 0, k),
+		pos: make(map[uint64]int32, k),
+	}
+}
+
+// K returns the capacity; Len the tracked count.
+func (t *TopK) K() int   { return t.k }
+func (t *TopK) Len() int { return len(t.h) }
+
+// less orders entries (estimate, then key) — the heap's root is the
+// smallest tracked entry, the next eviction victim.
+func (t *TopK) less(a, b topEntry) bool {
+	if a.est != b.est {
+		return a.est < b.est
+	}
+	return a.key < b.key
+}
+
+// Offer presents key with its fresh sketch estimate. Tracked keys are
+// updated in place; untracked keys enter when the tracker has room or
+// when they beat the current minimum (which is evicted).
+//
+//fv:hotpath
+func (t *TopK) Offer(key, est uint64) {
+	if i, ok := t.pos[key]; ok {
+		t.h[i].est = est
+		t.fix(int(i))
+		return
+	}
+	e := topEntry{key: key, est: est}
+	if len(t.h) < t.k {
+		t.h = append(t.h, e)
+		i := len(t.h) - 1
+		t.pos[key] = int32(i)
+		t.up(i)
+		return
+	}
+	if !t.less(t.h[0], e) {
+		return // does not beat the smallest tracked entry
+	}
+	delete(t.pos, t.h[0].key)
+	t.h[0] = e
+	t.pos[key] = 0
+	t.down(0)
+}
+
+// Contains reports whether key is currently tracked.
+//
+//fv:hotpath
+func (t *TopK) Contains(key uint64) bool {
+	_, ok := t.pos[key]
+	return ok
+}
+
+// MinEst returns the smallest tracked estimate, or 0 when the tracker
+// still has room (everything qualifies).
+func (t *TopK) MinEst() uint64 {
+	if len(t.h) < t.k {
+		return 0
+	}
+	return t.h[0].est
+}
+
+// Remove drops key from the tracker (flow teardown). Unknown keys are
+// ignored.
+func (t *TopK) Remove(key uint64) {
+	i, ok := t.pos[key]
+	if !ok {
+		return
+	}
+	last := len(t.h) - 1
+	delete(t.pos, key)
+	if int(i) != last {
+		t.h[i] = t.h[last]
+		t.pos[t.h[i].key] = i
+	}
+	t.h = t.h[:last]
+	if int(i) <= last-1 {
+		t.fix(int(i))
+	}
+}
+
+// Halve scales every tracked estimate with the sketch's window decay,
+// then restores the heap order (halving can reorder equal-estimate
+// ties).
+func (t *TopK) Halve() {
+	for i := range t.h {
+		t.h[i].est >>= 1
+	}
+	for i := len(t.h)/2 - 1; i >= 0; i-- {
+		t.down(i)
+	}
+}
+
+// Snapshot appends the tracked entries to dst, largest first (ties by
+// ascending key) — a deterministic ranking for reports and tests.
+func (t *TopK) Snapshot(dst []Entry) []Entry {
+	for _, e := range t.h {
+		dst = append(dst, Entry{Key: e.key, Est: e.est})
+	}
+	sort.Slice(dst, func(a, b int) bool {
+		if dst[a].Est != dst[b].Est {
+			return dst[a].Est > dst[b].Est
+		}
+		return dst[a].Key < dst[b].Key
+	})
+	return dst
+}
+
+// fix restores the heap property around i after an in-place change.
+func (t *TopK) fix(i int) {
+	t.down(i)
+	t.up(i)
+}
+
+//fv:hotpath
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(t.h[i], t.h[parent]) {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+//fv:hotpath
+func (t *TopK) down(i int) {
+	n := len(t.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && t.less(t.h[r], t.h[l]) {
+			m = r
+		}
+		if !t.less(t.h[m], t.h[i]) {
+			return
+		}
+		t.swap(i, m)
+		i = m
+	}
+}
+
+//fv:hotpath
+func (t *TopK) swap(i, j int) {
+	t.h[i], t.h[j] = t.h[j], t.h[i]
+	t.pos[t.h[i].key] = int32(i)
+	t.pos[t.h[j].key] = int32(j)
+}

@@ -233,3 +233,98 @@ func (g *OnOff) emit() {
 	}
 	g.eng.After(gap, g.emit)
 }
+
+// Churn emits a stream of short-lived "mouse" flows: new flows arrive as
+// a Poisson process, each sends a geometrically-flavoured handful of
+// fixed-size packets at a fixed per-packet gap, and flow IDs increment
+// from a base so every arrival is a brand-new connection. This is the
+// connection-churn load that stresses an offload control plane's
+// rule-insertion budget — lots of new flows, none worth offloading.
+type Churn struct {
+	eng  *sim.Engine
+	pkts *packet.Alloc
+	send func(*packet.Packet)
+	rng  *sim.RNG
+
+	app  packet.AppID
+	size int
+
+	nextFlow   packet.FlowID
+	interArrNs float64
+	meanPkts   float64
+	gapNs      int64
+	stopNs     int64
+
+	// Sent counts emitted packets; Flows started flows.
+	Sent  uint64
+	Flows uint64
+}
+
+// NewChurn builds a churn source on app: flowsPerSec new flows (Poisson
+// arrivals), each sending on average meanPkts `size`-byte packets spaced
+// gapNs apart, with flow IDs counting up from baseFlow. seed drives the
+// arrival process deterministically.
+func NewChurn(eng *sim.Engine, pkts *packet.Alloc, app packet.AppID, size int,
+	flowsPerSec, meanPkts float64, gapNs int64, baseFlow packet.FlowID,
+	startNs, stopNs int64, seed uint64, send func(*packet.Packet)) (*Churn, error) {
+	if eng == nil || pkts == nil || send == nil {
+		return nil, fmt.Errorf("trafficgen: nil engine, allocator, or send function")
+	}
+	if size <= 0 || flowsPerSec <= 0 || meanPkts < 1 {
+		return nil, fmt.Errorf("trafficgen: non-positive churn parameters")
+	}
+	if gapNs < 1 {
+		gapNs = 1
+	}
+	g := &Churn{
+		eng:        eng,
+		pkts:       pkts,
+		send:       send,
+		rng:        sim.NewRNG(seed),
+		app:        app,
+		size:       size,
+		nextFlow:   baseFlow,
+		interArrNs: 1e9 / flowsPerSec,
+		meanPkts:   meanPkts,
+		gapNs:      gapNs,
+		stopNs:     stopNs,
+	}
+	eng.At(startNs, g.arrive)
+	return g, nil
+}
+
+// arrive starts one new flow and schedules the next arrival.
+func (g *Churn) arrive() {
+	now := g.eng.Now()
+	if g.stopNs > 0 && now >= g.stopNs {
+		return
+	}
+	flow := g.nextFlow
+	g.nextFlow++
+	g.Flows++
+	// Packet count: 1 + an exponential tail around the mean, the
+	// heavy-ish short-flow distribution of connection setups.
+	n := 1
+	if g.meanPkts > 1 {
+		n += int(g.rng.Exp(g.meanPkts - 1))
+	}
+	g.emitFlow(flow, n)
+	next := g.rng.Exp(g.interArrNs)
+	if next < 1 {
+		next = 1
+	}
+	g.eng.After(int64(next), g.arrive)
+}
+
+// emitFlow sends one packet of flow and re-arms for the remainder.
+func (g *Churn) emitFlow(flow packet.FlowID, remaining int) {
+	now := g.eng.Now()
+	if remaining <= 0 || (g.stopNs > 0 && now >= g.stopNs) {
+		return
+	}
+	g.Sent++
+	g.send(g.pkts.New(flow, g.app, g.size, now))
+	if remaining > 1 {
+		g.eng.After(g.gapNs, func() { g.emitFlow(flow, remaining-1) })
+	}
+}
