@@ -74,7 +74,8 @@ bench-figures:
 
 # The benches guarded by the CI regression gate: the core batched hot
 # path (plain, sharded inline, sharded parallel), the pifo scheduler
-# family, and the offload control plane's per-packet Observe path.
+# family, the offload control plane's per-packet Observe path, and the
+# scheduled slow path's per-packet admission.
 # bench-json refreshes the committed baseline (run it on the reference
 # machine when a deliberate perf change lands; on a noisy shared
 # machine, capture $(BENCH_GATE) several times and emit from a merge
@@ -83,13 +84,13 @@ bench-figures:
 # benchmark's best-of-N ns/op regresses more than 15% past the
 # baseline, or allocates at all (cmd/fvbenchstat -max-allocs 0 — the
 # hot-path zero-allocation contract).
-BENCH_GATE = $(GO) test -run '^$$' -bench 'ScheduleBatch32|OffloadUpdate' -benchmem -count=5 . ./internal/pifo/
+BENCH_GATE = $(GO) test -run '^$$' -bench 'ScheduleBatch32|OffloadUpdate|SlowPathEnqueue' -benchmem -count=5 . ./internal/pifo/ ./internal/nic/
 
 bench-json:
-	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -emit BENCH_pr8.json
+	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -emit BENCH_pr9.json
 
 bench-gate:
-	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -baseline BENCH_pr8.json -match 'ScheduleBatch32|OffloadUpdate' -threshold 0.15 -max-allocs 0
+	$(BENCH_GATE) | $(GO) run ./cmd/fvbenchstat -baseline BENCH_pr9.json -match 'ScheduleBatch32|OffloadUpdate|SlowPathEnqueue' -threshold 0.15 -max-allocs 0
 
 # Parallel scaling matrix: the fvbench wall-clock mode at increasing
 # -procs (shards + producers). On a multi-core host throughput should

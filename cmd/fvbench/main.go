@@ -78,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	cacheSize := fs.Int("cache-size", 0, "flow-cache entry bound (flowvalve; 0 = default 65536)")
 	cacheShards := fs.Int("cache-shards", 0, "flow-cache shard count (flowvalve; 0 = default 8)")
 	offloadOn := fs.Bool("offload", false, "attach the offload control plane: only heavy hitters ride the fast path (flowvalve)")
+	slowQdisc := fs.String("slowpath-qdisc", nic.SlowQdiscHTB, "slow-path scheduler for non-offloaded flows (with -offload): htb | prio")
 	churnRate := fs.Float64("churn-rate", 0, "short-lived mouse-flow arrivals per second on the last app (flowvalve; 0 = none)")
 	ruleRate := fs.Float64("rule-rate", 220e3, "offload rule-channel budget in rules/s (with -offload)")
 	duration := fs.Duration("duration", 100*time.Millisecond, "measurement window (simulated)")
@@ -111,7 +112,7 @@ func run(args []string, out io.Writer) error {
 		if *shards > 1 {
 			tenants = 2 * *shards
 		}
-		q, ssched, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch, *shards, tenants, cacheCfg, *offloadOn, *ruleRate)
+		q, ssched, procPps, header, err = buildFlowValve(eng, counter, reg, *size, *cores, *freq, *wire, *depth, *batch, *shards, tenants, cacheCfg, *offloadOn, *ruleRate, *slowQdisc)
 	case "dpdk":
 		q, procPps, header, err = buildDPDK(eng, counter, reg, *cores, *wire)
 	default:
@@ -235,7 +236,7 @@ func run(args []string, out io.Writer) error {
 // and the NIC pays the shard steer/doorbell costs.
 func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg *telemetry.Registry,
 	size, cores int, freq, wire float64, depth, batch, shards, tenants int,
-	cache classifier.CacheConfig, offloadOn bool, ruleRate float64) (dataplane.Qdisc, *core.ShardedScheduler, float64, string, error) {
+	cache classifier.CacheConfig, offloadOn bool, ruleRate float64, slowQdisc string) (dataplane.Qdisc, *core.ShardedScheduler, float64, string, error) {
 	if cores <= 0 {
 		cores = 50
 	}
@@ -279,7 +280,7 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 		if err != nil {
 			return nil, nil, 0, "", err
 		}
-		if err := dev.AttachOffload(ctl, nic.SlowPathConfig{}); err != nil {
+		if err := dev.AttachOffload(ctl, nic.SlowPathConfig{Qdisc: slowQdisc}); err != nil {
 			return nil, nil, 0, "", err
 		}
 	}
@@ -294,7 +295,7 @@ func buildFlowValve(eng *sim.Engine, counter *experiments.DeliveredCounter, reg 
 		header += fmt.Sprintf(" shards=%d tenants=%d", shards, tenants)
 	}
 	if offloadOn {
-		header += fmt.Sprintf(" offload=on rule-rate=%.0fk/s", ruleRate/1e3)
+		header += fmt.Sprintf(" offload=on rule-rate=%.0fk/s slowpath=%s", ruleRate/1e3, slowQdisc)
 	}
 	return dev, sched, procPps, header, nil
 }

@@ -234,6 +234,14 @@ func runOne(name string, scale float64, csv bool, out io.Writer, telOpts ...expe
 			return err
 		}
 		fmt.Fprint(out, experiments.FormatOffload(res))
+		sweep, err := experiments.RunOffloadSweep(experiments.OffloadScenario{
+			DurationNs: int64(20e6 * scale),
+		}, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiments.FormatOffloadSweep(sweep))
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s|all)", name, strings.Join(experimentOrder, "|"))
 	}

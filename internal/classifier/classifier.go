@@ -369,6 +369,11 @@ func (c *Classifier) classify(p *packet.Packet, scratch *[headers.MaxStackLen]by
 // Pipeline exposes the compiled match-action pipeline (for table dumps).
 func (c *Classifier) Pipeline() *p4lite.Pipeline { return c.pipe }
 
+// Tree exposes the scheduling tree the classifier's labels point into —
+// consumers (the NIC's host slow path) build secondary schedulers over
+// the same class hierarchy so both paths enforce one policy.
+func (c *Classifier) Tree() *tree.Tree { return c.tree }
+
 // Invalidate drops the cached entry for one flow (rule updates, flow
 // teardown). Unknown keys are ignored.
 func (c *Classifier) Invalidate(app packet.AppID, flow packet.FlowID) {

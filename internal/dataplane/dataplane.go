@@ -250,8 +250,41 @@ type OffloadStats struct {
 	// SlowPathDrops counts packets the overloaded host slow path shed;
 	// Invalidations flow-cache entries tombstoned on demotion.
 	SlowPathDrops, Invalidations uint64
+	// SlowQdisc names the scheduler running on the host slow path
+	// ("htb", "prio"; empty when the backend has no scheduled slow
+	// path). SlowBacklogPkts is its current queued-packet backlog and
+	// SlowMaxClassPkts the deepest single class's share of it.
+	SlowQdisc                         string
+	SlowBacklogPkts, SlowMaxClassPkts int
+	// SlowShed counts packets refused at slow-path admission (projected
+	// wait past the bound), SlowQueueDrops packets accepted but dropped
+	// by a full per-class queue, and SlowReinjected packets the slow
+	// path scheduled and handed back to the NIC transmit path.
+	// SlowShed + SlowQueueDrops == SlowPathDrops.
+	SlowShed, SlowQueueDrops, SlowReinjected uint64
 	// Policy names the active threshold policy.
 	Policy string
+}
+
+// SlowClassStat is one traffic class's slow-path scorecard: the
+// per-class backlog and drop split that replaces the single
+// DropSlowPath bucket when the slow path runs a real qdisc.
+type SlowClassStat struct {
+	// Class is the class name in the scheduling tree.
+	Class string
+	// BacklogPkts is the class's current slow-path queue depth.
+	BacklogPkts int
+	// Shed counts admission-bound sheds, QueueDrops full-queue drops.
+	Shed, QueueDrops uint64
+}
+
+// SlowPathReporter is implemented by backends whose slow path schedules
+// per class (the NIC model with AttachOffload); harnesses probe for it
+// to break slow-path drops down by class.
+type SlowPathReporter interface {
+	// SlowPathClasses returns one entry per leaf class, in tree order.
+	// It returns nil when no scheduled slow path is attached.
+	SlowPathClasses() []SlowClassStat
 }
 
 // Offloader is implemented by backends with an attached offload control

@@ -6,10 +6,11 @@ import (
 	"testing"
 
 	"flowvalve/internal/faults"
+	"flowvalve/internal/nic"
 )
 
 // offloadTestScenario is a scaled-down lab (10ms of sources) so the full
-// four-row sweep stays test-suite fast.
+// five-row sweep stays test-suite fast.
 func offloadTestScenario() OffloadScenario {
 	return OffloadScenario{DurationNs: 10e6}
 }
@@ -83,17 +84,21 @@ func TestOffloadDeterminismAndShape(t *testing.T) {
 
 // TestChaosOffloadChurn is the offload-churn soak: randomized fault
 // plans (fixed seed matrix) run against every policy row while the churn
-// load hammers the install queue. Graceful degradation here means the
-// run completes, faults really were injected, rule-table and queue
-// bounds hold, and packets still flow.
+// load hammers the install queue, with each seed driving a different
+// slow-path qdisc so both host schedulers soak under faults. Graceful
+// degradation here means the run completes, faults really were injected,
+// rule-table and queue bounds hold, and packets still flow.
 func TestChaosOffloadChurn(t *testing.T) {
 	const (
 		faultFrom = int64(2e6)
 		faultTo   = int64(8e6)
 	)
-	for _, seed := range []uint64{1, 2} {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+	qdiscs := []string{nic.SlowQdiscHTB, nic.SlowQdiscPrio}
+	for i, seed := range []uint64{1, 2} {
+		qd := qdiscs[i%len(qdiscs)]
+		t.Run(fmt.Sprintf("seed=%d/%s", seed, qd), func(t *testing.T) {
 			sc := offloadTestScenario()
+			sc.SlowPath.Qdisc = qd
 			sc.Faults = faults.RandomPlan(seed, faultFrom, faultTo)
 			res, err := RunOffload(sc)
 			if err != nil {
@@ -109,6 +114,9 @@ func TestChaosOffloadChurn(t *testing.T) {
 				if !row.Offload.Enabled {
 					continue
 				}
+				if row.Offload.SlowQdisc != qd {
+					t.Errorf("row %s: slow path ran %q, configured %q", row.Name, row.Offload.SlowQdisc, qd)
+				}
 				if row.Offload.Offloaded > row.Offload.TableCap {
 					t.Errorf("row %s: table bound broken under faults: %d > %d",
 						row.Name, row.Offload.Offloaded, row.Offload.TableCap)
@@ -119,5 +127,47 @@ func TestChaosOffloadChurn(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestOffloadSweepFedReducesShed is the PR's headline acceptance: on the
+// overloaded churn sweep the congestion-fed adaptive policy strictly
+// sheds less on the slow path than the congestion-blind policy of the
+// previous revision at every (capacity, churn) point — the slow-path
+// signals must actually close the loop, not just ride along in
+// PolicyInput. The runs are seeded and deterministic, so a strict
+// inequality cannot flake.
+func TestOffloadSweepFedReducesShed(t *testing.T) {
+	res, err := RunOffloadSweep(OffloadScenario{DurationNs: 10e6},
+		[]int{64, 128}, []float64{40_000, 80_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Oracles) != 2 || len(res.Points) != 4 {
+		t.Fatalf("sweep shape: %d oracles, %d points", len(res.Oracles), len(res.Points))
+	}
+	for _, o := range res.Oracles {
+		if o.Offload.Enabled || o.Delivered == 0 {
+			t.Fatalf("oracle anchor broken: %+v", o.Offload)
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.Blind.Offload.SlowPkts == 0 || pt.Fed.Offload.SlowPkts == 0 {
+			t.Errorf("cap=%d churn=%.0f: no slow-path traffic observed", pt.TableCap, pt.ChurnFlowsPerSec)
+			continue
+		}
+		if pt.Fed.ShedRate >= pt.Blind.ShedRate {
+			t.Errorf("cap=%d churn=%.0f: fed shed rate %.4f not strictly below blind %.4f",
+				pt.TableCap, pt.ChurnFlowsPerSec, pt.Fed.ShedRate, pt.Blind.ShedRate)
+		}
+		if pt.Fed.EnforcementErr < 0 || pt.Blind.EnforcementErr < 0 {
+			t.Errorf("cap=%d churn=%.0f: negative enforcement error", pt.TableCap, pt.ChurnFlowsPerSec)
+		}
+	}
+	out := FormatOffloadSweep(res)
+	for _, want := range []string{"blind.err", "fed.err", "shed%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatOffloadSweep missing %q:\n%s", want, out)
+		}
 	}
 }

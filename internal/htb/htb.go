@@ -61,6 +61,12 @@ type Config struct {
 	// global-lock CPU stage.
 	EnqueueCycles int64
 	DequeueCycles int64
+	// ServiceNsPerPkt is a per-packet service-time floor on the drain,
+	// modelling a CPU-bound qdisc: when the pooled host cores need
+	// longer to schedule a packet than the wire needs to serialize it,
+	// the CPU is the server. 0 keeps the drain purely link-limited (the
+	// kernel-baseline behaviour).
+	ServiceNsPerPkt float64
 	// Host is the CPU model; nil creates the default 8×2.3GHz host.
 	Host host.Config
 }
@@ -230,8 +236,11 @@ func (q *Qdisc) drain() {
 	}
 	q.chargeTokens(leaf, float64(p.Size))
 
-	txNs := int64(float64(p.WireBytes()*8) / q.cfg.LinkRateBps * 1e9)
-	q.wireFreeNs = now + txNs
+	txNs := float64(p.WireBytes()*8) / q.cfg.LinkRateBps * 1e9
+	if txNs < q.cfg.ServiceNsPerPkt {
+		txNs = q.cfg.ServiceNsPerPkt
+	}
+	q.wireFreeNs = now + int64(txNs)
 	done := q.wireFreeNs
 	q.eng.At(done, func() {
 		p.EgressAt = done
@@ -390,6 +399,20 @@ func (q *Qdisc) Backlog() int {
 		n += q.states[leaf.ID].queue.Len()
 	}
 	return n
+}
+
+// ClassBacklog returns the packets queued in one leaf class's FIFO (0
+// for interior or out-of-range IDs) — the per-class occupancy the
+// offload control plane feeds back into its threshold policy.
+func (q *Qdisc) ClassBacklog(id tree.ClassID) int {
+	if int(id) < 0 || int(id) >= len(q.states) {
+		return 0
+	}
+	st := &q.states[id]
+	if st.queue == nil {
+		return 0
+	}
+	return st.queue.Len()
 }
 
 // Compile-time capability checks: the HTB baseline is driven through the

@@ -245,9 +245,10 @@ type NIC struct {
 	// feed lane before scheduling (sharded scheduling functions only).
 	batchShard     []int32
 	batchShardDrop []bool
-	// batchSlow carries each burst packet's slow-path detour latency
-	// (0 = fast path), filled when an offload control plane is attached.
-	batchSlow []int64
+	// batchSlowLeaf carries each burst packet's class when it must
+	// detour through the scheduled host slow path (nil = fast path),
+	// filled when an offload control plane is attached.
+	batchSlowLeaf []*tree.Class
 
 	clusters    []*cluster
 	nextCluster int
@@ -389,7 +390,7 @@ func New(eng *sim.Engine, cfg Config, cls *classifier.Classifier, sched dataplan
 		n.batchReason = make([]DropReason, b)
 		n.batchShard = make([]int32, b)
 		n.batchShardDrop = make([]bool, b)
-		n.batchSlow = make([]int64, b)
+		n.batchSlowLeaf = make([]*tree.Class, b)
 	}
 	return n, nil
 }
@@ -616,15 +617,12 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 		}
 		p.Marked = d.Marked
 	}
-	var slowExtraNs int64
+	// A forwarded packet of an un-offloaded flow detours through the
+	// scheduled host slow path; admission (and any shed) happens at
+	// completion time against the slow path's backlog then.
+	var slowLeaf *tree.Class
 	if forward && !fast {
-		extra, ok := n.off.slowDetour(n.eng.Now())
-		if !ok {
-			forward = false
-			reason = DropSlowPath
-		} else {
-			slowExtraNs = extra
-		}
+		slowLeaf = lbl.Leaf
 	}
 	if forward {
 		cycles += n.cfg.Costs.TxEnqueue
@@ -654,11 +652,8 @@ func (n *NIC) beginService(p *packet.Packet, cl *cluster) {
 	occupancyNs := int64(float64(occupancy) / n.cfg.CoreFreqHz * 1e9)
 	latencyNs := int64(float64(total) / n.cfg.CoreFreqHz * 1e9)
 	n.eng.After(occupancyNs, func() { n.releaseContext(cl) })
-	// A slow-path packet completes only after its host detour; the
-	// reorder system holds later fast-path completions until it lands,
-	// preserving service-begin order on the wire.
-	n.eng.After(latencyNs+slowExtraNs, func() {
-		n.completeService(p, seq, forward, reason)
+	n.eng.After(latencyNs, func() {
+		n.completeService(p, seq, forward, reason, slowLeaf)
 	})
 }
 
@@ -745,7 +740,6 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	// Sharding adds one doorbell per shard lane the burst touched.
 	cycles := n.cfg.Costs.PipelineBatch + n.cfg.Costs.ShardDoorbell*int64(doorbells)
 	perPkt := n.cfg.Costs.Pipeline - n.cfg.Costs.PipelineBatch
-	now := n.eng.Now()
 	di := 0
 	for i := 0; i < k; i++ {
 		p := batch[i]
@@ -797,15 +791,9 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 			}
 			p.Marked = d.Marked
 		}
-		n.batchSlow[i] = 0
+		n.batchSlowLeaf[i] = nil
 		if forward && !fast {
-			extra, ok := n.off.slowDetour(now)
-			if !ok {
-				forward = false
-				reason = DropSlowPath
-			} else {
-				n.batchSlow[i] = extra
-			}
+			n.batchSlowLeaf[i] = lbls[i].Leaf
 		}
 		if forward {
 			pc += n.cfg.Costs.TxEnqueue
@@ -840,17 +828,34 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	n.eng.After(occupancyNs, func() { n.releaseContext(cl) })
 	for i := 0; i < k; i++ {
 		p, fwd, reason := batch[i], n.batchFwd[i], n.batchReason[i]
+		slowLeaf := n.batchSlowLeaf[i]
 		seq := n.seqIssue
 		n.seqIssue++
-		// Slow-path packets complete after their host detour; the
-		// reorder system absorbs the resulting spread.
-		n.eng.After(latencyNs+n.batchSlow[i], func() { n.completeService(p, seq, fwd, reason) })
+		n.eng.After(latencyNs, func() { n.completeService(p, seq, fwd, reason, slowLeaf) })
 	}
 }
 
 // completeService finishes one packet's run-to-completion routine and
-// hands it to the reorder system.
-func (n *NIC) completeService(p *packet.Packet, seq uint64, forward bool, reason DropReason) {
+// hands it to the reorder system. A forwarded packet of an un-offloaded
+// flow (slowLeaf != nil) instead releases its reorder slot empty and
+// detours through the scheduled host slow path — it re-enters the
+// transmit path when the host qdisc serves it, so fast-path completions
+// behind it are not head-of-line blocked by the detour — or is shed
+// (DropSlowPath) when the slow path's admission bound refuses it.
+func (n *NIC) completeService(p *packet.Packet, seq uint64, forward bool, reason DropReason, slowLeaf *tree.Class) {
+	if forward && slowLeaf != nil && n.off != nil {
+		n.pending[seq] = completion{} // slot released; the packet detours
+		if !n.off.sp.admit(p, slowLeaf) {
+			n.stats.SlowPathDrops++
+			if n.tel != nil {
+				n.tel.dropSlow.Add(1)
+			}
+			n.drop(p, DropSlowPath)
+			n.freeBuffer()
+		}
+		n.releaseInOrder()
+		return
+	}
 	if forward {
 		n.pending[seq] = completion{p: p}
 	} else {

@@ -10,10 +10,10 @@ import (
 )
 
 // SlowPathConfig models the host slow path behind the offload control
-// plane: the CPU budget un-offloaded mice are charged against, and the
-// detour a slow-path packet takes through the host before re-entering
-// the NIC's transmit path. Zero fields take the defaults noted on each
-// field.
+// plane: the CPU budget un-offloaded mice are charged against, the
+// qdisc that schedules them on the host, and the detour a slow-path
+// packet takes through the host before re-entering the NIC's transmit
+// path. Zero fields take the defaults noted on each field.
 type SlowPathConfig struct {
 	// Host is the CPU the slow path runs on (host.Config defaults:
 	// the paper's 8-core 2.3GHz testbed).
@@ -23,16 +23,31 @@ type SlowPathConfig struct {
 	// back to the NIC (default 3200, the software-scheduler class of
 	// per-packet cost).
 	CyclesPerPkt float64
-	// MaxWaitNs bounds the slow-path queueing delay: a packet that
-	// would wait longer is shed (DropSlowPath) instead of growing the
-	// backlog without bound (default 1ms).
+	// MaxWaitNs bounds the slow-path queueing delay at admission: a
+	// packet whose projected wait exceeds the bound is shed
+	// (DropSlowPath) instead of growing the backlog without bound
+	// (default 1ms). The bound is inclusive-serve — a packet whose
+	// projected wait equals MaxWaitNs exactly is still served; only
+	// wait > MaxWaitNs sheds.
 	MaxWaitNs int64
 	// DetourNs is the fixed PCIe round trip of the detour — NIC→host
 	// DMA plus the host→NIC re-injection (default 30µs).
 	DetourNs int64
+	// Qdisc selects the scheduler the slow path runs over the policy
+	// class tree: SlowQdiscHTB (default) or SlowQdiscPrio. Either way
+	// non-offloaded flows are classified into the same class hierarchy
+	// the fast path enforces and scheduled under the host CPU's
+	// per-packet service floor.
+	Qdisc string
+	// QueuePkts bounds each slow-path class queue (default 512).
+	QueuePkts int
+	// ReinjectBps is the host→NIC re-injection bandwidth the slow
+	// path's drain feeds (default 50e9 — PCIe-class).
+	ReinjectBps float64
 }
 
-// Defaults fills unset fields.
+// Defaults fills unset fields. It is idempotent: applying it to its own
+// output returns the same configuration.
 func (c SlowPathConfig) Defaults() SlowPathConfig {
 	c.Host = c.Host.Defaults()
 	if c.CyclesPerPkt <= 0 {
@@ -44,33 +59,41 @@ func (c SlowPathConfig) Defaults() SlowPathConfig {
 	if c.DetourNs <= 0 {
 		c.DetourNs = 30_000
 	}
+	if c.Qdisc == "" {
+		c.Qdisc = SlowQdiscHTB
+	}
+	if c.QueuePkts <= 0 {
+		c.QueuePkts = 512
+	}
+	if c.ReinjectBps <= 0 {
+		c.ReinjectBps = 50e9
+	}
 	return c
 }
 
 // offloadState is the NIC side of the offload control plane: the
-// controller, the host-CPU accountant behind the slow path, and the
-// fluid single-server model of the slow path's service capacity.
+// controller, the scheduled host slow path behind it, and the CPU
+// accountant the slow path charges.
 type offloadState struct {
 	ctl *offload.Controller
 	cpu *host.CPU
 	cfg SlowPathConfig
-	// serviceNs is the slow path's per-packet service time with every
-	// host core pooled; freeAtF is the fluid server's busy-until
-	// instant (float64 so sub-ns service times accumulate exactly and
-	// deterministically).
-	serviceNs float64
-	freeAtF   float64
+	sp  *slowPath
 	// invalidations counts flow-cache tombstones written on demotion.
 	invalidations uint64
 }
 
 // AttachOffload puts the offload control plane in front of the fast
 // path: from now on only flows holding a rule installed by ctl ride the
-// NIC pipeline at full speed; every other classified packet pays the
-// exception-path cycles and a host detour (or is shed when the host is
-// saturated). The NIC chains ctl's demotion hook to the classifier's
-// targeted invalidation, so a demoted flow's next packet re-resolves
-// instead of hitting a stale fast-path cache entry.
+// NIC pipeline at full speed; every other classified packet detours
+// through the scheduled host slow path — a real qdisc over the same
+// policy class tree — and re-enters the NIC transmit path, or is shed
+// per class when its projected wait exceeds the bound. The NIC chains
+// ctl's demotion hook to the classifier's targeted invalidation (the
+// prior hook keeps firing after the NIC's), so a demoted flow's next
+// packet re-resolves instead of hitting a stale fast-path cache entry,
+// and feeds the slow path's congestion signals (backlog, shed rate,
+// host utilization) into ctl's threshold policy every tick.
 //
 // Call before AttachTelemetry so the fv_offload_* family registers with
 // the NIC's registry. The controller's periodic tick is armed here on
@@ -83,13 +106,16 @@ func (n *NIC) AttachOffload(ctl *offload.Controller, cfg SlowPathConfig) error {
 		return fmt.Errorf("nic: offload control plane already attached")
 	}
 	cfg = cfg.Defaults()
+	sp, err := newSlowPath(n.eng, n.cls.Tree(), cfg, n.txEnqueue)
+	if err != nil {
+		return err
+	}
 	st := &offloadState{
 		ctl: ctl,
-		cpu: host.New(cfg.Host),
+		cpu: sp.cpu,
 		cfg: cfg,
+		sp:  sp,
 	}
-	hc := st.cpu.Config()
-	st.serviceNs = cfg.CyclesPerPkt / (hc.FreqHz * float64(hc.Cores)) * 1e9
 
 	prev := ctl.DemoteHook()
 	ctl.SetDemoteHook(func(app packet.AppID, flow packet.FlowID) {
@@ -99,6 +125,7 @@ func (n *NIC) AttachOffload(ctl *offload.Controller, cfg SlowPathConfig) error {
 			prev(app, flow)
 		}
 	})
+	ctl.SetSlowPathSignals(sp.signals)
 
 	n.off = st
 	n.eng.After(ctl.TickNs(), n.offloadTick)
@@ -120,25 +147,6 @@ func (n *NIC) offloadTick() {
 		}
 	}
 	n.eng.After(n.off.ctl.TickNs(), n.offloadTick)
-}
-
-// slowDetour admits one packet to the host slow path at virtual time
-// now, returning the extra latency of the detour, or ok=false when the
-// host backlog exceeds the wait bound and the packet is shed. The slow
-// path is a fluid single server pooling every host core; host cycles
-// are charged only for admitted packets.
-func (st *offloadState) slowDetour(now int64) (extraNs int64, ok bool) {
-	f := float64(now)
-	if st.freeAtF < f {
-		st.freeAtF = f
-	}
-	wait := st.freeAtF - f
-	if wait > float64(st.cfg.MaxWaitNs) {
-		return 0, false
-	}
-	st.cpu.Charge(st.cfg.CyclesPerPkt)
-	st.freeAtF += st.serviceNs
-	return int64(wait+st.serviceNs) + st.cfg.DetourNs, true
 }
 
 // HostCores implements dataplane.HostAccountant: the mean host cores
@@ -171,16 +179,33 @@ func (n *NIC) OffloadStats() dataplane.OffloadStats {
 		SlowBytes:      s.SlowBytes,
 		Installs:       s.Installs,
 		Demotions:      s.Demotions,
-		QueueDrops:     s.QueueDrops,
-		StaleSkips:     s.StaleSkips,
-		TableFull:      s.TableFull,
-		SlowPathDrops:  n.stats.SlowPathDrops,
-		Invalidations:  n.off.invalidations,
-		Policy:         s.Policy,
+		QueueDrops:       s.QueueDrops,
+		StaleSkips:       s.StaleSkips,
+		TableFull:        s.TableFull,
+		SlowPathDrops:    n.stats.SlowPathDrops,
+		Invalidations:    n.off.invalidations,
+		SlowQdisc:        n.off.cfg.Qdisc,
+		SlowBacklogPkts:  n.off.sp.backlogPkts,
+		SlowMaxClassPkts: n.off.sp.maxClassBacklog(),
+		SlowShed:         n.off.sp.shed,
+		SlowQueueDrops:   n.off.sp.queueDrops,
+		SlowReinjected:   n.off.sp.reinjected,
+		Policy:           s.Policy,
 	}
 }
 
+// SlowPathClasses implements dataplane.SlowPathReporter: the per-class
+// slow-path backlog/shed/drop split, nil without an attached offload
+// control plane.
+func (n *NIC) SlowPathClasses() []dataplane.SlowClassStat {
+	if n.off == nil {
+		return nil
+	}
+	return n.off.sp.classStats()
+}
+
 var (
-	_ dataplane.HostAccountant = (*NIC)(nil)
-	_ dataplane.Offloader      = (*NIC)(nil)
+	_ dataplane.HostAccountant   = (*NIC)(nil)
+	_ dataplane.Offloader        = (*NIC)(nil)
+	_ dataplane.SlowPathReporter = (*NIC)(nil)
 )

@@ -6,6 +6,8 @@ import (
 	"flowvalve/internal/host"
 	"flowvalve/internal/offload"
 	"flowvalve/internal/packet"
+	"flowvalve/internal/sched/tree"
+	"flowvalve/internal/sim"
 	"flowvalve/internal/trafficgen"
 )
 
@@ -98,6 +100,15 @@ func TestPromoteDemoteRepromote(t *testing.T) {
 	if !s.Enabled || s.Installs < 2 || s.Demotions < 1 || s.Invalidations < 1 {
 		t.Fatalf("transition counters wrong: %+v", s)
 	}
+	// Pre-promotion packets crossed the scheduled slow path: the qdisc
+	// must have re-injected them, not just counted them.
+	if s.SlowQdisc != SlowQdiscHTB {
+		t.Fatalf("SlowQdisc = %q, want default %q", s.SlowQdisc, SlowQdiscHTB)
+	}
+	if s.SlowPkts == 0 || s.SlowReinjected == 0 {
+		t.Fatalf("slow path never scheduled a packet: SlowPkts=%d SlowReinjected=%d",
+			s.SlowPkts, s.SlowReinjected)
+	}
 	// The re-promoted flow's packets were delivered after re-resolving
 	// through the invalidated cache.
 	var phase2 int
@@ -167,5 +178,198 @@ func TestSlowPathShedding(t *testing.T) {
 	// bounded by a 100µs wait can deliver only a handful.
 	if len(r.delivered) == 0 || len(r.delivered) > 20 {
 		t.Fatalf("delivered %d packets, want a handful (shed the rest)", len(r.delivered))
+	}
+}
+
+// TestSlowPathConfigDefaultsIdempotent pins the Defaults contract:
+// applying it to its own output changes nothing, so configs can be
+// defaulted at any layer without drift.
+func TestSlowPathConfigDefaultsIdempotent(t *testing.T) {
+	for _, cfg := range []SlowPathConfig{
+		{},
+		{Qdisc: SlowQdiscPrio, QueuePkts: 7, MaxWaitNs: 123, ReinjectBps: 1e9},
+		{Host: host.Config{Cores: 3}, CyclesPerPkt: 5000, DetourNs: 1},
+	} {
+		once := cfg.Defaults()
+		twice := once.Defaults()
+		if once != twice {
+			t.Errorf("Defaults not idempotent:\n once=%+v\ntwice=%+v", once, twice)
+		}
+	}
+	d := SlowPathConfig{}.Defaults()
+	if d.Qdisc != SlowQdiscHTB || d.QueuePkts <= 0 || d.ReinjectBps <= 0 {
+		t.Fatalf("zero-value defaults incomplete: %+v", d)
+	}
+}
+
+// TestSlowPathShedBoundary pins the inclusive-serve admission bound
+// with exact arithmetic: serviceNs = 1000 (1000 cycles on one 1GHz
+// core) and MaxWaitNs = 1000, so the packet behind a backlog of one
+// projects a wait of exactly MaxWaitNs and must be SERVED; only the
+// packet behind a backlog of two (wait 2000 > 1000) sheds.
+func TestSlowPathShedBoundary(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("root", 10e9).
+		Add(tree.ClassSpec{Name: "leaf", Parent: "root"}).
+		MustBuild()
+	leaf, _ := tr.Lookup("leaf")
+	eng := sim.New()
+	sp, err := newSlowPath(eng, tr, SlowPathConfig{
+		Host:         host.Config{Cores: 1, FreqHz: 1e9},
+		CyclesPerPkt: 1000,
+		MaxWaitNs:    1000,
+		ReinjectBps:  1e15, // byte projection never dominates
+	}.Defaults(), func(*packet.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.serviceNs != 1000 {
+		t.Fatalf("serviceNs = %v, want exactly 1000", sp.serviceNs)
+	}
+	alloc := &packet.Alloc{}
+	mk := func() *packet.Packet { return alloc.New(1, 1, 100, 0) }
+	// The engine does not run between admits, so the backlog only grows.
+	if !sp.admit(mk(), leaf) {
+		t.Fatal("empty slow path refused a packet (wait 0)")
+	}
+	if !sp.admit(mk(), leaf) {
+		t.Fatal("wait == MaxWaitNs shed — the bound must be inclusive-serve")
+	}
+	if sp.admit(mk(), leaf) {
+		t.Fatal("wait > MaxWaitNs served — the bound is gone")
+	}
+	if sp.shed != 1 || sp.classShed[leaf.ID] != 1 {
+		t.Fatalf("shed accounting: total=%d class=%d, want 1/1", sp.shed, sp.classShed[leaf.ID])
+	}
+	if sp.admitted != 2 || sp.backlogPkts != 2 {
+		t.Fatalf("admit accounting: admitted=%d backlog=%d, want 2/2", sp.admitted, sp.backlogPkts)
+	}
+}
+
+// TestDemoteHookStacking is the chaining regression: a hook installed
+// before AttachOffload and a second one stacked after it must BOTH keep
+// firing on demotion, with the NIC's cache invalidation still in front.
+// (A replacement hook that fails to invoke the captured prev silently
+// disconnects every earlier demotion listener.)
+func TestDemoteHookStacking(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	var gotA, gotB int
+	ctl, err := offload.New(offload.Config{
+		TableCap:              16,
+		TopK:                  16,
+		WindowNs:              1_000_000,
+		TickNs:                1_000_000,
+		InitialThresholdBytes: 4096,
+		Policy:                offload.NewStatic(4096),
+		OnDemote:              func(app packet.AppID, flow packet.FlowID) { gotA++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.AttachOffload(ctl, SlowPathConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// Stack a second hook on top of the NIC's chained one.
+	prev := ctl.DemoteHook()
+	ctl.SetDemoteHook(func(app packet.AppID, flow packet.FlowID) {
+		gotB++
+		if prev != nil {
+			prev(app, flow)
+		}
+	})
+
+	alloc := &packet.Alloc{}
+	if _, err := trafficgen.NewCBR(r.eng, alloc, 5, 2, 1500, 1e9, 0, 5e6, r.nic.Inject); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(20_000_000) // quiet after 5ms — the flow demotes
+
+	if s := r.nic.OffloadStats(); s.Demotions == 0 {
+		t.Fatalf("no demotion happened: %+v", s)
+	}
+	if gotA == 0 {
+		t.Fatal("hook installed before AttachOffload was disconnected (prev not invoked)")
+	}
+	if gotB == 0 {
+		t.Fatal("hook stacked after AttachOffload never fired")
+	}
+	if inv := r.nic.FlowCacheStats().Invalidations; inv == 0 {
+		t.Fatal("cache invalidation dropped out of the demote chain")
+	}
+}
+
+// TestSlowPathQdiscVariants runs the same un-offloadable workload
+// through both slow-path schedulers: packets must be scheduled (not
+// just delayed) and re-injected, the per-class split must cover the
+// drops, and the prio backend must work without the per-class probe.
+func TestSlowPathQdiscVariants(t *testing.T) {
+	for _, kind := range []string{SlowQdiscHTB, SlowQdiscPrio} {
+		t.Run(kind, func(t *testing.T) {
+			r := newRig(t, Config{}, 40e9, false)
+			ctl, err := offload.New(offload.Config{
+				InitialThresholdBytes: 1 << 40,
+				Policy:                offload.NewStatic(1 << 40),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = r.nic.AttachOffload(ctl, SlowPathConfig{
+				Host:         host.Config{Cores: 1},
+				CyclesPerPkt: 23_000, // 10µs/pkt at 2.3GHz
+				MaxWaitNs:    100_000,
+				Qdisc:        kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			alloc := &packet.Alloc{}
+			if _, err := trafficgen.NewCBR(r.eng, alloc, 9, 1, 1500, 2e9, 0, 5e6, r.nic.Inject); err != nil {
+				t.Fatal(err)
+			}
+			r.eng.RunUntil(10_000_000)
+
+			os := r.nic.OffloadStats()
+			if os.SlowQdisc != kind {
+				t.Fatalf("SlowQdisc = %q, want %q", os.SlowQdisc, kind)
+			}
+			if os.SlowReinjected == 0 {
+				t.Fatal("slow path scheduled nothing back into the Tx path")
+			}
+			if len(r.delivered) == 0 {
+				t.Fatal("no slow-path packet reached the wire")
+			}
+			if os.SlowShed+os.SlowQueueDrops != os.SlowPathDrops {
+				t.Fatalf("drop split %d+%d != SlowPathDrops %d",
+					os.SlowShed, os.SlowQueueDrops, os.SlowPathDrops)
+			}
+			classes := r.nic.SlowPathClasses()
+			if len(classes) == 0 {
+				t.Fatal("SlowPathClasses empty with an attached slow path")
+			}
+			var classShed uint64
+			for _, c := range classes {
+				classShed += c.Shed + c.QueueDrops
+			}
+			if classShed != os.SlowPathDrops {
+				t.Fatalf("per-class drops %d != total %d", classShed, os.SlowPathDrops)
+			}
+		})
+	}
+}
+
+// TestAttachOffloadBadQdisc: an unknown slow-path scheduler is a
+// configuration error, not a silent fallback.
+func TestAttachOffloadBadQdisc(t *testing.T) {
+	r := newRig(t, Config{}, 40e9, false)
+	ctl, err := offload.New(offload.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.AttachOffload(ctl, SlowPathConfig{Qdisc: "cbq"}); err == nil {
+		t.Fatal("unknown qdisc accepted")
+	}
+	// The failed attach must not leave half-wired state behind.
+	if err := r.nic.AttachOffload(ctl, SlowPathConfig{}); err != nil {
+		t.Fatalf("re-attach after failed attach: %v", err)
 	}
 }

@@ -41,9 +41,18 @@ type nicTel struct {
 //	fv_flowcache_evictions_total                CLOCK displacements
 //	fv_flowcache_size                           live cached flow entries
 //
-// The flow-cache families are callback-backed: they read the sharded
-// cache's atomic counters at scrape time, so the classification hot path
-// pays nothing for them.
+// With an offload control plane attached the scheduled slow path adds
+// its own family, labelled {qdisc="htb"|"prio"}:
+//
+//	fv_offload_slowpath_backlog_packets         queued on the host qdisc
+//	fv_offload_slowpath_shed_total              admission-bound sheds
+//	fv_offload_slowpath_queue_drops_total       full per-class queue drops
+//	fv_offload_slowpath_reinjected_total        scheduled, handed back to Tx
+//	fv_offload_slowpath_host_cycles_total       host CPU cycles burned
+//
+// The flow-cache and slow-path families are callback-backed: they read
+// the live counters at scrape time, so the hot paths pay nothing for
+// them.
 func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		n.tel = nil
@@ -97,5 +106,22 @@ func (n *NIC) AttachTelemetry(reg *telemetry.Registry) {
 	n.tel = t
 	if n.off != nil {
 		n.off.ctl.AttachTelemetry(reg)
+		sp := n.off.sp
+		qd := telemetry.Label{Key: "qdisc", Value: n.off.cfg.Qdisc}
+		reg.GaugeFunc("fv_offload_slowpath_backlog_packets",
+			"Packets queued on the scheduled host slow path.",
+			func() float64 { return float64(sp.backlogPkts) }, sched, qd)
+		reg.CounterFunc("fv_offload_slowpath_shed_total",
+			"Slow-path packets shed at admission (projected wait past the bound).",
+			func() float64 { return float64(sp.shed) }, sched, qd)
+		reg.CounterFunc("fv_offload_slowpath_queue_drops_total",
+			"Slow-path packets dropped by a full per-class queue.",
+			func() float64 { return float64(sp.queueDrops) }, sched, qd)
+		reg.CounterFunc("fv_offload_slowpath_reinjected_total",
+			"Slow-path packets scheduled by the host qdisc and re-injected into the NIC transmit path.",
+			func() float64 { return float64(sp.reinjected) }, sched, qd)
+		reg.CounterFunc("fv_offload_slowpath_host_cycles_total",
+			"Host CPU cycles burned scheduling the slow path.",
+			func() float64 { return sp.cpu.Cycles() }, sched, qd)
 	}
 }

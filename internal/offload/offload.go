@@ -42,6 +42,18 @@ import (
 // stale fast-path binding.
 type DemoteHook func(app packet.AppID, flow packet.FlowID)
 
+// InstallHook is called for each flow whose rule lands in the NIC table
+// — harnesses use it to measure promotion latency (first packet seen to
+// rule installed), the lag a closed-loop sender's ramp rides out on the
+// slow path.
+type InstallHook func(app packet.AppID, flow packet.FlowID)
+
+// SlowPathSignalFunc supplies the slow path's congestion snapshot for
+// one control tick at virtual time nowNs. The controller calls it
+// exactly once per Tick, so implementations may reset their per-tick
+// deltas inside the call.
+type SlowPathSignalFunc func(nowNs int64) SlowPathSignals
+
 // Config sizes the offload control plane. Zero fields take the defaults
 // noted on each field.
 type Config struct {
@@ -76,6 +88,8 @@ type Config struct {
 	Policy Policy
 	// OnDemote, when set, fires for every demoted flow.
 	OnDemote DemoteHook
+	// OnInstall, when set, fires for every installed flow.
+	OnInstall InstallHook
 }
 
 func (c Config) defaults() Config {
@@ -186,6 +200,10 @@ type Controller struct {
 	lastTickNs  int64
 	lastHalveNs int64
 
+	// slowSig, when set, feeds the slow path's congestion snapshot to
+	// the policy each tick.
+	slowSig SlowPathSignalFunc
+
 	stats Stats
 	tel   *offloadTel
 }
@@ -227,6 +245,18 @@ func (c *Controller) DemoteHook() DemoteHook { return c.cfg.OnDemote }
 // SetDemoteHook replaces the demotion hook; the NIC chains the
 // classifier invalidation in front of any caller-installed hook.
 func (c *Controller) SetDemoteHook(h DemoteHook) { c.cfg.OnDemote = h }
+
+// InstallHook returns the current install hook (nil if unset).
+func (c *Controller) InstallHook() InstallHook { return c.cfg.OnInstall }
+
+// SetInstallHook replaces the install hook.
+func (c *Controller) SetInstallHook(h InstallHook) { c.cfg.OnInstall = h }
+
+// SetSlowPathSignals wires the slow path's congestion feedback into the
+// threshold policy: fn is called once per Tick and its snapshot lands
+// in PolicyInput.Slow. A nil fn (the default) feeds zero signals —
+// controllers driven without a scheduled slow path are unaffected.
+func (c *Controller) SetSlowPathSignals(fn SlowPathSignalFunc) { c.slowSig = fn }
 
 // flowKey packs (app, flow) into the sketch/table key. The high bit
 // marks the key live, so the zero key never aliases a real flow.
@@ -341,14 +371,22 @@ func (c *Controller) Tick(nowNs int64) TickReport {
 		c.budget--
 		c.stats.Installs++
 		rep.Installs++
+		if c.cfg.OnInstall != nil {
+			c.cfg.OnInstall(it.app, it.flow)
+		}
 	}
 
+	var slow SlowPathSignals
+	if c.slowSig != nil {
+		slow = c.slowSig(nowNs)
+	}
 	c.threshold = c.cfg.Policy.Adjust(c.threshold, PolicyInput{
 		QueueDepth:     c.qlen,
 		QueueCap:       c.cfg.QueueCap,
 		TableUsed:      len(c.entries),
 		TableCap:       c.cfg.TableCap,
 		SketchErrBytes: c.sketch.ErrorBound(),
+		Slow:           slow,
 	})
 
 	// The rule table mirrors hardware with TableCap slots: exceeding it

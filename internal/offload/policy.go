@@ -1,5 +1,23 @@
 package offload
 
+// SlowPathSignals is the host slow path's congestion snapshot, fed to
+// the controller once per control tick by the device model (see
+// Controller.SetSlowPathSignals). The zero value means "no slow-path
+// pain" — controllers driven without a scheduled slow path see exactly
+// the pre-signal behaviour.
+type SlowPathSignals struct {
+	// BacklogPkts is the total packets queued on the slow path;
+	// MaxClassPkts the deepest single class's backlog; QueueCapPkts the
+	// per-class queue bound (the denominator for backlog fractions).
+	BacklogPkts, MaxClassPkts, QueueCapPkts int
+	// ShedRate is the fraction of slow-path arrivals shed or dropped
+	// since the previous tick, in [0, 1].
+	ShedRate float64
+	// HostUtil is the busy fraction of the slow-path host cores since
+	// the previous tick (1.0 = every core fully busy).
+	HostUtil float64
+}
+
 // PolicyInput is the controller state a threshold policy reads on each
 // control tick.
 type PolicyInput struct {
@@ -13,6 +31,10 @@ type PolicyInput struct {
 	// a crowded sketch argues for a higher threshold, since marginal
 	// candidates are likely collision noise.
 	SketchErrBytes uint64
+	// Slow is the slow path's congestion snapshot (zero without a
+	// scheduled slow path): sustained shed rate or host saturation
+	// argues for a *lower* threshold, promoting flows off the host.
+	Slow SlowPathSignals
 }
 
 // Policy decides the offload threshold: a flow whose windowed byte
@@ -65,7 +87,26 @@ type AdaptiveConfig struct {
 	// OccHi/OccLo are rule-table occupancy watermarks (defaults
 	// 0.9 / 0.5), applied the same way.
 	OccHi, OccLo float64
+	// ShedHi is the slow-path shed-rate watermark (default 0.01): when
+	// the slow path sheds more than this fraction of its arrivals the
+	// threshold falls, promoting flows off the pained host. Set it >= 1
+	// (a shed rate can never exceed 1) to ignore the signal — the
+	// congestion-blind policy of earlier revisions.
+	ShedHi float64
+	// HostHi is the slow-path host-utilization watermark (default
+	// 0.85 of the slow-path cores). Values > 1 disable it.
+	HostHi float64
+	// BacklogHi is the slow-path per-class backlog watermark as a
+	// fraction of the per-class queue bound (default 0.5). Values > 1
+	// disable it.
+	BacklogHi float64
 }
+
+// MinBytes is the absolute floor under every configured Min rail: a
+// threshold driven to 0 by multiplicative decrease would promote every
+// flow on its first packet and flood the install queue, so Adjust never
+// returns less than this even for a zero-valued AdaptivePolicy.
+const MinBytes = 64
 
 func (c AdaptiveConfig) defaults() AdaptiveConfig {
 	if c.Min == 0 {
@@ -95,15 +136,30 @@ func (c AdaptiveConfig) defaults() AdaptiveConfig {
 	if c.OccLo <= 0 {
 		c.OccLo = 0.5
 	}
+	if c.ShedHi <= 0 {
+		c.ShedHi = 0.01
+	}
+	if c.HostHi <= 0 {
+		c.HostHi = 0.85
+	}
+	if c.BacklogHi <= 0 {
+		c.BacklogHi = 0.5
+	}
 	return c
 }
 
-// AdaptivePolicy moves the threshold to keep the install queue and the
-// rule-table occupancy inside their operating range: multiplicative
-// increase when either resource is pressured, gentle decrease only when
-// both are comfortably idle. Between the watermarks the threshold holds
-// — hysteresis that keeps a marginal elephant from flapping across the
-// install/demote boundary every window.
+// AdaptivePolicy moves the threshold to keep the install queue, the
+// rule-table occupancy, and the host slow path inside their operating
+// ranges: multiplicative increase when the rule channel or table is
+// pressured, multiplicative decrease when the slow path is in pain
+// (shedding, deep per-class backlog, or saturated host cores — promote
+// flows off the host), gentle decrease when everything is comfortably
+// idle. Control-plane pressure outranks slow-path pain: with the table
+// full or the install queue deep, lowering the threshold could not
+// promote anything anyway and would only flood the queue further.
+// Between the watermarks the threshold holds — hysteresis that keeps a
+// marginal elephant from flapping across the install/demote boundary
+// every window.
 type AdaptivePolicy struct {
 	cfg AdaptiveConfig
 }
@@ -121,27 +177,39 @@ func (p *AdaptivePolicy) Name() string { return "adaptive" }
 
 // Adjust implements Policy.
 func (p *AdaptivePolicy) Adjust(cur uint64, in PolicyInput) uint64 {
-	if cur < p.cfg.Min {
-		cur = p.cfg.Min
+	min := p.cfg.Min
+	if min < MinBytes {
+		min = MinBytes
 	}
-	var queueFrac, occFrac float64
+	if cur < min {
+		cur = min
+	}
+	var queueFrac, occFrac, backlogFrac float64
 	if in.QueueCap > 0 {
 		queueFrac = float64(in.QueueDepth) / float64(in.QueueCap)
 	}
 	if in.TableCap > 0 {
 		occFrac = float64(in.TableUsed) / float64(in.TableCap)
 	}
+	if in.Slow.QueueCapPkts > 0 {
+		backlogFrac = float64(in.Slow.MaxClassPkts) / float64(in.Slow.QueueCapPkts)
+	}
+	slowPain := in.Slow.ShedRate > p.cfg.ShedHi ||
+		in.Slow.HostUtil > p.cfg.HostHi ||
+		backlogFrac > p.cfg.BacklogHi
 	switch {
 	case queueFrac > p.cfg.QueueHi || occFrac > p.cfg.OccHi:
 		cur = uint64(float64(cur)*p.cfg.Up) + 1
+	case slowPain:
+		cur = uint64(float64(cur) * p.cfg.Down)
 	case queueFrac < p.cfg.QueueLo && occFrac < p.cfg.OccLo:
 		cur = uint64(float64(cur) * p.cfg.Down)
 	}
-	if cur < p.cfg.Min {
-		cur = p.cfg.Min
+	if cur < min {
+		cur = min
 	}
-	if cur > p.cfg.Max {
-		cur = p.cfg.Max
+	if max := p.cfg.Max; max > min && cur > max {
+		cur = max
 	}
 	return cur
 }

@@ -265,3 +265,73 @@ func TestAdaptivePolicy(t *testing.T) {
 		t.Fatalf("Adjust above Max = %d, want clamp at 100000", cur)
 	}
 }
+
+// TestAdaptiveSlowPathPain exercises the congestion-fed decrease: shed
+// rate, host saturation, or a deep per-class backlog each pull the
+// threshold down (promote against slow-path pain), but control-plane
+// pressure — a full table or a deep install queue — still outranks it.
+func TestAdaptiveSlowPathPain(t *testing.T) {
+	p := NewAdaptive(AdaptiveConfig{Min: 1000, Max: 100_000})
+	cfg := p.Config()
+	base := PolicyInput{QueueDepth: 30, QueueCap: 100, TableUsed: 70, TableCap: 100}
+	if got := p.Adjust(2000, base); got != 2000 {
+		t.Fatalf("in-band hold broken: %d", got)
+	}
+	want := uint64(2000 * cfg.Down)
+	for name, slow := range map[string]SlowPathSignals{
+		"shed":    {ShedRate: cfg.ShedHi * 2},
+		"host":    {HostUtil: cfg.HostHi + 0.1},
+		"backlog": {MaxClassPkts: 80, QueueCapPkts: 100},
+	} {
+		in := base
+		in.Slow = slow
+		if got := p.Adjust(2000, in); got != want {
+			t.Errorf("%s pain: Adjust = %d, want decrease to %d", name, got, want)
+		}
+	}
+	// Table pressure outranks pain: with the table nearly full, lowering
+	// the threshold could not promote anything anyway.
+	in := PolicyInput{QueueCap: 100, TableUsed: 95, TableCap: 100,
+		Slow: SlowPathSignals{ShedRate: 1}}
+	if got := p.Adjust(2000, in); got != uint64(2000*cfg.Up)+1 {
+		t.Errorf("pained + full table: Adjust = %d, want increase", got)
+	}
+	// Watermarks >= 1 disable the signals (the congestion-blind policy).
+	blind := NewAdaptive(AdaptiveConfig{Min: 1000, Max: 100_000,
+		ShedHi: 2, HostHi: 1e9, BacklogHi: 1e9})
+	in = base
+	in.Slow = SlowPathSignals{ShedRate: 1, HostUtil: 1, MaxClassPkts: 100, QueueCapPkts: 100}
+	if got := blind.Adjust(2000, in); got != 2000 {
+		t.Errorf("blind policy moved on slow signals: %d", got)
+	}
+}
+
+// TestAdaptiveMinBytesRail is the low-rail regression table: repeated
+// multiplicative decrease must never drive the threshold to 0 — a zero
+// threshold would promote every flow on its first packet and flood the
+// install queue — even for a zero-valued policy that skipped NewAdaptive
+// (cfg.Min = 0, cfg.Down = 0).
+func TestAdaptiveMinBytesRail(t *testing.T) {
+	idle := PolicyInput{QueueCap: 100, TableCap: 100}
+	pain := PolicyInput{QueueCap: 100, TableCap: 100,
+		Slow: SlowPathSignals{ShedRate: 1}}
+	for _, tc := range []struct {
+		name string
+		pol  *AdaptivePolicy
+		cur  uint64
+		in   PolicyInput
+		want uint64
+	}{
+		{"decrease-clamps-at-min", NewAdaptive(AdaptiveConfig{Min: 1000}), 1001, idle, 1000},
+		{"at-min-holds", NewAdaptive(AdaptiveConfig{Min: 1000}), 1000, idle, 1000},
+		{"below-min-lifts", NewAdaptive(AdaptiveConfig{Min: 1000}), 1, idle, 1000},
+		{"pain-decrease-clamps", NewAdaptive(AdaptiveConfig{Min: 1000}), 1200, pain, 1000},
+		{"zero-value-policy-rails-at-floor", &AdaptivePolicy{}, 500, pain, MinBytes},
+		{"zero-value-policy-idle", &AdaptivePolicy{}, 0, idle, MinBytes},
+		{"configured-min-below-floor-rails", NewAdaptive(AdaptiveConfig{Min: 1}), 2, idle, MinBytes},
+	} {
+		if got := tc.pol.Adjust(tc.cur, tc.in); got != tc.want {
+			t.Errorf("%s: Adjust(%d) = %d, want %d", tc.name, tc.cur, got, tc.want)
+		}
+	}
+}

@@ -34,6 +34,10 @@ type Config struct {
 	// global-lock CPU stage.
 	EnqueueCycles int64
 	DequeueCycles int64
+	// ServiceNsPerPkt is a per-packet service-time floor on the drain,
+	// modelling a CPU-bound qdisc (see htb.Config.ServiceNsPerPkt). 0
+	// keeps the drain purely link-limited.
+	ServiceNsPerPkt float64
 	// Host is the CPU model.
 	Host host.Config
 }
@@ -141,8 +145,11 @@ func (q *Qdisc) drain() {
 		return
 	}
 	q.cpu.Charge(float64(q.cfg.DequeueCycles))
-	txNs := int64(float64(p.WireBytes()*8) / q.cfg.LinkRateBps * 1e9)
-	q.wireFreeNs = now + txNs
+	txNs := float64(p.WireBytes()*8) / q.cfg.LinkRateBps * 1e9
+	if txNs < q.cfg.ServiceNsPerPkt {
+		txNs = q.cfg.ServiceNsPerPkt
+	}
+	q.wireFreeNs = now + int64(txNs)
 	done := q.wireFreeNs
 	q.eng.At(done, func() {
 		p.EgressAt = done
