@@ -1,7 +1,9 @@
 // Command fvlint is FlowValve's invariant checker: a multichecker that
-// runs the five internal/analysis analyzers (detnow, lockconv,
-// atomicmix, hotpath, metricname) over module packages and exits
-// non-zero when any diagnostic is unsuppressed.
+// runs the eight internal/analysis analyzers over module packages and
+// exits non-zero when any diagnostic is unsuppressed. Five are
+// per-package (detnow, lockconv, atomicmix, hotpath, metricname); three
+// run once over the whole loaded module through the interprocedural
+// call-graph layer (boxing, shardown, lockorder).
 //
 // Usage:
 //
@@ -25,19 +27,30 @@ import (
 
 	"flowvalve/internal/analysis"
 	"flowvalve/internal/analysis/atomicmix"
+	"flowvalve/internal/analysis/boxing"
 	"flowvalve/internal/analysis/detnow"
 	"flowvalve/internal/analysis/hotpath"
 	"flowvalve/internal/analysis/lockconv"
+	"flowvalve/internal/analysis/lockorder"
 	"flowvalve/internal/analysis/metricname"
+	"flowvalve/internal/analysis/shardown"
 )
 
-// analyzers is the fvlint suite, in reporting order.
+// analyzers is the per-package fvlint suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
 	detnow.Analyzer,
 	lockconv.Analyzer,
 	atomicmix.Analyzer,
 	hotpath.Analyzer,
 	metricname.Analyzer,
+}
+
+// moduleAnalyzers run once over every loaded package together, on the
+// shared static call graph.
+var moduleAnalyzers = []*analysis.Analyzer{
+	boxing.Analyzer,
+	shardown.Analyzer,
+	lockorder.Analyzer,
 }
 
 func main() {
@@ -47,6 +60,9 @@ func main() {
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range moduleAnalyzers {
+			fmt.Printf("%-12s %s (module-wide)\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -84,23 +100,30 @@ func run(w io.Writer, tags string, args []string) (int, error) {
 	}
 	cwd, _ := os.Getwd()
 	count := 0
+	report := func(a *analysis.Analyzer, d analysis.Diagnostic) {
+		count++
+		pos := loader.Fset().Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, a.Name, d.Message)
+	}
+	var pkgs []*analysis.Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			return 0, err
 		}
-		err = analysis.RunAnalyzers(pkg, analyzers, func(a *analysis.Analyzer, d analysis.Diagnostic) {
-			count++
-			pos := pkg.Fset.Position(d.Pos)
-			name := pos.Filename
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-			fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, a.Name, d.Message)
-		})
-		if err != nil {
+		pkgs = append(pkgs, pkg)
+		if err := analysis.RunAnalyzers(pkg, analyzers, report); err != nil {
 			return 0, err
 		}
+	}
+	// Module analyzers see every linted package at once: the hot-path
+	// closure, owner escapes and lock edges all cross package borders.
+	if err := analysis.RunModuleAnalyzers(loader.Fset(), pkgs, moduleAnalyzers, report); err != nil {
+		return 0, err
 	}
 	if count > 0 {
 		fmt.Fprintf(w, "fvlint: %d diagnostic(s)\n", count)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"path/filepath"
 	"testing"
+
+	"flowvalve/internal/analysis"
 )
 
 // TestRepoClean is the dogfood gate: the whole module must lint clean
@@ -67,6 +69,9 @@ func TestLintCoversNewPackages(t *testing.T) {
 		"internal/experiments",
 		"internal/fvassert",
 		"internal/analysis",
+		"internal/analysis/boxing",
+		"internal/analysis/shardown",
+		"internal/analysis/lockorder",
 		"cmd/fvbenchstat",
 		"cmd/fvbench",
 		"cmd/fvsim",
@@ -74,6 +79,72 @@ func TestLintCoversNewPackages(t *testing.T) {
 	} {
 		if !seen[want] {
 			t.Errorf("lint walk missed %s; covered: %v", want, dirs)
+		}
+	}
+}
+
+// TestHotClosureCoversKnownRoots pins the interprocedural hot closure:
+// the scheduling functions the bench gate guards must be //fv:hotpath
+// roots, and the closure must actually reach the shared helpers they
+// lean on. A root silently losing its annotation (or a coldpath cut
+// accidentally severing a genuinely hot edge) would let the boxing
+// analyzer go blind on exactly the code the ns/pkt budget protects.
+func TestHotClosureCoversKnownRoots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide source type-check is slow; skipped in -short")
+	}
+	root := filepath.Join("..", "..")
+	dirs, err := expand([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(analysis.Config{Dir: dirs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	g := analysis.ModuleCallGraph(loader.Fset(), pkgs)
+	roots := map[string]bool{}
+	hot := map[string]bool{}
+	for _, n := range g.Nodes() {
+		name := analysis.FuncName(n.Obj)
+		if n.HotRoot {
+			roots[name] = true
+		}
+		if n.Hot {
+			hot[name] = true
+		}
+	}
+	for _, want := range []string{
+		"core.(Scheduler).Schedule",
+		"core.(Scheduler).ScheduleBatch",
+		"core.(Scheduler).scheduleBatchOwner",
+		"core.(ShardedScheduler).ScheduleBatch",
+		"classifier.(Classifier).LookupEv",
+		"classifier.(Classifier).ClassifyBatchSteerEv",
+		"nic.(NIC).beginServiceBatch",
+		"pifo.(Sched).ScheduleBatch",
+	} {
+		if !roots[want] {
+			t.Errorf("%s is not a //fv:hotpath root — the boxing analyzer no longer polices it", want)
+		}
+	}
+	// Shared helpers that must stay inside the closure via propagation,
+	// not annotation: if an edge cut severs them, boxing goes blind.
+	for _, want := range []string{
+		"core.(Scheduler).maybeUpdate",
+		"core.(shardCtx).tryLease",
+		"token.(Bucket).TryConsume",
+	} {
+		if !hot[want] {
+			t.Errorf("%s fell out of the hot closure — a coldpath cut severed a genuinely hot edge", want)
 		}
 	}
 }

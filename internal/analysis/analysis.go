@@ -38,6 +38,10 @@ type Analyzer struct {
 	// delivered through pass.Report; the result value is unused (kept
 	// for go/analysis signature parity).
 	Run func(*Pass) (any, error)
+	// RunModule, when set instead of Run, applies the analyzer once to
+	// the whole loaded module through the interprocedural layer
+	// (callgraph.go). Exactly one of Run and RunModule should be set.
+	RunModule func(*ModulePass) (any, error)
 }
 
 // Pass carries one type-checked package through one analyzer.

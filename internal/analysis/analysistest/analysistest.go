@@ -79,6 +79,55 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []
 	return all
 }
 
+// RunModule is Run for module-level analyzers (Analyzer.RunModule set):
+// it loads every named fixture package, runs the analyzer once over the
+// whole set through the interprocedural layer, and checks // want
+// expectations across all of them. Fixture packages may import each
+// other (under the fixture root) to exercise cross-package taint.
+func RunModule(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := analysis.NewLoader(analysis.Config{Dir: testdata, FixtureRoot: root})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var loaded []*analysis.Package
+	var want []*expectation
+	for _, name := range pkgs {
+		dir := filepath.Join(root, filepath.FromSlash(name))
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s: %v", name, err)
+		}
+		loaded = append(loaded, pkg)
+		w, err := parseExpectations(pkg)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		want = append(want, w...)
+	}
+	var all []analysis.Diagnostic
+	err = analysis.RunModuleAnalyzers(loader.Fset(), loaded, []*analysis.Analyzer{a}, func(_ *analysis.Analyzer, d analysis.Diagnostic) {
+		all = append(all, d)
+		pos := loader.Fset().Position(d.Pos)
+		if !claim(want, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	return all
+}
+
 // claim marks the first unmatched expectation on (file, line) whose
 // pattern matches msg.
 func claim(want []*expectation, file string, line int, msg string) bool {

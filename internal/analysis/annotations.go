@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -84,6 +85,24 @@ func parseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 	return a
 }
 
+// All returns every parsed directive with the given name, in position
+// order — for declaration-style directives (//fv:lockorder) that
+// configure an analyzer rather than suppress one site.
+func (a *Annotations) All(name string) []Directive {
+	var out []Directive
+	for _, m := range a.byFileLine {
+		for _, ds := range m {
+			for _, d := range ds {
+				if d.Name == name {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
 // At returns the directive with the given name attached to pos: on the
 // same source line or on the line directly above it (the conventional
 // spot for a suppression comment).
@@ -106,10 +125,17 @@ func (a *Annotations) At(pos token.Pos, name string) (Directive, bool) {
 // FuncDirective reports whether fn's doc comment carries the named
 // directive (e.g. "hotpath").
 func FuncDirective(fn *ast.FuncDecl, name string) bool {
-	if fn.Doc == nil {
+	return DocDirective(fn.Doc, name)
+}
+
+// DocDirective reports whether a doc comment group carries the named
+// directive; it is FuncDirective for non-function declarations (the
+// shardown analyzer reads //fv:owner off type declarations).
+func DocDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
 		return false
 	}
-	for _, c := range fn.Doc.List {
+	for _, c := range doc.List {
 		body, ok := strings.CutPrefix(c.Text, directivePrefix)
 		if !ok {
 			continue

@@ -1,0 +1,348 @@
+// Package boxing extends the hotpath discipline interprocedurally: it
+// walks every function in the //fv:hotpath *closure* of the static call
+// graph (annotated roots plus everything they reach through uncut
+// static calls) and flags the dynamic-dispatch and boxing shapes that
+// cost the 39 ns/pkt budget its allocation at runtime or its
+// predictability at review time:
+//
+//   - interface-method calls — dynamic dispatch the devirtualization
+//     work (concrete clock in core, concrete scheduler refs in the NIC
+//     burst service, owner-table steering in the classifier) exists to
+//     remove; each also blinds the static call graph, so everything
+//     behind it escapes the other interprocedural checks;
+//   - indirect calls through function-typed values (fields, params,
+//     locals) — same cost, same blindness;
+//   - implicit concrete→interface conversions at assignments, returns
+//     and explicit conversions — these allocate when the concrete value
+//     is not pointer-shaped;
+//   - variable-capturing closures — a FuncLit that captures escapes to
+//     the heap together with its context;
+//   - interface-boxing call arguments in closure members that are *not*
+//     themselves //fv:hotpath-annotated (annotated bodies already get
+//     this check from the hotpath analyzer; re-reporting would double
+//     every diagnostic).
+//
+// A site that must stay dynamic (a pluggable backend chosen at
+// construction, a DES bookkeeping closure) carries
+// //fv:boxing-ok <why>. A site on a cold sub-path inside a hot function
+// keeps the PR 5 grammar: //fv:coldpath <why> waives boxing checks too,
+// because a statement declared off the hot path has no boxing budget to
+// protect.
+//
+// Two packages are exempt wholesale: internal/fvassert (assertion
+// builds accept formatting costs by design — the same exemption hotpath
+// grants call-wise) and internal/sim (the discrete-event engine is the
+// measurement harness; datapath costs it models are charged explicitly
+// in cycles, not in engine CPU time).
+package boxing
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the interprocedural boxing checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "boxing",
+	Doc:       "flag dynamic dispatch, interface boxing and capturing closures in the //fv:hotpath call-graph closure",
+	RunModule: run,
+}
+
+// exemptPkgSuffixes lists module packages whose bodies are never
+// checked (see the package comment for why).
+var exemptPkgSuffixes = []string{
+	"internal/fvassert",
+	"internal/sim",
+}
+
+func run(pass *analysis.ModulePass) (any, error) {
+	for _, node := range pass.Graph.Nodes() {
+		if !node.Hot || exemptPkg(node.Pkg.Path) {
+			continue
+		}
+		checkFunc(pass, node)
+	}
+	return nil, nil
+}
+
+func exemptPkg(path string) bool {
+	for _, s := range exemptPkgSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one hot function's body. Dead branches (fvassert
+// guards compiled out under the current tag set) are skipped; FuncLit
+// interiors are a separate budget (only the capture at the literal
+// itself is charged here).
+func checkFunc(pass *analysis.ModulePass, node *analysis.FuncNode) {
+	info := node.Pkg.Info
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCapture(pass, node, n)
+			return false
+		case *ast.IfStmt:
+			if pass.DeadBranch(node.Pkg, n) {
+				if n.Init != nil {
+					ast.Inspect(n.Init, walk)
+				}
+				ast.Inspect(n.Cond, walk)
+				if n.Else != nil {
+					ast.Inspect(n.Else, walk)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			checkCall(pass, node, n)
+		case *ast.AssignStmt:
+			checkAssign(pass, node, n)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, node, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, node, n)
+		}
+		return true
+	}
+	ast.Inspect(node.Decl.Body, walk)
+	_ = info
+}
+
+// checkCall classifies one call site: explicit interface conversion,
+// interface-method dispatch, indirect call, or (for non-annotated
+// closure members) boxing arguments.
+func checkCall(pass *analysis.ModulePass, node *analysis.FuncNode, call *ast.CallExpr) {
+	info := node.Pkg.Info
+
+	// Explicit conversion T(x): boxing when T is an interface and x is
+	// not pointer-shaped.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok && at.Type != nil && analysis.Boxes(at.Type) {
+				report(pass, node, call.Pos(), "conversion of %s to interface %s allocates",
+					typeStr(at.Type), typeStr(tv.Type))
+			}
+		}
+		return
+	}
+
+	// Builtins never dispatch dynamically (hotpath owns the new/make
+	// allocation checks in annotated bodies).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if types.IsInterface(s.Recv()) {
+				report(pass, node, call.Pos(), "interface method call %s.%s (dynamic dispatch; the call graph cannot see past it)",
+					typeStr(s.Recv()), sel.Sel.Name)
+			}
+			checkArgs(pass, node, call)
+			return
+		}
+	}
+
+	if fn := funcObj(info, call); fn != nil {
+		// Statically resolved: dispatch is free; arguments may still box.
+		if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/fvassert") {
+			return // assertion builds accept the ...any cost
+		}
+		checkArgs(pass, node, call)
+		return
+	}
+
+	// No static callee, not a conversion, not a builtin, not an
+	// interface method: a call through a function value.
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+		if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+			report(pass, node, call.Pos(), "indirect call through function value (dynamic dispatch; the call graph cannot see past it)")
+			checkArgs(pass, node, call)
+		}
+	}
+}
+
+// checkArgs applies the hotpath analyzer's argument-boxing rule to
+// closure members that are not annotated //fv:hotpath themselves (the
+// hotpath analyzer already covers annotated bodies).
+func checkArgs(pass *analysis.ModulePass, node *analysis.FuncNode, call *ast.CallExpr) {
+	if node.HotRoot {
+		return
+	}
+	info := node.Pkg.Info
+	sig := analysis.CallSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := analysis.ParamType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if analysis.Boxes(at.Type) {
+			report(pass, node, arg.Pos(), "boxing %s into interface %s allocates",
+				typeStr(at.Type), typeStr(pt))
+		}
+	}
+}
+
+// checkCapture flags FuncLits that capture variables from the
+// enclosing function: a capturing closure heap-allocates its context
+// every time the literal is evaluated.
+func checkCapture(pass *analysis.ModulePass, node *analysis.FuncNode, lit *ast.FuncLit) {
+	info := node.Pkg.Info
+	captured := map[*types.Var]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captured; only objects
+		// declared inside the enclosing function but outside the lit.
+		if v.Parent() == nil || v.Pkg() == nil {
+			return true
+		}
+		if v.Pos() < node.Decl.Pos() || v.Pos() > node.Decl.End() {
+			return true // global or from another decl
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // the lit's own params/locals
+		}
+		if !captured[v] {
+			captured[v] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	report(pass, node, lit.Pos(), "closure capturing %s allocates its context on the heap",
+		strings.Join(names, ", "))
+}
+
+// checkAssign flags implicit boxing at assignments whose LHS is
+// interface-typed and RHS is a concrete non-pointer-shaped value.
+func checkAssign(pass *analysis.ModulePass, node *analysis.FuncNode, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // tuple assignment from a call: covered at the call
+	}
+	info := node.Pkg.Info
+	for i := range as.Lhs {
+		lt, ok := info.Types[as.Lhs[i]]
+		if !ok || lt.Type == nil || !types.IsInterface(lt.Type.Underlying()) {
+			continue
+		}
+		rt, ok := info.Types[as.Rhs[i]]
+		if !ok || rt.Type == nil {
+			continue
+		}
+		if analysis.Boxes(rt.Type) {
+			report(pass, node, as.Rhs[i].Pos(), "assigning %s to interface %s allocates",
+				typeStr(rt.Type), typeStr(lt.Type))
+		}
+	}
+}
+
+// checkValueSpec is checkAssign for `var x Iface = concrete` declarations.
+func checkValueSpec(pass *analysis.ModulePass, node *analysis.FuncNode, vs *ast.ValueSpec) {
+	if vs.Type == nil || len(vs.Values) == 0 {
+		return
+	}
+	info := node.Pkg.Info
+	tt, ok := info.Types[vs.Type]
+	if !ok || tt.Type == nil || !types.IsInterface(tt.Type.Underlying()) {
+		return
+	}
+	for _, v := range vs.Values {
+		vt, ok := info.Types[v]
+		if !ok || vt.Type == nil {
+			continue
+		}
+		if analysis.Boxes(vt.Type) {
+			report(pass, node, v.Pos(), "assigning %s to interface %s allocates",
+				typeStr(vt.Type), typeStr(tt.Type))
+		}
+	}
+}
+
+// checkReturn flags boxing at return statements whose declared result
+// type is an interface.
+func checkReturn(pass *analysis.ModulePass, node *analysis.FuncNode, ret *ast.ReturnStmt) {
+	sig, ok := node.Obj.Type().(*types.Signature)
+	if !ok || sig.Results() == nil {
+		return
+	}
+	res := sig.Results()
+	if len(ret.Results) != res.Len() {
+		return // naked return or tuple forward
+	}
+	info := node.Pkg.Info
+	for i, r := range ret.Results {
+		rt := res.At(i).Type()
+		if !types.IsInterface(rt.Underlying()) {
+			continue
+		}
+		at, ok := info.Types[r]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if analysis.Boxes(at.Type) {
+			report(pass, node, r.Pos(), "returning %s as interface %s allocates",
+				typeStr(at.Type), typeStr(rt))
+		}
+	}
+}
+
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func typeStr(t types.Type) string { return types.TypeString(t, analysis.ShortQual) }
+
+// report emits a diagnostic with hot-taint provenance unless the site
+// carries a justified //fv:boxing-ok or sits on a declared cold
+// sub-path (//fv:coldpath <reason>).
+func report(pass *analysis.ModulePass, node *analysis.FuncNode, pos token.Pos, format string, args ...any) {
+	if pass.CheckReason(pos, "boxing-ok") {
+		return
+	}
+	if _, cold := pass.Annotations().Suppressed(pos, "coldpath"); cold {
+		return
+	}
+	where := "a //fv:hotpath root"
+	if node.Via != nil {
+		where = "hot via " + analysis.FuncName(node.Via.Obj)
+	}
+	pass.Reportf(pos, format+" in hot closure [%s, %s] — devirtualize or annotate //fv:boxing-ok <reason>",
+		append(args, analysis.FuncName(node.Obj), where)...)
+}

@@ -1,0 +1,12 @@
+package boxing_test
+
+import (
+	"testing"
+
+	"flowvalve/internal/analysis/analysistest"
+	"flowvalve/internal/analysis/boxing"
+)
+
+func TestBoxing(t *testing.T) {
+	analysistest.RunModule(t, "testdata", boxing.Analyzer, "boxingtest", "boxingdep")
+}

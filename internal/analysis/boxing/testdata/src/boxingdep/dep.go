@@ -1,0 +1,9 @@
+// Package boxingdep proves hot taint crosses package boundaries: its
+// only caller is boxingtest.HotCross, a //fv:hotpath root.
+package boxingdep
+
+type Dep interface{ Cost() int }
+
+func Helper(d Dep) int {
+	return d.Cost() // want `interface method call boxingdep\.Dep\.Cost .dynamic dispatch.*hot via boxingtest\.HotCross`
+}

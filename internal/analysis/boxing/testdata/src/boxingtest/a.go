@@ -1,0 +1,115 @@
+// Package boxingtest seeds dynamic-dispatch and boxing shapes across
+// the //fv:hotpath closure and proves exemptions and cuts are honored.
+package boxingtest
+
+import "boxingdep"
+
+type frobber interface{ Frob(int) int }
+
+type impl struct{ n int }
+
+func (i *impl) Frob(x int) int { return i.n + x }
+
+type holder struct {
+	fn func(int) int
+	fb frobber
+}
+
+type big struct{ a, b int64 }
+
+type iface interface{ M() }
+
+func (big) M() {}
+
+func sink(v any) { _ = v }
+
+//fv:hotpath
+func Hot(h *holder, f frobber) int {
+	v := f.Frob(1) // want `interface method call boxingtest\.frobber\.Frob .dynamic dispatch.*in hot closure .boxingtest\.Hot, a //fv:hotpath root.`
+	v += h.fn(2)   // want `indirect call through function value`
+	return v
+}
+
+//fv:hotpath
+func HotOK(h *holder, f frobber) int {
+	v := f.Frob(1) //fv:boxing-ok fixture: sanctioned pluggable dispatch
+	v += h.fn(2)   //fv:boxing-ok fixture: sanctioned indirect call
+	return v
+}
+
+//fv:hotpath
+func HotNaked(f frobber) int {
+	return f.Frob(1) //fv:boxing-ok // want `//fv:boxing-ok suppression requires a justification` `interface method call`
+}
+
+//fv:hotpath
+func HotConv(b big) iface {
+	var x any = b // want `assigning boxingtest\.big to interface any allocates`
+	_ = x
+	y := iface(b) // want `conversion of boxingtest\.big to interface boxingtest\.iface allocates`
+	_ = y
+	return b // want `returning boxingtest\.big as interface boxingtest\.iface allocates`
+}
+
+//fv:hotpath
+func HotCapture(n int) func() int {
+	f := func() int { return n } // want `closure capturing n allocates its context`
+	return f
+}
+
+//fv:hotpath
+func HotCaptureFree() func() int {
+	// A capture-free literal is a static func value: no allocation, no
+	// diagnostic.
+	f := func() int { return 7 }
+	return f
+}
+
+// HotArgs is annotated, so argument boxing stays the hotpath analyzer's
+// report (no double diagnostic from boxing).
+//
+//fv:hotpath
+func HotArgs(n int) {
+	sink(n)
+}
+
+//fv:hotpath
+func HotRoot2(n int) {
+	callee(n)
+}
+
+// callee is unannotated but hot via HotRoot2: argument boxing is
+// charged here, with provenance.
+func callee(n int) {
+	sink(n) // want `boxing int into interface any allocates in hot closure .boxingtest\.callee, hot via boxingtest\.HotRoot2.`
+}
+
+//fv:hotpath
+func HotRoot3(h *holder) {
+	coldCallee(h) //fv:coldpath fixture: epoch roll, amortized off the packet budget
+}
+
+// coldCallee is only reachable through a //fv:coldpath cut: not hot, so
+// its interface call is fine.
+func coldCallee(h *holder) {
+	_ = h.fb.Frob(3)
+}
+
+const debug = false
+
+//fv:hotpath
+func HotDead(f frobber) {
+	if debug {
+		_ = f.Frob(9) // dead under this build: skipped
+	}
+}
+
+//fv:hotpath
+func HotCross(d boxingdep.Dep) int {
+	return boxingdep.Helper(d)
+}
+
+// NotHot is outside the closure entirely.
+func NotHot(h *holder, f frobber) int {
+	return f.Frob(1) + h.fn(2)
+}

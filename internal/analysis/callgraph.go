@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural layer of the framework: a static call
+// graph assembled over every package one fvlint run loads, plus the
+// //fv:hotpath taint closure computed on it. PR 5's analyzers are
+// single-pass and intraprocedural — each checks one package's annotated
+// bodies in isolation. The PR 10 analyzers (boxing, shardown, lockorder)
+// need to see *through* calls: a hot function's callees inherit the hot
+// budget, an owner value escapes through the parameter of whatever it is
+// passed to, and a lock cycle is almost never visible inside one
+// function. ModulePass is the whole-program counterpart of Pass, and an
+// Analyzer sets RunModule instead of Run to receive it.
+//
+// Soundness trade, stated once for all three analyzers: the graph has
+// only *static* edges (callees resolvable through go/types.Uses). A call
+// through an interface, a func-typed field, or a parameter contributes
+// no edge — which is exactly why the boxing analyzer flags those call
+// shapes inside the hot closure: a dynamic call is both a runtime
+// allocation/dispatch cost and a hole in every interprocedural
+// invariant this layer checks.
+
+// ModulePass carries every loaded package through one module-level
+// analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Packages is the loaded module, in load order.
+	Packages []*Package
+	// Graph is the shared static call graph (built once per fvlint run,
+	// reused by every module analyzer).
+	Graph *CallGraph
+
+	// Report delivers one diagnostic, as on Pass.
+	Report func(Diagnostic)
+
+	// annotations merges every package's //fv: directives (the index is
+	// by filename, so merging is lossless).
+	annotations *Annotations
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Annotations returns the module-wide parsed //fv: directives.
+func (p *ModulePass) Annotations() *Annotations {
+	if p.annotations == nil {
+		var files []*ast.File
+		for _, pkg := range p.Packages {
+			files = append(files, pkg.Files...)
+		}
+		p.annotations = parseAnnotations(p.Fset, files)
+	}
+	return p.annotations
+}
+
+// CheckReason mirrors the package-level CheckReason for module passes:
+// it reports a suppression directive at pos that lacks its mandatory
+// justification, and returns whether a valid suppression exists.
+func (p *ModulePass) CheckReason(pos token.Pos, name string) bool {
+	a := p.Annotations()
+	d, found := a.At(pos, name)
+	if !found {
+		return false
+	}
+	if d.Reason == "" {
+		p.Reportf(d.Pos, "//fv:%s suppression requires a justification", name)
+		return false
+	}
+	return true
+}
+
+// CallSite is one statically resolvable call inside a function body
+// (calls inside nested FuncLits are excluded: a closure runs on its own
+// goroutine or budget — the DES event convention — so its callees do
+// not inherit the enclosing function's taint).
+type CallSite struct {
+	Call *ast.CallExpr
+	// Callee is the statically resolved target, never nil. Targets
+	// without a body in the loaded module (standard library, interface
+	// methods) have no FuncNode and terminate propagation.
+	Callee *types.Func
+}
+
+// FuncNode is one module function in the call graph.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls lists the body's static call sites in source order,
+	// excluding those inside FuncLits and inside build-dead branches.
+	Calls []CallSite
+	// HotRoot marks a //fv:hotpath doc annotation on the declaration.
+	HotRoot bool
+	// Hot marks membership in the hotpath closure: a HotRoot, or any
+	// function a Hot function calls statically without a //fv:coldpath
+	// cut at the call site.
+	Hot bool
+	// Via is the hot caller that first pulled this node into the
+	// closure (nil for roots); diagnostics use it to show the taint
+	// provenance so a burn-down knows which edge to cut or devirtualize.
+	Via *FuncNode
+}
+
+// CallGraph is the static call graph over every loaded package.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// order lists nodes sorted by declaration position, so analyzer
+	// output is deterministic regardless of map iteration.
+	order []*FuncNode
+}
+
+// Node returns fn's graph node, or nil when fn has no body in the
+// loaded module.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Nodes returns every module function in declaration order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.order }
+
+// BuildCallGraph assembles the static call graph over pkgs and computes
+// the //fv:hotpath closure, cutting propagation at call sites that
+// carry a justified //fv:coldpath (the same directive the hotpath
+// analyzer honors line-wise: a cold call's callee does not inherit the
+// hot budget). ann must be the merged module annotations.
+func BuildCallGraph(fset *token.FileSet, pkgs []*Package, ann *Annotations) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{
+					Obj:     obj,
+					Decl:    fn,
+					Pkg:     pkg,
+					HotRoot: FuncDirective(fn, "hotpath"),
+				}
+				collectCalls(pkg, fn.Body, node)
+				g.nodes[obj] = node
+				g.order = append(g.order, node)
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i].Decl.Pos() < g.order[j].Decl.Pos() })
+
+	// Hot closure: BFS from the annotated roots over uncut edges.
+	var work []*FuncNode
+	for _, n := range g.order {
+		if n.HotRoot {
+			n.Hot = true
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		for _, cs := range n.Calls {
+			if _, cold := ann.Suppressed(cs.Call.Pos(), "coldpath"); cold {
+				continue
+			}
+			callee := g.nodes[cs.Callee]
+			if callee == nil || callee.Hot {
+				continue
+			}
+			callee.Hot = true
+			callee.Via = n
+			work = append(work, callee)
+		}
+	}
+	return g
+}
+
+// collectCalls walks body recording static call sites, skipping nested
+// FuncLits and branches dead under the loader's tag set (the fvassert
+// pattern: a const-false guard's body never executes in this build).
+func collectCalls(pkg *Package, body ast.Node, node *FuncNode) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if deadBranch(pkg.Info, n) {
+				if n.Init != nil {
+					ast.Inspect(n.Init, walk)
+				}
+				ast.Inspect(n.Cond, walk)
+				if n.Else != nil {
+					ast.Inspect(n.Else, walk)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := usedFunc(pkg.Info, n); fn != nil {
+				node.Calls = append(node.Calls, CallSite{Call: n, Callee: fn})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// usedFunc resolves a call's statically known callee, like Pass.FuncObj
+// but against an explicit types.Info.
+func usedFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// constFalse mirrors Pass.ConstFalse against an explicit types.Info.
+func constFalse(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "false"
+}
+
+// deadBranch mirrors Pass.DeadBranch against an explicit types.Info.
+func deadBranch(info *types.Info, ifStmt *ast.IfStmt) bool {
+	cond := ast.Unparen(ifStmt.Cond)
+	for {
+		if constFalse(info, cond) {
+			return true
+		}
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.LAND {
+			return false
+		}
+		cond = ast.Unparen(bin.X)
+	}
+}
+
+// DeadBranch reports whether an if-statement in pkg is gated off by a
+// compile-time-false guard, for module analyzers walking raw bodies.
+func (p *ModulePass) DeadBranch(pkg *Package, ifStmt *ast.IfStmt) bool {
+	return deadBranch(pkg.Info, ifStmt)
+}
+
+// FuncName formats a function for diagnostics as pkg.Func or
+// pkg.(*Recv).Method.
+func FuncName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	name := fn.Pkg().Name() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name += "(" + named.Obj().Name() + ")."
+		}
+	}
+	return name + fn.Name()
+}
+
+// ModuleCallGraph parses the module-wide //fv: directives and builds
+// the hot-closure call graph over pkgs — the same graph
+// RunModuleAnalyzers hands to module analyzers, exposed so coverage
+// tests can assert which functions the closure actually reaches.
+func ModuleCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	return BuildCallGraph(fset, pkgs, parseAnnotations(fset, files))
+}
+
+// RunModuleAnalyzers applies each module-level analyzer (RunModule set)
+// to the loaded package set, sharing one call graph, delivering
+// diagnostics in source order per analyzer.
+func RunModuleAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, report func(*Analyzer, Diagnostic)) error {
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	ann := parseAnnotations(fset, files)
+	graph := BuildCallGraph(fset, pkgs, ann)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		var diags []Diagnostic
+		pass := &ModulePass{
+			Analyzer:    a,
+			Fset:        fset,
+			Packages:    pkgs,
+			Graph:       graph,
+			Report:      func(d Diagnostic) { diags = append(diags, d) },
+			annotations: ann,
+		}
+		if _, err := a.RunModule(pass); err != nil {
+			return err
+		}
+		sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			report(a, d)
+		}
+	}
+	return nil
+}

@@ -127,12 +127,12 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 
 	// Interface boxing at call boundaries: a concrete, non-pointer-
 	// shaped argument passed to an interface parameter allocates.
-	sig := callSignature(pass, call)
+	sig := analysis.CallSignature(pass.TypesInfo, call)
 	if sig == nil {
 		return
 	}
 	for i, arg := range call.Args {
-		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		pt := analysis.ParamType(sig, i, call.Ellipsis.IsValid())
 		if pt == nil {
 			continue
 		}
@@ -143,70 +143,12 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		if !ok || at.Type == nil {
 			continue
 		}
-		if boxes(at.Type) {
+		if analysis.Boxes(at.Type) {
 			report(pass, arg.Pos(), "boxing %s into interface %s allocates in hot path",
-				types.TypeString(at.Type, shortQual), types.TypeString(pt, shortQual))
+				types.TypeString(at.Type, analysis.ShortQual), types.TypeString(pt, analysis.ShortQual))
 		}
 	}
 }
-
-// paramType returns the type the i-th argument is assigned to, or nil
-// when no boxing can occur at that position (out of range, or a
-// ...slice forwarded whole).
-func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
-	params := sig.Params()
-	n := params.Len()
-	if n == 0 {
-		return nil
-	}
-	if sig.Variadic() {
-		if i < n-1 {
-			return params.At(i).Type()
-		}
-		if ellipsis {
-			return nil
-		}
-		if sl, ok := params.At(n - 1).Type().(*types.Slice); ok {
-			return sl.Elem()
-		}
-		return nil
-	}
-	if i >= n {
-		return nil
-	}
-	return params.At(i).Type()
-}
-
-// callSignature returns the static signature of the callee, or nil for
-// type conversions and unresolvable callees.
-func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
-	tv, ok := pass.TypesInfo.Types[call.Fun]
-	if !ok {
-		return nil
-	}
-	if tv.IsType() {
-		return nil // conversion, handled by type checker elsewhere
-	}
-	sig, _ := tv.Type.Underlying().(*types.Signature)
-	return sig
-}
-
-// boxes reports whether storing a value of type t into an interface
-// allocates: true for every concrete type that is not pointer-shaped.
-func boxes(t types.Type) bool {
-	switch u := t.Underlying().(type) {
-	case *types.Interface:
-		return false // already boxed
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
-		return false // pointer-shaped: stored directly in the iface word
-	case *types.Basic:
-		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
-	default:
-		return true // structs, arrays, slices, strings
-	}
-}
-
-func shortQual(p *types.Package) string { return p.Name() }
 
 // report emits a diagnostic unless the line carries //fv:coldpath.
 func report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {

@@ -1,0 +1,505 @@
+// Package lockorder builds the repo-wide lock-acquisition graph and
+// rejects cycles. PR 7 and PR 9 grew the lock population past what a
+// reviewer holds in their head — settleMu serializing cross-shard
+// settlement, per-class mutexes under PerClassTryLock, the classifier's
+// per-shard cache locks, telemetry registry locks — and an AB/BA
+// inversion between any two of them deadlocks a multi-tenant NIC under
+// exactly the contention the fault injector loves to produce.
+//
+// The analyzer works in three steps over the interprocedural layer:
+//
+//  1. Identify every acquisition site (the Lock/RLock/TryLock/TryRLock
+//     shapes lockconv recognizes) and name the lock by where it lives:
+//     "pkg.Type.field" for a mutex field reached through any expression
+//     chain, "pkg.var" for a package-level mutex.
+//
+//  2. Compute lexical held ranges per function (a TryLock tested in an
+//     `if` guards its body; `if !mu.TryLock() { return }` guards the
+//     rest of the function; otherwise acquire-to-matching-release or
+//     end of function, with deferred releases held to the end), then
+//     record an edge A→B for every acquisition of B and every call to a
+//     function that transitively acquires B (static call-graph
+//     summaries) inside a range holding A.
+//
+//  3. Reject cycles in the edge set, same-lock self-nesting, and any
+//     observed edge contradicting a declared pin. The intended order is
+//     pinned in-source:
+//
+//     //fv:lockorder core.ShardedScheduler.settleMu before core.classState.mu
+//
+//     Declared pins join the cycle check (two contradictory pins are a
+//     cycle) and must name locks that exist — a pin referencing a
+//     renamed field is itself a diagnostic, so the table cannot rot.
+//
+// Limitations, deliberate: ranges are lexical (no CFG), calls through
+// interfaces or function values contribute no summary edges (the boxing
+// analyzer polices exactly those shapes off the hot path's call graph),
+// and closures are summarized with their enclosing function only when
+// called statically.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the lock-order checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "build the module lock-acquisition graph, reject cycles and violations of declared //fv:lockorder pins",
+	RunModule: run,
+}
+
+// acquire is one lock acquisition site in a function body.
+type acquire struct {
+	id   string
+	call *ast.CallExpr
+	try  bool
+	// negated marks the `if !mu.TryLock()` shape (held after the if).
+	negated bool
+	// deferred releases never end a held range before function end.
+}
+
+// edge is one observed (or declared) ordering: from is held while to is
+// acquired.
+type edge struct {
+	from, to string
+}
+
+func run(pass *analysis.ModulePass) (any, error) {
+	// Pass 1: per-function local acquisitions, for call summaries.
+	localAcq := make(map[*types.Func][]string)
+	for _, node := range pass.Graph.Nodes() {
+		for _, a := range collectAcquires(node) {
+			localAcq[node.Obj] = append(localAcq[node.Obj], a.id)
+		}
+	}
+
+	// Transitive acquisition summaries over the static call graph.
+	trans := make(map[*types.Func]map[string]bool)
+	for _, node := range pass.Graph.Nodes() {
+		s := make(map[string]bool)
+		for _, id := range localAcq[node.Obj] {
+			s[id] = true
+		}
+		trans[node.Obj] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range pass.Graph.Nodes() {
+			s := trans[node.Obj]
+			for _, cs := range node.Calls {
+				for id := range trans[cs.Callee] {
+					if !s[id] {
+						s[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: held ranges and edges.
+	edges := make(map[edge]token.Pos) // first observed position
+	known := make(map[string]bool)
+	for _, node := range pass.Graph.Nodes() {
+		acqs := collectAcquires(node)
+		if len(acqs) == 0 {
+			continue
+		}
+		for _, a := range acqs {
+			known[a.id] = true
+		}
+		releases := collectReleases(node)
+		for _, a := range acqs {
+			lo, hi := heldRange(node, a, releases)
+			if lo == token.NoPos {
+				continue
+			}
+			// Other acquisitions inside the range.
+			for _, b := range acqs {
+				p := b.call.Pos()
+				if b.call == a.call || p <= lo || p >= hi {
+					continue
+				}
+				if b.id == a.id {
+					report(pass, p, "lock %s acquired while already held (self-nesting deadlocks on a non-reentrant mutex)", a.id)
+					continue
+				}
+				if _, seen := edges[edge{a.id, b.id}]; !seen {
+					edges[edge{a.id, b.id}] = p
+				}
+			}
+			// Calls inside the range pull in callee summaries.
+			for _, cs := range node.Calls {
+				p := cs.Call.Pos()
+				if p <= lo || p >= hi {
+					continue
+				}
+				for id := range trans[cs.Callee] {
+					if id == a.id {
+						report(pass, p, "call to %s acquires %s, already held here (self-nesting deadlocks)", analysis.FuncName(cs.Callee), a.id)
+						continue
+					}
+					if _, seen := edges[edge{a.id, id}]; !seen {
+						edges[edge{a.id, id}] = p
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: declared pins.
+	declared := make(map[edge]token.Pos)
+	for _, d := range pass.Annotations().All("lockorder") {
+		before, after, ok := strings.Cut(d.Reason, " before ")
+		before, after = strings.TrimSpace(before), strings.TrimSpace(after)
+		if !ok || before == "" || after == "" {
+			pass.Reportf(d.Pos, "malformed //fv:lockorder directive: want \"<lock> before <lock>\"")
+			continue
+		}
+		for _, name := range []string{before, after} {
+			if !known[name] {
+				pass.Reportf(d.Pos, "//fv:lockorder names unknown lock %q (no acquisition of it exists; known locks: %s)",
+					name, strings.Join(sortedKeys(known), ", "))
+			}
+		}
+		if p, seen := edges[edge{after, before}]; seen {
+			report(pass, p, "acquisition order %s -> %s contradicts the declared //fv:lockorder %s before %s", after, before, before, after)
+			// Already reported; keep the pin out of the cycle union so
+			// the same contradiction is not re-reported as a cycle.
+			continue
+		}
+		declared[edge{before, after}] = d.Pos
+	}
+
+	// Cycle check over observed + declared edges.
+	all := make(map[edge]token.Pos, len(edges)+len(declared))
+	for e, p := range edges {
+		all[e] = p
+	}
+	for e, p := range declared {
+		if _, seen := all[e]; !seen {
+			all[e] = p
+		}
+	}
+	reportCycles(pass, all)
+	return nil, nil
+}
+
+// collectAcquires finds acquisition sites in node's body (excluding
+// nested FuncLits, consistent with the call graph).
+func collectAcquires(node *analysis.FuncNode) []acquire {
+	info := node.Pkg.Info
+	var out []acquire
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, try, ok := acquireID(info, node, n); ok {
+				neg := try && negatedTry(node, n)
+				out = append(out, acquire{id: id, call: n, try: try, negated: neg})
+			}
+		}
+		return true
+	}
+	ast.Inspect(node.Decl.Body, walk)
+	return out
+}
+
+// release is one Unlock/RUnlock site.
+type release struct {
+	id       string
+	pos      token.Pos
+	deferred bool
+}
+
+func collectReleases(node *analysis.FuncNode) []release {
+	info := node.Pkg.Info
+	var out []release
+	var inDefer bool
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if id, ok := releaseID(info, node, n.Call); ok {
+				out = append(out, release{id: id, pos: n.Pos(), deferred: true})
+			}
+			return false
+		case *ast.CallExpr:
+			if id, ok := releaseID(info, node, n); ok {
+				out = append(out, release{id: id, pos: n.Pos(), deferred: inDefer})
+			}
+		}
+		return true
+	}
+	ast.Inspect(node.Decl.Body, walk)
+	return out
+}
+
+// heldRange computes the lexical span during which a's lock is held.
+func heldRange(node *analysis.FuncNode, a acquire, releases []release) (token.Pos, token.Pos) {
+	fnEnd := node.Decl.Body.End()
+	if a.try {
+		ifStmt := enclosingIfCond(node, a.call)
+		if ifStmt != nil {
+			if a.negated {
+				// if !mu.TryLock() { bail } — held from the end of the
+				// if to the matching release (or function end).
+				return ifStmt.End(), releaseAfter(a.id, ifStmt.End(), releases, fnEnd)
+			}
+			return ifStmt.Body.Pos(), ifStmt.Body.End()
+		}
+		// TryLock result ignored or assigned: treat as a plain acquire.
+	}
+	return a.call.Pos(), releaseAfter(a.id, a.call.Pos(), releases, fnEnd)
+}
+
+// releaseAfter returns the position of the first in-place release of id
+// after pos, or end when only deferred (or no) releases exist.
+func releaseAfter(id string, pos token.Pos, releases []release, end token.Pos) token.Pos {
+	best := end
+	for _, r := range releases {
+		if r.deferred || r.id != id || r.pos <= pos {
+			continue
+		}
+		if r.pos < best {
+			best = r.pos
+		}
+	}
+	return best
+}
+
+// enclosingIfCond returns the innermost IfStmt whose Cond or Init
+// contains call, or nil.
+func enclosingIfCond(node *analysis.FuncNode, call *ast.CallExpr) *ast.IfStmt {
+	var found *ast.IfStmt
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		inSpan := func(x ast.Node) bool {
+			return x != nil && x.Pos() <= call.Pos() && call.End() <= x.End()
+		}
+		if inSpan(ifStmt.Cond) || inSpan(ifStmt.Init) {
+			found = ifStmt // keep innermost: later matches overwrite
+		}
+		return true
+	})
+	return found
+}
+
+// negatedTry reports whether call sits under a ! inside its if
+// condition (the `if !mu.TryLock() { return }` shape).
+func negatedTry(node *analysis.FuncNode, call *ast.CallExpr) bool {
+	neg := false
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.NOT {
+			return true
+		}
+		if u.X.Pos() <= call.Pos() && call.End() <= u.X.End() {
+			neg = true
+		}
+		return true
+	})
+	return neg
+}
+
+// acquireID names the lock acquired by call, using lockconv's
+// recognition shape, or ok=false.
+func acquireID(info *types.Info, node *analysis.FuncNode, call *ast.CallExpr) (string, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	try := false
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+	case "TryLock", "TryRLock":
+		try = true
+	default:
+		return "", false, false
+	}
+	if !isSyncMethod(info, sel) {
+		return "", false, false
+	}
+	id, ok := lockName(info, node, sel.X)
+	return id, try, ok
+}
+
+func releaseID(info *types.Info, node *analysis.FuncNode, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	if !isSyncMethod(info, sel) {
+		return "", false
+	}
+	return lockName(info, node, sel.X)
+}
+
+// isSyncMethod reports whether sel resolves to a method on sync.Mutex /
+// sync.RWMutex (directly or through embedding).
+func isSyncMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isSyncLocker(sig.Recv().Type()) || fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// isSyncLocker reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncLocker(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockName derives the module-wide identity of the mutex expression:
+// "pkg.Type.field" for a field reached through any chain, "pkg.var"
+// for a package-level mutex. Function-local mutexes (invisible to other
+// functions, so unable to participate in cross-function inversions)
+// return ok=false.
+func lockName(info *types.Info, node *analysis.FuncNode, mutex ast.Expr) (string, bool) {
+	switch m := ast.Unparen(mutex).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[m.X]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + m.Sel.Name, true
+		}
+		// Selector on an unnamed base (embedded anon struct): fall back
+		// to the package qualifier.
+		return node.Pkg.Types.Name() + "." + m.Sel.Name, true
+	case *ast.Ident:
+		v, ok := info.Uses[m].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+		return "", false // function-local mutex
+	}
+	return "", false
+}
+
+// reportCycles finds and reports each elementary cycle reachable in the
+// edge set (one report per cycle, at the first edge's position).
+func reportCycles(pass *analysis.ModulePass, edges map[edge]token.Pos) {
+	adj := make(map[string][]string)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	nodes := sortedKeys(adjKeys(adj))
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	reported := make(map[string]bool)
+
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			switch color[m] {
+			case white:
+				dfs(m)
+			case gray:
+				// Back edge: the cycle is stack[idx(m):] + m.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != m {
+					i--
+				}
+				cyc := append(append([]string{}, stack[i:]...), m)
+				key := strings.Join(cyc, "->")
+				if !reported[key] {
+					reported[key] = true
+					pos := edges[edge{cyc[0], cyc[1]}]
+					report(pass, pos, "lock-order cycle: %s — impose one order and pin it with //fv:lockorder", strings.Join(cyc, " -> "))
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+func adjKeys(adj map[string][]string) map[string]bool {
+	out := make(map[string]bool)
+	for k, vs := range adj {
+		out[k] = true
+		for _, v := range vs {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// report emits a diagnostic unless the site carries a justified
+// //fv:lockorder-ok (for the rare sanctioned nesting, e.g. ordered
+// same-type locks taken by ascending index).
+func report(pass *analysis.ModulePass, pos token.Pos, format string, args ...any) {
+	if pass.CheckReason(pos, "lockorder-ok") {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"flowvalve/internal/analysis/analysistest"
+	"flowvalve/internal/analysis/lockorder"
+)
+
+func TestLockOrderCycles(t *testing.T) {
+	analysistest.RunModule(t, "testdata", lockorder.Analyzer, "lockordertest")
+}
+
+func TestLockOrderPins(t *testing.T) {
+	analysistest.RunModule(t, "testdata", lockorder.Analyzer, "lockorderpins")
+}

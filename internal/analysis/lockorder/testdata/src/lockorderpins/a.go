@@ -1,0 +1,28 @@
+// Package lockorderpins exercises the declared-order directives:
+// a violated pin, an unknown lock name, and a malformed directive.
+package lockorderpins
+
+import "sync"
+
+type X struct{ mu sync.Mutex }
+
+type Y struct{ mu sync.Mutex }
+
+type S struct {
+	x X
+	y Y
+}
+
+//fv:lockorder lockorderpins.X.mu before lockorderpins.Y.mu
+
+//fv:lockorder lockorderpins.X.mu before lockorderpins.Ghost.mu // want `//fv:lockorder names unknown lock "lockorderpins\.Ghost\.mu"`
+
+//fv:lockorder no separator here // want `malformed //fv:lockorder directive`
+
+// bad violates the declared X-before-Y pin.
+func bad(s *S) {
+	s.y.mu.Lock()
+	s.x.mu.Lock() // want `acquisition order lockorderpins\.Y\.mu -> lockorderpins\.X\.mu contradicts the declared //fv:lockorder`
+	s.x.mu.Unlock()
+	s.y.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+// Package lockordertest seeds an AB/BA inversion (one side through a
+// call summary), same-lock self-nesting, and the TryLock held-range
+// shapes.
+package lockordertest
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+type S struct {
+	a A
+	b B
+}
+
+// lockB acquires B.mu; holdACallB's summary edge comes from here.
+func lockB(s *S) {
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+// holdACallB holds A.mu across a call that acquires B.mu: the
+// interprocedural edge A.mu -> B.mu. The cycle (closed by ba below) is
+// reported at this first edge.
+func holdACallB(s *S) {
+	s.a.mu.Lock()
+	lockB(s) // want `lock-order cycle: lockordertest\.A\.mu -> lockordertest\.B\.mu -> lockordertest\.A\.mu`
+	s.a.mu.Unlock()
+}
+
+// ba closes the inversion directly: B.mu held, A.mu acquired.
+func ba(s *S) {
+	s.b.mu.Lock()
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+// nest self-nests two locks with the same module-wide identity.
+func nest(c *C, d *C) {
+	c.mu.Lock()
+	d.mu.Lock() // want `lock lockordertest\.C\.mu acquired while already held`
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// nestOK is the sanctioned shape: a documented ascending order over
+// same-type locks.
+func nestOK(c *C, d *C) {
+	c.mu.Lock()
+	d.mu.Lock() //fv:lockorder-ok fixture: locks taken in ascending index order
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// tryShape: a positive TryLock guards only its if body.
+func tryShape(s *S) {
+	if s.a.mu.TryLock() {
+		s.b.mu.Lock() // edge A.mu -> B.mu (already known; no new diagnostic)
+		s.b.mu.Unlock()
+		s.a.mu.Unlock()
+	}
+	// Not held here: acquiring B.mu alone is clean.
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+// negShape: `if !TryLock { return }` holds the lock for the rest of the
+// function.
+func negShape(s *S) bool {
+	if !s.a.mu.TryLock() {
+		return false
+	}
+	s.b.mu.Lock() // edge A.mu -> B.mu (already known)
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+	return true
+}
+
+// deferShape holds to function end via defer.
+func deferShape(s *S) {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock() // edge A.mu -> B.mu (already known)
+	s.b.mu.Unlock()
+}
+
+// sequential proves non-overlapping ranges produce no edge: B.mu is
+// released before A.mu is taken, so no B->A edge beyond ba's.
+func sequential(s *S) {
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+}

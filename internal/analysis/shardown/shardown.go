@@ -1,0 +1,352 @@
+// Package shardown machine-checks the *Owner single-consumer
+// convention (DESIGN.md §13) as a flow property instead of a naming
+// rule. lockconv's intraprocedural rule polices *call sites* — only
+// ...Owner functions may call ...Owner functions. What it cannot see is
+// the *value* leaking: a pooled batch scratch captured by a goroutine,
+// a shard worker sent on a channel, a scratch pointer parked in a
+// longer-lived struct. Any of those silently breaks the single-consumer
+// assumption every unsynchronized owner field (plain ring heads,
+// non-atomic scratch state) depends on.
+//
+// A type opts in by carrying //fv:owner in its declaration doc comment.
+// For every function in the module (hot or not), a value whose type is
+// a marked owner type (through any level of pointers) must not:
+//
+//   - be passed to or captured by a spawned goroutine (`go` statement);
+//   - be sent on a channel;
+//   - be stored through memory that outlives the frame — a field,
+//     a slice/array element, a dereferenced pointer, a package-level
+//     variable, or an append;
+//   - be captured by any closure (a closure's lifetime is unknowable
+//     statically);
+//   - be passed to a function whose corresponding parameter escapes it
+//     (computed interprocedurally as a fixpoint over the static call
+//     graph; unknown callees — standard library, interface methods —
+//     are assumed to retain their arguments, which is exactly right for
+//     sync.Pool.Put).
+//
+// Legitimate ownership *transfers* — the pool Put that ends this
+// frame's ownership, the one `go serveShardOwner(w)` handoff at worker
+// start — carry //fv:owner-ok <why> (the same directive lockconv
+// already uses for its call-site rule, with the same mandatory
+// justification).
+package shardown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flowvalve/internal/analysis"
+)
+
+// Analyzer is the owner-escape checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "shardown",
+	Doc:       "flag //fv:owner values escaping their owning frame (goroutines, channels, stores, retaining callees)",
+	RunModule: run,
+}
+
+func run(pass *analysis.ModulePass) (any, error) {
+	owners := collectOwnerTypes(pass)
+	if len(owners) == 0 {
+		return nil, nil
+	}
+	esc := computeEscapes(pass, owners)
+	for _, node := range pass.Graph.Nodes() {
+		checkFunc(pass, node, owners, esc)
+	}
+	return nil, nil
+}
+
+// collectOwnerTypes finds every named type whose declaration doc
+// carries //fv:owner.
+func collectOwnerTypes(pass *analysis.ModulePass) map[*types.TypeName]bool {
+	owners := make(map[*types.TypeName]bool)
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !analysis.DocDirective(ts.Doc, "owner") && !analysis.DocDirective(gd.Doc, "owner") {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						owners[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return owners
+}
+
+// isOwnerType reports whether t is (a pointer chain to) a marked owner type.
+func isOwnerType(owners map[*types.TypeName]bool, t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return owners[named.Obj()]
+}
+
+// paramKey identifies one parameter (or receiver, index -1) of a
+// module function for the escape fixpoint.
+type paramKey struct {
+	fn  *types.Func
+	idx int
+}
+
+// computeEscapes runs the interprocedural parameter-escape fixpoint:
+// a parameter escapes if the body stores/sends/spawns/captures it, or
+// passes it to a parameter already known to escape. Unknown callees are
+// handled at check time (assumed retaining), so the fixpoint only
+// iterates over module functions.
+func computeEscapes(pass *analysis.ModulePass, owners map[*types.TypeName]bool) map[paramKey]bool {
+	esc := make(map[paramKey]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, node := range pass.Graph.Nodes() {
+			params := paramVars(node)
+			if len(params) == 0 {
+				continue
+			}
+			escaped := make(map[*types.Var]bool)
+			collectEscapingVars(pass, node, esc, escaped)
+			for idx, v := range params {
+				if v == nil || !escaped[v] {
+					continue
+				}
+				k := paramKey{fn: node.Obj, idx: idx - 1} // slot 0 is the receiver
+				if !esc[k] {
+					esc[k] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return esc
+}
+
+// paramVars returns [receiver, param0, param1, ...] (nil entries for
+// unnamed slots).
+func paramVars(node *analysis.FuncNode) []*types.Var {
+	sig, ok := node.Obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := []*types.Var{sig.Recv()}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// collectEscapingVars records, into escaped, every *types.Var the body
+// lets escape (by any of the rules in the package comment). It shares
+// the event walk with checkFunc but never reports.
+func collectEscapingVars(pass *analysis.ModulePass, node *analysis.FuncNode, esc map[paramKey]bool, escaped map[*types.Var]bool) {
+	walkEvents(pass, node, esc, func(pos token.Pos, expr ast.Expr, what string) {
+		if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+			if v, ok := node.Pkg.Info.Uses[id].(*types.Var); ok {
+				escaped[v] = true
+			}
+		}
+	}, nil)
+}
+
+// checkFunc reports every escape event whose value has an owner type.
+func checkFunc(pass *analysis.ModulePass, node *analysis.FuncNode, owners map[*types.TypeName]bool, esc map[paramKey]bool) {
+	walkEvents(pass, node, esc, nil, func(pos token.Pos, expr ast.Expr, what string) {
+		tv, ok := node.Pkg.Info.Types[expr]
+		if !ok || tv.Type == nil || !isOwnerType(owners, tv.Type) {
+			return
+		}
+		if pass.CheckReason(pos, "owner-ok") {
+			return
+		}
+		pass.Reportf(pos, "owner value of type %s %s — single-consumer ownership (DESIGN.md §13) is lost; transfer explicitly and annotate //fv:owner-ok <reason>",
+			types.TypeString(tv.Type, analysis.ShortQual), what)
+	})
+}
+
+// walkEvents walks node's body firing onVar (for the fixpoint) and/or
+// onEvent (for diagnostics) at every escape event. Dead branches are
+// NOT skipped: ownership is a correctness property in every build.
+func walkEvents(pass *analysis.ModulePass, node *analysis.FuncNode, esc map[paramKey]bool, onVar func(token.Pos, ast.Expr, string), onEvent func(token.Pos, ast.Expr, string)) {
+	info := node.Pkg.Info
+	fire := func(pos token.Pos, expr ast.Expr, what string) {
+		if onVar != nil {
+			onVar(pos, expr, what)
+		}
+		if onEvent != nil {
+			onEvent(pos, expr, what)
+		}
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				fire(arg.Pos(), arg, "passed to a spawned goroutine")
+				ast.Inspect(arg, walk) // nested calls inside the argument
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// The goroutine capture is the event; don't re-fire the
+				// generic closure-capture case for the same literal.
+				fireCaptures(node, lit, "captured by a spawned goroutine", fire)
+			}
+			return false
+		case *ast.SendStmt:
+			fire(n.Value.Pos(), n.Value, "sent on a channel")
+			return true
+		case *ast.FuncLit:
+			// Using an owner inside a lit requires capturing it, so the
+			// capture event is the complete check; the interior is not
+			// walked again.
+			fireCaptures(node, n, "captured by a closure", fire)
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if storesThroughMemory(info, n.Lhs[i]) {
+						fire(n.Rhs[i].Pos(), n.Rhs[i], "stored through memory that outlives this frame")
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			checkCallEvents(pass, node, n, esc, fire)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(node.Decl.Body, walk)
+}
+
+// fireCaptures fires an event for every variable of the enclosing
+// function a FuncLit captures.
+func fireCaptures(node *analysis.FuncNode, lit *ast.FuncLit, what string, fire func(token.Pos, ast.Expr, string)) {
+	info := node.Pkg.Info
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() < node.Decl.Pos() || v.Pos() > node.Decl.End() {
+			return true // package-level or foreign
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // the lit's own params/locals
+		}
+		seen[v] = true
+		fire(id.Pos(), id, what)
+		return true
+	})
+}
+
+// storesThroughMemory reports whether an assignment LHS writes through
+// memory that can outlive the current frame: a field, element, pointer
+// dereference, or package-level variable.
+func storesThroughMemory(info *types.Info, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		v, ok := info.Defs[l].(*types.Var)
+		if !ok {
+			v, ok = info.Uses[l].(*types.Var)
+		}
+		if !ok || v == nil || v.Pkg() == nil {
+			return false
+		}
+		return v.Parent() == v.Pkg().Scope() // package-level variable
+	}
+	return false
+}
+
+// checkCallEvents fires events for arguments handed to retaining
+// parameters: append's elements, unknown callees (assumed retaining),
+// and module callees whose parameter escapes per the fixpoint.
+func checkCallEvents(pass *analysis.ModulePass, node *analysis.FuncNode, call *ast.CallExpr, esc map[paramKey]bool, fire func(token.Pos, ast.Expr, string)) {
+	info := node.Pkg.Info
+
+	// Conversions don't retain.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	// Builtins: append stores its elements; the rest don't retain.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if b.Name() == "append" {
+				for _, arg := range call.Args[1:] {
+					fire(arg.Pos(), arg, "appended to a slice that outlives this frame")
+				}
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		// Indirect or interface call: retention unknown.
+		for _, arg := range call.Args {
+			fire(arg.Pos(), arg, "passed to a dynamic callee whose retention is unknown")
+		}
+		return
+	}
+	callee := pass.Graph.Node(fn)
+	if callee == nil {
+		// Outside the module (standard library — sync.Pool.Put et al):
+		// assume it retains.
+		for _, arg := range call.Args {
+			fire(arg.Pos(), arg, "passed to "+analysis.FuncName(fn)+" outside the module, which may retain it")
+		}
+		return
+	}
+	// Module callee: consult the fixpoint per argument and receiver.
+	for i, arg := range call.Args {
+		if esc[paramKey{fn: fn, idx: i}] {
+			fire(arg.Pos(), arg, "passed to "+analysis.FuncName(fn)+", which lets that parameter escape")
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := info.Selections[sel]; isSel && esc[paramKey{fn: fn, idx: -1}] {
+			fire(sel.X.Pos(), sel.X, "receiver of "+analysis.FuncName(fn)+", which lets the receiver escape")
+		}
+	}
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package shardown_test
+
+import (
+	"testing"
+
+	"flowvalve/internal/analysis/analysistest"
+	"flowvalve/internal/analysis/shardown"
+)
+
+func TestShardown(t *testing.T) {
+	analysistest.RunModule(t, "testdata", shardown.Analyzer, "shardowntest")
+}

@@ -1,0 +1,76 @@
+// Package shardowntest seeds owner-escape shapes for the shardown
+// analyzer: a marked //fv:owner type leaking into goroutines, channels,
+// long-lived stores and retaining callees.
+package shardowntest
+
+import "sync"
+
+// scratch is one worker's private batch state.
+//
+//fv:owner
+type scratch struct {
+	buf []int
+}
+
+// plain is identical in shape but unmarked: never reported.
+type plain struct {
+	buf []int
+}
+
+type registry struct {
+	slots []*scratch
+	keep  *scratch
+	pool  sync.Pool
+	ch    chan *scratch
+}
+
+func fill(s *scratch) { s.buf = append(s.buf, 1) }
+
+func worker(s *scratch) { fill(s) }
+
+// stash lets its parameter escape: the store is reported here, and the
+// escape propagates to stash's callers through the fixpoint.
+func stash(r *registry, s *scratch) {
+	r.keep = s // want `owner value of type \*shardowntest\.scratch stored through memory that outlives this frame`
+}
+
+func leak(r *registry, s *scratch, ss scratch) {
+	fill(s)       // plain use: fine
+	go worker(s)  // want `passed to a spawned goroutine`
+	r.ch <- s     // want `sent on a channel`
+	r.pool.Put(s) // want `passed to sync\.\(Pool\)\.Put outside the module, which may retain it`
+	stash(r, s)   // want `passed to shardowntest\.stash, which lets that parameter escape`
+	go func() {
+		fill(s) // want `captured by a spawned goroutine`
+	}()
+	f := func() { fill(s) } // want `captured by a closure`
+	f()
+	r.slots[0] = s               // want `stored through memory that outlives this frame`
+	r.slots = append(r.slots, s) // want `appended to a slice that outlives this frame`
+	_ = ss
+}
+
+// localOnly moves an owner between locals: same frame, no diagnostic.
+func localOnly(s *scratch) *scratch {
+	t := s
+	fill(t)
+	return t // returning transfers ownership back to the caller: fine
+}
+
+// unmarked proves the identical shapes are silent for unmarked types.
+func unmarked(r *registry, p *plain) {
+	go func() { _ = p.buf }()
+	r.keep = nil
+	_ = p
+}
+
+// transfer shows the sanctioned handoffs.
+func transfer(r *registry, s *scratch) {
+	//fv:owner-ok fixture: ownership transfers to the spawned worker here
+	go worker(s)
+	r.pool.Put(s) //fv:owner-ok fixture: pool return ends this frame's ownership
+}
+
+func naked(r *registry, s *scratch) {
+	r.pool.Put(s) //fv:owner-ok // want `//fv:owner-ok suppression requires a justification` `passed to sync`
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared type-shape helpers used by the allocation-oriented analyzers
+// (hotpath intraprocedurally, boxing over the whole hot closure). They
+// encode one fact about the Go runtime: storing a value in an interface
+// allocates unless the value is pointer-shaped.
+
+// Boxes reports whether storing a value of type t into an interface
+// allocates: true for every concrete type that is not pointer-shaped.
+func Boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false // already boxed
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly in the iface word
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	default:
+		return true // structs, arrays, slices, strings
+	}
+}
+
+// ParamType returns the type the i-th argument is assigned to, or nil
+// when no boxing can occur at that position (out of range, or a
+// ...slice forwarded whole).
+func ParamType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() {
+		if i < n-1 {
+			return params.At(i).Type()
+		}
+		if ellipsis {
+			return nil
+		}
+		if sl, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// CallSignature returns the static signature of the callee, or nil for
+// type conversions and unresolvable callees.
+func CallSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() {
+		return nil // conversion, not a call
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// ShortQual qualifies types by bare package name in diagnostics.
+func ShortQual(p *types.Package) string { return p.Name() }

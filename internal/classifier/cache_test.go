@@ -312,15 +312,22 @@ func BenchmarkClassifyMissEvict(b *testing.B) {
 // shard (and unclassified packets to -1), on both sides of the
 // sort-algorithm threshold.
 func TestClassifyBatchSteerEquivalence(t *testing.T) {
-	shardOf := func(lbl *tree.Label) int {
-		switch lbl.Leaf.Name {
-		case "a":
-			return 0
-		case "b":
-			return 1
-		default:
-			return 2
+	ownersFor := func(tr *tree.Tree) []int32 {
+		owners := make([]int32, tr.Len())
+		for _, c := range tr.Classes() {
+			if !c.Leaf() {
+				continue
+			}
+			switch c.Name {
+			case "a":
+				owners[c.ID] = 0
+			case "b":
+				owners[c.ID] = 1
+			default:
+				owners[c.ID] = 2
+			}
 		}
+		return owners
 	}
 	for _, n := range []int{1, 3, batchSortThreshold, 4 * batchSortThreshold} {
 		rng := rand.New(rand.NewSource(int64(n)))
@@ -335,7 +342,7 @@ func TestClassifyBatchSteerEquivalence(t *testing.T) {
 		cs, _ := New(tr, rules, "")
 		sLbls, sHits, sEvs := makeLabels(n), make([]bool, n), make([]bool, n)
 		shards := make([]int32, n)
-		cs.ClassifyBatchSteerEv(ps, sLbls, sHits, sEvs, shardOf, shards)
+		cs.ClassifyBatchSteerEv(ps, sLbls, sHits, sEvs, ownersFor(tr), shards)
 
 		cb, _ := New(tr, rules, "")
 		bLbls, bHits, bEvs := makeLabels(n), make([]bool, n), make([]bool, n)
@@ -348,7 +355,7 @@ func TestClassifyBatchSteerEquivalence(t *testing.T) {
 			}
 			want := int32(-1)
 			if sLbls[i] != nil {
-				want = int32(shardOf(sLbls[i]))
+				want = ownersFor(tr)[sLbls[i].Leaf.ID]
 			}
 			if shards[i] != want {
 				t.Fatalf("n=%d pkt %d: shard %d, want %d", n, i, shards[i], want)
@@ -357,6 +364,34 @@ func TestClassifyBatchSteerEquivalence(t *testing.T) {
 		ss, bs := cs.Stats(), cb.Stats()
 		if ss.Hits != bs.Hits || ss.Misses != bs.Misses {
 			t.Fatalf("n=%d: steer stats %d/%d != batch stats %d/%d", n, ss.Hits, ss.Misses, bs.Hits, bs.Misses)
+		}
+	}
+}
+
+// A reused evicted buffer must come back fully defined: flow-group
+// followers behind a group head must overwrite their eviction slots,
+// not skip them — the NIC reuses one evs buffer across bursts, and a
+// stale true from an earlier burst would charge a phantom eviction.
+func TestClassifyBatchEvFollowerClearsStaleEviction(t *testing.T) {
+	tr := testTree(t)
+	rules := []Rule{{App: 0, Flow: AnyFlow, Class: "a"}}
+	for _, steer := range []bool{false, true} {
+		c, err := New(tr, rules, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Head + follower of the same flow; both slots pre-soiled as if
+		// a previous burst evicted at these indices.
+		ps := []*packet.Packet{pkt(0, 7), pkt(0, 7)}
+		lbls, hits := makeLabels(2), make([]bool, 2)
+		evs := []bool{true, true}
+		if steer {
+			c.ClassifyBatchSteerEv(ps, lbls, hits, evs, make([]int32, tr.Len()), make([]int32, 2))
+		} else {
+			c.ClassifyBatchEv(ps, lbls, hits, evs)
+		}
+		if evs[0] || evs[1] {
+			t.Fatalf("steer=%v: stale eviction flags survived: %v", steer, evs)
 		}
 	}
 }

@@ -112,6 +112,8 @@ type Classifier struct {
 }
 
 // batchScratch orders one ClassifyBatch's lookups by flow key.
+//
+//fv:owner
 type batchScratch struct {
 	idx []int32
 }
@@ -181,6 +183,7 @@ func (c *Classifier) LookupEv(p *packet.Packet) (lbl *tree.Label, hit, evicted b
 		sh.mu.Unlock()
 		return e.lbl, false, false
 	}
+	//fv:coldpath flow-cache miss: parser + table walk run once per flow, amortized by the cache on the packet path
 	lbl = c.classify(p, &sh.scratch)
 	evicted = c.cache.insertLocked(sh, key, lbl)
 	sh.mu.Unlock()
@@ -248,9 +251,15 @@ func (c *Classifier) ClassifyBatchEv(ps []*packet.Packet, labels []*tree.Label, 
 		k := packKey(ps[i].App, ps[i].Flow)
 		if have && k == lastKey {
 			// Same flow as the group head: the cache would hit; skip
-			// the probe and reuse the resolved label.
+			// the probe and reuse the resolved label. evicted must be
+			// written even here — callers reuse the buffer across
+			// bursts, and a stale true from an earlier burst would
+			// charge a phantom eviction.
 			c.cache.shardFor(lastHash).hits.Add(1)
 			labels[i], hits[i] = lastLbl, true
+			if evicted != nil {
+				evicted[i] = false
+			}
 			continue
 		}
 		var ev bool
@@ -261,20 +270,22 @@ func (c *Classifier) ClassifyBatchEv(ps []*packet.Packet, labels []*tree.Label, 
 		lastKey, lastLbl, lastHash, have = k, labels[i], mix64(k), true
 	}
 	bs.idx = idx
+	//fv:owner-ok ownership returns to the pool: this frame holds the only reference and never touches bs after the Put
 	c.batchPool.Put(bs)
 }
 
 // ClassifyBatchSteerEv is ClassifyBatchEv with scheduler-shard steering
 // fused into the classification pass: shards[i] receives the shard that
-// owns ps[i]'s label (shardOf), or -1 for unclassified packets. The
-// steer is computed once per flow group — every follower behind a group
-// head inherits the head's shard along with its label — so a burst
-// dominated by few flows pays one steering hash per flow, not per
+// owns ps[i]'s label per the owners table (ClassID → shard, see
+// dataplane.OwnerTabler), or -1 for unclassified packets. The steer is
+// computed once per flow group — every follower behind a group head
+// inherits the head's shard along with its label — so a burst dominated
+// by few flows pays one table load per flow, not a dynamic dispatch per
 // packet. Drivers of sharded scheduling functions (the NIC's burst
 // service) use this to fill their per-shard feed lanes.
 //
 //fv:hotpath
-func (c *Classifier) ClassifyBatchSteerEv(ps []*packet.Packet, labels []*tree.Label, hits, evicted []bool, shardOf func(*tree.Label) int, shards []int32) {
+func (c *Classifier) ClassifyBatchSteerEv(ps []*packet.Packet, labels []*tree.Label, hits, evicted []bool, owners []int32, shards []int32) {
 	n := len(ps)
 	labels, hits, shards = labels[:n], hits[:n], shards[:n]
 	if evicted != nil {
@@ -310,6 +321,9 @@ func (c *Classifier) ClassifyBatchSteerEv(ps []*packet.Packet, labels []*tree.La
 		if have && k == lastKey {
 			c.cache.shardFor(lastHash).hits.Add(1)
 			labels[i], hits[i], shards[i] = lastLbl, true, lastShard
+			if evicted != nil {
+				evicted[i] = false // see ClassifyBatchEv: reused buffers must not leak stale evictions
+			}
 			continue
 		}
 		var ev bool
@@ -318,13 +332,14 @@ func (c *Classifier) ClassifyBatchSteerEv(ps []*packet.Packet, labels []*tree.La
 			evicted[i] = ev
 		}
 		lastShard = -1
-		if labels[i] != nil {
-			lastShard = int32(shardOf(labels[i]))
+		if lbl := labels[i]; lbl != nil {
+			lastShard = owners[lbl.Leaf.ID]
 		}
 		shards[i] = lastShard
 		lastKey, lastLbl, lastHash, have = k, labels[i], mix64(k), true
 	}
 	bs.idx = idx
+	//fv:owner-ok ownership returns to the pool: this frame holds the only reference and never touches bs after the Put
 	c.batchPool.Put(bs)
 }
 

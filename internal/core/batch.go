@@ -8,6 +8,8 @@ import (
 // batchScratch is the working set of one ScheduleBatch call, pooled on
 // the scheduler so steady-state batching allocates nothing. Slices are
 // indexed by tree.ClassID.
+//
+//fv:owner
 type batchScratch struct {
 	// fwd accumulates forwarded bytes per class (path consumption plus
 	// lent bytes counted against off-path lenders), flushed into the Γ
@@ -21,6 +23,36 @@ type batchScratch struct {
 	gen  uint32
 	// traces queues sampled decisions for batched emission.
 	traces []pendingTrace
+
+	// Leaf verdict counters, accumulated here when telemetry is
+	// detached (no per-packet sequence numbers needed) and flushed as
+	// one atomic add per counter per touched leaf at the end of the
+	// batch. cntTouched lists the leaves with pending counts.
+	fwdPk      []uint32
+	fwdBy      []int64
+	dropPk     []uint32
+	dropBy     []int64
+	cntTouched []*tree.Class
+}
+
+// leafFwd counts one forwarded packet of sz bytes against leaf c in
+// batch-local scratch (telemetry-detached path).
+func (bs *batchScratch) leafFwd(c *tree.Class, sz int64) {
+	if bs.fwdPk[c.ID] == 0 && bs.dropPk[c.ID] == 0 {
+		bs.cntTouched = append(bs.cntTouched, c)
+	}
+	bs.fwdPk[c.ID]++
+	bs.fwdBy[c.ID] += sz
+}
+
+// leafDrop counts one dropped packet of sz bytes against leaf c in
+// batch-local scratch (telemetry-detached path).
+func (bs *batchScratch) leafDrop(c *tree.Class, sz int64) {
+	if bs.fwdPk[c.ID] == 0 && bs.dropPk[c.ID] == 0 {
+		bs.cntTouched = append(bs.cntTouched, c)
+	}
+	bs.dropPk[c.ID]++
+	bs.dropBy[c.ID] += sz
 }
 
 // pendingTrace is one sampled decision awaiting trace emission.
@@ -34,6 +66,10 @@ func newBatchScratch(classes int) *batchScratch {
 		fwd:     make([]int64, classes),
 		touched: make([]*tree.Class, 0, classes),
 		seen:    make([]uint32, classes),
+		fwdPk:   make([]uint32, classes),
+		fwdBy:   make([]int64, classes),
+		dropPk:  make([]uint32, classes),
+		dropBy:  make([]int64, classes),
 	}
 }
 
@@ -104,6 +140,7 @@ func (s *Scheduler) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Deci
 	bs := s.batchPool.Get().(*batchScratch)
 	//fv:owner-ok scratch drawn from the pool is exclusively held until the Put below
 	s.scheduleBatchOwner(reqs, out, bs)
+	//fv:owner-ok ownership returns to the pool: this frame holds the only reference and never touches bs after the Put
 	s.batchPool.Put(bs)
 }
 
@@ -121,7 +158,7 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 		return
 	}
 	out = out[:n]
-	now := s.clk.Now()
+	now := s.now()
 	gen := bs.nextGen()
 	h := s.tel.Load()
 	flt := s.flt.Load()
@@ -132,14 +169,16 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 		d := &out[i]
 		*d = Decision{Batched: n}
 
-		// Lines 1–5 amortized: lastSeen is stamped per packet (it is
-		// what keeps an active class from expiring), but the epoch
-		// check runs once per class per batch.
+		// Lines 1–5 amortized: every packet in the batch shares one
+		// arrival instant, so both the lastSeen stamp (what keeps an
+		// active class from expiring) and the epoch-elapse check run
+		// once per class per batch — repeat stores of the same now are
+		// pure cache traffic.
 		for _, c := range lbl.Path {
-			st := &s.states[c.ID]
-			st.lastSeen.Store(now)
 			if bs.seen[c.ID] != gen {
 				bs.seen[c.ID] = gen
+				st := &s.states[c.ID]
+				st.lastSeen.Store(now)
 				s.maybeUpdate(c, st, now, d, flt)
 			}
 		}
@@ -150,8 +189,6 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 		// Lines 6–8: meter at the leaf.
 		if lst.bucket.TryConsume(sz) {
 			bs.count(lbl.Path, sz)
-			seq := lst.fwdPkts.Add(1)
-			lst.fwdBytes.Add(sz)
 			d.Verdict = Forward
 			if f := s.cfg.ECNMarkFrac; f > 0 &&
 				lst.bucket.Tokens() < int64(f*float64(lst.bucket.Burst())) {
@@ -159,7 +196,11 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 				d.Marked = true
 			}
 			if h != nil {
+				seq := lst.fwdPkts.Add(1)
+				lst.fwdBytes.Add(sz)
 				bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+			} else {
+				bs.leafFwd(leaf, sz)
 			}
 			continue
 		}
@@ -179,13 +220,15 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 					}
 					lst.borrowPkts.Add(1)
 					bs.count(lbl.Path, sz)
-					seq := lst.fwdPkts.Add(1)
-					lst.fwdBytes.Add(sz)
 					d.Verdict = Forward
 					d.Borrowed = true
 					d.Lender = lender
 					if h != nil {
+						seq := lst.fwdPkts.Add(1)
+						lst.fwdBytes.Add(sz)
 						bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+					} else {
+						bs.leafFwd(leaf, sz)
 					}
 					borrowed = true
 					break
@@ -210,13 +253,15 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 				}
 				lst.borrowPkts.Add(1)
 				bs.count(lbl.Path, sz)
-				seq := lst.fwdPkts.Add(1)
-				lst.fwdBytes.Add(sz)
 				d.Verdict = Forward
 				d.Borrowed = true
 				d.Lender = lender
 				if h != nil {
+					seq := lst.fwdPkts.Add(1)
+					lst.fwdBytes.Add(sz)
 					bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+				} else {
+					bs.leafFwd(leaf, sz)
 				}
 				borrowed = true
 				break
@@ -227,11 +272,13 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 		}
 
 		// Line 16: drop.
-		seq := lst.dropPkts.Add(1)
-		lst.dropBytes.Add(sz)
 		d.Verdict = Drop
 		if h != nil {
+			seq := lst.dropPkts.Add(1)
+			lst.dropBytes.Add(sz)
 			bs.traces = append(bs.traces, pendingTrace{seq: seq, idx: int32(i)})
+		} else {
+			bs.leafDrop(leaf, sz)
 		}
 	}
 
@@ -242,6 +289,23 @@ func (s *Scheduler) scheduleBatchOwner(reqs []dataplane.Request, out []dataplane
 		s.states[c.ID].est.Count(bs.fwd[c.ID])
 		bs.fwd[c.ID] = 0
 	}
+
+	// Flush the telemetry-detached leaf verdict counters: one atomic
+	// add per counter per touched leaf instead of two per packet.
+	for _, c := range bs.cntTouched {
+		lst := &s.states[c.ID]
+		if pk := bs.fwdPk[c.ID]; pk != 0 {
+			lst.fwdPkts.Add(int64(pk))
+			lst.fwdBytes.Add(bs.fwdBy[c.ID])
+			bs.fwdPk[c.ID], bs.fwdBy[c.ID] = 0, 0
+		}
+		if pk := bs.dropPk[c.ID]; pk != 0 {
+			lst.dropPkts.Add(int64(pk))
+			lst.dropBytes.Add(bs.dropBy[c.ID])
+			bs.dropPk[c.ID], bs.dropBy[c.ID] = 0, 0
+		}
+	}
+	bs.cntTouched = bs.cntTouched[:0]
 	bs.touched = bs.touched[:0]
 
 	// Batched trace emission. QueueDepth on sampled events reads the

@@ -36,7 +36,7 @@ var _ dataplane.Scheduler = (*Scheduler)(nil)
 //
 //fv:hotpath
 func (s *Scheduler) Schedule(lbl *tree.Label, size int) Decision {
-	now := s.clk.Now()
+	now := s.now()
 	sz := int64(size)
 	d := Decision{Batched: 1}
 	flt := s.flt.Load()
@@ -181,6 +181,7 @@ func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Dec
 	switch s.cfg.Lock {
 	case PerClassTryLock:
 		if st.mu.TryLock() {
+			//fv:coldpath epoch roll: runs once per UpdateIntervalNs per class, amortized off the per-packet path
 			if s.updateLocked(c, st, now) {
 				d.Updates++
 			}
@@ -190,6 +191,7 @@ func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Dec
 		}
 	case GlobalLock:
 		s.globalMu.Lock()
+		//fv:coldpath epoch roll: runs once per UpdateIntervalNs per class, amortized off the per-packet path
 		if s.updateLocked(c, st, now) {
 			d.Updates++
 		}
@@ -197,7 +199,7 @@ func (s *Scheduler) maybeUpdate(c *tree.Class, st *classState, now int64, d *Dec
 	case NoLock:
 		// Ablation: races between epochs permitted.
 		//fv:racy-ok NoLock mode exists to measure exactly this race; see DESIGN.md locking ablations
-		if s.updateRacy(c, st, now) {
+		if s.updateRacy(c, st, now) { //fv:coldpath epoch roll: runs once per UpdateIntervalNs per class, amortized off the per-packet path
 			d.Updates++
 		}
 	}

@@ -153,7 +153,20 @@ type Scheduler struct {
 	cfg    Config
 	states []classState
 
-	globalMu sync.Mutex // used only in GlobalLock mode
+	// manualClk/wallClk cache the concrete type behind clk (probed once
+	// in New) so the per-packet and per-batch time reads devirtualize:
+	// the stock clocks are final, and an interface dispatch per packet
+	// is exactly the kind of hidden cost the boxing analyzer polices.
+	manualClk *clock.Manual
+	wallClk   *clock.Wall
+
+	// globalMu is the GlobalLock-mode epoch lock. It is the outermost
+	// scheduler lock by decree: per-class locks may be taken under it
+	// (the locking-ablation harness compares the modes), never the
+	// reverse.
+	//
+	//fv:lockorder core.Scheduler.globalMu before core.classState.mu
+	globalMu sync.Mutex
 
 	// batchPool recycles ScheduleBatch working sets; concurrent batches
 	// each draw their own, so batching stays allocation-free without
@@ -247,6 +260,12 @@ func New(t *tree.Tree, clk clock.Clock, cfg Config) (*Scheduler, error) {
 		cfg:    cfg,
 		states: make([]classState, t.Len()),
 	}
+	switch c := clk.(type) {
+	case *clock.Manual:
+		s.manualClk = c
+	case *clock.Wall:
+		s.wallClk = c
+	}
 	for i := range s.states {
 		s.states[i].est = token.NewEstimator(cfg.EWMAAlpha)
 	}
@@ -254,6 +273,22 @@ func New(t *tree.Tree, clk clock.Clock, cfg Config) (*Scheduler, error) {
 	s.batchPool.New = func() any { return newBatchScratch(classes) }
 	s.prime()
 	return s, nil
+}
+
+// now reads the scheduler clock, dispatching statically to the stock
+// concrete clocks. Custom Clock implementations (none in-tree) fall back
+// to the virtual call.
+//
+//fv:hotpath
+func (s *Scheduler) now() int64 {
+	if m := s.manualClk; m != nil {
+		return m.Now()
+	}
+	if w := s.wallClk; w != nil {
+		return w.Now()
+	}
+	//fv:boxing-ok out-of-tree Clock implementations take the virtual slow path; both stock clocks devirtualize above
+	return s.clk.Now()
 }
 
 // prime distributes initial token rates top-down with Γ=0 and fills every

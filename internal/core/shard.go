@@ -93,19 +93,30 @@ type lenderSite struct {
 // shard_parallel.go) where each shard runs a worker goroutine fed by a
 // bounded lock-free MPSC ring.
 type ShardedScheduler struct {
-	tree  *tree.Tree
-	clk   clock.Clock
-	cfg   Config
-	scfg  ShardConfig
-	n     int
-	inner []*Scheduler
-	owner []int32 // ClassID → owning shard
+	tree *tree.Tree
+	clk  clock.Clock
+	// manualClk/wallClk mirror Scheduler's concrete-clock cache so the
+	// per-batch settlement time read stays a static call (see
+	// Scheduler.now).
+	manualClk *clock.Manual
+	wallClk   *clock.Wall
+	cfg       Config
+	scfg      ShardConfig
+	n         int
+	inner     []*Scheduler
+	owner     []int32 // ClassID → owning shard
 
 	lenders []lenderSite
 
 	// Settlement state. settleMu serializes reconciliations; whichever
 	// caller (or shard worker) first observes the settlement epoch
-	// elapsed takes the TryLock and settles for everyone.
+	// elapsed takes the TryLock and settles for everyone. If settlement
+	// ever needs per-class state under lock, it must take class locks
+	// *inside* settleMu — a class-lock holder must never wait on the
+	// reconciler. The declared order below makes fvlint reject the
+	// reverse nesting the day someone introduces it.
+	//
+	//fv:lockorder core.ShardedScheduler.settleMu before core.classState.mu
 	settleMu    sync.Mutex
 	lastSettle  atomic.Int64
 	settles     atomic.Int64
@@ -150,6 +161,12 @@ func NewSharded(t *tree.Tree, clk clock.Clock, cfg Config, scfg ShardConfig) (*S
 		cfg:  cfg,
 		scfg: scfg,
 		n:    scfg.Shards,
+	}
+	switch c := clk.(type) {
+	case *clock.Manual:
+		ss.manualClk = c
+	case *clock.Wall:
+		ss.wallClk = c
 	}
 	ss.owner = partitionTree(t, ss.n)
 	for k := 0; k < ss.n; k++ {
@@ -314,9 +331,28 @@ func (ss *ShardedScheduler) ShardConfig() ShardConfig { return ss.scfg }
 // Shards implements dataplane.Sharder.
 func (ss *ShardedScheduler) Shards() int { return ss.n }
 
+// now reads the clock through the concrete fast path, exactly as
+// Scheduler.now does for the per-shard schedulers.
+//
+//fv:hotpath
+func (ss *ShardedScheduler) now() int64 {
+	if m := ss.manualClk; m != nil {
+		return m.Now()
+	}
+	if w := ss.wallClk; w != nil {
+		return w.Now()
+	}
+	//fv:boxing-ok out-of-tree Clock implementations take the virtual slow path; both stock clocks devirtualize above
+	return ss.clk.Now()
+}
+
 // ShardOf implements dataplane.Sharder: the shard that owns (and must
 // schedule) the label's leaf.
 func (ss *ShardedScheduler) ShardOf(lbl *tree.Label) int { return int(ss.owner[lbl.Leaf.ID]) }
+
+// OwnerTable implements dataplane.OwnerTabler: the immutable ClassID →
+// owning-shard partition, shared (not copied) with steering consumers.
+func (ss *ShardedScheduler) OwnerTable() []int32 { return ss.owner }
 
 // Settles reports how many settlement reconciliations have run.
 func (ss *ShardedScheduler) Settles() int64 { return ss.settles.Load() }
@@ -329,11 +365,13 @@ func (ss *ShardedScheduler) Schedule(lbl *tree.Label, size int) Decision {
 	if ss.n == 1 {
 		return ss.inner[0].Schedule(lbl, size)
 	}
-	ss.maybeSettle(ss.clk.Now())
+	ss.maybeSettle(ss.now())
 	return ss.inner[ss.owner[lbl.Leaf.ID]].Schedule(lbl, size)
 }
 
 // partScratch is one inline ScheduleBatch call's partition working set.
+//
+//fv:owner
 type partScratch struct {
 	fill []int32 // per-shard write cursors (counting sort)
 	idx  []int32 // request indices grouped by shard, input order preserved
@@ -370,7 +408,7 @@ func (ss *ShardedScheduler) ScheduleBatch(reqs []dataplane.Request, out []datapl
 		ss.inner[0].ScheduleBatch(reqs, out)
 		return
 	}
-	ss.maybeSettle(ss.clk.Now())
+	ss.maybeSettle(ss.now())
 	ps := ss.partPool.Get().(*partScratch)
 	ps.grow(n)
 	fill := ps.fill
@@ -407,6 +445,7 @@ func (ss *ShardedScheduler) ScheduleBatch(reqs []dataplane.Request, out []datapl
 		}
 		lo = hi
 	}
+	//fv:owner-ok ownership returns to the pool: this frame holds the only reference and never touches ps after the Put
 	ss.partPool.Put(ps)
 }
 
@@ -421,6 +460,7 @@ func (ss *ShardedScheduler) maybeSettle(now int64) {
 		return
 	}
 	if now-ss.lastSettle.Load() >= ss.scfg.SettleEveryNs {
+		//fv:coldpath settlement reconciliation: runs once per SettleEveryNs across all shards, amortized off the batch path
 		ss.settleLocked(now)
 		ss.lastSettle.Store(now)
 	}

@@ -20,6 +20,8 @@ import (
 // shardWorker is one shard's parallel service loop state. Everything
 // here is owned by the worker goroutine (Owner convention) once
 // StartWorkers hands it over.
+//
+//fv:owner
 type shardWorker struct {
 	id      int
 	sched   *Scheduler
@@ -44,6 +46,7 @@ func (ss *ShardedScheduler) StartWorkers() error {
 	ss.workers = make([]*shardWorker, ss.n)
 	for k := 0; k < ss.n; k++ {
 		ss.rings[k] = newFeedRing(ss.scfg.RingPkts)
+		//fv:owner-ok construction handoff: the worker goroutine spawned below becomes the sole consumer; ss.workers is read only after Stop quiesces
 		ss.workers[k] = &shardWorker{
 			id:    k,
 			sched: ss.inner[k],
@@ -106,7 +109,7 @@ func (ss *ShardedScheduler) serveShardOwner(w *shardWorker) {
 		idle = 0
 		// Each worker hits the settlement check on its own clock; the
 		// TryLock inside elects a single reconciler.
-		ss.maybeSettle(ss.clk.Now())
+		ss.maybeSettle(ss.now())
 		w.sched.scheduleBatchOwner(w.reqs[:n], w.dec[:n], w.scratch)
 		w.done.Add(int64(n))
 	}

@@ -210,6 +210,17 @@ type Sharder interface {
 	ShardOf(lbl *tree.Label) int
 }
 
+// OwnerTabler is an optional Sharder refinement exposing the shard
+// ownership partition as a flat table indexed by class ID. Steering
+// consumers (the classifier's fused steer pass) prefer it over calling
+// ShardOf per flow group: one bounds-checked load replaces a dynamic
+// dispatch in the hottest loop of the receive path.
+type OwnerTabler interface {
+	// OwnerTable returns the ClassID → owning-shard table. The table is
+	// immutable after construction and must not be written by callers.
+	OwnerTable() []int32
+}
+
 // ShardsOf probes s for sharding, returning the shard count and the
 // Sharder when s is sharded (shards > 1), or (1, nil) otherwise.
 func ShardsOf(s Scheduler) (int, Sharder) {

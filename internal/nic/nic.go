@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"flowvalve/internal/classifier"
+	"flowvalve/internal/core"
 	"flowvalve/internal/dataplane"
 	"flowvalve/internal/packet"
 	"flowvalve/internal/pktq"
@@ -295,23 +296,71 @@ type NIC struct {
 // burst service charges against. For a single-shard scheduler the
 // extras stay nil/1 and the service path is untouched.
 type schedRef struct {
-	s       dataplane.Scheduler
-	shards  int
-	shardOf func(lbl *tree.Label) int
-	lanes   *sim.Lanes
+	s      dataplane.Scheduler
+	shards int
+	// owners is the ClassID → owning-shard steer table (nil when
+	// unsharded): the classifier's fused steer pass indexes it directly
+	// instead of dispatching through a function value per flow group.
+	owners []int32
+	lanes  *sim.Lanes
+
+	// plain/sharded cache the concrete FlowValve schedulers behind s
+	// (probed once at install) so the burst-service ScheduleBatch call
+	// dispatches statically; other dataplane.Scheduler implementations
+	// (pifo lab backends, test fakes) keep the virtual path.
+	plain   *core.Scheduler
+	sharded *core.ShardedScheduler
+}
+
+// scheduleBatch runs one batch through the referenced scheduling
+// function, devirtualized for the stock core backends.
+//
+//fv:hotpath
+func (ref *schedRef) scheduleBatch(reqs []dataplane.Request, out []dataplane.Decision) {
+	switch {
+	case ref.plain != nil:
+		ref.plain.ScheduleBatch(reqs, out)
+	case ref.sharded != nil:
+		ref.sharded.ScheduleBatch(reqs, out)
+	default:
+		//fv:boxing-ok non-core backends (pifo lab, test fakes) are not burst-rate critical; both core schedulers devirtualize above
+		ref.s.ScheduleBatch(reqs, out)
+	}
 }
 
 // newSchedRef probes s for sharding and builds its installable ref.
 func (n *NIC) newSchedRef(s dataplane.Scheduler) *schedRef {
 	ref := &schedRef{s: s, shards: 1}
 	if s != nil {
+		switch cs := s.(type) {
+		case *core.Scheduler:
+			ref.plain = cs
+		case *core.ShardedScheduler:
+			ref.sharded = cs
+		}
 		if k, sh := dataplane.ShardsOf(s); sh != nil {
 			ref.shards = k
-			ref.shardOf = sh.ShardOf
+			ref.owners = ownerTable(sh, n.cls.Tree())
 			ref.lanes = sim.NewLanes(k, n.cfg.ShardRingPkts)
 		}
 	}
 	return ref
+}
+
+// ownerTable extracts the sharder's ClassID → shard table, preferring
+// the direct dataplane.OwnerTabler view and falling back to probing
+// ShardOf once per leaf for foreign sharders.
+func ownerTable(sh dataplane.Sharder, t *tree.Tree) []int32 {
+	if tb, ok := sh.(dataplane.OwnerTabler); ok {
+		return tb.OwnerTable()
+	}
+	owners := make([]int32, t.Len())
+	for _, c := range t.Classes() {
+		if c.Leaf() {
+			owners[c.ID] = int32(sh.ShardOf(t.LabelFor(c)))
+		}
+	}
+	return owners
 }
 
 // scheduler returns the active scheduling function (nil = pass-through).
@@ -697,7 +746,7 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	ref := n.sched.Load()
 	sched := ref.s
 	if ref.lanes != nil {
-		n.cls.ClassifyBatchSteerEv(batch, lbls, hits, evs, ref.shardOf, n.batchShard[:k])
+		n.cls.ClassifyBatchSteerEv(batch, lbls, hits, evs, ref.owners, n.batchShard[:k])
 	} else {
 		n.cls.ClassifyBatchEv(batch, lbls, hits, evs)
 	}
@@ -730,7 +779,7 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 		n.batchReqs = reqs[:0]
 		if len(reqs) > 0 {
 			decs = n.batchDecs[:len(reqs)]
-			sched.ScheduleBatch(reqs, decs)
+			ref.scheduleBatch(reqs, decs)
 		}
 	}
 
@@ -825,12 +874,14 @@ func (n *NIC) beginServiceBatch(batch []*packet.Packet, cl *cluster) {
 	}
 	occupancyNs := int64(float64(occupancy) / n.cfg.CoreFreqHz * 1e9)
 	latencyNs := int64(float64(total) / n.cfg.CoreFreqHz * 1e9)
+	//fv:boxing-ok DES completion bookkeeping: the event closures model NP latency, they are simulator overhead outside the modelled cycle budget
 	n.eng.After(occupancyNs, func() { n.releaseContext(cl) })
 	for i := 0; i < k; i++ {
 		p, fwd, reason := batch[i], n.batchFwd[i], n.batchReason[i]
 		slowLeaf := n.batchSlowLeaf[i]
 		seq := n.seqIssue
 		n.seqIssue++
+		//fv:boxing-ok DES completion bookkeeping: the event closures model NP latency, they are simulator overhead outside the modelled cycle budget
 		n.eng.After(latencyNs, func() { n.completeService(p, seq, fwd, reason, slowLeaf) })
 	}
 }

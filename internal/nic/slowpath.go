@@ -247,6 +247,7 @@ func (sp *slowPath) admit(p *packet.Packet, leaf *tree.Class) bool {
 		sp.latchBand = sp.prioBand[leaf.Prio]
 	}
 	sp.rejected = false
+	//fv:boxing-ok the slow path runs at host-CPU rate (~100x below line rate); dragging the qdisc simulation into the hot closure buys nothing
 	sp.q.Enqueue(p)
 	sp.latchLeaf = nil
 	if sp.rejected {

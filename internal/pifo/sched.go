@@ -32,8 +32,13 @@ type Sched struct {
 	mu sync.Mutex
 
 	clk clock.Clock
-	pol Policy
-	adm admitter
+	// manualClk/wallClk cache the concrete type behind clk so the
+	// per-decision time read dispatches statically (same devirt as
+	// core.Scheduler.now).
+	manualClk *clock.Manual
+	wallClk   *clock.Wall
+	pol       Policy
+	adm       admitter
 
 	drainBps float64
 	lastNs   int64
@@ -57,7 +62,29 @@ func NewSched(clk clock.Clock, cfg Config, pol Policy) (*Sched, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sched{clk: clk, pol: pol, adm: adm, drainBps: cfg.LinkRateBps, lastNs: clk.Now()}, nil
+	s := &Sched{clk: clk, pol: pol, adm: adm, drainBps: cfg.LinkRateBps, lastNs: clk.Now()}
+	switch c := clk.(type) {
+	case *clock.Manual:
+		s.manualClk = c
+	case *clock.Wall:
+		s.wallClk = c
+	}
+	return s, nil
+}
+
+// now reads the clock through the concrete fast path probed at
+// construction.
+//
+//fv:hotpath
+func (s *Sched) now() int64 {
+	if m := s.manualClk; m != nil {
+		return m.Now()
+	}
+	if w := s.wallClk; w != nil {
+		return w.Now()
+	}
+	//fv:boxing-ok out-of-tree Clock implementations take the virtual slow path; both stock clocks devirtualize above
+	return s.clk.Now()
 }
 
 // Stats returns cumulative forwarded/dropped decision counts.
@@ -73,7 +100,7 @@ func (s *Sched) Stats() (forwarded, dropped uint64) {
 //fv:hotpath
 func (s *Sched) Schedule(lbl *tree.Label, size int) dataplane.Decision {
 	s.mu.Lock()
-	now := s.clk.Now()
+	now := s.now()
 	s.drainTickLocked(now)
 	d := s.decideLocked(lbl, size, now, 1)
 	s.mu.Unlock()
@@ -93,7 +120,7 @@ func (s *Sched) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Decision
 		return
 	}
 	s.mu.Lock()
-	now := s.clk.Now()
+	now := s.now()
 	s.drainTickLocked(now)
 	for i := 0; i < n; i++ {
 		out[i] = s.decideLocked(reqs[i].Label, reqs[i].Size, now, n)
@@ -105,8 +132,8 @@ func (s *Sched) ScheduleBatch(reqs []dataplane.Request, out []dataplane.Decision
 //
 //fv:hotpath
 func (s *Sched) decideLocked(lbl *tree.Label, size int, nowNs int64, batched int) dataplane.Decision {
-	r := s.pol.LabelRank(lbl, size, nowNs)
-	if s.adm.admitLocked(r, size, nowNs) {
+	r := s.pol.LabelRank(lbl, size, nowNs) //fv:boxing-ok the rank policy is the pifo family's pluggable surface, chosen once at construction
+	if s.adm.admitLocked(r, size, nowNs) { //fv:boxing-ok the admission filter is the pifo family's pluggable surface, chosen once at construction
 		s.forwarded++
 		return dataplane.Decision{Verdict: dataplane.Forward, Batched: batched}
 	}
@@ -124,6 +151,7 @@ func (s *Sched) drainTickLocked(nowNs int64) {
 		return
 	}
 	s.lastNs = nowNs
+	//fv:boxing-ok the admission filter is the pifo family's pluggable surface, chosen once at construction
 	s.adm.drainLocked(int64(s.drainBps * float64(dt) / 8e9))
 }
 

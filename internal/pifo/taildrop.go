@@ -43,7 +43,7 @@ func (q *taildrop) push(e entry) (entry, bool) {
 		q.st.FullDrops++
 		return entry{}, false
 	}
-	if !horizonAdmit(e.rank, q.nowNs(), q.horizonNs) {
+	if !horizonAdmit(e.rank, q.nowNs(), q.horizonNs) { //fv:boxing-ok nowNs is the qdisc plane's injected time source, bound once at attach
 		q.st.RankDrops++
 		return entry{}, false
 	}
